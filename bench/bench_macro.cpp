@@ -1,0 +1,144 @@
+// Macro benchmark (extension) — end-to-end protocol cost.
+//
+// The paper's evaluation stops at the POC scheme; this harness measures
+// the full distributed protocol built on it:
+//
+//   * distribution phase wall-clock per task (POC aggregation dominates),
+//   * good/bad product query latency as a function of the path length,
+//   * wire bytes exchanged per query (connects Table II to the protocol).
+//
+// Path length is swept by building layered supply chains of increasing
+// depth; each product traverses exactly `depth` participants.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "desword/scenario.h"
+
+namespace {
+
+using namespace desword;
+using namespace desword::protocol;
+
+zkedb::EdbConfig macro_edb() {
+  if (benchutil::quick_mode()) {
+    return zkedb::EdbConfig{4, 8, 512, "p256", zkedb::SoftMode::kShared};
+  }
+  return zkedb::EdbConfig{16, 32, benchutil::rsa_bits(), "p256",
+                          zkedb::SoftMode::kShared};
+}
+
+std::vector<long> depth_sweep() {
+  if (benchutil::quick_mode()) return {3};
+  return {3, 5, 7};
+}
+
+struct MacroFixture {
+  std::unique_ptr<Scenario> scenario;
+  supplychain::ProductId product;  // product with path length == depth
+};
+
+MacroFixture& fixture_for(long depth) {
+  static std::map<long, std::unique_ptr<MacroFixture>> cache;
+  auto it = cache.find(depth);
+  if (it == cache.end()) {
+    auto fx = std::make_unique<MacroFixture>();
+    ScenarioConfig cfg;
+    cfg.edb = macro_edb();
+    fx->scenario = std::make_unique<Scenario>(
+        supplychain::SupplyChainGraph::layered(
+            static_cast<std::size_t>(depth), 3, 2),
+        cfg);
+    supplychain::DistributionConfig dist;
+    dist.initial = "L0-0";
+    dist.products = supplychain::make_products(1, 0, 4);
+    const auto& truth = fx->scenario->run_task("macro-task", dist);
+    fx->product = truth.paths.begin()->first;
+    it = cache.emplace(depth, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+void BM_DistributionPhase(benchmark::State& state) {
+  // Fresh scenario per iteration: the distribution phase is one-shot.
+  const long depth = state.range(0);
+  int task = 0;
+  ScenarioConfig cfg;
+  cfg.edb = macro_edb();
+  Scenario scenario(supplychain::SupplyChainGraph::layered(
+                        static_cast<std::size_t>(depth), 3, 2),
+                    cfg);
+  for (auto _ : state) {
+    supplychain::DistributionConfig dist;
+    dist.initial = "L0-0";
+    dist.products = supplychain::make_products(
+        2, static_cast<std::uint64_t>(task) * 100, 4);
+    scenario.run_task("task-" + std::to_string(task++), dist);
+  }
+  state.counters["participants"] =
+      static_cast<double>(scenario.graph().participant_count());
+}
+
+void BM_GoodQuery(benchmark::State& state) {
+  MacroFixture& fx = fixture_for(state.range(0));
+  std::uint64_t bytes_before = fx.scenario->network().total_stats().bytes_sent;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    const QueryOutcome outcome = fx.scenario->proxy().run_query(
+        fx.product, ProductQuality::kGood, std::string("macro-task"));
+    if (!outcome.complete) {
+      state.SkipWithError("query did not complete");
+      return;
+    }
+    ++queries;
+  }
+  const std::uint64_t bytes_after =
+      fx.scenario->network().total_stats().bytes_sent;
+  if (queries > 0) {
+    state.counters["wire_KB_per_query"] =
+        static_cast<double>(bytes_after - bytes_before) / 1024.0 /
+        static_cast<double>(queries);
+    state.counters["path_len"] = static_cast<double>(state.range(0));
+  }
+}
+
+void BM_BadQuery(benchmark::State& state) {
+  MacroFixture& fx = fixture_for(state.range(0));
+  for (auto _ : state) {
+    const QueryOutcome outcome = fx.scenario->proxy().run_query(
+        fx.product, ProductQuality::kBad, std::string("macro-task"));
+    if (!outcome.complete) {
+      state.SkipWithError("query did not complete");
+      return;
+    }
+  }
+}
+
+void register_all() {
+  for (const long depth : depth_sweep()) {
+    benchmark::RegisterBenchmark("Macro/DistributionPhase",
+                                 BM_DistributionPhase)
+        ->Arg(depth)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("Macro/GoodQuery", BM_GoodQuery)
+        ->Arg(depth)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+    benchmark::RegisterBenchmark("Macro/BadQuery", BM_BadQuery)
+        ->Arg(depth)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Figure 5 — computation overhead of ownership / non-ownership proofs.
+//
+// Measures, for every Table II (q, h) configuration:
+//   * ownership proof generation   (grows with q and h)
+//   * ownership proof verification (grows with h only)
+//   * non-ownership proof generation / verification ("similar" per the
+//     paper — included for completeness)
+//   * POC aggregation (extension: the distribution-phase commit cost)
+//
+// Expected shape (paper): generation is far more expensive than
+// verification, generation increases with both q and h, verification only
+// with h.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_util.h"
+#include "poc/poc.h"
+#include "supplychain/rfid.h"
+
+namespace {
+
+using namespace desword;
+
+struct PocFixture {
+  zkedb::EdbCrsPtr crs;
+  std::unique_ptr<poc::PocScheme> scheme;
+  poc::Poc poc;
+  std::unique_ptr<poc::PocDecommitment> dpoc;
+  Bytes owned_id;
+  Bytes ghost_id;
+  Bytes own_proof;
+  Bytes nown_proof;
+};
+
+PocFixture& fixture_for(std::uint32_t q, std::uint32_t h) {
+  static std::map<std::pair<std::uint32_t, std::uint32_t>,
+                  std::unique_ptr<PocFixture>>
+      cache;
+  const auto key = std::make_pair(q, h);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto fx = std::make_unique<PocFixture>();
+    fx->crs = benchutil::crs_for(q, h);
+    fx->crs->qtmc().precompute_soft_bases();
+    fx->scheme = std::make_unique<poc::PocScheme>(fx->crs);
+    std::map<Bytes, Bytes> traces;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      traces[supplychain::make_epc(1, 1, i)] = bytes_of("production-data");
+    }
+    auto [p, dpoc] = fx->scheme->aggregate("v1", traces);
+    fx->poc = p;
+    fx->dpoc = std::move(dpoc);
+    fx->owned_id = supplychain::make_epc(1, 1, 0);
+    fx->ghost_id = supplychain::make_epc(9, 9, 9);
+    fx->own_proof = fx->scheme->prove(*fx->dpoc, fx->owned_id).serialize();
+    fx->nown_proof = fx->scheme->prove(*fx->dpoc, fx->ghost_id).serialize();
+    it = cache.emplace(key, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+void BM_OwnProofGen(benchmark::State& state) {
+  PocFixture& fx = fixture_for(static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    auto proof = fx.scheme->prove(*fx.dpoc, fx.owned_id);
+    benchmark::DoNotOptimize(proof.zk_proof);
+  }
+}
+
+void BM_OwnProofVerify(benchmark::State& state) {
+  PocFixture& fx = fixture_for(static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(1)));
+  const poc::PocProof proof = poc::PocProof::deserialize(fx.own_proof);
+  for (auto _ : state) {
+    auto result = fx.scheme->verify(fx.poc, fx.owned_id, proof);
+    if (result.verdict != poc::PocVerdict::kTrace) {
+      state.SkipWithError("ownership proof did not verify");
+      return;
+    }
+  }
+}
+
+void BM_NOwnProofGen(benchmark::State& state) {
+  PocFixture& fx = fixture_for(static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    auto proof = fx.scheme->prove(*fx.dpoc, fx.ghost_id);
+    benchmark::DoNotOptimize(proof.zk_proof);
+  }
+}
+
+void BM_NOwnProofVerify(benchmark::State& state) {
+  PocFixture& fx = fixture_for(static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(1)));
+  const poc::PocProof proof = poc::PocProof::deserialize(fx.nown_proof);
+  for (auto _ : state) {
+    auto result = fx.scheme->verify(fx.poc, fx.ghost_id, proof);
+    if (result.verdict != poc::PocVerdict::kValid) {
+      state.SkipWithError("non-ownership proof did not verify");
+      return;
+    }
+  }
+}
+
+void BM_PocAggregate(benchmark::State& state) {
+  PocFixture& fx = fixture_for(static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(1)));
+  std::map<Bytes, Bytes> traces;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    traces[supplychain::make_epc(1, 1, i)] = bytes_of("production-data");
+  }
+  for (auto _ : state) {
+    auto pair = fx.scheme->aggregate("v1", traces);
+    benchmark::DoNotOptimize(pair.first.commitment);
+  }
+}
+
+void register_all() {
+  for (const auto& [q, h] : desword::benchutil::qh_sweep()) {
+    const auto add = [q = q, h = h](const char* name, auto* fn,
+                                    int iterations) {
+      benchmark::RegisterBenchmark(name, fn)
+          ->Args({static_cast<long>(q), static_cast<long>(h)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(iterations);
+    };
+    add("Fig5/OwnProofGen", BM_OwnProofGen, 5);
+    add("Fig5/OwnProofVerify", BM_OwnProofVerify, 20);
+    add("Fig5/NOwnProofGen", BM_NOwnProofGen, 5);
+    add("Fig5/NOwnProofVerify", BM_NOwnProofVerify, 20);
+    add("Ext/PocAggregate", BM_PocAggregate, 3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

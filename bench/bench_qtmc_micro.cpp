@@ -1,0 +1,161 @@
+// Figure 4 — running time of the qTMC scheme with a sequence of q messages.
+//
+//   Fig. 4(a): algorithms touching hard commitments — qKGen, qHCom, qHOpen
+//              and qSOpen-of-a-hard-commitment — grow linearly with q.
+//   Fig. 4(b): algorithms touching soft commitments — qSCom and
+//              qSOpen-of-a-soft-commitment — are constant in q, as is
+//              verification.
+//
+// The paper runs the pairing-based Libert–Yung scheme on jPBC; this build
+// runs the strong-RSA instantiation (DESIGN.md §2), so absolute numbers
+// differ while the q-scaling shape is the comparison target.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+namespace {
+
+using desword::Bytes;
+using desword::benchutil::bench_messages;
+using desword::benchutil::q_sweep;
+using desword::benchutil::qtmc_for;
+using desword::benchutil::rsa_bits;
+using desword::mercurial::QtmcScheme;
+
+void BM_qKGen(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  // Key generation = RSA modulus sampling + deterministic derivation of
+  // the e_i primes and S_i power tables. The derivation dominates and is
+  // what scales with q.
+  for (auto _ : state) {
+    auto keys = QtmcScheme::keygen(q, rsa_bits());
+    QtmcScheme scheme(std::move(keys.pk));
+    benchmark::DoNotOptimize(scheme.arity());
+  }
+}
+
+void BM_qHCom(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  const auto msgs = bench_messages(q);
+  for (auto _ : state) {
+    auto pair = scheme.hard_commit(msgs);
+    benchmark::DoNotOptimize(pair.first.c0);
+  }
+}
+
+void BM_qHOpen(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  const auto msgs = bench_messages(q);
+  const auto [com, dec] = scheme.hard_commit(msgs);
+  std::uint32_t pos = 0;
+  for (auto _ : state) {
+    auto op = scheme.hard_open(dec, pos);
+    pos = (pos + 1) % q;
+    benchmark::DoNotOptimize(op.lambda);
+  }
+}
+
+void BM_qSOpen_hard(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  const auto msgs = bench_messages(q);
+  const auto [com, dec] = scheme.hard_commit(msgs);
+  std::uint32_t pos = 0;
+  for (auto _ : state) {
+    auto tease = scheme.tease_hard(dec, pos);
+    pos = (pos + 1) % q;
+    benchmark::DoNotOptimize(tease.lambda);
+  }
+}
+
+void BM_qSCom(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  for (auto _ : state) {
+    auto pair = scheme.soft_commit();
+    benchmark::DoNotOptimize(pair.first.c0);
+  }
+}
+
+void BM_qSOpen_soft(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  scheme.precompute_soft_bases();  // steady-state cost (cached U_i)
+  const auto [com, dec] = scheme.soft_commit();
+  const auto msgs = bench_messages(q);
+  std::uint32_t pos = 0;
+  for (auto _ : state) {
+    auto tease = scheme.tease_soft(dec, pos, msgs[pos]);
+    pos = (pos + 1) % q;
+    benchmark::DoNotOptimize(tease.lambda);
+  }
+}
+
+void BM_qVerOpen(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  const auto msgs = bench_messages(q);
+  const auto [com, dec] = scheme.hard_commit(msgs);
+  const auto op = scheme.hard_open(dec, q / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.verify_open(com, op));
+  }
+}
+
+void BM_qVerTease(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  QtmcScheme& scheme = qtmc_for(q);
+  const auto msgs = bench_messages(q);
+  const auto [com, dec] = scheme.hard_commit(msgs);
+  const auto tease = scheme.tease_hard(dec, q / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.verify_tease(com, tease));
+  }
+}
+
+void register_all() {
+  for (const std::uint32_t q : q_sweep()) {
+    const auto arg = static_cast<long>(q);
+    // Fig 4(a): hard-commitment algorithms (linear in q).
+    benchmark::RegisterBenchmark("Fig4a/qKGen", BM_qKGen)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig4a/qHCom", BM_qHCom)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("Fig4a/qHOpen", BM_qHOpen)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("Fig4a/qSOpen_hard", BM_qSOpen_hard)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+    // Fig 4(b): soft-commitment algorithms (constant in q).
+    benchmark::RegisterBenchmark("Fig4b/qSCom", BM_qSCom)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("Fig4b/qSOpen_soft", BM_qSOpen_soft)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+    // Verification is constant in q (context for Fig. 5).
+    benchmark::RegisterBenchmark("Fig4x/qVerOpen", BM_qVerOpen)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("Fig4x/qVerTease", BM_qVerTease)
+        ->Arg(arg)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// §VI-A TMC micro-benchmark — the seven algorithms of the trapdoor
+// mercurial commitment, on both group backends.
+//
+// The paper's conclusion for this experiment is qualitative: every TMC
+// algorithm is lightweight (their slowest, HCom on jPBC, averaged 34 ms),
+// so the TMC does not dominate the POC scheme. The same conclusion must
+// hold here — and it holds even more strongly on P-256.
+//
+// The MODP-2048 backend doubles as the "classic DL group" ablation
+// (DESIGN.md experiment index, bench_groups role).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mercurial/tmc.h"
+
+namespace {
+
+using desword::Bytes;
+using desword::GroupPtr;
+using desword::mercurial::TmcKeyPair;
+using desword::mercurial::TmcScheme;
+
+struct TmcFixture {
+  GroupPtr group;
+  TmcKeyPair keys{desword::mercurial::TmcPublicKey{}, desword::Bignum()};
+  std::unique_ptr<TmcScheme> scheme;
+  Bytes msg;
+};
+
+TmcFixture& fixture_for(const std::string& backend) {
+  static std::map<std::string, std::unique_ptr<TmcFixture>> cache;
+  auto it = cache.find(backend);
+  if (it == cache.end()) {
+    auto fx = std::make_unique<TmcFixture>();
+    fx->group = backend == "p256"
+                    ? desword::make_p256_group()
+                    : desword::make_modp_group(
+                          desword::ModpGroupId::kRfc3526_2048);
+    fx->keys = TmcScheme::keygen(fx->group);
+    fx->scheme = std::make_unique<TmcScheme>(fx->group, fx->keys.pk);
+    fx->msg = desword::benchutil::bench_messages(1)[0];
+    it = cache.emplace(backend, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+void BM_KGen(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  for (auto _ : state) {
+    auto keys = TmcScheme::keygen(fx.group);
+    benchmark::DoNotOptimize(keys.pk.h);
+  }
+}
+
+void BM_HCom(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  for (auto _ : state) {
+    auto pair = fx.scheme->hard_commit(fx.msg);
+    benchmark::DoNotOptimize(pair.first.c0);
+  }
+}
+
+void BM_HOpen(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  const auto [com, dec] = fx.scheme->hard_commit(fx.msg);
+  for (auto _ : state) {
+    auto op = fx.scheme->hard_open(dec);
+    benchmark::DoNotOptimize(op.r1);
+  }
+}
+
+void BM_HVer(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  const auto [com, dec] = fx.scheme->hard_commit(fx.msg);
+  const auto op = fx.scheme->hard_open(dec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.scheme->verify_open(com, op));
+  }
+}
+
+void BM_SCom(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  for (auto _ : state) {
+    auto pair = fx.scheme->soft_commit();
+    benchmark::DoNotOptimize(pair.first.c0);
+  }
+}
+
+void BM_SOpen(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  const auto [com, dec] = fx.scheme->soft_commit();
+  for (auto _ : state) {
+    auto tease = fx.scheme->tease_soft(dec, fx.msg);
+    benchmark::DoNotOptimize(tease.tau);
+  }
+}
+
+void BM_SVer(benchmark::State& state, const std::string& backend) {
+  TmcFixture& fx = fixture_for(backend);
+  const auto [com, dec] = fx.scheme->hard_commit(fx.msg);
+  const auto tease = fx.scheme->tease_hard(dec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.scheme->verify_tease(com, tease));
+  }
+}
+
+void register_all() {
+  for (const std::string backend : {"p256", "modp2048"}) {
+    const auto reg = [&](const char* name, auto fn) {
+      benchmark::RegisterBenchmark(
+          ("TMC/" + std::string(name) + "/" + backend).c_str(),
+          [fn, backend](benchmark::State& st) { fn(st, backend); })
+          ->Unit(benchmark::kMillisecond);
+    };
+    reg("KGen", BM_KGen);
+    reg("HCom", BM_HCom);
+    reg("HOpen", BM_HOpen);
+    reg("HVer", BM_HVer);
+    reg("SCom", BM_SCom);
+    reg("SOpen", BM_SOpen);
+    reg("SVer", BM_SVer);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

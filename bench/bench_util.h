@@ -1,0 +1,89 @@
+// Shared helpers for the DE-Sword benchmark suite.
+//
+// Environment knobs:
+//   DESWORD_BENCH_RSA_BITS   qTMC modulus size (default 2048; set 1024 or
+//                            512 for quick runs)
+//   DESWORD_BENCH_QUICK      if set (non-empty), benchmarks shrink their
+//                            parameter sweeps for smoke testing
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "mercurial/qtmc.h"
+#include "zkedb/params.h"
+
+namespace desword::benchutil {
+
+inline int rsa_bits() {
+  if (const char* env = std::getenv("DESWORD_BENCH_RSA_BITS")) {
+    const int bits = std::atoi(env);
+    if (bits >= 256) return bits;
+  }
+  return 2048;
+}
+
+inline bool quick_mode() {
+  const char* env = std::getenv("DESWORD_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// The paper's Figure 4 arity sweep.
+inline std::vector<std::uint32_t> q_sweep() {
+  if (quick_mode()) return {8, 32};
+  return {8, 16, 32, 64, 128};
+}
+
+/// The paper's Table II / Figure 5 (q, h) sweep with q^h >= 2^128.
+inline std::vector<std::pair<std::uint32_t, std::uint32_t>> qh_sweep() {
+  if (quick_mode()) return {{8, 43}, {32, 26}};
+  return {{8, 43}, {16, 32}, {32, 26}, {64, 22}, {128, 19}};
+}
+
+/// Deterministic 16-byte messages.
+inline std::vector<Bytes> bench_messages(std::uint32_t count) {
+  std::vector<Bytes> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(hash_to_128("bench-msg", {be64(i)}));
+  }
+  return out;
+}
+
+/// Caches one qTMC scheme per arity so every benchmark in a binary shares
+/// the (expensive) key material.
+inline mercurial::QtmcScheme& qtmc_for(std::uint32_t q) {
+  static std::map<std::uint32_t, std::unique_ptr<mercurial::QtmcScheme>> cache;
+  auto it = cache.find(q);
+  if (it == cache.end()) {
+    auto keys = mercurial::QtmcScheme::keygen(q, rsa_bits());
+    it = cache
+             .emplace(q, std::make_unique<mercurial::QtmcScheme>(
+                             std::move(keys.pk)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Caches one ZK-EDB CRS per (q, h) configuration.
+inline zkedb::EdbCrsPtr crs_for(std::uint32_t q, std::uint32_t h) {
+  static std::map<std::pair<std::uint32_t, std::uint32_t>, zkedb::EdbCrsPtr>
+      cache;
+  const auto key = std::make_pair(q, h);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    zkedb::EdbConfig cfg;
+    cfg.q = q;
+    cfg.height = h;
+    cfg.rsa_bits = rsa_bits();
+    cfg.group_name = "p256";
+    it = cache.emplace(key, zkedb::generate_crs(cfg)).first;
+  }
+  return it->second;
+}
+
+}  // namespace desword::benchutil

@@ -1,0 +1,131 @@
+// ZK-EDB scaling micro-benchmark (extension) — cost vs database size n.
+//
+// Validates the compactness claims behind the POC design:
+//   * EDB-commit time grows ~linearly in n (n·h tree nodes),
+//   * commitment size is CONSTANT in n,
+//   * proof generation/verification and proof size are independent of n
+//     (they only walk one root-to-leaf path),
+//   * incremental insert costs ~one path recommit, not a rebuild.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_util.h"
+#include "supplychain/rfid.h"
+#include "zkedb/prover.h"
+#include "zkedb/verifier.h"
+
+namespace {
+
+using namespace desword;
+using namespace desword::zkedb;
+
+EdbCrsPtr bench_crs() {
+  if (benchutil::quick_mode()) return benchutil::crs_for(4, 8);
+  return benchutil::crs_for(16, 32);
+}
+
+std::map<Bytes, Bytes> entries_of(const EdbCrs& crs, std::size_t n) {
+  std::map<Bytes, Bytes> entries;
+  for (std::size_t i = 0; entries.size() < n; ++i) {
+    entries[key_for_identifier(crs, be64(i))] = bytes_of("value");
+  }
+  return entries;
+}
+
+EdbProver& prover_for(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<EdbProver>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const EdbCrsPtr crs = bench_crs();
+    crs->qtmc().precompute_soft_bases();
+    it = cache.emplace(n, std::make_unique<EdbProver>(crs, entries_of(*crs, n)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_Commit(benchmark::State& state) {
+  const EdbCrsPtr crs = bench_crs();
+  crs->qtmc().precompute_soft_bases();
+  const auto entries = entries_of(*crs, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    EdbProver prover(crs, entries);
+    benchmark::DoNotOptimize(prover.commitment_bytes());
+  }
+}
+
+void BM_ProveMember(benchmark::State& state) {
+  EdbProver& prover = prover_for(static_cast<std::size_t>(state.range(0)));
+  const EdbKey key = key_for_identifier(prover.crs(), be64(0));
+  for (auto _ : state) {
+    auto proof = prover.prove_membership(key);
+    benchmark::DoNotOptimize(proof.value);
+  }
+  state.counters["proof_KB"] = static_cast<double>(
+      prover.prove_membership(key).serialize(prover.crs()).size()) / 1024.0;
+  state.counters["com_B"] =
+      static_cast<double>(prover.commitment_bytes().size());
+}
+
+void BM_VerifyMember(benchmark::State& state) {
+  EdbProver& prover = prover_for(static_cast<std::size_t>(state.range(0)));
+  const EdbKey key = key_for_identifier(prover.crs(), be64(0));
+  const auto proof = prover.prove_membership(key);
+  for (auto _ : state) {
+    auto value =
+        edb_verify_membership(prover.crs(), prover.commitment(), key, proof);
+    if (!value.has_value()) {
+      state.SkipWithError("verification failed");
+      return;
+    }
+  }
+}
+
+void BM_IncrementalInsert(benchmark::State& state) {
+  const EdbCrsPtr crs = bench_crs();
+  crs->qtmc().precompute_soft_bases();
+  EdbProver prover(crs, entries_of(*crs, static_cast<std::size_t>(state.range(0))));
+  std::uint64_t serial = 1u << 20;
+  for (auto _ : state) {
+    const EdbKey key = key_for_identifier(*crs, be64(serial++));
+    if (prover.contains(key)) continue;
+    prover.insert(key, bytes_of("value"));
+  }
+}
+
+void register_all() {
+  const std::vector<long> sizes =
+      benchutil::quick_mode() ? std::vector<long>{2, 8}
+                              : std::vector<long>{2, 8, 32};
+  for (const long n : sizes) {
+    benchmark::RegisterBenchmark("ZkEdb/Commit", BM_Commit)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("ZkEdb/ProveMember", BM_ProveMember)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+    benchmark::RegisterBenchmark("ZkEdb/VerifyMember", BM_VerifyMember)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(10);
+    benchmark::RegisterBenchmark("ZkEdb/IncrementalInsert",
+                                 BM_IncrementalInsert)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

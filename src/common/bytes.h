@@ -1,0 +1,50 @@
+// Byte-buffer utilities shared across the DE-Sword codebase.
+//
+// `Bytes` is the canonical wire/value representation for identifiers, hashes,
+// serialized commitments and protocol messages. All helpers are allocation
+// friendly and exception safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desword {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as a lowercase hex string.
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copies a string's characters into a byte buffer (no encoding applied).
+Bytes bytes_of(std::string_view s);
+
+/// Interprets a byte buffer as a string (no encoding applied).
+std::string string_of(BytesView data);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates buffers left to right.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-time equality: timing independent of where buffers differ.
+/// (Lengths are compared in variable time; contents are not.)
+bool ct_equal(BytesView a, BytesView b);
+
+/// Big-endian encoding of a 64-bit integer (8 bytes).
+Bytes be64(std::uint64_t v);
+
+/// Reads a big-endian 64-bit integer from an 8-byte buffer.
+/// Throws std::invalid_argument if `data.size() != 8`.
+std::uint64_t read_be64(BytesView data);
+
+}  // namespace desword

@@ -1,0 +1,47 @@
+// Error taxonomy for DE-Sword.
+//
+// Programming and environment failures (bad arguments, OpenSSL failures,
+// malformed serialized data) are reported via exceptions derived from
+// `desword::Error`. *Expected* negative outcomes — e.g. a proof failing to
+// verify because a participant cheated — are modelled as values
+// (enums / bools) on the relevant APIs, never as exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace desword {
+
+/// Root of the DE-Sword exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Low-level cryptographic backend failure (OpenSSL error, parameter misuse).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Malformed or truncated serialized data.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : Error("serialization: " + what) {}
+};
+
+/// Protocol state-machine misuse or malformed protocol message.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol: " + what) {}
+};
+
+/// Invalid configuration (e.g. q^h does not cover the key space).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+}  // namespace desword

@@ -1,0 +1,428 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace desword::json {
+
+namespace {
+constexpr int kMaxDepth = 64;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SerializationError("json: " + what);
+}
+}  // namespace
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  entries_.emplace_back(key, Value());
+  return entries_.back().second;
+}
+
+const Value* Object::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value::Value(Array a)
+    : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+
+Value::Value(Object o)
+    : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) fail("not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::kNumber) fail("not a number");
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  if (kind_ != Kind::kNumber) fail("not a number");
+  if (exact_int_) return int_;
+  const double rounded = std::nearbyint(num_);
+  if (rounded != num_ || std::abs(num_) > 9.007199254740992e15) {
+    fail("number is not an exact integer");
+  }
+  return static_cast<std::int64_t>(rounded);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) fail("not a string");
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) fail("not an array");
+  return *arr_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) fail("not an object");
+  return *obj_;
+}
+
+Array& Value::mutable_array() {
+  if (kind_ == Kind::kNull) {
+    kind_ = Kind::kArray;
+    arr_ = std::make_shared<Array>();
+  }
+  if (kind_ != Kind::kArray) fail("not an array");
+  if (arr_.use_count() > 1) arr_ = std::make_shared<Array>(*arr_);
+  return *arr_;
+}
+
+Object& Value::mutable_object() {
+  if (kind_ == Kind::kNull) {
+    kind_ = Kind::kObject;
+    obj_ = std::make_shared<Object>();
+  }
+  if (kind_ != Kind::kObject) fail("not an object");
+  if (obj_.use_count() > 1) obj_ = std::make_shared<Object>(*obj_);
+  return *obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  static const Value kNull;
+  if (kind_ != Kind::kObject) return kNull;
+  const Value* v = obj_->find(key);
+  return v == nullptr ? kNull : *v;
+}
+
+bool Value::has(const std::string& key) const {
+  return kind_ == Kind::kObject && obj_->contains(key);
+}
+
+namespace {
+
+void escape_to(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void indent_to(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  if (depth > kMaxDepth) fail("nesting too deep while dumping");
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      if (exact_int_) {
+        out += std::to_string(int_);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        out += buf;
+      }
+      return;
+    }
+    case Kind::kString:
+      escape_to(str_, out);
+      return;
+    case Kind::kArray: {
+      if (arr_->empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Value& v : *arr_) {
+        if (!first) out.push_back(',');
+        first = false;
+        indent_to(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      indent_to(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_->empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : *obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        indent_to(out, indent, depth + 1);
+        escape_to(k, out);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        v.dump_to(out, indent, depth + 1);
+      }
+      indent_to(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  out.push_back('\n');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Value v = parse_value(depth + 1);
+      if (obj.contains(key)) fail("duplicate key: " + key);
+      obj[key] = std::move(v);
+      skip_ws();
+      const char c = next();
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // Encode BMP code point as UTF-8 (surrogates rejected).
+          if (code >= 0xd800 && code <= 0xdfff) {
+            fail("surrogate pairs not supported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail("bad number");
+    // Exact integer when it round-trips through int64.
+    const bool integral =
+        token.find('.') == std::string::npos &&
+        token.find('e') == std::string::npos &&
+        token.find('E') == std::string::npos;
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Value(static_cast<std::int64_t>(v));
+      }
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number: " + token);
+    return Value(d);
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw SerializationError("json: " + what + " (at offset " +
+                             std::to_string(pos_) + ")");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace desword::json

@@ -1,0 +1,111 @@
+// Minimal JSON reader/writer.
+//
+// Used by the command-line tools for human-editable inputs (trace
+// databases, configuration). Supports the full JSON value model with
+// UTF-8 pass-through, \uXXXX escapes (BMP only), a nesting-depth limit,
+// and deterministic serialization (object keys keep insertion order).
+// Numbers are stored as double plus an exact-int64 flag, which is enough
+// for identifiers and timestamps used here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace desword::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Insertion-ordered object.
+class Object {
+ public:
+  Value& operator[](const std::string& key);
+  const Value* find(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+enum class Kind : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}  // NOLINT
+  Value(std::int64_t i)  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)), int_(i),
+        exact_int_(true) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Value(Array a);   // NOLINT
+  Value(Object o);  // NOLINT
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw SerializationError on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  /// Exact integer (throws if the number was not an exact int64).
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& mutable_array();
+  Object& mutable_object();
+
+  /// Object member access with defaults (null if missing).
+  const Value& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// Compact serialization.
+  std::string dump() const;
+  /// Pretty-printed serialization (two-space indent).
+  std::string dump_pretty() const;
+
+ private:
+  friend class Parser;
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool exact_int_ = false;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parses a JSON document. Throws SerializationError on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace desword::json

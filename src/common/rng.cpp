@@ -1,0 +1,64 @@
+#include "common/rng.h"
+
+#include <openssl/rand.h>
+
+#include "common/error.h"
+
+namespace desword {
+
+Bytes random_bytes(std::size_t n) {
+  Bytes out(n);
+  if (n > 0 && RAND_bytes(out.data(), static_cast<int>(n)) != 1) {
+    throw CryptoError("RAND_bytes failed");
+  }
+  return out;
+}
+
+std::uint64_t random_u64() {
+  const Bytes b = random_bytes(8);
+  return read_be64(b);
+}
+
+std::uint64_t SimRng::next() {
+  // SplitMix64: fast, good statistical quality, trivially seedable.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SimRng::below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~0ULL) / bound);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double SimRng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool SimRng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Bytes SimRng::bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint64_t v = next();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace desword

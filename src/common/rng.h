@@ -1,0 +1,46 @@
+// Randomness sources.
+//
+// Cryptographic randomness always comes from the OS CSPRNG (OpenSSL
+// RAND_bytes). Simulation-level randomness (workload generation, Monte-Carlo
+// incentive experiments) uses a seedable SplitMix64-based generator so that
+// experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace desword {
+
+/// Fills a fresh buffer with `n` cryptographically secure random bytes.
+/// Throws CryptoError if the CSPRNG fails.
+Bytes random_bytes(std::size_t n);
+
+/// Uniform random 64-bit value from the CSPRNG.
+std::uint64_t random_u64();
+
+/// Deterministic, seedable PRNG for simulations. Not for cryptography.
+class SimRng {
+ public:
+  explicit SimRng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value (SplitMix64).
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). `bound` must be non-zero.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// `n` deterministic pseudo-random bytes (for synthetic payloads).
+  Bytes bytes(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace desword

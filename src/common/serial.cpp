@@ -1,0 +1,119 @@
+#include "common/serial.h"
+
+namespace desword {
+
+void BinaryWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void BinaryWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinaryWriter::bytes(BytesView data) {
+  varint(data.size());
+  append(buf_, data);
+}
+
+void BinaryWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::boolean(bool v) { buf_.push_back(v ? 1 : 0); }
+
+BytesView BinaryReader::take(std::size_t n) {
+  if (remaining() < n) {
+    throw SerializationError("truncated input: need " + std::to_string(n) +
+                             " bytes, have " + std::to_string(remaining()));
+  }
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t BinaryReader::u8() { return take(1)[0]; }
+
+std::uint16_t BinaryReader::u16() {
+  BytesView b = take(2);
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t BinaryReader::u32() {
+  BytesView b = take(4);
+  std::uint32_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  BytesView b = take(8);
+  std::uint64_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+std::uint64_t BinaryReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint8_t byte = u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (i == 9 && byte > 1) {
+        throw SerializationError("varint overflows 64 bits");
+      }
+      return v;
+    }
+    shift += 7;
+  }
+  throw SerializationError("varint too long");
+}
+
+Bytes BinaryReader::bytes() {
+  const std::uint64_t n = varint();
+  if (n > remaining()) {
+    throw SerializationError("byte-string length exceeds remaining input");
+  }
+  BytesView b = take(static_cast<std::size_t>(n));
+  return Bytes(b.begin(), b.end());
+}
+
+std::string BinaryReader::str() {
+  const Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+bool BinaryReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw SerializationError("boolean byte out of range");
+  return v == 1;
+}
+
+void BinaryReader::expect_done() const {
+  if (!done()) {
+    throw SerializationError("trailing bytes after message: " +
+                             std::to_string(remaining()));
+  }
+}
+
+}  // namespace desword

@@ -1,0 +1,77 @@
+// Minimal binary serialization used for commitments, proofs and protocol
+// messages. The format is deliberately simple and deterministic:
+//
+//   * fixed-width integers are big-endian
+//   * variable-width unsigned integers use LEB128-style varints
+//   * byte strings are varint-length-prefixed
+//
+// Determinism matters: digests of serialized commitments feed back into the
+// ZK-EDB tree, and Table II of the paper is reproduced by measuring the exact
+// size of serialized proofs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace desword {
+
+/// Appends encoded values to an internal buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128 varint (1–10 bytes).
+  void varint(std::uint64_t v);
+  /// Varint length prefix followed by raw bytes.
+  void bytes(BytesView data);
+  /// Varint length prefix followed by raw characters.
+  void str(std::string_view s);
+  void boolean(bool v);
+
+  /// Read-only view of everything written so far.
+  BytesView view() const { return buf_; }
+  /// Moves the buffer out; the writer is empty afterwards.
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes encoded values from a buffer. Throws SerializationError on
+/// truncation or malformed varints. The reader does not own the buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  Bytes bytes();
+  std::string str();
+  bool boolean();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws SerializationError unless the whole buffer was consumed.
+  void expect_done() const;
+
+ private:
+  BytesView take(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace desword

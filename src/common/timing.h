@@ -1,0 +1,32 @@
+// Lightweight wall-clock timing helpers used by examples and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace desword {
+
+/// Monotonic timestamp in nanoseconds.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Measures elapsed wall-clock time from construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+
+  void reset() { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace desword

@@ -1,0 +1,85 @@
+// Abstract cyclic group of prime order.
+//
+// The Pedersen-style trapdoor mercurial commitment (TMC) and the Schnorr
+// signature baseline are written against this interface. Elements are
+// handled as opaque serialized byte strings so that commitments and proofs
+// serialize without caring which backend produced them.
+//
+// Backends:
+//   * NIST P-256 elliptic curve (compressed points, 33 bytes) — primary.
+//   * Multiplicative subgroup of quadratic residues mod a safe prime
+//     (RFC 3526 2048-bit group, plus a small deterministic test group) —
+//     ablation backend matching the "classic" DL instantiation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+
+namespace desword {
+
+class Group {
+ public:
+  virtual ~Group() = default;
+
+  /// Human-readable backend identifier ("p256", "modp2048", ...).
+  virtual std::string name() const = 0;
+
+  /// The prime group order; scalars live in [0, order).
+  virtual const Bignum& order() const = 0;
+
+  /// Serialized canonical generator.
+  virtual Bytes generator() const = 0;
+
+  /// elem ^ scalar (scalar taken mod order; must be non-negative).
+  virtual Bytes exp(BytesView elem, const Bignum& scalar) const = 0;
+
+  /// Group operation a * b.
+  virtual Bytes mul(BytesView a, BytesView b) const = 0;
+
+  /// Group inverse.
+  virtual Bytes inverse(BytesView a) const = 0;
+
+  /// Full membership check (expensive for MODP; used at trust boundaries).
+  virtual bool is_valid_element(BytesView e) const = 0;
+
+  /// Deterministically maps a seed to a group element with unknown discrete
+  /// log relative to the generator (used to derive the Pedersen base `h`
+  /// when no trapdoor is wanted).
+  virtual Bytes hash_to_element(BytesView seed) const = 0;
+
+  /// Serialized element size in bytes (fixed per backend).
+  virtual std::size_t element_size() const = 0;
+
+  /// Uniform scalar in [0, order).
+  Bignum random_scalar() const { return Bignum::rand_range(order()); }
+
+  /// generator() ^ scalar.
+  Bytes exp_g(const Bignum& scalar) const {
+    const Bytes g = generator();
+    return exp(g, scalar);
+  }
+
+  /// a * b^{-1}.
+  Bytes div(BytesView a, BytesView b) const {
+    const Bytes ib = inverse(b);
+    return mul(a, ib);
+  }
+};
+
+using GroupPtr = std::shared_ptr<const Group>;
+
+/// NIST P-256 backend.
+GroupPtr make_p256_group();
+
+enum class ModpGroupId {
+  kRfc3526_2048,  // 2048-bit MODP group 14 (safe prime), production scale
+  kTest512,       // fixed 512-bit safe prime, for fast unit tests only
+};
+
+/// Safe-prime QR-subgroup backend.
+GroupPtr make_modp_group(ModpGroupId id);
+
+}  // namespace desword

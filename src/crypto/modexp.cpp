@@ -1,0 +1,52 @@
+#include "crypto/modexp.h"
+
+#include "common/error.h"
+
+namespace desword {
+
+namespace {
+
+BN_CTX* scratch() {
+  thread_local BN_CTX* c = BN_CTX_new();
+  if (c == nullptr) throw CryptoError("BN_CTX_new failed");
+  return c;
+}
+
+}  // namespace
+
+ModExpContext::ModExpContext(const Bignum& modulus)
+    : modulus_(modulus), mont_(BN_MONT_CTX_new()) {
+  if (!modulus.is_odd() || modulus <= Bignum(1)) {
+    BN_MONT_CTX_free(mont_);
+    throw CryptoError("ModExpContext requires an odd modulus > 1");
+  }
+  if (mont_ == nullptr ||
+      BN_MONT_CTX_set(mont_, modulus_.raw(), scratch()) != 1) {
+    BN_MONT_CTX_free(mont_);
+    throw CryptoError("BN_MONT_CTX_set failed");
+  }
+}
+
+ModExpContext::~ModExpContext() { BN_MONT_CTX_free(mont_); }
+
+Bignum ModExpContext::exp(const Bignum& base, const Bignum& exponent) const {
+  if (exponent.is_negative()) {
+    throw CryptoError("ModExpContext::exp: negative exponent");
+  }
+  Bignum out;
+  // Reduce the base first: BN_mod_exp_mont requires base < modulus.
+  const Bignum reduced = base.mod(modulus_);
+  if (BN_mod_exp_mont(out.raw(), reduced.raw(), exponent.raw(),
+                      modulus_.raw(), scratch(), mont_) != 1) {
+    throw CryptoError("BN_mod_exp_mont failed");
+  }
+  return out;
+}
+
+Bignum ModExpContext::exp_signed(const Bignum& base,
+                                 const Bignum& exponent) const {
+  if (!exponent.is_negative()) return exp(base, exponent);
+  return Bignum::mod_inverse(exp(base, exponent.negated()), modulus_);
+}
+
+}  // namespace desword

@@ -1,0 +1,121 @@
+// Safe-prime multiplicative-group backend.
+//
+// Elements are members of the order-q subgroup of quadratic residues of
+// Z_p^* where p = 2q + 1 is a safe prime. Serialization is the big-endian
+// value padded to the byte length of p.
+#include <string_view>
+
+#include "common/error.h"
+#include "crypto/group.h"
+#include "crypto/hash.h"
+
+namespace desword {
+
+namespace {
+
+// RFC 3526 MODP group 14 (2048-bit safe prime). Verified prime (and
+// (p-1)/2 prime) in tests/crypto_group_test.cpp.
+constexpr std::string_view kRfc3526Prime2048 =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+// Fixed 512-bit safe prime for fast unit tests (generated once with
+// `openssl prime -generate -bits 512 -safe`).
+constexpr std::string_view kTestPrime512 =
+    "F31267334161EF3D039697159E43AC113A6D63026E7021F45BC94A28ADA8B2ED"
+    "E479C9A8DCA3FDDA5FDA1F5A4E9C096D825D8F042EEC008D4CB2DCE7A7331A07";
+
+class ModpGroup final : public Group {
+ public:
+  ModpGroup(std::string name, std::string_view prime_hex)
+      : name_(std::move(name)),
+        p_(Bignum::from_hex(prime_hex)),
+        q_((p_ - Bignum(1)).divided_by(Bignum(2))),
+        elem_size_(static_cast<std::size_t>((p_.bits() + 7) / 8)) {
+    // Generator of the QR subgroup: 4 = 2^2 is always a quadratic residue.
+    g_ = Bignum(4).mod(p_).to_bytes_padded(elem_size_);
+  }
+
+  std::string name() const override { return name_; }
+  const Bignum& order() const override { return q_; }
+  Bytes generator() const override { return g_; }
+  std::size_t element_size() const override { return elem_size_; }
+
+  Bytes exp(BytesView elem, const Bignum& scalar) const override {
+    const Bignum e = decode(elem);
+    const Bignum s = scalar.mod(q_);
+    return encode(Bignum::mod_exp(e, s, p_));
+  }
+
+  Bytes mul(BytesView a, BytesView b) const override {
+    return encode(Bignum::mod_mul(decode(a), decode(b), p_));
+  }
+
+  Bytes inverse(BytesView a) const override {
+    return encode(Bignum::mod_inverse(decode(a), p_));
+  }
+
+  bool is_valid_element(BytesView e) const override {
+    if (e.size() != elem_size_) return false;
+    const Bignum v = Bignum::from_bytes(e);
+    if (v.is_zero() || v >= p_) return false;
+    // Subgroup membership: v^q == 1 (one exponentiation; trust-boundary
+    // only, not on hot paths).
+    return Bignum::mod_exp(v, q_, p_).is_one();
+  }
+
+  Bytes hash_to_element(BytesView seed) const override {
+    // Expand the seed to the width of p, reduce, then square to land in
+    // the QR subgroup. The discrete log w.r.t. the generator is unknown.
+    Bytes material;
+    std::uint64_t block = 0;
+    while (material.size() < elem_size_ + 16) {
+      TaggedHasher h("desword/modp-hash-to-element");
+      h.add(seed).add_u64(block++);
+      append(material, h.digest());
+    }
+    Bignum v = Bignum::from_bytes(material).mod(p_);
+    if (v.is_zero()) v = Bignum(2);  // astronomically unlikely
+    return encode(Bignum::mod_mul(v, v, p_));
+  }
+
+ private:
+  Bignum decode(BytesView e) const {
+    if (e.size() != elem_size_) {
+      throw CryptoError("modp element has wrong size");
+    }
+    Bignum v = Bignum::from_bytes(e);
+    if (v.is_zero() || v >= p_) {
+      throw CryptoError("modp element out of range");
+    }
+    return v;
+  }
+
+  Bytes encode(const Bignum& v) const { return v.to_bytes_padded(elem_size_); }
+
+  std::string name_;
+  Bignum p_;
+  Bignum q_;
+  std::size_t elem_size_;
+  Bytes g_;
+};
+
+}  // namespace
+
+GroupPtr make_modp_group(ModpGroupId id) {
+  switch (id) {
+    case ModpGroupId::kRfc3526_2048:
+      return std::make_shared<ModpGroup>("modp2048", kRfc3526Prime2048);
+    case ModpGroupId::kTest512:
+      return std::make_shared<ModpGroup>("modp512-test", kTestPrime512);
+  }
+  throw ConfigError("unknown modp group id");
+}
+
+}  // namespace desword

@@ -1,0 +1,48 @@
+#include "crypto/primes.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "crypto/hash.h"
+
+namespace desword {
+
+Bignum hash_to_prime(BytesView seed, std::uint64_t index, int bits) {
+  if (bits < 16) throw CryptoError("hash_to_prime: bits too small");
+  const std::size_t nbytes = (static_cast<std::size_t>(bits) + 7) / 8;
+  for (std::uint64_t counter = 0;; ++counter) {
+    // Expand SHA-256 output to the requested width with a block counter.
+    Bytes material;
+    std::uint64_t block = 0;
+    while (material.size() < nbytes) {
+      TaggedHasher h("desword/hash-to-prime");
+      h.add(seed).add_u64(index).add_u64(counter).add_u64(block++);
+      append(material, h.digest());
+    }
+    material.resize(nbytes);
+    // Force exact bit length and oddness.
+    const int top_shift = static_cast<int>(nbytes * 8) - bits;
+    material[0] &= static_cast<std::uint8_t>(0xff >> top_shift);
+    material[0] |= static_cast<std::uint8_t>(0x80 >> top_shift);
+    material[nbytes - 1] |= 0x01;
+    Bignum candidate = Bignum::from_bytes(material);
+    if (candidate.is_prime()) return candidate;
+  }
+}
+
+std::vector<Bignum> derive_primes(BytesView seed, std::size_t count,
+                                  int bits) {
+  std::vector<Bignum> primes;
+  primes.reserve(count);
+  std::uint64_t index = 0;
+  while (primes.size() < count) {
+    Bignum p = hash_to_prime(seed, index++, bits);
+    const bool dup =
+        std::any_of(primes.begin(), primes.end(),
+                    [&](const Bignum& q) { return q == p; });
+    if (!dup) primes.push_back(std::move(p));
+  }
+  return primes;
+}
+
+}  // namespace desword

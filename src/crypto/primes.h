@@ -1,0 +1,28 @@
+// Prime generation utilities for the strong-RSA q-mercurial commitment.
+//
+// The qTMC key needs q distinct primes e_1..e_q with every committed message
+// strictly below each e_i. Messages are 128-bit digests, so the primes are
+// 136-bit and derived *deterministically* from a seed via hash-to-prime: the
+// same public seed always yields the same primes, so verifiers can recompute
+// (or cache) them from the public key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+
+namespace desword {
+
+/// Deterministically maps (seed, index) to an odd prime of exactly `bits`
+/// bits. Iterates SHA-256(seed || index || counter) candidates (top and
+/// bottom bits forced) until one passes Miller-Rabin.
+Bignum hash_to_prime(BytesView seed, std::uint64_t index, int bits);
+
+/// Derives `count` pairwise-distinct primes of `bits` bits from `seed`.
+/// Distinctness is enforced (collision probability is negligible at 136
+/// bits, but the check is cheap insurance).
+std::vector<Bignum> derive_primes(BytesView seed, std::size_t count, int bits);
+
+}  // namespace desword

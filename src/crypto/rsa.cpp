@@ -1,0 +1,34 @@
+#include "crypto/rsa.h"
+
+#include "common/error.h"
+
+namespace desword {
+
+RsaModulus generate_rsa_modulus(int bits, bool keep_factors) {
+  if (bits < 256 || bits % 2 != 0) {
+    throw CryptoError("RSA modulus bits must be even and >= 256");
+  }
+  for (;;) {
+    Bignum p = Bignum::generate_prime(bits / 2);
+    Bignum q = Bignum::generate_prime(bits / 2);
+    if (p == q) continue;
+    Bignum n = p * q;
+    if (n.bits() != bits) continue;  // rare: product lost a bit
+    RsaModulus out{std::move(n), std::nullopt, std::nullopt};
+    if (keep_factors) {
+      out.p = std::move(p);
+      out.q = std::move(q);
+    }
+    return out;
+  }
+}
+
+Bignum random_quadratic_residue(const Bignum& n) {
+  for (;;) {
+    Bignum r = Bignum::rand_range(n);
+    if (r.is_zero() || !Bignum::gcd(r, n).is_one()) continue;
+    return Bignum::mod_mul(r, r, n);
+  }
+}
+
+}  // namespace desword

@@ -1,0 +1,29 @@
+// RSA modulus generation for the strong-RSA q-mercurial commitment.
+//
+// The modulus is produced by a trusted setup (the query proxy in DE-Sword);
+// the factorization is discarded after generation unless the caller opts to
+// keep it for simulator/equivocation tests.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bignum.h"
+
+namespace desword {
+
+struct RsaModulus {
+  Bignum n;
+  /// Factors; present only when generated with `keep_factors = true`.
+  std::optional<Bignum> p;
+  std::optional<Bignum> q;
+};
+
+/// Generates an RSA modulus of exactly `bits` bits (two random primes of
+/// bits/2). `bits` must be even and >= 256.
+RsaModulus generate_rsa_modulus(int bits, bool keep_factors = false);
+
+/// Samples a random quadratic residue mod n with unknown square root
+/// structure (r^2 for uniform r), suitable as a group generator in QR_n.
+Bignum random_quadratic_residue(const Bignum& n);
+
+}  // namespace desword

@@ -1,0 +1,73 @@
+#include "crypto/schnorr.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/hash.h"
+
+namespace desword {
+
+namespace {
+
+Bignum challenge_of(const Group& group, BytesView commitment_r,
+                    BytesView public_key, BytesView msg) {
+  TaggedHasher h("desword/schnorr");
+  h.add_str(group.name()).add(commitment_r).add(public_key).add(msg);
+  return Bignum::from_bytes(h.digest()).mod(group.order());
+}
+
+}  // namespace
+
+Bytes SchnorrSignature::serialize(const Group& group) const {
+  const std::size_t scalar_len =
+      static_cast<std::size_t>((group.order().bits() + 7) / 8);
+  BinaryWriter w;
+  w.bytes(challenge.to_bytes_padded(scalar_len));
+  w.bytes(response.to_bytes_padded(scalar_len));
+  return w.take();
+}
+
+SchnorrSignature SchnorrSignature::deserialize(const Group& group,
+                                               BytesView data) {
+  BinaryReader r(data);
+  SchnorrSignature sig{Bignum::from_bytes(r.bytes()),
+                       Bignum::from_bytes(r.bytes())};
+  r.expect_done();
+  if (sig.challenge >= group.order() || sig.response >= group.order()) {
+    throw SerializationError("schnorr scalar out of range");
+  }
+  return sig;
+}
+
+SchnorrKeyPair schnorr_keygen(const Group& group) {
+  Bignum sk = group.random_scalar();
+  while (sk.is_zero()) sk = group.random_scalar();
+  Bytes pk = group.exp_g(sk);
+  return SchnorrKeyPair{std::move(sk), std::move(pk)};
+}
+
+SchnorrSignature schnorr_sign(const Group& group, const Bignum& secret,
+                              BytesView msg) {
+  Bignum k = group.random_scalar();
+  while (k.is_zero()) k = group.random_scalar();
+  const Bytes big_r = group.exp_g(k);
+  const Bytes pk = group.exp_g(secret);
+  Bignum e = challenge_of(group, big_r, pk, msg);
+  Bignum s = (k + e * secret).mod(group.order());
+  return SchnorrSignature{std::move(e), std::move(s)};
+}
+
+bool schnorr_verify(const Group& group, BytesView public_key, BytesView msg,
+                    const SchnorrSignature& sig) {
+  try {
+    if (!group.is_valid_element(public_key)) return false;
+    // R' = g^s * pk^{-e}; accept iff H(R' || pk || msg) == e.
+    const Bytes gs = group.exp_g(sig.response);
+    const Bytes pk_e = group.exp(public_key, sig.challenge);
+    const Bytes big_r = group.div(gs, pk_e);
+    return challenge_of(group, big_r, public_key, msg) == sig.challenge;
+  } catch (const CryptoError&) {
+    return false;
+  }
+}
+
+}  // namespace desword

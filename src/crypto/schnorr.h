@@ -1,0 +1,39 @@
+// Schnorr signatures over an abstract prime-order group.
+//
+// Used for two purposes:
+//   * participant identity keys (authenticating protocol messages), and
+//   * the signature-list POC baseline of the paper's §II-C strawman.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/group.h"
+
+namespace desword {
+
+struct SchnorrKeyPair {
+  Bignum secret;  // scalar in [1, order)
+  Bytes public_key;  // serialized group element g^secret
+};
+
+struct SchnorrSignature {
+  Bignum challenge;  // e = H(R || pk || msg) mod order
+  Bignum response;   // s = k + e * secret mod order
+
+  Bytes serialize(const Group& group) const;
+  static SchnorrSignature deserialize(const Group& group, BytesView data);
+};
+
+/// Generates a fresh key pair.
+SchnorrKeyPair schnorr_keygen(const Group& group);
+
+/// Signs `msg` with Fiat-Shamir over SHA-256.
+SchnorrSignature schnorr_sign(const Group& group, const Bignum& secret,
+                              BytesView msg);
+
+/// Verifies a signature; returns false (never throws) on any mismatch or
+/// malformed public key.
+bool schnorr_verify(const Group& group, BytesView public_key, BytesView msg,
+                    const SchnorrSignature& sig);
+
+}  // namespace desword

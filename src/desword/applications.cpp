@@ -1,0 +1,84 @@
+#include "desword/applications.h"
+
+#include <algorithm>
+
+namespace desword::protocol {
+
+InvestigationReport ContaminationInvestigator::investigate(
+    const supplychain::ProductId& bad_product,
+    const std::vector<supplychain::ProductId>& lot, std::size_t suspect_hop,
+    std::optional<std::string> task_hint) {
+  InvestigationReport report;
+  report.bad_query =
+      proxy_.run_query(bad_product, ProductQuality::kBad, task_hint);
+  if (report.bad_query.path.empty()) {
+    return report;  // nothing located; report carries the failed query
+  }
+  report.source = report.bad_query.path.front();
+  const std::size_t hop =
+      std::min(suspect_hop, report.bad_query.path.size() - 1);
+  report.suspect_stage = report.bad_query.path[hop];
+
+  for (const supplychain::ProductId& product : lot) {
+    if (product == bad_product) continue;
+    QueryOutcome outcome =
+        proxy_.run_query(product, ProductQuality::kGood, task_hint);
+    const bool affected =
+        outcome.complete &&
+        std::find(outcome.path.begin(), outcome.path.end(),
+                  report.suspect_stage) != outcome.path.end();
+    if (affected) report.recall_set.push_back(product);
+    report.sibling_queries.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+std::string to_string(ProvenanceVerdict verdict) {
+  switch (verdict) {
+    case ProvenanceVerdict::kAuthentic: return "authentic";
+    case ProvenanceVerdict::kUnknownOrigin: return "unknown-origin";
+    case ProvenanceVerdict::kSuspect: return "suspect";
+  }
+  return "unknown";
+}
+
+ProvenanceReport CounterfeitDetector::check(
+    const supplychain::ProductId& product) {
+  ProvenanceReport report;
+  report.query = proxy_.run_query(product, ProductQuality::kGood);
+
+  if (report.query.path.empty()) {
+    report.verdict = ProvenanceVerdict::kUnknownOrigin;
+    report.reason = "no participant proved ownership of this product";
+    return report;
+  }
+  if (licensed_.find(report.query.path.front()) == licensed_.end()) {
+    report.verdict = ProvenanceVerdict::kSuspect;
+    report.reason = "path originates at unlicensed participant " +
+                    report.query.path.front();
+    return report;
+  }
+  if (!report.query.complete || !report.query.violations.empty()) {
+    report.verdict = ProvenanceVerdict::kSuspect;
+    report.reason = "provenance chain broken or violations detected";
+    return report;
+  }
+  report.verdict = ProvenanceVerdict::kAuthentic;
+  report.reason = "complete verified path from licensed source " +
+                  report.query.path.front();
+  return report;
+}
+
+std::vector<QueryOutcome> MarketSampler::sweep(
+    const std::vector<supplychain::ProductId>& products, double rate,
+    const QualityOracle& oracle) {
+  std::vector<QueryOutcome> outcomes;
+  for (const supplychain::ProductId& product : products) {
+    if (!rng_.chance(rate)) continue;
+    ++sampled_;
+    outcomes.push_back(proxy_.run_query(product, oracle(product)));
+  }
+  return outcomes;
+}
+
+}  // namespace desword::protocol

@@ -1,0 +1,116 @@
+// Supply-chain applications built on verifiable path queries (§I).
+//
+// The paper motivates DE-Sword with contamination localization,
+// counterfeit detection and targeted product recall; this module provides
+// them as library features over the proxy's query API:
+//
+//   * ContaminationInvestigator — bad-product query, source localization,
+//     and computation of the targeted recall set (all sibling products
+//     whose verified paths share the suspect stage);
+//   * CounterfeitDetector — provenance check: a product is authentic only
+//     if its full path verifies and originates at a licensed initial
+//     participant;
+//   * MarketSampler — the paper's "adjust the query frequency by sampling
+//     products from the market": drives sampled queries through a quality
+//     oracle.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "desword/proxy.h"
+#include "supplychain/graph.h"
+
+namespace desword::protocol {
+
+struct InvestigationReport {
+  /// The bad-product path query that anchored the investigation.
+  QueryOutcome bad_query;
+  /// First identified participant (heaviest responsibility).
+  std::string source;
+  /// The stage whose throughput defines the recall set.
+  std::string suspect_stage;
+  /// Sibling products verified to have passed through the suspect stage.
+  std::vector<supplychain::ProductId> recall_set;
+  /// All sibling query outcomes (for audit).
+  std::vector<QueryOutcome> sibling_queries;
+
+  bool located() const { return !source.empty(); }
+};
+
+class ContaminationInvestigator {
+ public:
+  explicit ContaminationInvestigator(Proxy& proxy) : proxy_(proxy) {}
+
+  /// Investigates `bad_product`: runs the bad-product query, picks the
+  /// suspect stage (hop index `suspect_hop` of the recovered path, clamped
+  /// to its length), then runs good-product queries over `lot` and
+  /// collects every product whose verified path contains the suspect
+  /// stage. Products that fail to verify are excluded from the recall set
+  /// but their outcomes are reported.
+  InvestigationReport investigate(
+      const supplychain::ProductId& bad_product,
+      const std::vector<supplychain::ProductId>& lot,
+      std::size_t suspect_hop = 1,
+      std::optional<std::string> task_hint = {});
+
+ private:
+  Proxy& proxy_;
+};
+
+enum class ProvenanceVerdict : std::uint8_t {
+  /// Complete verified path from a licensed initial participant.
+  kAuthentic,
+  /// No participant could prove ownership — likely counterfeit.
+  kUnknownOrigin,
+  /// A path exists but is broken or starts at an unlicensed source.
+  kSuspect,
+};
+
+std::string to_string(ProvenanceVerdict verdict);
+
+struct ProvenanceReport {
+  ProvenanceVerdict verdict = ProvenanceVerdict::kUnknownOrigin;
+  std::string reason;
+  QueryOutcome query;
+};
+
+class CounterfeitDetector {
+ public:
+  CounterfeitDetector(Proxy& proxy,
+                      std::set<supplychain::ParticipantId> licensed_initials)
+      : proxy_(proxy), licensed_(std::move(licensed_initials)) {}
+
+  /// Checks the provenance of a product sampled from the market.
+  ProvenanceReport check(const supplychain::ProductId& product);
+
+ private:
+  Proxy& proxy_;
+  std::set<supplychain::ParticipantId> licensed_;
+};
+
+class MarketSampler {
+ public:
+  using QualityOracle =
+      std::function<ProductQuality(const supplychain::ProductId&)>;
+
+  MarketSampler(Proxy& proxy, std::uint64_t seed)
+      : proxy_(proxy), rng_(seed) {}
+
+  /// Samples each product independently with probability `rate`, asks the
+  /// oracle for its quality (e.g. a lab check), and runs the query. The
+  /// double-edged scores land on the ledger as a side effect.
+  std::vector<QueryOutcome> sweep(
+      const std::vector<supplychain::ProductId>& products, double rate,
+      const QualityOracle& oracle);
+
+  std::uint64_t sampled_count() const { return sampled_; }
+
+ private:
+  Proxy& proxy_;
+  SimRng rng_;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace desword::protocol

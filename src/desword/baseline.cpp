@@ -1,0 +1,120 @@
+#include "desword/baseline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace desword::baseline {
+
+Bytes BaselineEntry::serialize() const {
+  BinaryWriter w;
+  w.bytes(product);
+  w.bytes(trace_sig);
+  w.bytes(binding_sig);
+  return w.take();
+}
+
+BaselineEntry BaselineEntry::deserialize(BytesView data) {
+  BinaryReader r(data);
+  BaselineEntry e;
+  e.product = r.bytes();
+  e.trace_sig = r.bytes();
+  e.binding_sig = r.bytes();
+  r.expect_done();
+  return e;
+}
+
+Bytes BaselinePoc::serialize() const {
+  BinaryWriter w;
+  w.str(participant);
+  w.bytes(public_key);
+  w.varint(entries.size());
+  for (const auto& e : entries) w.bytes(e.serialize());
+  return w.take();
+}
+
+BaselinePoc BaselinePoc::deserialize(BytesView data) {
+  BinaryReader r(data);
+  BaselinePoc poc;
+  poc.participant = r.str();
+  poc.public_key = r.bytes();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    poc.entries.push_back(BaselineEntry::deserialize(r.bytes()));
+  }
+  r.expect_done();
+  return poc;
+}
+
+bool BaselinePoc::contains(const supplychain::ProductId& id) const {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&](const BaselineEntry& e) { return e.product == id; });
+}
+
+BaselineScheme::BaselineScheme(GroupPtr group) : group_(std::move(group)) {}
+
+Bytes BaselineScheme::binding_message(const std::string& participant,
+                                      const supplychain::ProductId& id,
+                                      BytesView trace_sig) const {
+  BinaryWriter w;
+  w.str(participant);
+  w.bytes(id);
+  w.bytes(trace_sig);
+  return w.take();
+}
+
+std::pair<BaselinePoc, SchnorrKeyPair> BaselineScheme::aggregate(
+    const std::string& participant,
+    const supplychain::TraceDatabase& db) const {
+  SchnorrKeyPair keys = schnorr_keygen(*group_);
+  BaselinePoc poc;
+  poc.participant = participant;
+  poc.public_key = keys.public_key;
+  for (const supplychain::RfidTrace& trace : db.all()) {
+    BaselineEntry entry;
+    entry.product = trace.id;
+    entry.trace_sig =
+        schnorr_sign(*group_, keys.secret, trace.serialize()).serialize(*group_);
+    entry.binding_sig =
+        schnorr_sign(*group_, keys.secret,
+                     binding_message(participant, trace.id, entry.trace_sig))
+            .serialize(*group_);
+    poc.entries.push_back(std::move(entry));
+  }
+  return {std::move(poc), std::move(keys)};
+}
+
+bool BaselineScheme::proves_processing(const BaselinePoc& poc,
+                                       const supplychain::ProductId& id) const {
+  for (const BaselineEntry& e : poc.entries) {
+    if (e.product != id) continue;
+    try {
+      const SchnorrSignature sig =
+          SchnorrSignature::deserialize(*group_, e.binding_sig);
+      return schnorr_verify(*group_, poc.public_key,
+                            binding_message(poc.participant, id, e.trace_sig),
+                            sig);
+    } catch (const Error&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+bool BaselineScheme::verify_trace(const BaselinePoc& poc,
+                                  const supplychain::RfidTrace& trace) const {
+  for (const BaselineEntry& e : poc.entries) {
+    if (e.product != trace.id) continue;
+    try {
+      const SchnorrSignature sig =
+          SchnorrSignature::deserialize(*group_, e.trace_sig);
+      return schnorr_verify(*group_, poc.public_key, trace.serialize(), sig);
+    } catch (const Error&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace desword::baseline

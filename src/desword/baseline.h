@@ -1,0 +1,73 @@
+// Signature-list POC baseline — the strawman of §II-C.
+//
+// A participant v builds its "POC" as a list of signed messages: for each
+// RFID-trace t, σ_t = Sign(t) and σ_v = Sign(v || id || σ_t); the POC is
+// the full list {(v || id || σ_t, σ_v)}. Compared against DE-Sword's
+// ZK-EDB POC it demonstrates exactly the deficiencies the paper motivates:
+//
+//   * the POC size is linear in the number of traces (vs one commitment),
+//   * every committed product id is visible to the proxy in the clear
+//     (no privacy for non-queried products),
+//   * a dishonest participant can simply sign fake messages at
+//     construction time — the "honest-data owner" failure the double-edged
+//     incentive exists to fix.
+//
+// Used by tests and by bench_baseline as the comparison harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.h"
+#include "supplychain/trace.h"
+
+namespace desword::baseline {
+
+struct BaselineEntry {
+  supplychain::ProductId product;
+  Bytes trace_sig;    // σ_t over the serialized trace
+  Bytes binding_sig;  // σ_v over v || id || σ_t
+
+  Bytes serialize() const;
+  static BaselineEntry deserialize(BytesView data);
+};
+
+struct BaselinePoc {
+  std::string participant;
+  Bytes public_key;
+  std::vector<BaselineEntry> entries;
+
+  Bytes serialize() const;
+  static BaselinePoc deserialize(BytesView data);
+
+  /// Any third party can read the committed ids — the privacy leak.
+  bool contains(const supplychain::ProductId& id) const;
+};
+
+class BaselineScheme {
+ public:
+  explicit BaselineScheme(GroupPtr group);
+
+  /// Builds the signed-list POC for a participant's trace database.
+  std::pair<BaselinePoc, SchnorrKeyPair> aggregate(
+      const std::string& participant,
+      const supplychain::TraceDatabase& db) const;
+
+  /// Checks that `poc` proves `participant` processed `id` (a valid σ_v
+  /// binding exists).
+  bool proves_processing(const BaselinePoc& poc,
+                         const supplychain::ProductId& id) const;
+
+  /// Verifies a returned trace against the σ_t recorded in the POC.
+  bool verify_trace(const BaselinePoc& poc,
+                    const supplychain::RfidTrace& trace) const;
+
+ private:
+  Bytes binding_message(const std::string& participant,
+                        const supplychain::ProductId& id,
+                        BytesView trace_sig) const;
+
+  GroupPtr group_;
+};
+
+}  // namespace desword::baseline

@@ -1,0 +1,59 @@
+// Dishonest-behaviour configuration (the threat models of §III).
+//
+// A participant's behaviour is honest unless specific deviations are
+// configured. Distribution-phase deviations corrupt what goes into the POC;
+// query-phase deviations corrupt the answers. Coordinated (colluding)
+// adversaries are modelled by configuring the same deviation on every
+// participant along a path — exactly the paper's collusion scenario.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "supplychain/rfid.h"
+
+namespace desword::protocol {
+
+/// §III-A: deviations applied while constructing the POC.
+struct DistributionBehavior {
+  /// Deletion: omit the RFID-trace of these products from the POC.
+  std::set<supplychain::ProductId> delete_ids;
+  /// Addition: commit a fake RFID-trace for these products (id -> fake da).
+  std::map<supplychain::ProductId, Bytes> add_fake;
+  /// Modification: replace the committed da of these products.
+  std::map<supplychain::ProductId, Bytes> modify;
+
+  bool is_honest() const {
+    return delete_ids.empty() && add_fake.empty() && modify.empty();
+  }
+};
+
+/// §III-B: deviations applied while answering queries.
+struct QueryBehavior {
+  /// Claim non-processing (bad product case): attempt a forged
+  /// non-ownership proof for these products.
+  std::set<supplychain::ProductId> claim_non_processing;
+  /// Claim processing (good product case): attempt a forged ownership
+  /// proof for these products.
+  std::set<supplychain::ProductId> claim_processing;
+  /// Return a wrong RFID-trace: tamper with the revealed value.
+  std::set<supplychain::ProductId> wrong_trace;
+  /// Return the identity of a wrong next participant.
+  std::map<supplychain::ProductId, std::string> wrong_next;
+  /// Claim to be the last hop for these products although they moved on.
+  std::set<supplychain::ProductId> false_termination;
+  /// Refuse to reveal an ownership proof when identified in the bad case.
+  bool refuse_reveal = false;
+  /// Ignore queries entirely (models a withdrawn/offline participant).
+  bool unresponsive = false;
+
+  bool is_honest() const {
+    return claim_non_processing.empty() && claim_processing.empty() &&
+           wrong_trace.empty() && wrong_next.empty() &&
+           false_termination.empty() && !refuse_reveal && !unresponsive;
+  }
+};
+
+}  // namespace desword::protocol

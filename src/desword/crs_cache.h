@@ -1,0 +1,48 @@
+// Shared cache of instantiated CRS objects.
+//
+// Deriving an EdbCrs from serialized public parameters recomputes the qTMC
+// S_i power tables, which is the dominant keygen cost. Every in-process
+// node (proxy + participants) would otherwise re-derive the same tables,
+// so they share a cache keyed by the hash of the serialized parameters —
+// mirroring how real deployments cache published CRS material.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "crypto/hash.h"
+#include "zkedb/params.h"
+
+namespace desword::protocol {
+
+class CrsCache {
+ public:
+  /// Returns the CRS for serialized EdbPublicParams, deriving it on first
+  /// use. Thread safe.
+  zkedb::EdbCrsPtr get(BytesView ps_serialized) {
+    const Bytes key = sha256(ps_serialized);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    auto crs = std::make_shared<zkedb::EdbCrs>(
+        zkedb::EdbPublicParams::deserialize(ps_serialized));
+    cache_.emplace(key, crs);
+    return crs;
+  }
+
+  /// Pre-seeds the cache with an already-instantiated CRS.
+  void put(const zkedb::EdbCrsPtr& crs) {
+    const Bytes key = sha256(crs->params().serialize());
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.emplace(key, crs);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<Bytes, zkedb::EdbCrsPtr> cache_;
+};
+
+using CrsCachePtr = std::shared_ptr<CrsCache>;
+
+}  // namespace desword::protocol

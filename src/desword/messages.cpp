@@ -1,0 +1,225 @@
+#include "desword/messages.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace desword::protocol {
+
+std::string to_string(ProductQuality quality) {
+  return quality == ProductQuality::kGood ? "good" : "bad";
+}
+
+namespace {
+
+void write_optional_bytes(BinaryWriter& w, const std::optional<Bytes>& v) {
+  w.boolean(v.has_value());
+  if (v.has_value()) w.bytes(*v);
+}
+
+std::optional<Bytes> read_optional_bytes(BinaryReader& r) {
+  if (!r.boolean()) return std::nullopt;
+  return r.bytes();
+}
+
+ProductQuality read_quality(BinaryReader& r) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) throw SerializationError("bad product quality");
+  return static_cast<ProductQuality>(v);
+}
+
+}  // namespace
+
+Bytes PsRequest::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  return w.take();
+}
+
+PsRequest PsRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  PsRequest m{r.str()};
+  r.expect_done();
+  return m;
+}
+
+Bytes PsResponse::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  w.bytes(ps);
+  return w.take();
+}
+
+PsResponse PsResponse::deserialize(BytesView data) {
+  BinaryReader r(data);
+  PsResponse m;
+  m.task_id = r.str();
+  m.ps = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes PocToParent::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  w.bytes(poc);
+  return w.take();
+}
+
+PocToParent PocToParent::deserialize(BytesView data) {
+  BinaryReader r(data);
+  PocToParent m;
+  m.task_id = r.str();
+  m.poc = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes PocPairsToInitial::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  w.bytes(own_poc);
+  w.varint(pairs.size());
+  for (const auto& [parent, child] : pairs) {
+    w.bytes(parent);
+    w.bytes(child);
+  }
+  return w.take();
+}
+
+PocPairsToInitial PocPairsToInitial::deserialize(BytesView data) {
+  BinaryReader r(data);
+  PocPairsToInitial m;
+  m.task_id = r.str();
+  m.own_poc = r.bytes();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes parent = r.bytes();
+    Bytes child = r.bytes();
+    m.pairs.emplace_back(std::move(parent), std::move(child));
+  }
+  r.expect_done();
+  return m;
+}
+
+Bytes PocListSubmit::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  w.bytes(poc_list);
+  return w.take();
+}
+
+PocListSubmit PocListSubmit::deserialize(BytesView data) {
+  BinaryReader r(data);
+  PocListSubmit m;
+  m.task_id = r.str();
+  m.poc_list = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes QueryRequest::serialize() const {
+  BinaryWriter w;
+  w.u64(query_id);
+  w.bytes(product);
+  w.u8(static_cast<std::uint8_t>(quality));
+  w.bytes(poc);
+  return w.take();
+}
+
+QueryRequest QueryRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  QueryRequest m;
+  m.query_id = r.u64();
+  m.product = r.bytes();
+  m.quality = read_quality(r);
+  m.poc = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes QueryResponse::serialize() const {
+  BinaryWriter w;
+  w.u64(query_id);
+  w.boolean(claims_processing);
+  write_optional_bytes(w, proof);
+  return w.take();
+}
+
+QueryResponse QueryResponse::deserialize(BytesView data) {
+  BinaryReader r(data);
+  QueryResponse m;
+  m.query_id = r.u64();
+  m.claims_processing = r.boolean();
+  m.proof = read_optional_bytes(r);
+  r.expect_done();
+  return m;
+}
+
+Bytes RevealRequest::serialize() const {
+  BinaryWriter w;
+  w.u64(query_id);
+  w.bytes(product);
+  w.bytes(poc);
+  return w.take();
+}
+
+RevealRequest RevealRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  RevealRequest m;
+  m.query_id = r.u64();
+  m.product = r.bytes();
+  m.poc = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes RevealResponse::serialize() const {
+  BinaryWriter w;
+  w.u64(query_id);
+  write_optional_bytes(w, proof);
+  return w.take();
+}
+
+RevealResponse RevealResponse::deserialize(BytesView data) {
+  BinaryReader r(data);
+  RevealResponse m;
+  m.query_id = r.u64();
+  m.proof = read_optional_bytes(r);
+  r.expect_done();
+  return m;
+}
+
+Bytes NextHopRequest::serialize() const {
+  BinaryWriter w;
+  w.u64(query_id);
+  w.bytes(product);
+  return w.take();
+}
+
+NextHopRequest NextHopRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  NextHopRequest m;
+  m.query_id = r.u64();
+  m.product = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+Bytes NextHopResponse::serialize() const {
+  BinaryWriter w;
+  w.u64(query_id);
+  w.boolean(next.has_value());
+  if (next.has_value()) w.str(*next);
+  return w.take();
+}
+
+NextHopResponse NextHopResponse::deserialize(BytesView data) {
+  BinaryReader r(data);
+  NextHopResponse m;
+  m.query_id = r.u64();
+  if (r.boolean()) m.next = r.str();
+  r.expect_done();
+  return m;
+}
+
+}  // namespace desword::protocol

@@ -1,0 +1,166 @@
+// DE-Sword protocol messages.
+//
+// Two families, mirroring the paper's phases:
+//
+//   Distribution phase (§IV-B):
+//     ps_request / ps_response        initial participant fetches ps
+//     ps_broadcast                    initial participant distributes ps
+//     poc_to_parent                   child POC travels to parents
+//     poc_pairs_to_initial            constructed pairs travel to v1
+//     poc_list_submit                 v1 submits the POC list to the proxy
+//
+//   Query phase (§IV-C/D):
+//     query_request / query_response  identify + prove ownership state
+//     reveal_request / reveal_response  bad case: demand ownership proof
+//     next_hop_request / next_hop_response  path continuation
+//
+// All payloads serialize through BinaryWriter/Reader; message `type` tags
+// on net::Envelope carry the family member name.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "poc/poc.h"
+#include "poc/poc_list.h"
+#include "supplychain/rfid.h"
+
+namespace desword::protocol {
+
+using supplychain::ProductId;
+
+/// Quality of the queried product — decides which edge of the double-edged
+/// strategy applies.
+enum class ProductQuality : std::uint8_t { kGood = 0, kBad = 1 };
+
+std::string to_string(ProductQuality quality);
+
+// --------------------------------------------------------------------------
+// Distribution phase
+// --------------------------------------------------------------------------
+
+struct PsRequest {
+  std::string task_id;
+
+  Bytes serialize() const;
+  static PsRequest deserialize(BytesView data);
+};
+
+struct PsResponse {
+  std::string task_id;
+  Bytes ps;  // serialized zkedb::EdbPublicParams
+
+  Bytes serialize() const;
+  static PsResponse deserialize(BytesView data);
+};
+
+/// Also used for the initial participant's broadcast (same payload).
+using PsBroadcast = PsResponse;
+
+struct PocToParent {
+  std::string task_id;
+  Bytes poc;  // serialized poc::Poc of the child
+
+  Bytes serialize() const;
+  static PocToParent deserialize(BytesView data);
+};
+
+struct PocPairsToInitial {
+  std::string task_id;
+  Bytes own_poc;                              // sender's own POC
+  std::vector<std::pair<Bytes, Bytes>> pairs;  // (parent POC, child POC)
+
+  Bytes serialize() const;
+  static PocPairsToInitial deserialize(BytesView data);
+};
+
+struct PocListSubmit {
+  std::string task_id;
+  Bytes poc_list;  // serialized poc::PocList
+
+  Bytes serialize() const;
+  static PocListSubmit deserialize(BytesView data);
+};
+
+// --------------------------------------------------------------------------
+// Query phase
+// --------------------------------------------------------------------------
+
+struct QueryRequest {
+  std::uint64_t query_id = 0;
+  ProductId product;
+  ProductQuality quality = ProductQuality::kGood;
+  Bytes poc;  // the POC the participant must answer under
+
+  Bytes serialize() const;
+  static QueryRequest deserialize(BytesView data);
+};
+
+struct QueryResponse {
+  std::uint64_t query_id = 0;
+  /// Whether the participant claims it processed the product.
+  bool claims_processing = false;
+  /// Ownership proof (good case / bad case after identification) or
+  /// non-ownership proof (bad case denial). Absent when the participant
+  /// merely denies in the good case.
+  std::optional<Bytes> proof;  // serialized poc::PocProof
+
+  Bytes serialize() const;
+  static QueryResponse deserialize(BytesView data);
+};
+
+struct RevealRequest {
+  std::uint64_t query_id = 0;
+  ProductId product;
+  Bytes poc;
+
+  Bytes serialize() const;
+  static RevealRequest deserialize(BytesView data);
+};
+
+struct RevealResponse {
+  std::uint64_t query_id = 0;
+  /// Ownership proof; absent = refusal.
+  std::optional<Bytes> proof;
+
+  Bytes serialize() const;
+  static RevealResponse deserialize(BytesView data);
+};
+
+struct NextHopRequest {
+  std::uint64_t query_id = 0;
+  ProductId product;
+
+  Bytes serialize() const;
+  static NextHopRequest deserialize(BytesView data);
+};
+
+struct NextHopResponse {
+  std::uint64_t query_id = 0;
+  /// Identity of the next participant that processed the product; absent
+  /// when the responder is the last hop.
+  std::optional<std::string> next;
+
+  Bytes serialize() const;
+  static NextHopResponse deserialize(BytesView data);
+};
+
+// Message type tags used on the wire.
+namespace msg {
+inline constexpr const char* kPsRequest = "ps_request";
+inline constexpr const char* kPsResponse = "ps_response";
+inline constexpr const char* kPsBroadcast = "ps_broadcast";
+inline constexpr const char* kPocToParent = "poc_to_parent";
+inline constexpr const char* kPocPairsToInitial = "poc_pairs_to_initial";
+inline constexpr const char* kPocListSubmit = "poc_list_submit";
+inline constexpr const char* kQueryRequest = "query_request";
+inline constexpr const char* kQueryResponse = "query_response";
+inline constexpr const char* kRevealRequest = "reveal_request";
+inline constexpr const char* kRevealResponse = "reveal_response";
+inline constexpr const char* kNextHopRequest = "next_hop_request";
+inline constexpr const char* kNextHopResponse = "next_hop_response";
+}  // namespace msg
+
+}  // namespace desword::protocol

@@ -1,0 +1,392 @@
+#include "desword/participant.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "zkedb/proof.h"
+
+namespace desword::protocol {
+
+Participant::Participant(ParticipantId id, net::Network& network,
+                         net::NodeId proxy, CrsCachePtr crs_cache)
+    : id_(std::move(id)),
+      network_(network),
+      proxy_(std::move(proxy)),
+      crs_cache_(std::move(crs_cache)) {
+  network_.register_node(id_,
+                         [this](const net::Envelope& env) { handle(env); });
+}
+
+Participant::~Participant() {
+  if (network_.has_node(id_)) network_.unregister_node(id_);
+}
+
+void Participant::load_database(supplychain::TraceDatabase db) {
+  db_ = std::move(db);
+}
+
+void Participant::set_distribution_behavior(DistributionBehavior behavior) {
+  dist_behavior_ = std::move(behavior);
+}
+
+void Participant::set_query_behavior(QueryBehavior behavior) {
+  query_behavior_ = std::move(behavior);
+}
+
+void Participant::begin_task(const TaskSetup& setup) {
+  if (setup.task_id.empty()) throw ProtocolError("task id must be non-empty");
+  TaskState state;
+  state.setup = setup;
+  tasks_[setup.task_id] = std::move(state);
+  for (const auto& [product, next] : setup.shipments) {
+    shipments_[product] = next;
+  }
+}
+
+void Participant::initiate_task(const std::string& task_id) {
+  TaskState& task = tasks_.at(task_id);
+  if (task.setup.initial != id_) {
+    throw ProtocolError("only the initial participant initiates a task");
+  }
+  network_.send(id_, proxy_, msg::kPsRequest,
+                PsRequest{task_id}.serialize());
+}
+
+bool Participant::task_complete(const std::string& task_id) const {
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return false;
+  const TaskState& task = it->second;
+  if (task.setup.initial == id_) return task.list_submitted;
+  return task.pairs_sent;
+}
+
+const poc::Poc* Participant::poc_for_task(const std::string& task_id) const {
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || !it->second.own_poc.has_value()) return nullptr;
+  return &*it->second.own_poc;
+}
+
+void Participant::handle(const net::Envelope& env) {
+  try {
+    dispatch(env);
+  } catch (const SerializationError&) {
+    // Malformed message from the network: drop it (retransmission and the
+    // proxy's no-response handling recover the protocol).
+  }
+}
+
+void Participant::dispatch(const net::Envelope& env) {
+  if (env.type == msg::kPsResponse) {
+    on_ps_response(PsResponse::deserialize(env.payload));
+  } else if (env.type == msg::kPsBroadcast) {
+    on_ps_broadcast(PsBroadcast::deserialize(env.payload));
+  } else if (env.type == msg::kPocToParent) {
+    on_poc_to_parent(env, PocToParent::deserialize(env.payload));
+  } else if (env.type == msg::kPocPairsToInitial) {
+    on_poc_pairs_to_initial(env, PocPairsToInitial::deserialize(env.payload));
+  } else if (env.type == msg::kQueryRequest) {
+    on_query_request(env, QueryRequest::deserialize(env.payload));
+  } else if (env.type == msg::kRevealRequest) {
+    on_reveal_request(env, RevealRequest::deserialize(env.payload));
+  } else if (env.type == msg::kNextHopRequest) {
+    on_next_hop_request(env, NextHopRequest::deserialize(env.payload));
+  }
+  // Unknown message types are ignored (forward compatibility).
+}
+
+// ---------------------------------------------------------------------------
+// Distribution phase
+// ---------------------------------------------------------------------------
+
+void Participant::on_ps_response(const PsResponse& m) {
+  const auto it = tasks_.find(m.task_id);
+  if (it == tasks_.end() || it->second.setup.initial != id_) return;
+  TaskState& task = it->second;
+  if (!task.ps.empty()) {
+    // Duplicate (the scenario re-kicked the task after message loss):
+    // re-broadcast ps so participants that missed it can recover.
+    for (const ParticipantId& other : task.setup.involved) {
+      if (other == id_) continue;
+      network_.send(id_, other, msg::kPsBroadcast,
+                    PsBroadcast{m.task_id, task.ps}.serialize());
+    }
+    if (task.list_submitted) {
+      // The submission itself may have been the lost message.
+      network_.send(id_, proxy_, msg::kPocListSubmit,
+                    PocListSubmit{task.setup.task_id, task.list.serialize()}
+                        .serialize());
+    } else {
+      maybe_submit_list(task);
+    }
+    return;
+  }
+  task.ps = m.ps;
+  task.list = poc::PocList(task.ps);
+  // Broadcast ps to every other involved participant (§IV-B: "the initial
+  // participant v1 requests ps from the proxy and broadcasts it").
+  for (const ParticipantId& other : task.setup.involved) {
+    if (other == id_) continue;
+    network_.send(id_, other, msg::kPsBroadcast,
+                  PsBroadcast{m.task_id, task.ps}.serialize());
+  }
+  aggregate_poc(task);
+  maybe_send_pairs(task);
+  maybe_submit_list(task);
+}
+
+void Participant::on_ps_broadcast(const PsBroadcast& m) {
+  const auto it = tasks_.find(m.task_id);
+  if (it == tasks_.end()) return;
+  TaskState& task = it->second;
+  if (!task.ps.empty()) {
+    // Duplicate: re-announce our POC (receivers dedup) and re-report any
+    // pairs in case the originals were lost.
+    for (const ParticipantId& parent : task.setup.parents) {
+      network_.send(id_, parent, msg::kPocToParent,
+                    PocToParent{m.task_id, task.own_poc->serialize()}
+                        .serialize());
+    }
+    if (task.pairs_sent && task.setup.initial != id_) {
+      PocPairsToInitial report;
+      report.task_id = task.setup.task_id;
+      report.own_poc = task.own_poc->serialize();
+      report.pairs = task.pairs;
+      network_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
+                    report.serialize());
+    }
+    return;
+  }
+  task.ps = m.ps;
+  aggregate_poc(task);
+  // Announce our POC to every task parent so they can build POC pairs.
+  for (const ParticipantId& parent : task.setup.parents) {
+    network_.send(id_, parent, msg::kPocToParent,
+                  PocToParent{m.task_id, task.own_poc->serialize()}
+                      .serialize());
+  }
+  // Buffered child POCs may have arrived before ps did.
+  for (const Bytes& child : task.buffered_child_pocs) {
+    absorb_child_poc(task, child);
+  }
+  task.buffered_child_pocs.clear();
+  maybe_send_pairs(task);
+}
+
+void Participant::aggregate_poc(TaskState& task) {
+  task.crs = crs_cache_->get(task.ps);
+  task.scheme = std::make_unique<poc::PocScheme>(task.crs);
+
+  // Start from the honest trace database, then apply the configured
+  // distribution-phase deviations (§III-A).
+  std::map<Bytes, Bytes> traces = db_.as_poc_input();
+  for (const auto& id : dist_behavior_.delete_ids) traces.erase(id);
+  for (const auto& [id, fake_da] : dist_behavior_.add_fake) {
+    traces[id] = fake_da;
+  }
+  for (const auto& [id, new_da] : dist_behavior_.modify) {
+    const auto it = traces.find(id);
+    if (it != traces.end()) it->second = new_da;
+  }
+
+  auto [poc, dpoc] = task.scheme->aggregate(id_, traces);
+  task.own_poc = poc;
+  task.dpoc = std::shared_ptr<poc::PocDecommitment>(std::move(dpoc));
+  contexts_[poc.commitment] = ProofContext{
+      task.crs, task.dpoc, std::make_shared<poc::PocScheme>(task.crs)};
+}
+
+void Participant::on_poc_to_parent(const net::Envelope& env,
+                                   const PocToParent& m) {
+  (void)env;
+  const auto it = tasks_.find(m.task_id);
+  if (it == tasks_.end()) return;
+  TaskState& task = it->second;
+  if (!task.own_poc.has_value()) {
+    task.buffered_child_pocs.push_back(m.poc);
+    return;
+  }
+  absorb_child_poc(task, m.poc);
+  maybe_send_pairs(task);
+  maybe_submit_list(task);
+}
+
+void Participant::absorb_child_poc(TaskState& task, const Bytes& child_poc) {
+  const poc::Poc child = poc::Poc::deserialize(child_poc);
+  // Only accept POCs from our task children; duplicates are idempotent.
+  const auto& children = task.setup.children;
+  if (std::find(children.begin(), children.end(), child.participant) ==
+      children.end()) {
+    return;
+  }
+  if (task.children_reported.insert(child.participant).second) {
+    task.pairs.emplace_back(task.own_poc->serialize(), child_poc);
+  }
+}
+
+void Participant::maybe_send_pairs(TaskState& task) {
+  if (task.pairs_sent || !task.own_poc.has_value()) return;
+  if (task.children_reported.size() < task.setup.children.size()) return;
+  task.pairs_sent = true;
+  PocPairsToInitial report;
+  report.task_id = task.setup.task_id;
+  report.own_poc = task.own_poc->serialize();
+  report.pairs = task.pairs;
+  if (task.setup.initial == id_) {
+    // The initial participant absorbs its own report locally.
+    absorb_report_at_initial(task, id_, report);
+    maybe_submit_list(task);
+  } else {
+    network_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
+                  report.serialize());
+  }
+}
+
+void Participant::on_poc_pairs_to_initial(const net::Envelope& env,
+                                          const PocPairsToInitial& m) {
+  const auto it = tasks_.find(m.task_id);
+  if (it == tasks_.end() || it->second.setup.initial != id_) return;
+  TaskState& task = it->second;
+  absorb_report_at_initial(task, env.from, m);
+  maybe_submit_list(task);
+}
+
+void Participant::absorb_report_at_initial(TaskState& task,
+                                           const ParticipantId& from,
+                                           const PocPairsToInitial& m) {
+  if (!task.reports_received.insert(from).second) return;  // duplicate
+  task.list.add_poc(poc::Poc::deserialize(m.own_poc));
+  for (const auto& [parent_bytes, child_bytes] : m.pairs) {
+    const poc::Poc parent = poc::Poc::deserialize(parent_bytes);
+    const poc::Poc child = poc::Poc::deserialize(child_bytes);
+    task.list.add_poc(parent);
+    task.list.add_poc(child);
+    task.list.add_edge(parent.participant, child.participant);
+  }
+}
+
+void Participant::maybe_submit_list(TaskState& task) {
+  if (task.setup.initial != id_ || task.list_submitted) return;
+  if (task.reports_received.size() < task.setup.involved.size()) return;
+  task.list_submitted = true;
+  network_.send(
+      id_, proxy_, msg::kPocListSubmit,
+      PocListSubmit{task.setup.task_id, task.list.serialize()}.serialize());
+}
+
+// ---------------------------------------------------------------------------
+// Query phase
+// ---------------------------------------------------------------------------
+
+const Participant::ProofContext* Participant::context_for(
+    const Bytes& poc_bytes) const {
+  try {
+    const poc::Poc poc = poc::Poc::deserialize(poc_bytes);
+    const auto it = contexts_.find(poc.commitment);
+    return it == contexts_.end() ? nullptr : &it->second;
+  } catch (const Error&) {
+    return nullptr;
+  }
+}
+
+Bytes Participant::make_ownership_proof(const ProofContext& ctx,
+                                        const supplychain::ProductId& product) {
+  poc::PocProof proof = ctx.scheme->prove(*ctx.dpoc, product);
+  if (query_behavior_.wrong_trace.count(product) > 0) {
+    // "Return wrong RFID-trace": tamper with the revealed value. The
+    // ZK-EDB value binding makes this detectable (Claim 2).
+    auto zk = zkedb::EdbMembershipProof::deserialize(*ctx.crs, proof.zk_proof);
+    zk.value = bytes_of("tampered-trace");
+    proof.zk_proof = zk.serialize(*ctx.crs);
+  }
+  return proof.serialize();
+}
+
+void Participant::on_query_request(const net::Envelope& env,
+                                   const QueryRequest& m) {
+  if (query_behavior_.unresponsive) return;
+  QueryResponse resp;
+  resp.query_id = m.query_id;
+
+  const ProofContext* ctx = context_for(m.poc);
+  if (ctx == nullptr) {
+    // We never built this POC: answer "not processing", no proof. The
+    // proxy treats the missing proof according to the product quality.
+    resp.claims_processing = false;
+    network_.send(id_, env.from, msg::kQueryResponse, resp.serialize());
+    return;
+  }
+
+  const bool committed = ctx->dpoc->owns(m.product);
+  if (m.quality == ProductQuality::kGood) {
+    if (committed && query_behavior_.claim_non_processing.count(m.product) ==
+                         0) {
+      // Honest: claim processing with an ownership proof (tampered if the
+      // wrong-trace deviation is configured).
+      resp.claims_processing = true;
+      resp.proof = make_ownership_proof(*ctx, m.product);
+    } else if (!committed &&
+               query_behavior_.claim_processing.count(m.product) > 0) {
+      // "Claim processing": the best a cheater can do is send something
+      // shaped like a proof — here its (valid) non-ownership proof dressed
+      // up as an ownership proof. Verification must reject it.
+      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+      forged.ownership = true;
+      resp.claims_processing = true;
+      resp.proof = forged.serialize();
+    } else {
+      resp.claims_processing = false;  // forfeit the positive score
+    }
+  } else {  // bad product
+    if (!committed) {
+      // Honest denial with a non-ownership proof.
+      resp.claims_processing = false;
+      resp.proof = ctx->scheme->prove(*ctx->dpoc, m.product).serialize();
+    } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
+      // "Claim non-processing": forge a denial. A valid non-ownership
+      // proof cannot exist (Claim 1), so the cheater sends its ownership
+      // proof relabelled — or garbage; either way verification rejects.
+      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+      forged.ownership = false;
+      forged.zk_proof = random_bytes(64);
+      resp.claims_processing = false;
+      resp.proof = forged.serialize();
+    } else {
+      // Honest: cannot deny; admit processing and await the reveal round.
+      resp.claims_processing = true;
+    }
+  }
+  network_.send(id_, env.from, msg::kQueryResponse, resp.serialize());
+}
+
+void Participant::on_reveal_request(const net::Envelope& env,
+                                    const RevealRequest& m) {
+  if (query_behavior_.unresponsive) return;
+  RevealResponse resp;
+  resp.query_id = m.query_id;
+  const ProofContext* ctx = context_for(m.poc);
+  if (ctx != nullptr && ctx->dpoc->owns(m.product) &&
+      !query_behavior_.refuse_reveal) {
+    resp.proof = make_ownership_proof(*ctx, m.product);
+  }
+  network_.send(id_, env.from, msg::kRevealResponse, resp.serialize());
+}
+
+void Participant::on_next_hop_request(const net::Envelope& env,
+                                      const NextHopRequest& m) {
+  if (query_behavior_.unresponsive) return;
+  NextHopResponse resp;
+  resp.query_id = m.query_id;
+  const auto wrong = query_behavior_.wrong_next.find(m.product);
+  if (query_behavior_.false_termination.count(m.product) > 0) {
+    // Pretend the product's journey ended here.
+  } else if (wrong != query_behavior_.wrong_next.end()) {
+    resp.next = wrong->second;
+  } else {
+    const auto it = shipments_.find(m.product);
+    if (it != shipments_.end()) resp.next = it->second;
+  }
+  network_.send(id_, env.from, msg::kNextHopResponse, resp.serialize());
+}
+
+}  // namespace desword::protocol

@@ -1,0 +1,147 @@
+// A DE-Sword participant backend node.
+//
+// Owns the participant's RFID-trace database and drives both protocol
+// phases over the simulated network:
+//
+//   * distribution phase: fetch/receive ps, aggregate the trace database
+//     into a POC (applying any configured dishonest deviations), exchange
+//     POCs with task parents to build POC pairs, and route everything to
+//     the task-initial participant, who submits the POC list to the proxy;
+//   * query phase: answer query / reveal / next-hop requests under the
+//     configured query behaviour.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "desword/behavior.h"
+#include "desword/crs_cache.h"
+#include "desword/messages.h"
+#include "net/network.h"
+#include "poc/poc.h"
+#include "poc/poc_list.h"
+#include "supplychain/graph.h"
+#include "supplychain/trace.h"
+
+namespace desword::protocol {
+
+using supplychain::ParticipantId;
+
+/// Task-local wiring handed to each involved participant before the
+/// distribution phase runs (who its parents/children are for this task,
+/// where each product went next, who the task-initial participant is).
+struct TaskSetup {
+  std::string task_id;
+  ParticipantId initial;
+  std::vector<ParticipantId> parents;
+  std::vector<ParticipantId> children;
+  /// Involved participants (needed by the initial participant to broadcast
+  /// ps and to know when every report arrived).
+  std::vector<ParticipantId> involved;
+  /// Ground-truth next hop of each product this participant processed.
+  std::map<supplychain::ProductId, ParticipantId> shipments;
+};
+
+class Participant {
+ public:
+  Participant(ParticipantId id, net::Network& network, net::NodeId proxy,
+              CrsCachePtr crs_cache);
+  ~Participant();
+
+  Participant(const Participant&) = delete;
+  Participant& operator=(const Participant&) = delete;
+
+  const ParticipantId& id() const { return id_; }
+
+  /// Loads the RFID-trace database produced by a distribution task.
+  void load_database(supplychain::TraceDatabase db);
+  const supplychain::TraceDatabase& database() const { return db_; }
+
+  void set_distribution_behavior(DistributionBehavior behavior);
+  void set_query_behavior(QueryBehavior behavior);
+  const QueryBehavior& query_behavior() const { return query_behavior_; }
+
+  /// Registers the task context. Must be called on every involved
+  /// participant before `initiate_task` runs on the initial one.
+  void begin_task(const TaskSetup& setup);
+
+  /// Kicks off the distribution phase for a task (initial participant
+  /// only): requests ps from the proxy.
+  void initiate_task(const std::string& task_id);
+
+  /// Whether this participant finished its distribution-phase duties for
+  /// the task (POC built, pairs reported / list submitted).
+  bool task_complete(const std::string& task_id) const;
+
+  /// The POC built for a task, if any (for tests/inspection).
+  const poc::Poc* poc_for_task(const std::string& task_id) const;
+
+ private:
+  struct TaskState {
+    TaskSetup setup;
+    Bytes ps;
+    zkedb::EdbCrsPtr crs;
+    std::unique_ptr<poc::PocScheme> scheme;
+    std::optional<poc::Poc> own_poc;
+    std::shared_ptr<poc::PocDecommitment> dpoc;
+    std::vector<Bytes> buffered_child_pocs;  // arrived before own POC
+    std::vector<std::pair<Bytes, Bytes>> pairs;  // (own POC, child POC)
+    std::set<ParticipantId> children_reported;
+    bool pairs_sent = false;
+    // Initial-participant aggregation state.
+    poc::PocList list;
+    std::set<ParticipantId> reports_received;
+    bool list_submitted = false;
+  };
+
+  /// Per-commitment proving context for the query phase.
+  struct ProofContext {
+    zkedb::EdbCrsPtr crs;
+    std::shared_ptr<poc::PocDecommitment> dpoc;
+    std::shared_ptr<poc::PocScheme> scheme;
+  };
+
+  void handle(const net::Envelope& env);
+  void dispatch(const net::Envelope& env);
+
+  // Distribution phase.
+  void on_ps_response(const PsResponse& m);
+  void on_ps_broadcast(const PsBroadcast& m);
+  void on_poc_to_parent(const net::Envelope& env, const PocToParent& m);
+  void on_poc_pairs_to_initial(const net::Envelope& env,
+                               const PocPairsToInitial& m);
+  void aggregate_poc(TaskState& task);
+  void absorb_child_poc(TaskState& task, const Bytes& child_poc);
+  void maybe_send_pairs(TaskState& task);
+  void absorb_report_at_initial(TaskState& task, const ParticipantId& from,
+                                const PocPairsToInitial& m);
+  void maybe_submit_list(TaskState& task);
+
+  // Query phase.
+  void on_query_request(const net::Envelope& env, const QueryRequest& m);
+  void on_reveal_request(const net::Envelope& env, const RevealRequest& m);
+  void on_next_hop_request(const net::Envelope& env, const NextHopRequest& m);
+  const ProofContext* context_for(const Bytes& poc_bytes) const;
+  /// Ownership proof honouring wrong_trace behaviour.
+  Bytes make_ownership_proof(const ProofContext& ctx,
+                             const supplychain::ProductId& product);
+
+  ParticipantId id_;
+  net::Network& network_;
+  net::NodeId proxy_;
+  CrsCachePtr crs_cache_;
+  supplychain::TraceDatabase db_;
+  DistributionBehavior dist_behavior_;
+  QueryBehavior query_behavior_;
+  std::map<std::string, TaskState> tasks_;
+  /// Commitment bytes -> proving context (across all tasks).
+  std::map<Bytes, ProofContext> contexts_;
+  /// Ground-truth next hops (merged across tasks).
+  std::map<supplychain::ProductId, ParticipantId> shipments_;
+};
+
+}  // namespace desword::protocol

@@ -1,0 +1,559 @@
+#include "desword/proxy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace desword::protocol {
+
+Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
+             ProxyConfig config)
+    : Proxy(std::move(id), network, std::move(crs_cache), nullptr,
+            std::move(config)) {}
+
+Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
+             zkedb::EdbCrsPtr crs, ProxyConfig config)
+    : id_(std::move(id)),
+      network_(network),
+      crs_cache_(std::move(crs_cache)),
+      config_(std::move(config)),
+      // config_ is initialized before crs_ (declaration order), so a fresh
+      // CRS can be derived from it when the caller did not supply one.
+      crs_(crs != nullptr ? std::move(crs)
+                          : zkedb::generate_crs(config_.edb)) {
+  ps_bytes_ = crs_->params().serialize();
+  crs_cache_->put(crs_);
+  scheme_ = std::make_unique<poc::PocScheme>(crs_);
+  network_.register_node(id_,
+                         [this](const net::Envelope& env) { handle(env); });
+}
+
+Proxy::~Proxy() {
+  if (network_.has_node(id_)) network_.unregister_node(id_);
+}
+
+const poc::PocList* Proxy::task_list(const std::string& task_id) const {
+  const auto it = lists_.find(task_id);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+std::vector<Proxy::QueueEntry> Proxy::poc_queue(
+    const std::string& initial) const {
+  const auto it = queues_.find(initial);
+  return it == queues_.end() ? std::vector<QueueEntry>{} : it->second;
+}
+
+void Proxy::handle(const net::Envelope& env) {
+  try {
+    if (env.type == msg::kPsRequest) {
+      on_ps_request(env, PsRequest::deserialize(env.payload));
+    } else if (env.type == msg::kPocListSubmit) {
+      on_poc_list_submit(env, PocListSubmit::deserialize(env.payload));
+    } else if (env.type == msg::kQueryResponse) {
+      on_query_response(env, QueryResponse::deserialize(env.payload));
+    } else if (env.type == msg::kRevealResponse) {
+      on_reveal_response(env, RevealResponse::deserialize(env.payload));
+    } else if (env.type == msg::kNextHopResponse) {
+      on_next_hop_response(env, NextHopResponse::deserialize(env.payload));
+    }
+  } catch (const SerializationError&) {
+    // Malformed message from an untrusted node: drop it. Retransmission
+    // or the no-response path will deal with the sender.
+  }
+}
+
+void Proxy::on_ps_request(const net::Envelope& env, const PsRequest& m) {
+  network_.send(id_, env.from, msg::kPsResponse,
+                PsResponse{m.task_id, ps_bytes_}.serialize());
+}
+
+void Proxy::on_poc_list_submit(const net::Envelope& env,
+                               const PocListSubmit& m) {
+  (void)env;
+  if (lists_.find(m.task_id) != lists_.end()) return;  // duplicate
+  poc::PocList list = poc::PocList::deserialize(m.poc_list);
+  if (list.ps() != ps_bytes_) {
+    // POCs under an unknown CRS are unverifiable; reject the task.
+    return;
+  }
+  const auto [it, inserted] = lists_.emplace(m.task_id, std::move(list));
+  for (const std::string& initial : it->second.initial_participants()) {
+    const poc::Poc* poc = it->second.find(initial);
+    queues_[initial].push_back(QueueEntry{m.task_id, *poc});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query driving
+// ---------------------------------------------------------------------------
+
+std::uint64_t Proxy::begin_query(const supplychain::ProductId& product,
+                                 ProductQuality quality,
+                                 std::optional<std::string> task_hint) {
+  const std::uint64_t query_id = next_query_id_++;
+  Session& s = sessions_[query_id];
+  s.outcome.query_id = query_id;
+  s.outcome.product = product;
+  s.outcome.quality = quality;
+
+  if (task_hint.has_value()) {
+    const poc::PocList* list = task_list(*task_hint);
+    if (list == nullptr) {
+      throw ProtocolError("unknown task: " + *task_hint);
+    }
+    for (const std::string& initial : list->initial_participants()) {
+      s.candidates.push_back(Candidate{initial, *task_hint, *list->find(initial)});
+    }
+  } else {
+    for (const auto& [initial, queue] : queues_) {
+      for (const QueueEntry& entry : queue) {
+        s.candidates.push_back(Candidate{initial, entry.task_id, entry.poc});
+      }
+    }
+  }
+
+  if (s.candidates.empty()) {
+    finish(s, /*complete=*/false);
+    return query_id;
+  }
+  const Candidate& cand = s.candidates[0];
+  send_tracked(s, cand.participant, msg::kQueryRequest,
+               QueryRequest{query_id, product, quality,
+                            cand.poc.serialize()}
+                   .serialize());
+  return query_id;
+}
+
+void Proxy::send_tracked(Session& s, const net::NodeId& to,
+                         const std::string& type, Bytes payload) {
+  s.last_to = to;
+  s.last_type = type;
+  s.last_payload = payload;
+  s.retries = 0;
+  s.awaiting = true;
+  s.transcript.push_back(
+      TranscriptEntry{network_.now(), true, to, type, payload.size()});
+  network_.send(id_, to, type, std::move(payload));
+}
+
+void Proxy::record_incoming(Session& s, const net::Envelope& env) {
+  s.transcript.push_back(TranscriptEntry{network_.now(), false, env.from,
+                                         env.type, env.payload.size()});
+}
+
+const std::vector<Proxy::TranscriptEntry>* Proxy::transcript(
+    std::uint64_t query_id) const {
+  const auto it = sessions_.find(query_id);
+  return it == sessions_.end() ? nullptr : &it->second.transcript;
+}
+
+void Proxy::advance_candidate(Session& s) {
+  ++s.candidate_idx;
+  if (s.candidate_idx >= s.candidates.size()) {
+    finish(s, /*complete=*/false);
+    return;
+  }
+  const Candidate& cand = s.candidates[s.candidate_idx];
+  send_tracked(s, cand.participant, msg::kQueryRequest,
+               QueryRequest{s.outcome.query_id, s.outcome.product,
+                            s.outcome.quality, cand.poc.serialize()}
+                   .serialize());
+}
+
+void Proxy::start_walk(Session& s, const Candidate& candidate,
+                       bool already_identified,
+                       std::optional<Bytes> proof_bytes) {
+  const auto it = lists_.find(candidate.task_id);
+  if (it == lists_.end()) {
+    finish(s, false);
+    return;
+  }
+  s.list = &it->second;
+  s.outcome.task_id = candidate.task_id;
+  s.current = candidate.participant;
+  s.current_poc = candidate.poc;
+  s.previous.clear();
+  s.visited.push_back(s.current);
+
+  if (already_identified && proof_bytes.has_value()) {
+    if (!absorb_ownership_proof(s, *proof_bytes)) {
+      // Should not happen: the caller verified before identifying.
+      finish(s, false);
+      return;
+    }
+    request_next_hop(s);
+  } else {
+    request_reveal(s);
+  }
+}
+
+void Proxy::query_current(Session& s) {
+  s.phase = Phase::kWalk;
+  send_tracked(s, s.current, msg::kQueryRequest,
+               QueryRequest{s.outcome.query_id, s.outcome.product,
+                            s.outcome.quality, s.current_poc.serialize()}
+                   .serialize());
+}
+
+void Proxy::request_reveal(Session& s) {
+  s.phase = Phase::kReveal;
+  send_tracked(s, s.current, msg::kRevealRequest,
+               RevealRequest{s.outcome.query_id, s.outcome.product,
+                             s.current_poc.serialize()}
+                   .serialize());
+}
+
+void Proxy::request_next_hop(Session& s) {
+  s.phase = Phase::kNextHop;
+  send_tracked(s, s.current, msg::kNextHopRequest,
+               NextHopRequest{s.outcome.query_id, s.outcome.product}
+                   .serialize());
+}
+
+bool Proxy::absorb_ownership_proof(Session& s, const Bytes& proof_bytes) {
+  try {
+    const poc::PocProof proof = poc::PocProof::deserialize(proof_bytes);
+    if (!proof.ownership) return false;
+    const poc::PocVerifyResult result =
+        scheme().verify(s.current_poc, s.outcome.product, proof);
+    if (result.verdict != poc::PocVerdict::kTrace) return false;
+    RecoveredTrace trace;
+    trace.da = *result.trace_info;
+    try {
+      trace.info = supplychain::TraceInfo::deserialize(trace.da);
+    } catch (const Error&) {
+      // Verifiably committed, but not a decodable TraceInfo.
+    }
+    s.outcome.path.push_back(s.current);
+    s.outcome.traces[s.current] = std::move(trace);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+void Proxy::record_violation(Session& s, const std::string& participant,
+                             ViolationType type) {
+  s.outcome.violations.push_back(Violation{participant, type});
+}
+
+void Proxy::finish(Session& s, bool complete) {
+  if (s.phase == Phase::kDone) return;
+  s.phase = Phase::kDone;
+  s.awaiting = false;
+  s.outcome.complete = complete;
+  apply_scores(s);
+}
+
+void Proxy::apply_scores(Session& s) {
+  const std::uint64_t qid = s.outcome.query_id;
+  if (s.outcome.quality == ProductQuality::kGood) {
+    for (const std::string& p : s.outcome.path) {
+      ledger_.apply(p, config_.scores.positive, "good-product-query", qid);
+    }
+  } else {
+    for (std::size_t i = 0; i < s.outcome.path.size(); ++i) {
+      double delta = -config_.scores.negative;
+      if (config_.scores.weight_by_responsibility && i == 0) {
+        delta *= config_.scores.source_multiplier;
+      }
+      ledger_.apply(s.outcome.path[i], delta, "bad-product-query", qid);
+    }
+  }
+  for (const Violation& v : s.outcome.violations) {
+    ledger_.apply(v.participant, -config_.scores.violation_penalty,
+                  "violation:" + to_string(v.type), qid);
+  }
+}
+
+void Proxy::on_query_response(const net::Envelope& env,
+                              const QueryResponse& m) {
+  const auto it = sessions_.find(m.query_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (s.phase == Phase::kDone) return;
+
+  if (s.phase == Phase::kInitialScan) {
+    if (s.candidate_idx >= s.candidates.size()) return;
+    const Candidate cand = s.candidates[s.candidate_idx];
+    if (env.from != cand.participant) return;  // stray
+    s.awaiting = false;
+  record_incoming(s, env);
+    s.current_poc = cand.poc;  // verification target during the scan
+
+    if (s.outcome.quality == ProductQuality::kGood) {
+      if (m.claims_processing && m.proof.has_value()) {
+        // Pre-verify before entering the walk.
+        bool valid = false;
+        try {
+          const poc::PocProof proof = poc::PocProof::deserialize(*m.proof);
+          valid = proof.ownership &&
+                  scheme().verify(cand.poc, s.outcome.product, proof)
+                          .verdict == poc::PocVerdict::kTrace;
+        } catch (const Error&) {
+          valid = false;
+        }
+        if (valid) {
+          start_walk(s, cand, /*already_identified=*/true, m.proof);
+        } else {
+          record_violation(s, cand.participant,
+                           ViolationType::kClaimProcessingInvalidProof);
+          advance_candidate(s);
+        }
+      } else if (m.claims_processing) {
+        record_violation(s, cand.participant,
+                         ViolationType::kClaimProcessingInvalidProof);
+        advance_candidate(s);
+      } else {
+        advance_candidate(s);
+      }
+      return;
+    }
+
+    // Bad product scan: demand a valid non-ownership proof per queue entry.
+    if (!m.claims_processing && m.proof.has_value()) {
+      bool valid = false;
+      try {
+        const poc::PocProof proof = poc::PocProof::deserialize(*m.proof);
+        valid = !proof.ownership &&
+                scheme().verify(cand.poc, s.outcome.product, proof).verdict ==
+                    poc::PocVerdict::kValid;
+      } catch (const Error&) {
+        valid = false;
+      }
+      if (valid) {
+        advance_candidate(s);
+      } else {
+        record_violation(s, cand.participant,
+                         ViolationType::kClaimNonProcessingInvalidProof);
+        start_walk(s, cand, /*already_identified=*/false, std::nullopt);
+      }
+    } else if (!m.claims_processing) {
+      record_violation(s, cand.participant,
+                       ViolationType::kClaimNonProcessingInvalidProof);
+      start_walk(s, cand, /*already_identified=*/false, std::nullopt);
+    } else {
+      // Admits processing: identified; proceed to the reveal round.
+      start_walk(s, cand, /*already_identified=*/false, std::nullopt);
+    }
+    return;
+  }
+
+  if (s.phase != Phase::kWalk || env.from != s.current) return;
+  s.awaiting = false;
+  record_incoming(s, env);
+
+  if (s.outcome.quality == ProductQuality::kGood) {
+    if (m.claims_processing && m.proof.has_value() &&
+        absorb_ownership_proof(s, *m.proof)) {
+      request_next_hop(s);
+      return;
+    }
+    if (m.claims_processing) {
+      record_violation(s, s.current,
+                       ViolationType::kClaimProcessingInvalidProof);
+      finish(s, false);
+      return;
+    }
+    // Denied in the good case: with a correct POC list this means the
+    // previous hop misdirected us.
+    if (!s.previous.empty()) {
+      record_violation(s, s.previous,
+                       ViolationType::kWrongNextHopNotProcessed);
+    }
+    finish(s, false);
+    return;
+  }
+
+  // Bad product walk.
+  if (!m.claims_processing && m.proof.has_value()) {
+    bool valid = false;
+    try {
+      const poc::PocProof proof = poc::PocProof::deserialize(*m.proof);
+      valid = !proof.ownership &&
+              scheme().verify(s.current_poc, s.outcome.product, proof)
+                      .verdict == poc::PocVerdict::kValid;
+    } catch (const Error&) {
+      valid = false;
+    }
+    if (valid) {
+      // Really did not process the product: the referrer lied.
+      if (!s.previous.empty()) {
+        record_violation(s, s.previous,
+                         ViolationType::kWrongNextHopNotProcessed);
+      }
+      finish(s, false);
+      return;
+    }
+    record_violation(s, s.current,
+                     ViolationType::kClaimNonProcessingInvalidProof);
+    request_reveal(s);
+    return;
+  }
+  if (!m.claims_processing) {
+    record_violation(s, s.current,
+                     ViolationType::kClaimNonProcessingInvalidProof);
+    request_reveal(s);
+    return;
+  }
+  request_reveal(s);
+}
+
+void Proxy::on_reveal_response(const net::Envelope& env,
+                               const RevealResponse& m) {
+  const auto it = sessions_.find(m.query_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (s.phase != Phase::kReveal || env.from != s.current) return;
+  s.awaiting = false;
+  record_incoming(s, env);
+
+  if (!m.proof.has_value()) {
+    record_violation(s, s.current, ViolationType::kRefusedReveal);
+    finish(s, false);
+    return;
+  }
+  if (!absorb_ownership_proof(s, *m.proof)) {
+    record_violation(s, s.current, ViolationType::kInvalidReveal);
+    finish(s, false);
+    return;
+  }
+  request_next_hop(s);
+}
+
+void Proxy::on_next_hop_response(const net::Envelope& env,
+                                 const NextHopResponse& m) {
+  const auto it = sessions_.find(m.query_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (s.phase != Phase::kNextHop || env.from != s.current) return;
+  s.awaiting = false;
+  record_incoming(s, env);
+
+  if (!m.next.has_value()) {
+    if (s.list->children_of(s.current).empty()) {
+      finish(s, /*complete=*/true);
+    } else {
+      record_violation(s, s.current, ViolationType::kFalseTermination);
+      finish(s, false);
+    }
+    return;
+  }
+  const std::string& next = *m.next;
+  const bool revisits =
+      std::find(s.visited.begin(), s.visited.end(), next) != s.visited.end();
+  if (revisits || !s.list->has_edge(s.current, next)) {
+    record_violation(s, s.current, ViolationType::kWrongNextHopNotChild);
+    finish(s, false);
+    return;
+  }
+  s.previous = s.current;
+  s.current = next;
+  s.current_poc = *s.list->find(next);
+  s.visited.push_back(next);
+  query_current(s);
+}
+
+void Proxy::pump() {
+  constexpr int kMaxIdleRounds = 100000;
+  for (int round = 0; round < kMaxIdleRounds; ++round) {
+    network_.run();
+    // All messages delivered; look for stalled sessions.
+    std::vector<Session*> stalled;
+    for (auto& [qid, s] : sessions_) {
+      if (s.phase != Phase::kDone && s.awaiting) stalled.push_back(&s);
+    }
+    if (stalled.empty()) return;
+    for (Session* s : stalled) {
+      if (s->retries < config_.max_retries) {
+        ++s->retries;
+        network_.send(id_, s->last_to, s->last_type, s->last_payload);
+      } else {
+        record_violation(*s, s->last_to, ViolationType::kNoResponse);
+        if (s->phase == Phase::kInitialScan) {
+          advance_candidate(*s);
+        } else {
+          finish(*s, false);
+        }
+      }
+    }
+  }
+  throw ProtocolError("proxy pump did not converge");
+}
+
+QueryOutcome Proxy::run_query(const supplychain::ProductId& product,
+                              ProductQuality quality,
+                              std::optional<std::string> task_hint) {
+  const std::uint64_t qid = begin_query(product, quality, task_hint);
+  pump();
+  const QueryOutcome* out = outcome(qid);
+  if (out == nullptr) throw ProtocolError("query did not resolve");
+  return *out;
+}
+
+const QueryOutcome* Proxy::outcome(std::uint64_t query_id) const {
+  const auto it = sessions_.find(query_id);
+  if (it == sessions_.end() || it->second.phase != Phase::kDone) {
+    return nullptr;
+  }
+  return &it->second.outcome;
+}
+
+double Proxy::reputation(const std::string& participant) const {
+  return ledger_.score(participant);
+}
+
+std::map<std::string, double> Proxy::reputation_snapshot() const {
+  return ledger_.snapshot();
+}
+
+std::string Proxy::export_report_json() const {
+  json::Object report;
+
+  json::Object scores;
+  for (const auto& [participant, score] : ledger_.snapshot()) {
+    scores[participant] = json::Value(score);
+  }
+  report["reputation"] = json::Value(std::move(scores));
+
+  json::Array events;
+  for (const ReputationEvent& event : ledger_.history()) {
+    json::Object e;
+    e["participant"] = json::Value(event.participant);
+    e["delta"] = json::Value(event.delta);
+    e["reason"] = json::Value(event.reason);
+    e["query_id"] = json::Value(static_cast<std::int64_t>(event.query_id));
+    events.push_back(json::Value(std::move(e)));
+  }
+  report["events"] = json::Value(std::move(events));
+
+  json::Array queries;
+  for (const auto& [qid, session] : sessions_) {
+    if (session.phase != Phase::kDone) continue;
+    const QueryOutcome& outcome = session.outcome;
+    json::Object q;
+    q["query_id"] = json::Value(static_cast<std::int64_t>(qid));
+    q["product"] = json::Value(to_hex(outcome.product));
+    q["quality"] = json::Value(to_string(outcome.quality));
+    q["task"] = json::Value(outcome.task_id);
+    q["complete"] = json::Value(outcome.complete);
+    json::Array path;
+    for (const auto& hop : outcome.path) path.push_back(json::Value(hop));
+    q["path"] = json::Value(std::move(path));
+    json::Array violations;
+    for (const Violation& v : outcome.violations) {
+      json::Object vo;
+      vo["participant"] = json::Value(v.participant);
+      vo["type"] = json::Value(to_string(v.type));
+      violations.push_back(json::Value(std::move(vo)));
+    }
+    q["violations"] = json::Value(std::move(violations));
+    queries.push_back(json::Value(std::move(q)));
+  }
+  report["queries"] = json::Value(std::move(queries));
+
+  return json::Value(std::move(report)).dump_pretty();
+}
+
+}  // namespace desword::protocol

@@ -1,0 +1,185 @@
+// The DE-Sword query proxy (e.g. the FDA).
+//
+// Responsibilities (§II-C):
+//   * serve ps to initial participants and store submitted POC lists,
+//     maintaining a POC-queue per initial participant (§IV-D);
+//   * drive good/bad product path information queries hop by hop,
+//     verifying every response against the POC list;
+//   * maintain public reputation scores under the double-edged award
+//     strategy.
+//
+// Queries are asynchronous sessions over the simulated network; the
+// `pump()` driver delivers messages, retransmits into lossy links, and
+// deems unresponsive participants after bounded retries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "desword/crs_cache.h"
+#include "desword/messages.h"
+#include "desword/query.h"
+#include "desword/reputation.h"
+#include "net/network.h"
+#include "poc/poc_list.h"
+
+namespace desword::protocol {
+
+struct ProxyConfig {
+  zkedb::EdbConfig edb;
+  ScorePolicy scores;
+  int max_retries = 3;
+};
+
+class Proxy {
+ public:
+  Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
+        ProxyConfig config);
+  /// Variant reusing an existing CRS (benchmarks share one across setups).
+  Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
+        zkedb::EdbCrsPtr crs, ProxyConfig config);
+  ~Proxy();
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  const net::NodeId& id() const { return id_; }
+  const zkedb::EdbCrsPtr& crs() const { return crs_; }
+
+  // -- Distribution-phase state ------------------------------------------
+
+  /// POC list submitted for a task, if any.
+  const poc::PocList* task_list(const std::string& task_id) const;
+
+  struct QueueEntry {
+    std::string task_id;
+    poc::Poc poc;  // the initial participant's POC for that task
+  };
+  /// POC-queue of an initial participant (§IV-D).
+  std::vector<QueueEntry> poc_queue(const std::string& initial) const;
+
+  // -- Query phase ---------------------------------------------------------
+
+  /// Starts an asynchronous product path information query. If `task_hint`
+  /// is set the proxy walks that task's POC list directly; otherwise it
+  /// first identifies the right task by scanning initial participants'
+  /// POC-queues (§IV-D).
+  std::uint64_t begin_query(const supplychain::ProductId& product,
+                            ProductQuality quality,
+                            std::optional<std::string> task_hint = {});
+
+  /// Drives the network until every in-flight query resolves. Handles
+  /// retransmissions and no-response aborts.
+  void pump();
+
+  /// Synchronous convenience: begin + pump + fetch.
+  QueryOutcome run_query(const supplychain::ProductId& product,
+                         ProductQuality quality,
+                         std::optional<std::string> task_hint = {});
+
+  /// Outcome of a finished query (nullptr while in flight / unknown).
+  const QueryOutcome* outcome(std::uint64_t query_id) const;
+
+  /// One audit-log entry per protocol message of a query session.
+  struct TranscriptEntry {
+    std::uint64_t at = 0;  // simulated network time
+    bool outgoing = false;  // proxy -> participant?
+    net::NodeId peer;
+    std::string type;
+    std::size_t bytes = 0;
+  };
+
+  /// Full message transcript of a query (nullptr if unknown). Useful for
+  /// audits and for attributing wire costs (Table II end-to-end).
+  const std::vector<TranscriptEntry>* transcript(std::uint64_t query_id) const;
+
+  // -- Reputation -----------------------------------------------------------
+
+  double reputation(const std::string& participant) const;
+  std::map<std::string, double> reputation_snapshot() const;
+  const ReputationLedger& ledger() const { return ledger_; }
+
+  /// Machine-readable audit report: public reputation board, per-event
+  /// ledger history, and a summary of every finished query (path,
+  /// violations, completeness). This is the artifact a regulator
+  /// publishes; customers "publicly access" the scores through it (§II-C).
+  std::string export_report_json() const;
+
+ private:
+  enum class Phase : std::uint8_t { kInitialScan, kWalk, kReveal, kNextHop,
+                                    kDone };
+
+  struct Candidate {
+    std::string participant;
+    std::string task_id;
+    poc::Poc poc;
+  };
+
+  struct Session {
+    QueryOutcome outcome;
+    Phase phase = Phase::kInitialScan;
+    // Initial-task identification.
+    std::vector<Candidate> candidates;
+    std::size_t candidate_idx = 0;
+    // Walk state.
+    const poc::PocList* list = nullptr;
+    std::string current;
+    poc::Poc current_poc;
+    std::string previous;  // referrer of `current` (for misdirection blame)
+    std::vector<std::string> visited;
+    std::vector<TranscriptEntry> transcript;
+    // Retransmission bookkeeping.
+    net::NodeId last_to;
+    std::string last_type;
+    Bytes last_payload;
+    int retries = 0;
+    bool awaiting = false;
+  };
+
+  void handle(const net::Envelope& env);
+  void on_ps_request(const net::Envelope& env, const PsRequest& m);
+  void on_poc_list_submit(const net::Envelope& env, const PocListSubmit& m);
+  void on_query_response(const net::Envelope& env, const QueryResponse& m);
+  void on_reveal_response(const net::Envelope& env, const RevealResponse& m);
+  void on_next_hop_response(const net::Envelope& env, const NextHopResponse& m);
+
+  void send_tracked(Session& s, const net::NodeId& to, const std::string& type,
+                    Bytes payload);
+  void record_incoming(Session& s, const net::Envelope& env);
+  void advance_candidate(Session& s);
+  void start_walk(Session& s, const Candidate& candidate,
+                  bool already_identified, std::optional<Bytes> proof_bytes);
+  void query_current(Session& s);
+  void request_reveal(Session& s);
+  void request_next_hop(Session& s);
+  /// Verifies an ownership proof and records the trace; returns success.
+  bool absorb_ownership_proof(Session& s, const Bytes& proof_bytes);
+  void identified(Session& s);
+  void record_violation(Session& s, const std::string& participant,
+                        ViolationType type);
+  void finish(Session& s, bool complete);
+  void apply_scores(Session& s);
+
+  poc::PocScheme& scheme() { return *scheme_; }
+
+  net::NodeId id_;
+  net::Network& network_;
+  CrsCachePtr crs_cache_;
+  ProxyConfig config_;
+  zkedb::EdbCrsPtr crs_;
+  Bytes ps_bytes_;
+  std::unique_ptr<poc::PocScheme> scheme_;
+
+  std::map<std::string, poc::PocList> lists_;  // task id -> POC list
+  std::map<std::string, std::vector<QueueEntry>> queues_;  // initial -> queue
+
+  std::uint64_t next_query_id_ = 1;
+  std::map<std::uint64_t, Session> sessions_;
+  ReputationLedger ledger_;
+};
+
+}  // namespace desword::protocol

@@ -1,0 +1,37 @@
+#include "desword/query.h"
+
+#include <algorithm>
+
+namespace desword::protocol {
+
+std::string to_string(ViolationType type) {
+  switch (type) {
+    case ViolationType::kClaimProcessingInvalidProof:
+      return "claim-processing-invalid-proof";
+    case ViolationType::kClaimNonProcessingInvalidProof:
+      return "claim-non-processing-invalid-proof";
+    case ViolationType::kInvalidReveal:
+      return "invalid-reveal";
+    case ViolationType::kRefusedReveal:
+      return "refused-reveal";
+    case ViolationType::kWrongNextHopNotChild:
+      return "wrong-next-hop-not-child";
+    case ViolationType::kWrongNextHopNotProcessed:
+      return "wrong-next-hop-not-processed";
+    case ViolationType::kFalseTermination:
+      return "false-termination";
+    case ViolationType::kNoResponse:
+      return "no-response";
+  }
+  return "unknown";
+}
+
+bool QueryOutcome::has_violation(const std::string& participant,
+                                 ViolationType type) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) {
+                       return v.participant == participant && v.type == type;
+                     });
+}
+
+}  // namespace desword::protocol

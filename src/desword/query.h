@@ -1,0 +1,77 @@
+// Query outcome types.
+//
+// A product path information query either completes (the proxy collected a
+// verified trace chain from the task-initial participant to a leaf) or
+// aborts with recorded violations — §III-B's guarantee is that every
+// dishonest query-phase behaviour is *detected*, not that the query always
+// completes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "desword/messages.h"
+#include "supplychain/trace.h"
+
+namespace desword::protocol {
+
+enum class ViolationType : std::uint8_t {
+  /// Good case: claimed processing but the ownership proof failed.
+  kClaimProcessingInvalidProof,
+  /// Bad case: denied processing but the non-ownership proof failed
+  /// (or was missing).
+  kClaimNonProcessingInvalidProof,
+  /// Identified participant's revealed ownership proof failed (covers the
+  /// wrong-RFID-trace behaviour: the value binding breaks).
+  kInvalidReveal,
+  /// Identified participant refused to reveal an ownership proof.
+  kRefusedReveal,
+  /// Named a next participant that is not its child in the POC list.
+  kWrongNextHopNotChild,
+  /// Named a next participant that proved it did not process the product.
+  kWrongNextHopNotProcessed,
+  /// Claimed to be the last hop although the POC list shows children.
+  kFalseTermination,
+  /// Participant did not respond (after retransmissions).
+  kNoResponse,
+};
+
+std::string to_string(ViolationType type);
+
+struct Violation {
+  std::string participant;
+  ViolationType type = ViolationType::kNoResponse;
+
+  bool operator==(const Violation&) const = default;
+};
+
+/// A verified trace value recovered from an ownership proof. `da` is the
+/// committed value as-is; `info` is its decoded form when the committed
+/// bytes parse as a TraceInfo (a cheater may have committed garbage —
+/// verifiably bound garbage, but garbage).
+struct RecoveredTrace {
+  Bytes da;
+  std::optional<supplychain::TraceInfo> info;
+};
+
+struct QueryOutcome {
+  std::uint64_t query_id = 0;
+  supplychain::ProductId product;
+  ProductQuality quality = ProductQuality::kGood;
+  std::string task_id;  // task whose POC list drove the walk (if any)
+  /// Query finished the full path walk (reached a leaf).
+  bool complete = false;
+  /// Identified participants, in path order.
+  std::vector<std::string> path;
+  /// Verified RFID-trace values recovered from ownership proofs.
+  std::map<std::string, RecoveredTrace> traces;
+  std::vector<Violation> violations;
+
+  bool has_violation(const std::string& participant,
+                     ViolationType type) const;
+};
+
+}  // namespace desword::protocol

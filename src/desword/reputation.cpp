@@ -1,0 +1,17 @@
+#include "desword/reputation.h"
+
+namespace desword::protocol {
+
+void ReputationLedger::apply(const std::string& participant, double delta,
+                             const std::string& reason,
+                             std::uint64_t query_id) {
+  scores_[participant] += delta;
+  events_.push_back(ReputationEvent{participant, delta, reason, query_id});
+}
+
+double ReputationLedger::score(const std::string& participant) const {
+  const auto it = scores_.find(participant);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+}  // namespace desword::protocol

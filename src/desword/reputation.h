@@ -1,0 +1,57 @@
+// Reputation ledger — the carrier of the double-edged incentive.
+//
+// The proxy awards positive scores to participants identified in good
+// product queries and negative scores to participants identified in bad
+// product queries (§II-C). Scores can be responsibility-weighted (the
+// paper: "diverse positive/negative reputation scores based on the
+// responsibilities of the identified participants") — here the path
+// source carries a configurable multiplier in bad-product queries, since
+// contamination originates upstream. Scores are publicly readable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace desword::protocol {
+
+struct ScorePolicy {
+  /// Score added per identified participant in a good product query.
+  double positive = 1.0;
+  /// Score subtracted per identified participant in a bad product query.
+  double negative = 2.0;
+  /// Extra penalty for a *detected* dishonest behaviour during a query.
+  double violation_penalty = 5.0;
+  /// Responsibility weighting: multiply the path source's (first
+  /// identified participant's) negative score in bad product queries.
+  bool weight_by_responsibility = false;
+  double source_multiplier = 2.0;
+};
+
+struct ReputationEvent {
+  std::string participant;
+  double delta = 0.0;
+  std::string reason;
+  std::uint64_t query_id = 0;
+};
+
+class ReputationLedger {
+ public:
+  void apply(const std::string& participant, double delta,
+             const std::string& reason, std::uint64_t query_id);
+
+  /// Current score (0 for unknown participants — everyone starts neutral).
+  double score(const std::string& participant) const;
+
+  /// Public snapshot of all scores.
+  std::map<std::string, double> snapshot() const { return scores_; }
+
+  const std::vector<ReputationEvent>& history() const { return events_; }
+
+ private:
+  std::map<std::string, double> scores_;
+  std::vector<ReputationEvent> events_;
+};
+
+}  // namespace desword::protocol

@@ -1,0 +1,109 @@
+#include "desword/scenario.h"
+
+#include "common/error.h"
+
+namespace desword::protocol {
+
+namespace {
+constexpr const char* kProxyId = "proxy";
+}  // namespace
+
+Scenario::Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config)
+    : graph_(std::move(graph)),
+      config_(std::move(config)),
+      network_(config_.network_seed),
+      crs_cache_(std::make_shared<CrsCache>()) {
+  ProxyConfig proxy_config;
+  proxy_config.edb = config_.edb;
+  proxy_config.scores = config_.scores;
+  proxy_config.max_retries = config_.max_retries;
+  proxy_ = std::make_unique<Proxy>(kProxyId, network_, crs_cache_,
+                                   std::move(proxy_config));
+  for (const ParticipantId& id : graph_.participants()) {
+    participants_.emplace(id, std::make_unique<Participant>(
+                                  id, network_, kProxyId, crs_cache_));
+  }
+}
+
+Participant& Scenario::participant(const ParticipantId& id) {
+  const auto it = participants_.find(id);
+  if (it == participants_.end()) {
+    throw ProtocolError("unknown participant: " + id);
+  }
+  return *it->second;
+}
+
+const supplychain::DistributionResult& Scenario::run_task(
+    const std::string& task_id, const supplychain::DistributionConfig& dist) {
+  if (truths_.find(task_id) != truths_.end()) {
+    throw ProtocolError("task already ran: " + task_id);
+  }
+  supplychain::DistributionResult result = run_distribution(graph_, dist);
+
+  // Wire the physical outcome into the protocol endpoints.
+  for (const ParticipantId& id : result.involved) {
+    Participant& p = participant(id);
+    p.load_database(result.databases.at(id));
+
+    TaskSetup setup;
+    setup.task_id = task_id;
+    setup.initial = dist.initial;
+    setup.involved = result.involved;
+    // Task-local topology from the edges the task actually used.
+    for (const auto& [parent, children] : result.used_edges) {
+      if (parent == id) {
+        setup.children.assign(children.begin(), children.end());
+      }
+      if (children.count(id) > 0) setup.parents.push_back(parent);
+    }
+    // Ground-truth next hops for this participant's products.
+    for (const auto& [product, path] : result.paths) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (path[i] == id) setup.shipments[product] = path[i + 1];
+      }
+    }
+    p.begin_task(setup);
+  }
+
+  participant(dist.initial).initiate_task(task_id);
+  network_.run();
+
+  // Retransmit the distribution phase if messages were dropped: re-kick
+  // the initiator a bounded number of times.
+  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+    bool all_done = true;
+    for (const ParticipantId& id : result.involved) {
+      if (!participant(id).task_complete(task_id)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done && proxy_->task_list(task_id) != nullptr) break;
+    participant(dist.initial).initiate_task(task_id);
+    network_.run();
+  }
+  if (proxy_->task_list(task_id) == nullptr) {
+    throw ProtocolError("distribution phase did not complete for " + task_id);
+  }
+
+  const auto [it, inserted] = truths_.emplace(task_id, std::move(result));
+  return it->second;
+}
+
+const supplychain::DistributionResult& Scenario::truth(
+    const std::string& task_id) const {
+  const auto it = truths_.find(task_id);
+  if (it == truths_.end()) throw ProtocolError("unknown task: " + task_id);
+  return it->second;
+}
+
+const std::vector<ParticipantId>* Scenario::path_of(
+    const supplychain::ProductId& product) const {
+  for (const auto& [task, truth] : truths_) {
+    const auto it = truth.paths.find(product);
+    if (it != truth.paths.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace desword::protocol

@@ -1,0 +1,64 @@
+// Scenario harness: glue between the supply-chain simulation and the
+// DE-Sword protocol stack.
+//
+// Builds a complete in-process deployment — proxy, participant nodes,
+// network — runs distribution tasks through the physical simulator, wires
+// the resulting trace databases and task topologies into the participants,
+// and drives the distribution phase to completion. Tests, examples and
+// benchmarks all start from here.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "desword/participant.h"
+#include "desword/proxy.h"
+#include "supplychain/distribution.h"
+
+namespace desword::protocol {
+
+struct ScenarioConfig {
+  zkedb::EdbConfig edb = {4, 6, 512, "p256", zkedb::SoftMode::kShared};
+  ScorePolicy scores;
+  std::uint64_t network_seed = 1;
+  int max_retries = 3;
+};
+
+class Scenario {
+ public:
+  Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config);
+
+  net::Network& network() { return network_; }
+  Proxy& proxy() { return *proxy_; }
+  Participant& participant(const ParticipantId& id);
+  const supplychain::SupplyChainGraph& graph() const { return graph_; }
+
+  /// Runs one physical distribution task and the full distribution phase
+  /// of the protocol (ps fetch/broadcast, POC aggregation, pair exchange,
+  /// list submission). Returns the ground-truth result.
+  ///
+  /// Dishonest distribution behaviours must be configured on the
+  /// participants *before* calling this.
+  const supplychain::DistributionResult& run_task(
+      const std::string& task_id, const supplychain::DistributionConfig& dist);
+
+  /// Ground truth for a finished task.
+  const supplychain::DistributionResult& truth(const std::string& task_id) const;
+
+  /// Ground-truth path of a product (searched across tasks).
+  const std::vector<ParticipantId>* path_of(
+      const supplychain::ProductId& product) const;
+
+ private:
+  supplychain::SupplyChainGraph graph_;
+  ScenarioConfig config_;
+  net::Network network_;
+  CrsCachePtr crs_cache_;
+  std::unique_ptr<Proxy> proxy_;
+  std::map<ParticipantId, std::unique_ptr<Participant>> participants_;
+  std::map<std::string, supplychain::DistributionResult> truths_;
+};
+
+}  // namespace desword::protocol

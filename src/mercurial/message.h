@@ -1,0 +1,34 @@
+// Shared message-domain rules for the mercurial commitment schemes.
+//
+// Both TMC and qTMC commit to fixed-width 128-bit messages (digests of
+// RFID-traces or of child commitments). The qTMC position-binding argument
+// requires every message to be strictly smaller than each 136-bit prime
+// e_i, which 128-bit messages satisfy by construction.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/bignum.h"
+
+namespace desword::mercurial {
+
+/// Width of committed messages in bits / bytes.
+inline constexpr int kMessageBits = 128;
+inline constexpr std::size_t kMessageBytes = 16;
+
+/// Bit length of the qTMC primes e_i (must exceed kMessageBits).
+inline constexpr int kPrimeBits = 136;
+
+/// Validates width and converts a message to its integer form.
+inline Bignum message_to_scalar(BytesView msg) {
+  if (msg.size() != kMessageBytes) {
+    throw CryptoError("mercurial message must be exactly 16 bytes");
+  }
+  return Bignum::from_bytes(msg);
+}
+
+/// The designated "absent value" message (all zero bytes). ZK-EDB leaves
+/// tease to this message to assert non-membership.
+inline Bytes null_message() { return Bytes(kMessageBytes, 0); }
+
+}  // namespace desword::mercurial

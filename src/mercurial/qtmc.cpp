@@ -1,0 +1,387 @@
+#include "mercurial/qtmc.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "crypto/primes.h"
+#include "crypto/rsa.h"
+
+namespace desword::mercurial {
+
+namespace {
+
+constexpr int kRandomizerBits = 256;
+// Sanity cap on attacker-supplied exponents (honest values are ~256 bits;
+// the cap only bounds verification work, not security).
+constexpr int kMaxExponentBits = 1024;
+
+Bignum product_range(const std::vector<Bignum>& primes, std::size_t lo,
+                     std::size_t hi) {
+  if (hi - lo == 1) return primes[lo];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return product_range(primes, lo, mid) * product_range(primes, mid, hi);
+}
+
+// Divide-and-conquer "all-but-one" power tree: out[i] = base^{∏_{j≠i} e_j}
+// within [lo, hi), assuming `base` already carries the primes outside the
+// range. Θ(q log q) modular squarings total instead of Θ(q²).
+void fill_powers(const Bignum& base, const std::vector<Bignum>& primes,
+                 std::size_t lo, std::size_t hi, const ModExpContext& mexp,
+                 std::vector<Bignum>& out) {
+  if (hi - lo == 1) {
+    out[lo] = base;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const Bignum prod_left = product_range(primes, lo, mid);
+  const Bignum prod_right = product_range(primes, mid, hi);
+  fill_powers(mexp.exp(base, prod_right), primes, lo, mid, mexp, out);
+  fill_powers(mexp.exp(base, prod_left), primes, mid, hi, mexp, out);
+}
+
+}  // namespace
+
+Bytes QtmcPublicKey::serialize() const {
+  BinaryWriter w;
+  w.bytes(n.to_bytes());
+  w.bytes(g.to_bytes());
+  w.bytes(h.to_bytes());
+  w.bytes(prime_seed);
+  w.u32(q);
+  return w.take();
+}
+
+QtmcPublicKey QtmcPublicKey::deserialize(BytesView data) {
+  BinaryReader r(data);
+  QtmcPublicKey pk;
+  pk.n = Bignum::from_bytes(r.bytes());
+  pk.g = Bignum::from_bytes(r.bytes());
+  pk.h = Bignum::from_bytes(r.bytes());
+  pk.prime_seed = r.bytes();
+  pk.q = r.u32();
+  r.expect_done();
+  if (pk.q == 0 || pk.q > 4096) {
+    throw SerializationError("qTMC arity out of range");
+  }
+  if (pk.n.bits() < 256 || pk.g.is_zero() || pk.g >= pk.n ||
+      pk.h.is_zero() || pk.h >= pk.n) {
+    throw SerializationError("malformed qTMC public key");
+  }
+  return pk;
+}
+
+Bytes QtmcCommitment::serialize(const Bignum& modulus) const {
+  const std::size_t len = static_cast<std::size_t>((modulus.bits() + 7) / 8);
+  BinaryWriter w;
+  w.bytes(c0.to_bytes_padded(len));
+  w.bytes(c1.to_bytes_padded(len));
+  return w.take();
+}
+
+QtmcCommitment QtmcCommitment::deserialize(const Bignum& modulus,
+                                           BytesView data) {
+  BinaryReader r(data);
+  QtmcCommitment com{Bignum::from_bytes(r.bytes()),
+                     Bignum::from_bytes(r.bytes())};
+  r.expect_done();
+  if (com.c0.is_zero() || com.c0 >= modulus || com.c1.is_zero() ||
+      com.c1 >= modulus) {
+    throw SerializationError("qTMC commitment element out of range");
+  }
+  return com;
+}
+
+Bytes QtmcOpening::serialize(const Bignum& modulus) const {
+  const std::size_t len = static_cast<std::size_t>((modulus.bits() + 7) / 8);
+  BinaryWriter w;
+  w.varint(pos);
+  w.bytes(message);
+  w.bytes(tau.to_bytes());
+  w.bytes(lambda.to_bytes_padded(len));
+  w.bytes(r1.to_bytes());
+  return w.take();
+}
+
+QtmcOpening QtmcOpening::deserialize(const Bignum& modulus, BytesView data) {
+  BinaryReader r(data);
+  QtmcOpening op;
+  op.pos = static_cast<std::uint32_t>(r.varint());
+  op.message = r.bytes();
+  op.tau = Bignum::from_bytes(r.bytes());
+  op.lambda = Bignum::from_bytes(r.bytes());
+  op.r1 = Bignum::from_bytes(r.bytes());
+  r.expect_done();
+  if (op.message.size() != kMessageBytes || op.lambda >= modulus) {
+    throw SerializationError("malformed qTMC opening");
+  }
+  return op;
+}
+
+Bytes QtmcTease::serialize(const Bignum& modulus) const {
+  const std::size_t len = static_cast<std::size_t>((modulus.bits() + 7) / 8);
+  BinaryWriter w;
+  w.varint(pos);
+  w.bytes(message);
+  w.bytes(tau.to_bytes());
+  w.bytes(lambda.to_bytes_padded(len));
+  return w.take();
+}
+
+QtmcTease QtmcTease::deserialize(const Bignum& modulus, BytesView data) {
+  BinaryReader r(data);
+  QtmcTease t;
+  t.pos = static_cast<std::uint32_t>(r.varint());
+  t.message = r.bytes();
+  t.tau = Bignum::from_bytes(r.bytes());
+  t.lambda = Bignum::from_bytes(r.bytes());
+  r.expect_done();
+  if (t.message.size() != kMessageBytes || t.lambda >= modulus) {
+    throw SerializationError("malformed qTMC tease");
+  }
+  return t;
+}
+
+QtmcKeyPair QtmcScheme::keygen(std::uint32_t q, int rsa_bits) {
+  if (q == 0 || q > 4096) throw CryptoError("qTMC arity out of range");
+  const RsaModulus mod = generate_rsa_modulus(rsa_bits);
+  QtmcPublicKey pk;
+  pk.n = mod.n;
+  pk.g = random_quadratic_residue(pk.n);
+  Bignum a = Bignum::rand_bits(kRandomizerBits);
+  pk.h = Bignum::mod_exp(pk.g, a, pk.n);
+  pk.prime_seed = random_bytes(32);
+  pk.q = q;
+  return QtmcKeyPair{std::move(pk), std::move(a)};
+}
+
+QtmcScheme::QtmcScheme(QtmcPublicKey pk) : pk_(std::move(pk)) {
+  n_len_ = static_cast<std::size_t>((pk_.n.bits() + 7) / 8);
+  mexp_ = std::make_unique<ModExpContext>(pk_.n);
+  e_ = derive_primes(pk_.prime_seed, pk_.q, kPrimeBits);
+  prod_all_ = product_range(e_, 0, e_.size());
+  s_.resize(pk_.q);
+  fill_powers(pk_.g.mod(pk_.n), e_, 0, e_.size(), *mexp_, s_);
+  // h̃ = g^P = S_0^{e_0} (cheap: one small exponentiation).
+  h_tilde_ = mexp_->exp(s_[0], e_[0]);
+  rho_.reserve(pk_.q);
+  for (std::uint32_t i = 0; i < pk_.q; ++i) {
+    const Bignum p_i = prod_all_.divided_by(e_[i]);
+    rho_.push_back(p_i.mod(e_[i]));
+  }
+  u_.resize(pk_.q);
+}
+
+std::pair<QtmcCommitment, QtmcHardDecommit> QtmcScheme::hard_commit(
+    const std::vector<Bytes>& messages) const {
+  if (messages.size() > pk_.q) {
+    throw CryptoError("qTMC: more messages than arity");
+  }
+  QtmcHardDecommit dec;
+  dec.messages = messages;
+  dec.messages.resize(pk_.q, null_message());
+  dec.z = Bignum::rand_bits(kRandomizerBits);
+  dec.r0 = Bignum::rand_bits(kRandomizerBits);
+  dec.r1 = Bignum::rand_bits(kRandomizerBits);
+
+  const Bignum c1 = mexp_->exp(pk_.h, dec.r1);
+  Bignum acc = mexp_->exp(h_tilde_, dec.z);
+  // Group equal messages: ∏_{i∈I} S_i^m = (∏_{i∈I} S_i)^m. ZK-EDB nodes
+  // commit the same soft-backing digest at most positions, so this turns
+  // q exponentiations into one per distinct message.
+  std::map<Bytes, Bignum> base_by_message;
+  for (std::uint32_t i = 0; i < pk_.q; ++i) {
+    const Bytes& m = dec.messages[i];
+    if (message_to_scalar(m).is_zero()) continue;  // S_i^0 = 1
+    const auto it = base_by_message.find(m);
+    if (it == base_by_message.end()) {
+      base_by_message.emplace(m, s_[i]);
+    } else {
+      it->second = Bignum::mod_mul(it->second, s_[i], pk_.n);
+    }
+  }
+  for (const auto& [m, base] : base_by_message) {
+    acc = Bignum::mod_mul(
+        acc, mexp_->exp(base, message_to_scalar(m)), pk_.n);
+  }
+  Bignum c0 = Bignum::mod_mul(acc, mexp_->exp(c1, dec.r0), pk_.n);
+  return {QtmcCommitment{std::move(c0), c1}, std::move(dec)};
+}
+
+Bignum QtmcScheme::lambda_exponent(const QtmcHardDecommit& dec,
+                                   std::uint32_t pos) const {
+  // (z·P + Σ_{j≠pos} m_j·P_j) / e_pos  =  z·P_pos + Σ_{j≠pos} m_j·(P_pos/e_j)
+  const Bignum p_pos = prod_all_.divided_by(e_[pos]);
+  Bignum exp = dec.z * p_pos;
+  for (std::uint32_t j = 0; j < pk_.q; ++j) {
+    if (j == pos) continue;
+    const Bignum m = message_to_scalar(dec.messages[j]);
+    if (m.is_zero()) continue;
+    exp += m * p_pos.divided_by(e_[j]);
+  }
+  return exp;
+}
+
+QtmcOpening QtmcScheme::hard_open(const QtmcHardDecommit& dec,
+                                  std::uint32_t pos) const {
+  if (pos >= pk_.q || dec.messages.size() != pk_.q) {
+    throw CryptoError("qTMC hard_open: bad position or decommitment");
+  }
+  const Bignum lambda =
+      mexp_->exp(pk_.g, lambda_exponent(dec, pos));
+  return QtmcOpening{pos, dec.messages[pos], dec.r0, lambda, dec.r1};
+}
+
+QtmcTease QtmcScheme::tease_hard(const QtmcHardDecommit& dec,
+                                 std::uint32_t pos) const {
+  if (pos >= pk_.q || dec.messages.size() != pk_.q) {
+    throw CryptoError("qTMC tease_hard: bad position or decommitment");
+  }
+  const Bignum lambda =
+      mexp_->exp(pk_.g, lambda_exponent(dec, pos));
+  return QtmcTease{pos, dec.messages[pos], dec.r0, lambda};
+}
+
+std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::soft_commit() const {
+  Bignum r0 = Bignum::rand_bits(kRandomizerBits);
+  Bignum r1 = Bignum::rand_bits(kRandomizerBits);
+  // Teasing needs r1 invertible modulo every e_i: gcd(r1, P) must be 1.
+  // Reduce P mod r1 first so the gcd runs on 256-bit operands and the
+  // whole operation stays constant in q (Figure 4(b) behaviour).
+  while (!Bignum::gcd(r1, prod_all_.mod(r1)).is_one()) {
+    r1 = Bignum::rand_bits(kRandomizerBits);
+  }
+  QtmcCommitment com{mexp_->exp(pk_.g, r0), mexp_->exp(pk_.g, r1)};
+  return {std::move(com), QtmcSoftDecommit{std::move(r0), std::move(r1)}};
+}
+
+const Bignum& QtmcScheme::u_base(std::uint32_t pos) const {
+  std::lock_guard<std::mutex> lock(u_mutex_);
+  if (!u_[pos].has_value()) {
+    // U_pos = g^{(P/e_pos) div e_pos}; one-time Θ(q·|e|)-bit exponentiation,
+    // cached so steady-state soft openings stay constant time.
+    const Bignum p_pos = prod_all_.divided_by(e_[pos]);
+    const Bignum quot = (p_pos - rho_[pos]).divided_by(e_[pos]);
+    u_[pos] = mexp_->exp(pk_.g, quot);
+  }
+  return *u_[pos];
+}
+
+void QtmcScheme::precompute_soft_bases() const {
+  for (std::uint32_t i = 0; i < pk_.q; ++i) (void)u_base(i);
+}
+
+Bignum QtmcScheme::pow_g_signed(const Bignum& exponent) const {
+  return mexp_->exp_signed(pk_.g, exponent);
+}
+
+QtmcTease QtmcScheme::tease_soft(const QtmcSoftDecommit& dec,
+                                 std::uint32_t pos, BytesView msg) const {
+  if (pos >= pk_.q) throw CryptoError("qTMC tease_soft: bad position");
+  const Bignum m = message_to_scalar(msg);
+  const Bignum& e = e_[pos];
+  // τ ≡ (r0 − m·ρ_pos)·r1^{-1} (mod e), lifted to ~256 bits so soft teases
+  // are distributed like hard ones.
+  const Bignum inv_r1 = Bignum::mod_inverse(dec.r1.mod(e), e);
+  const Bignum t = Bignum::mod_mul((dec.r0 - m * rho_[pos]).mod(e), inv_r1, e);
+  Bignum tau = t + Bignum::rand_bits(kRandomizerBits - kPrimeBits) * e;
+
+  Bignum a = dec.r0 - tau * dec.r1 - m * rho_[pos];
+  Bignum rem;
+  const Bignum k0 = a.divided_by(e, &rem);
+  if (!rem.is_zero()) {
+    throw CryptoError("qTMC tease_soft: internal divisibility failure");
+  }
+  Bignum lambda = pow_g_signed(k0);
+  if (!m.is_zero()) {
+    const Bignum um = mexp_->exp(u_base(pos), m);
+    lambda = Bignum::mod_mul(lambda, Bignum::mod_inverse(um, pk_.n), pk_.n);
+  }
+  return QtmcTease{pos, Bytes(msg.begin(), msg.end()), std::move(tau),
+                   std::move(lambda)};
+}
+
+bool QtmcScheme::element_ok(const Bignum& x) const {
+  return !x.is_zero() && !x.is_negative() && x < pk_.n &&
+         Bignum::gcd(x, pk_.n).is_one();
+}
+
+bool QtmcScheme::check_equation(const QtmcCommitment& com, std::uint32_t pos,
+                                BytesView msg, const Bignum& tau,
+                                const Bignum& lambda) const {
+  if (pos >= pk_.q || msg.size() != kMessageBytes) return false;
+  if (!element_ok(com.c0) || !element_ok(com.c1) || !element_ok(lambda)) {
+    return false;
+  }
+  if (tau.is_negative() || tau.bits() > kMaxExponentBits) return false;
+  const Bignum m = message_to_scalar(msg);
+  Bignum lhs = mexp_->exp(lambda, e_[pos]);
+  if (!m.is_zero()) {
+    lhs = Bignum::mod_mul(lhs, mexp_->exp(s_[pos], m), pk_.n);
+  }
+  lhs = Bignum::mod_mul(lhs, mexp_->exp(com.c1, tau), pk_.n);
+  return lhs == com.c0;
+}
+
+bool QtmcScheme::verify_open(const QtmcCommitment& com,
+                             const QtmcOpening& op) const {
+  try {
+    if (op.r1.is_negative() || op.r1.bits() > kMaxExponentBits) return false;
+    if (mexp_->exp(pk_.h, op.r1) != com.c1) return false;
+    return check_equation(com, op.pos, op.message, op.tau, op.lambda);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool QtmcScheme::verify_tease(const QtmcCommitment& com,
+                              const QtmcTease& tease) const {
+  try {
+    return check_equation(com, tease.pos, tease.message, tease.tau,
+                          tease.lambda);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::fake_commit(
+    const Bignum& trapdoor) const {
+  (void)trapdoor;  // needed only at fake_open time
+  Bignum k = Bignum::rand_bits(kRandomizerBits);
+  Bignum r1 = Bignum::rand_bits(kRandomizerBits);
+  while (!Bignum::gcd(r1, prod_all_.mod(r1)).is_one()) {
+    r1 = Bignum::rand_bits(kRandomizerBits);
+  }
+  QtmcCommitment com{mexp_->exp(pk_.g, k), mexp_->exp(pk_.h, r1)};
+  return {std::move(com), QtmcSoftDecommit{std::move(k), std::move(r1)}};
+}
+
+QtmcOpening QtmcScheme::fake_open(const QtmcSoftDecommit& dec,
+                                  const Bignum& trapdoor, std::uint32_t pos,
+                                  BytesView msg) const {
+  if (pos >= pk_.q) throw CryptoError("qTMC fake_open: bad position");
+  const Bignum m = message_to_scalar(msg);
+  const Bignum& e = e_[pos];
+  // C1 = h^{r1} = g^{a·r1}; solve τ ≡ (k − m·ρ)·(a·r1)^{-1} (mod e).
+  const Bignum ar1 = trapdoor * dec.r1;
+  const Bignum inv = Bignum::mod_inverse(ar1.mod(e), e);
+  const Bignum t = Bignum::mod_mul((dec.r0 - m * rho_[pos]).mod(e), inv, e);
+  Bignum tau = t + Bignum::rand_bits(kRandomizerBits - kPrimeBits) * e;
+
+  Bignum a_int = dec.r0 - tau * ar1 - m * rho_[pos];
+  Bignum rem;
+  const Bignum k0 = a_int.divided_by(e, &rem);
+  if (!rem.is_zero()) {
+    throw CryptoError("qTMC fake_open: internal divisibility failure");
+  }
+  Bignum lambda = pow_g_signed(k0);
+  if (!m.is_zero()) {
+    const Bignum um = mexp_->exp(u_base(pos), m);
+    lambda = Bignum::mod_mul(lambda, Bignum::mod_inverse(um, pk_.n), pk_.n);
+  }
+  return QtmcOpening{pos, Bytes(msg.begin(), msg.end()), std::move(tau),
+                     std::move(lambda), dec.r1};
+}
+
+}  // namespace desword::mercurial

@@ -1,0 +1,179 @@
+// Trapdoor q-Mercurial Commitment (qTMC) from the strong-RSA assumption.
+//
+// This plays the role of the paper's internal-node primitive [11]. The
+// paper's implementation uses the pairing-based Libert–Yung scheme; offline
+// we instantiate the *same interface and asymptotics* in the style of the
+// paper's other cited ZK-EDB construction (Catalano–Fiore–Messina,
+// EUROCRYPT 2008), which is RSA-based — see DESIGN.md §2/§5.2.
+//
+// Public key (CRS): RSA modulus N, generators g, h = g^a ∈ QR_N (trapdoor
+// a), and q deterministic 136-bit primes e_1..e_q derived from a public
+// seed. Derived values: P = ∏_j e_j, P_i = P / e_i, S_i = g^{P_i},
+// h̃ = g^P.
+//
+//   Hard commit to (m_1..m_q):  C1 = h^{r1},
+//                               C0 = h̃^z · ∏_i S_i^{m_i} · C1^{r0}
+//     - hard open at i -> (m_i, τ=r0, Λ_i, r1) where
+//         Λ_i = g^{(z·P + Σ_{j≠i} m_j·P_j)/e_i}   (exactly divisible)
+//       check:  C1 = h^{r1}  and  Λ^{e_i} · S_i^{m_i} · C1^{τ} = C0
+//     - soft open (tease) at i -> same without r1.
+//   Soft commit:  C1 = g^{r1} (gcd(r1, P) = 1),  C0 = g^{r0}
+//     - tease at any i to ANY m: pick τ ≡ (r0 − m·ρ_i)·r1^{-1} (mod e_i)
+//       with ρ_i = P_i mod e_i, then
+//         Λ = g^{(r0 − τ·r1 − m·ρ_i)/e_i} · U_i^{−m},  U_i = g^{P_i div e_i}
+//     - can never be hard opened (requires dlog_h C1).
+//
+// Cost profile (matches the paper's Figure 4): qKGen / qHCom / qHOpen /
+// qSOpen-of-hard grow linearly with q (exponent sizes are Θ(q·|e|));
+// soft-commitment algorithms are constant in q (U_i values are cached per
+// key); verification is constant in q.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/modexp.h"
+#include "mercurial/message.h"
+
+namespace desword::mercurial {
+
+/// Serializable public key material (derived values are recomputed).
+struct QtmcPublicKey {
+  Bignum n;          // RSA modulus
+  Bignum g;          // generator of (a large subgroup of) QR_N
+  Bignum h;          // g^a, a = trapdoor
+  Bytes prime_seed;  // seed deriving e_1..e_q
+  std::uint32_t q = 0;  // vector arity
+
+  Bytes serialize() const;
+  static QtmcPublicKey deserialize(BytesView data);
+};
+
+struct QtmcKeyPair {
+  QtmcPublicKey pk;
+  Bignum trapdoor;  // a; retained only by the CRS generator / simulator
+};
+
+struct QtmcCommitment {
+  Bignum c0;
+  Bignum c1;
+
+  bool operator==(const QtmcCommitment&) const = default;
+  Bytes serialize(const Bignum& modulus) const;
+  static QtmcCommitment deserialize(const Bignum& modulus, BytesView data);
+};
+
+struct QtmcHardDecommit {
+  std::vector<Bytes> messages;  // exactly q 16-byte messages
+  Bignum z;
+  Bignum r0;
+  Bignum r1;
+};
+
+struct QtmcSoftDecommit {
+  Bignum r0;
+  Bignum r1;
+};
+
+/// Hard opening at one position.
+struct QtmcOpening {
+  std::uint32_t pos = 0;
+  Bytes message;
+  Bignum tau;
+  Bignum lambda;
+  Bignum r1;
+
+  Bytes serialize(const Bignum& modulus) const;
+  static QtmcOpening deserialize(const Bignum& modulus, BytesView data);
+};
+
+/// Soft opening (tease) at one position.
+struct QtmcTease {
+  std::uint32_t pos = 0;
+  Bytes message;
+  Bignum tau;
+  Bignum lambda;
+
+  Bytes serialize(const Bignum& modulus) const;
+  static QtmcTease deserialize(const Bignum& modulus, BytesView data);
+};
+
+class QtmcScheme {
+ public:
+  /// qKGen: fresh CRS with arity `q` over a new RSA modulus of `rsa_bits`.
+  static QtmcKeyPair keygen(std::uint32_t q, int rsa_bits);
+
+  /// Builds the scheme from a public key, deriving the primes and the
+  /// S_i / h̃ tables (the dominant keygen cost; linear in q via a
+  /// divide-and-conquer power tree).
+  explicit QtmcScheme(QtmcPublicKey pk);
+
+  const QtmcPublicKey& public_key() const { return pk_; }
+  std::uint32_t arity() const { return pk_.q; }
+
+  /// qHCom. `messages.size()` must be <= q; missing tail positions commit
+  /// the null message.
+  std::pair<QtmcCommitment, QtmcHardDecommit> hard_commit(
+      const std::vector<Bytes>& messages) const;
+
+  /// qHOpen at `pos`.
+  QtmcOpening hard_open(const QtmcHardDecommit& dec, std::uint32_t pos) const;
+
+  /// qSOpen of a hard commitment at `pos` (teases to the committed value).
+  QtmcTease tease_hard(const QtmcHardDecommit& dec, std::uint32_t pos) const;
+
+  /// qSCom.
+  std::pair<QtmcCommitment, QtmcSoftDecommit> soft_commit() const;
+
+  /// qSOpen of a soft commitment: tease position `pos` to arbitrary `msg`.
+  QtmcTease tease_soft(const QtmcSoftDecommit& dec, std::uint32_t pos,
+                       BytesView msg) const;
+
+  /// Verifies a hard opening. Never throws on bad input.
+  bool verify_open(const QtmcCommitment& com, const QtmcOpening& op) const;
+
+  /// Verifies a tease. Never throws on bad input.
+  bool verify_tease(const QtmcCommitment& com, const QtmcTease& tease) const;
+
+  /// Simulator (requires trapdoor): fake hard-lookalike commitment that can
+  /// later be hard-opened to arbitrary messages. Test/analysis only.
+  std::pair<QtmcCommitment, QtmcSoftDecommit> fake_commit(
+      const Bignum& trapdoor) const;
+  QtmcOpening fake_open(const QtmcSoftDecommit& dec, const Bignum& trapdoor,
+                        std::uint32_t pos, BytesView msg) const;
+
+  /// Warms the per-position U_i cache (used by benchmarks to measure the
+  /// steady-state constant cost of soft openings).
+  void precompute_soft_bases() const;
+
+  /// Serialized size of the modulus in bytes (element width on the wire).
+  std::size_t element_len() const { return n_len_; }
+
+ private:
+  Bignum pow_g_signed(const Bignum& exponent) const;
+  const Bignum& u_base(std::uint32_t pos) const;
+  Bignum lambda_exponent(const QtmcHardDecommit& dec, std::uint32_t pos) const;
+  bool check_equation(const QtmcCommitment& com, std::uint32_t pos,
+                      BytesView msg, const Bignum& tau,
+                      const Bignum& lambda) const;
+  bool element_ok(const Bignum& x) const;
+
+  QtmcPublicKey pk_;
+  std::size_t n_len_ = 0;
+  std::unique_ptr<ModExpContext> mexp_;  // Montgomery context for N
+  std::vector<Bignum> e_;      // primes e_1..e_q
+  Bignum prod_all_;            // P = ∏ e_j
+  std::vector<Bignum> s_;      // S_i = g^{P/e_i}
+  Bignum h_tilde_;             // g^P
+  std::vector<Bignum> rho_;    // ρ_i = (P/e_i) mod e_i
+
+  mutable std::mutex u_mutex_;
+  mutable std::vector<std::optional<Bignum>> u_;  // U_i = g^{(P/e_i) div e_i}
+};
+
+}  // namespace desword::mercurial

@@ -1,0 +1,208 @@
+#include "mercurial/tmc.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/hash.h"
+
+namespace desword::mercurial {
+
+Bytes TmcPublicKey::serialize() const {
+  BinaryWriter w;
+  w.bytes(g);
+  w.bytes(h);
+  return w.take();
+}
+
+TmcPublicKey TmcPublicKey::deserialize(const Group& group, BytesView data) {
+  BinaryReader r(data);
+  TmcPublicKey pk{r.bytes(), r.bytes()};
+  r.expect_done();
+  if (!group.is_valid_element(pk.g) || !group.is_valid_element(pk.h)) {
+    throw SerializationError("TMC public key contains invalid element");
+  }
+  return pk;
+}
+
+Bytes TmcCommitment::serialize() const {
+  BinaryWriter w;
+  w.bytes(c0);
+  w.bytes(c1);
+  return w.take();
+}
+
+TmcCommitment TmcCommitment::deserialize(const Group& group, BytesView data) {
+  BinaryReader r(data);
+  TmcCommitment com{r.bytes(), r.bytes()};
+  r.expect_done();
+  if (com.c0.size() != group.element_size() ||
+      com.c1.size() != group.element_size()) {
+    throw SerializationError("TMC commitment element has wrong size");
+  }
+  return com;
+}
+
+Bytes TmcOpening::serialize(const Group& group) const {
+  const std::size_t len =
+      static_cast<std::size_t>((group.order().bits() + 7) / 8);
+  BinaryWriter w;
+  w.bytes(message);
+  w.bytes(r0.to_bytes_padded(len));
+  w.bytes(r1.to_bytes_padded(len));
+  return w.take();
+}
+
+TmcOpening TmcOpening::deserialize(const Group& group, BytesView data) {
+  BinaryReader r(data);
+  TmcOpening op{r.bytes(), Bignum::from_bytes(r.bytes()),
+                Bignum::from_bytes(r.bytes())};
+  r.expect_done();
+  if (op.message.size() != kMessageBytes || op.r0 >= group.order() ||
+      op.r1 >= group.order()) {
+    throw SerializationError("malformed TMC opening");
+  }
+  return op;
+}
+
+Bytes TmcTease::serialize(const Group& group) const {
+  const std::size_t len =
+      static_cast<std::size_t>((group.order().bits() + 7) / 8);
+  BinaryWriter w;
+  w.bytes(message);
+  w.bytes(tau.to_bytes_padded(len));
+  return w.take();
+}
+
+TmcTease TmcTease::deserialize(const Group& group, BytesView data) {
+  BinaryReader r(data);
+  TmcTease t{r.bytes(), Bignum::from_bytes(r.bytes())};
+  r.expect_done();
+  if (t.message.size() != kMessageBytes || t.tau >= group.order()) {
+    throw SerializationError("malformed TMC tease");
+  }
+  return t;
+}
+
+TmcKeyPair TmcScheme::keygen(const GroupPtr& group) {
+  Bignum a = group->random_scalar();
+  while (a.is_zero()) a = group->random_scalar();
+  TmcPublicKey pk{group->generator(), group->exp_g(a)};
+  return TmcKeyPair{std::move(pk), std::move(a)};
+}
+
+TmcScheme::TmcScheme(GroupPtr group, TmcPublicKey pk)
+    : group_(std::move(group)), pk_(std::move(pk)) {
+  if (!group_->is_valid_element(pk_.g) || !group_->is_valid_element(pk_.h)) {
+    throw CryptoError("TMC public key invalid for group");
+  }
+}
+
+std::size_t TmcScheme::scalar_len() const {
+  return static_cast<std::size_t>((group_->order().bits() + 7) / 8);
+}
+
+std::pair<TmcCommitment, TmcHardDecommit> TmcScheme::hard_commit(
+    BytesView msg) const {
+  const Bignum m = message_to_scalar(msg);
+  Bignum r0 = group_->random_scalar();
+  Bignum r1 = group_->random_scalar();
+  while (r1.is_zero()) r1 = group_->random_scalar();
+  const Bytes c1 = group_->exp(pk_.h, r1);
+  // m may be the all-zero null message; g^0 is the identity, which has no
+  // encoding on the EC backend, so fold it in only when non-zero.
+  Bytes c0 = group_->exp(c1, r0);
+  if (!m.is_zero()) c0 = group_->mul(group_->exp(pk_.g, m), c0);
+  return {TmcCommitment{c0, c1},
+          TmcHardDecommit{Bytes(msg.begin(), msg.end()), std::move(r0),
+                          std::move(r1)}};
+}
+
+TmcOpening TmcScheme::hard_open(const TmcHardDecommit& dec) const {
+  return TmcOpening{dec.message, dec.r0, dec.r1};
+}
+
+TmcTease TmcScheme::tease_hard(const TmcHardDecommit& dec) const {
+  return TmcTease{dec.message, dec.r0};
+}
+
+std::pair<TmcCommitment, TmcSoftDecommit> TmcScheme::soft_commit() const {
+  Bignum r0 = group_->random_scalar();
+  Bignum r1 = group_->random_scalar();
+  while (r1.is_zero()) r1 = group_->random_scalar();
+  TmcCommitment com{group_->exp(pk_.g, r0), group_->exp(pk_.g, r1)};
+  return {std::move(com), TmcSoftDecommit{std::move(r0), std::move(r1)}};
+}
+
+TmcTease TmcScheme::tease_soft(const TmcSoftDecommit& dec,
+                               BytesView msg) const {
+  const Bignum m = message_to_scalar(msg);
+  // τ = (r0 - m) / r1 mod p: then g^m · C1^τ = g^{m + r1·τ} = g^{r0} = C0.
+  const Bignum& p = group_->order();
+  const Bignum inv_r1 = Bignum::mod_inverse(dec.r1, p);
+  Bignum tau = Bignum::mod_mul((dec.r0 - m).mod(p), inv_r1, p);
+  return TmcTease{Bytes(msg.begin(), msg.end()), std::move(tau)};
+}
+
+bool TmcScheme::verify_open(const TmcCommitment& com,
+                            const TmcOpening& op) const {
+  try {
+    if (op.message.size() != kMessageBytes) return false;
+    if (!group_->is_valid_element(com.c0) ||
+        !group_->is_valid_element(com.c1)) {
+      return false;
+    }
+    const Bignum m = message_to_scalar(op.message);
+    if (group_->exp(pk_.h, op.r1) != com.c1) return false;
+    Bytes expected = group_->exp(com.c1, op.r0);
+    if (!m.is_zero()) {
+      expected = group_->mul(group_->exp(pk_.g, m), expected);
+    }
+    return expected == com.c0;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool TmcScheme::verify_tease(const TmcCommitment& com,
+                             const TmcTease& tease) const {
+  try {
+    if (tease.message.size() != kMessageBytes) return false;
+    if (!group_->is_valid_element(com.c0) ||
+        !group_->is_valid_element(com.c1)) {
+      return false;
+    }
+    const Bignum m = message_to_scalar(tease.message);
+    Bytes expected = group_->exp(com.c1, tease.tau);
+    if (!m.is_zero()) {
+      expected = group_->mul(group_->exp(pk_.g, m), expected);
+    }
+    return expected == com.c0;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::pair<TmcCommitment, TmcSoftDecommit> TmcScheme::fake_commit(
+    const Bignum& trapdoor) const {
+  // Looks exactly like a hard commitment (C1 is a power of h with known
+  // exponent) but C0 carries no message; fake_open solves for r0 later.
+  Bignum r1 = group_->random_scalar();
+  while (r1.is_zero()) r1 = group_->random_scalar();
+  Bignum k = group_->random_scalar();
+  TmcCommitment com{group_->exp(pk_.g, k), group_->exp(pk_.h, r1)};
+  (void)trapdoor;  // not needed until fake_open
+  return {std::move(com), TmcSoftDecommit{std::move(k), std::move(r1)}};
+}
+
+TmcOpening TmcScheme::fake_open(const TmcSoftDecommit& dec,
+                                const Bignum& trapdoor, BytesView msg) const {
+  // C0 = g^k; we need C0 = g^m · C1^{r0} = g^{m + a·r1·r0}, so
+  // r0 = (k - m) / (a · r1) mod p.
+  const Bignum m = message_to_scalar(msg);
+  const Bignum& p = group_->order();
+  const Bignum denom = Bignum::mod_mul(trapdoor.mod(p), dec.r1, p);
+  const Bignum r0 =
+      Bignum::mod_mul((dec.r0 - m).mod(p), Bignum::mod_inverse(denom, p), p);
+  return TmcOpening{Bytes(msg.begin(), msg.end()), r0, dec.r1};
+}
+
+}  // namespace desword::mercurial

@@ -1,0 +1,136 @@
+// Trapdoor Mercurial Commitment (TMC) over a prime-order group.
+//
+// Pedersen-style instantiation of Chase–Healy–Lysyanskaya–Malkin–Reyzin
+// (EUROCRYPT 2005), the primitive the paper's §VI-A micro-benchmarks:
+//
+//   CRS: generators g, h = g^a (trapdoor a held by the CRS generator).
+//
+//   Hard commit to m:  C1 = h^{r1},  C0 = g^m · C1^{r0}
+//     - hard open  -> (m, r0, r1):  check C1 = h^{r1} and C0 = g^m C1^{r0}
+//     - soft open  -> (m, τ = r0):  check C0 = g^m C1^{τ}
+//   Soft commit:       C1 = g^{r1},  C0 = g^{r0}
+//     - soft open to ANY m: τ = (r0 - m) · r1^{-1} mod p
+//     - can never be hard opened (requires dlog_h C1).
+//
+// A hard commitment is binding for both opening flavours: producing two
+// different soft/hard openings yields dlog_g(h). A soft commitment is
+// equivocable but useless for claiming membership — exactly the asymmetry
+// the ZK-EDB ownership / non-ownership proofs are built on.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/group.h"
+#include "mercurial/message.h"
+
+namespace desword::mercurial {
+
+/// Public commitment key (the CRS of the scheme).
+struct TmcPublicKey {
+  Bytes g;  // group generator
+  Bytes h;  // second base; dlog_g(h) is the trapdoor
+
+  Bytes serialize() const;
+  static TmcPublicKey deserialize(const Group& group, BytesView data);
+};
+
+/// Key pair; `trapdoor` is kept only by the CRS generator (the proxy) and
+/// is needed exclusively by the zero-knowledge simulator / tests.
+struct TmcKeyPair {
+  TmcPublicKey pk;
+  Bignum trapdoor;  // a with h = g^a
+};
+
+/// A commitment (hard and soft commitments are indistinguishable).
+struct TmcCommitment {
+  Bytes c0;
+  Bytes c1;
+
+  bool operator==(const TmcCommitment&) const = default;
+  Bytes serialize() const;
+  static TmcCommitment deserialize(const Group& group, BytesView data);
+};
+
+/// Private state retained by the committer of a hard commitment.
+struct TmcHardDecommit {
+  Bytes message;  // 16-byte committed message
+  Bignum r0;
+  Bignum r1;
+};
+
+/// Private state retained by the committer of a soft commitment.
+struct TmcSoftDecommit {
+  Bignum r0;
+  Bignum r1;
+};
+
+/// Hard opening: proves "the committed message is m".
+struct TmcOpening {
+  Bytes message;
+  Bignum r0;
+  Bignum r1;
+
+  Bytes serialize(const Group& group) const;
+  static TmcOpening deserialize(const Group& group, BytesView data);
+};
+
+/// Soft opening ("tease"): proves "IF this commitment is hard, its message
+/// is m" — soft commitments tease to anything.
+struct TmcTease {
+  Bytes message;
+  Bignum tau;
+
+  Bytes serialize(const Group& group) const;
+  static TmcTease deserialize(const Group& group, BytesView data);
+};
+
+class TmcScheme {
+ public:
+  /// Generates a CRS over `group` (paper algorithm: KGen).
+  static TmcKeyPair keygen(const GroupPtr& group);
+
+  TmcScheme(GroupPtr group, TmcPublicKey pk);
+
+  const TmcPublicKey& public_key() const { return pk_; }
+  const Group& group() const { return *group_; }
+
+  /// HCom: hard commitment to a 16-byte message.
+  std::pair<TmcCommitment, TmcHardDecommit> hard_commit(BytesView msg) const;
+
+  /// HOpen: hard opening of a hard commitment.
+  TmcOpening hard_open(const TmcHardDecommit& dec) const;
+
+  /// SOpen on a hard commitment: tease to the committed message.
+  TmcTease tease_hard(const TmcHardDecommit& dec) const;
+
+  /// SCom: soft (equivocable) commitment.
+  std::pair<TmcCommitment, TmcSoftDecommit> soft_commit() const;
+
+  /// SOpen on a soft commitment: tease to an arbitrary message.
+  TmcTease tease_soft(const TmcSoftDecommit& dec, BytesView msg) const;
+
+  /// HVer: verifies a hard opening. Never throws on bad input.
+  bool verify_open(const TmcCommitment& com, const TmcOpening& op) const;
+
+  /// SVer: verifies a tease. Never throws on bad input.
+  bool verify_tease(const TmcCommitment& com, const TmcTease& tease) const;
+
+  /// Zero-knowledge simulator: with the trapdoor, produce a *fake* hard
+  /// commitment that can later be hard-opened to any message. Used by
+  /// tests to validate the trapdoor property (and documents why `a` must
+  /// stay with the CRS generator).
+  std::pair<TmcCommitment, TmcSoftDecommit> fake_commit(
+      const Bignum& trapdoor) const;
+  TmcOpening fake_open(const TmcSoftDecommit& dec, const Bignum& trapdoor,
+                       BytesView msg) const;
+
+ private:
+  std::size_t scalar_len() const;
+
+  GroupPtr group_;
+  TmcPublicKey pk_;
+};
+
+}  // namespace desword::mercurial

@@ -1,0 +1,95 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace desword::net {
+
+void Network::register_node(const NodeId& id, Handler handler) {
+  if (id.empty()) throw ProtocolError("node id must be non-empty");
+  if (!handler) throw ProtocolError("node handler must be callable");
+  if (!nodes_.emplace(id, std::move(handler)).second) {
+    throw ProtocolError("duplicate node id: " + id);
+  }
+}
+
+void Network::unregister_node(const NodeId& id) {
+  if (nodes_.erase(id) == 0) {
+    throw ProtocolError("unknown node id: " + id);
+  }
+}
+
+bool Network::has_node(const NodeId& id) const {
+  return nodes_.find(id) != nodes_.end();
+}
+
+void Network::set_link_policy(const NodeId& from, const NodeId& to,
+                              LinkPolicy policy) {
+  policies_[{from, to}] = policy;
+}
+
+const LinkPolicy& Network::policy_for(const NodeId& from,
+                                      const NodeId& to) const {
+  const auto it = policies_.find({from, to});
+  return it == policies_.end() ? default_policy_ : it->second;
+}
+
+void Network::send(const NodeId& from, const NodeId& to,
+                   const std::string& type, Bytes payload) {
+  if (!has_node(to)) throw ProtocolError("send to unknown node: " + to);
+  const LinkPolicy& policy = policy_for(from, to);
+  LinkStats& stats = stats_[{from, to}];
+  stats.messages_sent += 1;
+  stats.bytes_sent += payload.size();
+  if (rng_.chance(policy.drop_rate)) {
+    stats.messages_dropped += 1;
+    return;
+  }
+  const auto deliver_at = [&] {
+    std::uint64_t at = now_ + policy.latency;
+    if (policy.jitter > 0) at += rng_.below(policy.jitter + 1);
+    return at;
+  };
+  if (rng_.chance(policy.duplicate_rate)) {
+    stats.messages_duplicated += 1;
+    queue_.push_back(Envelope{from, to, type, payload, deliver_at()});
+  }
+  queue_.push_back(
+      Envelope{from, to, type, std::move(payload), deliver_at()});
+}
+
+std::size_t Network::run(std::size_t max_steps) {
+  std::size_t delivered = 0;
+  while (!queue_.empty() && delivered < max_steps) {
+    // Deliver the earliest message (stable for equal timestamps).
+    auto it = std::min_element(queue_.begin(), queue_.end(),
+                               [](const Envelope& a, const Envelope& b) {
+                                 return a.deliver_at < b.deliver_at;
+                               });
+    Envelope env = std::move(*it);
+    queue_.erase(it);
+    now_ = std::max(now_, env.deliver_at);
+    const auto node = nodes_.find(env.to);
+    if (node == nodes_.end()) continue;  // receiver left: message lost
+    node->second(env);
+    ++delivered;
+  }
+  return delivered;
+}
+
+const LinkStats& Network::stats(const NodeId& from, const NodeId& to) const {
+  return stats_[{from, to}];
+}
+
+LinkStats Network::total_stats() const {
+  LinkStats total;
+  for (const auto& [link, s] : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.messages_dropped += s.messages_dropped;
+    total.bytes_sent += s.bytes_sent;
+  }
+  return total;
+}
+
+}  // namespace desword::net

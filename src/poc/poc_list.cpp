@@ -1,0 +1,105 @@
+#include "poc/poc_list.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace desword::poc {
+
+void PocList::add_poc(const Poc& poc) {
+  const auto [it, inserted] = pocs_.emplace(poc.participant, poc);
+  if (!inserted && it->second.commitment != poc.commitment) {
+    throw ProtocolError("conflicting POCs for participant " +
+                        poc.participant);
+  }
+}
+
+void PocList::add_edge(const std::string& parent, const std::string& child) {
+  if (pocs_.find(parent) == pocs_.end() ||
+      pocs_.find(child) == pocs_.end()) {
+    throw ProtocolError("POC pair references unregistered participant");
+  }
+  if (parent == child) {
+    throw ProtocolError("POC pair cannot be a self loop");
+  }
+  children_[parent].insert(child);
+  parents_[child].insert(parent);
+}
+
+const Poc* PocList::find(const std::string& participant) const {
+  const auto it = pocs_.find(participant);
+  return it == pocs_.end() ? nullptr : &it->second;
+}
+
+bool PocList::has_edge(const std::string& parent,
+                       const std::string& child) const {
+  const auto it = children_.find(parent);
+  return it != children_.end() && it->second.count(child) > 0;
+}
+
+std::vector<std::string> PocList::children_of(const std::string& parent) const {
+  const auto it = children_.find(parent);
+  if (it == children_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> PocList::parents_of(const std::string& child) const {
+  const auto it = parents_.find(child);
+  if (it == parents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> PocList::initial_participants() const {
+  std::vector<std::string> out;
+  for (const auto& [id, poc] : pocs_) {
+    const auto it = parents_.find(id);
+    if (it == parents_.end() || it->second.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> PocList::participants() const {
+  std::vector<std::string> out;
+  out.reserve(pocs_.size());
+  for (const auto& [id, poc] : pocs_) out.push_back(id);
+  return out;
+}
+
+std::size_t PocList::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [parent, kids] : children_) n += kids.size();
+  return n;
+}
+
+Bytes PocList::serialize() const {
+  BinaryWriter w;
+  w.bytes(ps_);
+  w.varint(pocs_.size());
+  for (const auto& [id, poc] : pocs_) w.bytes(poc.serialize());
+  w.varint(edge_count());
+  for (const auto& [parent, kids] : children_) {
+    for (const auto& child : kids) {
+      w.str(parent);
+      w.str(child);
+    }
+  }
+  return w.take();
+}
+
+PocList PocList::deserialize(BytesView data) {
+  BinaryReader r(data);
+  PocList list(r.bytes());
+  const std::uint64_t n_pocs = r.varint();
+  for (std::uint64_t i = 0; i < n_pocs; ++i) {
+    list.add_poc(Poc::deserialize(r.bytes()));
+  }
+  const std::uint64_t n_edges = r.varint();
+  for (std::uint64_t i = 0; i < n_edges; ++i) {
+    const std::string parent = r.str();
+    const std::string child = r.str();
+    list.add_edge(parent, child);
+  }
+  r.expect_done();
+  return list;
+}
+
+}  // namespace desword::poc

@@ -1,0 +1,60 @@
+// POC list — the artifact a distribution task delivers to the proxy.
+//
+// Per §IV-B, the POC list is "(ps, {(POC_vi, POC_vj)})": the public
+// parameter plus a sub-digraph whose vertices carry the POCs of the
+// involved participants and whose edges are the parent/child POC pairs
+// observed during the task. The proxy later uses it to (a) look up the POC
+// of each queried participant and (b) cross-check claimed next-hop
+// identities against the recorded edges (§III-B, wrong-participant case 2).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "poc/poc.h"
+
+namespace desword::poc {
+
+class PocList {
+ public:
+  PocList() = default;
+  /// `ps` is the serialized EdbPublicParams the POCs were built under.
+  explicit PocList(Bytes ps) : ps_(std::move(ps)) {}
+
+  const Bytes& ps() const { return ps_; }
+
+  /// Registers a participant's POC. Throws ProtocolError if the same
+  /// participant is registered twice with a different commitment.
+  void add_poc(const Poc& poc);
+
+  /// Records a POC pair (parent -> child). Both endpoints must have been
+  /// registered via add_poc.
+  void add_edge(const std::string& parent, const std::string& child);
+
+  /// POC of `participant`, or nullptr if unknown.
+  const Poc* find(const std::string& participant) const;
+
+  bool has_edge(const std::string& parent, const std::string& child) const;
+  std::vector<std::string> children_of(const std::string& parent) const;
+  std::vector<std::string> parents_of(const std::string& child) const;
+
+  /// Participants with no incoming edge (task-initial participants).
+  std::vector<std::string> initial_participants() const;
+  std::vector<std::string> participants() const;
+
+  std::size_t poc_count() const { return pocs_.size(); }
+  std::size_t edge_count() const;
+
+  Bytes serialize() const;
+  static PocList deserialize(BytesView data);
+
+ private:
+  Bytes ps_;
+  std::map<std::string, Poc> pocs_;
+  std::map<std::string, std::set<std::string>> children_;
+  std::map<std::string, std::set<std::string>> parents_;
+};
+
+}  // namespace desword::poc

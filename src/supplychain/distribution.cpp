@@ -1,0 +1,108 @@
+#include "supplychain/distribution.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace desword::supplychain {
+
+namespace {
+
+/// Operation label by position in the chain.
+std::string operation_for(const SupplyChainGraph& graph,
+                          const ParticipantId& id) {
+  if (graph.is_initial(id)) return "manufacture";
+  if (graph.is_leaf(id)) return "retail";
+  return "process";
+}
+
+}  // namespace
+
+DistributionResult run_distribution(const SupplyChainGraph& graph,
+                                    const DistributionConfig& config) {
+  if (!graph.has_participant(config.initial)) {
+    throw ProtocolError("unknown initial participant: " + config.initial);
+  }
+  if (!graph.is_initial(config.initial)) {
+    throw ProtocolError(config.initial + " is not an initial participant");
+  }
+  std::set<ProductId> unique;
+  for (const ProductId& id : config.products) {
+    if (!epc_valid(id)) throw ProtocolError("malformed product EPC");
+    if (!unique.insert(id).second) {
+      throw ProtocolError("duplicate product in batch");
+    }
+  }
+
+  SimRng rng(config.seed);
+  DistributionResult result;
+
+  struct PendingBatch {
+    ParticipantId at;
+    std::vector<RfidTag> tags;
+    std::uint64_t time;
+  };
+
+  std::vector<RfidTag> initial_tags;
+  initial_tags.reserve(config.products.size());
+  for (const ProductId& id : config.products) initial_tags.emplace_back(id);
+
+  std::deque<PendingBatch> queue;
+  queue.push_back(
+      {config.initial, std::move(initial_tags), config.start_time});
+
+  while (!queue.empty()) {
+    PendingBatch batch = std::move(queue.front());
+    queue.pop_front();
+    if (batch.tags.empty()) continue;
+
+    // The participant inventories the received batch with its reader and
+    // records one trace per product.
+    RfidReader reader("reader@" + batch.at, config.reader_miss_rate,
+                      rng.next() | 1);
+    const std::vector<ProductId> seen = reader.inventory_all(batch.tags);
+    TraceDatabase& db = result.databases[batch.at];
+    for (const ProductId& id : seen) {
+      TraceInfo info;
+      info.participant = batch.at;
+      info.operation = operation_for(graph, batch.at);
+      info.timestamp = batch.time;
+      info.parameters.push_back("batch-size=" +
+                                std::to_string(batch.tags.size()));
+      db.record(RfidTrace{id, std::move(info)});
+      result.paths[id].push_back(batch.at);
+    }
+
+    const std::vector<ParticipantId> children = graph.children_of(batch.at);
+    if (children.empty()) continue;  // leaf: products stay here
+
+    // Split the batch: each product proceeds to one uniformly chosen child.
+    std::map<ParticipantId, std::vector<RfidTag>> split;
+    for (RfidTag& tag : batch.tags) {
+      const ParticipantId& child = children[rng.below(children.size())];
+      split[child].push_back(std::move(tag));
+    }
+    for (auto& [child, tags] : split) {
+      result.used_edges[batch.at].insert(child);
+      queue.push_back({child, std::move(tags), batch.time + 1});
+    }
+  }
+
+  for (const auto& [id, db] : result.databases) {
+    if (db.size() > 0) result.involved.push_back(id);
+  }
+  return result;
+}
+
+std::vector<ProductId> make_products(std::uint32_t manager,
+                                     std::uint64_t first_serial,
+                                     std::size_t count) {
+  std::vector<ProductId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_epc(manager, /*object_class=*/1, first_serial + i));
+  }
+  return out;
+}
+
+}  // namespace desword::supplychain

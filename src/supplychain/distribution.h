@@ -1,0 +1,52 @@
+// Distribution-task engine (§II-A).
+//
+// A distribution task ships a batch of tagged products from an initial
+// participant towards leaf participants along digraph edges. Every
+// participant that receives a sub-batch inventories it with its RFID
+// reader, records an RFID-trace per product, splits the batch and forwards
+// the pieces to its children. The engine returns both the resulting
+// per-participant trace databases (what DE-Sword sees) and the ground-truth
+// product paths (what tests and benchmarks compare against).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "supplychain/graph.h"
+#include "supplychain/rfid.h"
+#include "supplychain/trace.h"
+
+namespace desword::supplychain {
+
+struct DistributionConfig {
+  ParticipantId initial;
+  std::vector<ProductId> products;
+  std::uint64_t seed = 1;          // routing determinism for experiments
+  std::uint64_t start_time = 0;    // simulation clock origin
+  double reader_miss_rate = 0.0;   // per-read tag miss probability
+};
+
+struct DistributionResult {
+  /// Ground-truth path (initial -> leaf) of every product.
+  std::map<ProductId, std::vector<ParticipantId>> paths;
+  /// Per-participant RFID-trace databases (D_v).
+  std::map<ParticipantId, TraceDatabase> databases;
+  /// Participants that processed at least one product, in id order.
+  std::vector<ParticipantId> involved;
+  /// Digraph edges actually used by the task (the POC-pair sub-digraph).
+  std::map<ParticipantId, std::set<ParticipantId>> used_edges;
+};
+
+/// Runs one distribution task. Throws ProtocolError if `initial` is not an
+/// initial participant of the graph or products are malformed/duplicated.
+DistributionResult run_distribution(const SupplyChainGraph& graph,
+                                    const DistributionConfig& config);
+
+/// Convenience workload generator: `count` fresh EPCs under one manager.
+std::vector<ProductId> make_products(std::uint32_t manager,
+                                     std::uint64_t first_serial,
+                                     std::size_t count);
+
+}  // namespace desword::supplychain

@@ -1,0 +1,165 @@
+#include "supplychain/graph.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace desword::supplychain {
+
+void SupplyChainGraph::add_participant(const ParticipantId& id) {
+  if (id.empty()) throw ProtocolError("participant id must be non-empty");
+  adjacency_.try_emplace(id);
+  reverse_.try_emplace(id);
+}
+
+void SupplyChainGraph::remove_participant(const ParticipantId& id) {
+  if (!has_participant(id)) {
+    throw ProtocolError("unknown participant: " + id);
+  }
+  for (const auto& child : adjacency_.at(id)) reverse_.at(child).erase(id);
+  for (const auto& parent : reverse_.at(id)) adjacency_.at(parent).erase(id);
+  adjacency_.erase(id);
+  reverse_.erase(id);
+}
+
+bool SupplyChainGraph::reachable(const ParticipantId& from,
+                                 const ParticipantId& to) const {
+  std::deque<ParticipantId> queue{from};
+  std::set<ParticipantId> seen{from};
+  while (!queue.empty()) {
+    const ParticipantId cur = queue.front();
+    queue.pop_front();
+    if (cur == to) return true;
+    const auto it = adjacency_.find(cur);
+    if (it == adjacency_.end()) continue;
+    for (const auto& next : it->second) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+void SupplyChainGraph::add_edge(const ParticipantId& from,
+                                const ParticipantId& to) {
+  if (from == to) throw ProtocolError("self loop in supply chain");
+  add_participant(from);
+  add_participant(to);
+  if (reachable(to, from)) {
+    throw ProtocolError("edge " + from + "->" + to +
+                        " would create a cycle");
+  }
+  adjacency_.at(from).insert(to);
+  reverse_.at(to).insert(from);
+}
+
+void SupplyChainGraph::remove_edge(const ParticipantId& from,
+                                   const ParticipantId& to) {
+  if (!has_edge(from, to)) {
+    throw ProtocolError("unknown edge " + from + "->" + to);
+  }
+  adjacency_.at(from).erase(to);
+  reverse_.at(to).erase(from);
+}
+
+bool SupplyChainGraph::has_participant(const ParticipantId& id) const {
+  return adjacency_.find(id) != adjacency_.end();
+}
+
+bool SupplyChainGraph::has_edge(const ParticipantId& from,
+                                const ParticipantId& to) const {
+  const auto it = adjacency_.find(from);
+  return it != adjacency_.end() && it->second.count(to) > 0;
+}
+
+std::vector<ParticipantId> SupplyChainGraph::children_of(
+    const ParticipantId& id) const {
+  const auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<ParticipantId> SupplyChainGraph::parents_of(
+    const ParticipantId& id) const {
+  const auto it = reverse_.find(id);
+  if (it == reverse_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+bool SupplyChainGraph::is_initial(const ParticipantId& id) const {
+  const auto it = reverse_.find(id);
+  return it != reverse_.end() && it->second.empty();
+}
+
+bool SupplyChainGraph::is_leaf(const ParticipantId& id) const {
+  const auto it = adjacency_.find(id);
+  return it != adjacency_.end() && it->second.empty();
+}
+
+std::vector<ParticipantId> SupplyChainGraph::initial_participants() const {
+  std::vector<ParticipantId> out;
+  for (const auto& [id, edges] : adjacency_) {
+    if (is_initial(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ParticipantId> SupplyChainGraph::leaf_participants() const {
+  std::vector<ParticipantId> out;
+  for (const auto& [id, edges] : adjacency_) {
+    if (edges.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ParticipantId> SupplyChainGraph::participants() const {
+  std::vector<ParticipantId> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [id, edges] : adjacency_) out.push_back(id);
+  return out;
+}
+
+std::size_t SupplyChainGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, edges] : adjacency_) n += edges.size();
+  return n;
+}
+
+SupplyChainGraph SupplyChainGraph::paper_example() {
+  // Figure 1: v0, v1 initial; v5, v7, v8, v9 leaves. Edges chosen to match
+  // the example flow (v0 -> v2 -> v5 carries product id1).
+  SupplyChainGraph g;
+  g.add_edge("v0", "v2");
+  g.add_edge("v0", "v3");
+  g.add_edge("v1", "v3");
+  g.add_edge("v1", "v4");
+  g.add_edge("v2", "v5");
+  g.add_edge("v2", "v6");
+  g.add_edge("v3", "v6");
+  g.add_edge("v4", "v7");
+  g.add_edge("v6", "v8");
+  g.add_edge("v6", "v9");
+  g.add_edge("v4", "v9");
+  return g;
+}
+
+SupplyChainGraph SupplyChainGraph::layered(std::size_t layers,
+                                           std::size_t width,
+                                           std::size_t fanout) {
+  if (layers < 2 || width == 0 || fanout == 0) {
+    throw ProtocolError("layered graph needs layers >= 2, width/fanout >= 1");
+  }
+  SupplyChainGraph g;
+  const auto name = [](std::size_t layer, std::size_t i) {
+    return "L" + std::to_string(layer) + "-" + std::to_string(i);
+  };
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::size_t i = 0; i < width; ++i) {
+      for (std::size_t f = 0; f < fanout; ++f) {
+        g.add_edge(name(layer, i), name(layer + 1, (i + f) % width));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace desword::supplychain

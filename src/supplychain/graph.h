@@ -1,0 +1,69 @@
+// The supply-chain digraph (Figure 1 of the paper).
+//
+// Vertices are participants; a directed edge v_i -> v_j means a product may
+// proceed to v_j after being processed by v_i. The digraph is dynamic:
+// participants and edges can be added and removed. Initial participants
+// have no incoming edges; leaf participants have no outgoing edges.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace desword::supplychain {
+
+using ParticipantId = std::string;
+
+class SupplyChainGraph {
+ public:
+  /// Adds a participant; idempotent.
+  void add_participant(const ParticipantId& id);
+
+  /// Removes a participant and all incident edges. Throws ProtocolError if
+  /// the participant is unknown.
+  void remove_participant(const ParticipantId& id);
+
+  /// Adds an edge (participants are created implicitly). Throws
+  /// ProtocolError on self loops or if the edge would create a cycle —
+  /// products flow forward through a supply chain.
+  void add_edge(const ParticipantId& from, const ParticipantId& to);
+
+  /// Removes an edge. Throws ProtocolError if absent.
+  void remove_edge(const ParticipantId& from, const ParticipantId& to);
+
+  bool has_participant(const ParticipantId& id) const;
+  bool has_edge(const ParticipantId& from, const ParticipantId& to) const;
+
+  std::vector<ParticipantId> children_of(const ParticipantId& id) const;
+  std::vector<ParticipantId> parents_of(const ParticipantId& id) const;
+
+  bool is_initial(const ParticipantId& id) const;
+  bool is_leaf(const ParticipantId& id) const;
+
+  std::vector<ParticipantId> initial_participants() const;
+  std::vector<ParticipantId> leaf_participants() const;
+  std::vector<ParticipantId> participants() const;
+
+  std::size_t participant_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const;
+
+  /// Builds the 10-participant example digraph of the paper's Figure 1.
+  static SupplyChainGraph paper_example();
+
+  /// Builds a layered synthetic chain: `layers` tiers of `width`
+  /// participants each, every participant wired to `fanout` children in
+  /// the next tier (workload generator for benchmarks).
+  static SupplyChainGraph layered(std::size_t layers, std::size_t width,
+                                  std::size_t fanout);
+
+ private:
+  bool reachable(const ParticipantId& from, const ParticipantId& to) const;
+
+  std::map<ParticipantId, std::set<ParticipantId>> adjacency_;
+  std::map<ParticipantId, std::set<ParticipantId>> reverse_;
+};
+
+}  // namespace desword::supplychain

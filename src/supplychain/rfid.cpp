@@ -1,0 +1,97 @@
+#include "supplychain/rfid.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace desword::supplychain {
+
+namespace {
+// EPC-96 SGTIN-ish header byte.
+constexpr std::uint8_t kEpcHeader = 0x30;
+}  // namespace
+
+ProductId make_epc(std::uint32_t manager, std::uint32_t object_class,
+                   std::uint64_t serial) {
+  // Layout (simplified SGTIN-96): 1B header | 4B manager | 3B class |
+  // 4B serial.
+  if (object_class > 0xffffff) {
+    throw ProtocolError("EPC object class exceeds 24 bits");
+  }
+  if (serial > 0xffffffffULL) {
+    throw ProtocolError("EPC serial exceeds 32 bits");
+  }
+  ProductId id(kEpcBytes);
+  id[0] = kEpcHeader;
+  id[1] = static_cast<std::uint8_t>(manager >> 24);
+  id[2] = static_cast<std::uint8_t>(manager >> 16);
+  id[3] = static_cast<std::uint8_t>(manager >> 8);
+  id[4] = static_cast<std::uint8_t>(manager);
+  id[5] = static_cast<std::uint8_t>(object_class >> 16);
+  id[6] = static_cast<std::uint8_t>(object_class >> 8);
+  id[7] = static_cast<std::uint8_t>(object_class);
+  id[8] = static_cast<std::uint8_t>(serial >> 24);
+  id[9] = static_cast<std::uint8_t>(serial >> 16);
+  id[10] = static_cast<std::uint8_t>(serial >> 8);
+  id[11] = static_cast<std::uint8_t>(serial);
+  return id;
+}
+
+std::string epc_to_string(const ProductId& id) {
+  return "epc:" + to_hex(id);
+}
+
+bool epc_valid(const ProductId& id) {
+  return id.size() == kEpcBytes && id[0] == kEpcHeader;
+}
+
+RfidTag::RfidTag(ProductId id) : id_(std::move(id)) {
+  if (!epc_valid(id_)) throw ProtocolError("invalid EPC identifier");
+}
+
+void RfidTag::write_user_bank(BytesView data) {
+  if (data.size() > kUserBankCapacity) {
+    throw ProtocolError("tag user bank overflow");
+  }
+  user_bank_.assign(data.begin(), data.end());
+}
+
+RfidReader::RfidReader(std::string name, double miss_rate, std::uint64_t seed)
+    : name_(std::move(name)), miss_rate_(miss_rate), rng_(seed) {
+  if (miss_rate_ < 0.0 || miss_rate_ >= 1.0) {
+    throw ProtocolError("reader miss rate must be in [0, 1)");
+  }
+}
+
+std::vector<ProductId> RfidReader::inventory_round(
+    const std::vector<RfidTag>& tags) {
+  std::vector<ProductId> seen;
+  seen.reserve(tags.size());
+  for (const RfidTag& tag : tags) {
+    ++total_reads_;
+    if (!rng_.chance(miss_rate_)) seen.push_back(tag.id());
+  }
+  return seen;
+}
+
+std::vector<ProductId> RfidReader::inventory_all(
+    const std::vector<RfidTag>& tags, int max_rounds) {
+  std::set<ProductId> seen;
+  for (int round = 0; round < max_rounds && seen.size() < tags.size();
+       ++round) {
+    for (ProductId& id : inventory_round(tags)) seen.insert(std::move(id));
+  }
+  if (seen.size() < tags.size()) {
+    throw ProtocolError("reader failed to inventory all tags");
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::optional<ProductId> RfidReader::read_tag(const RfidTag& tag) {
+  ++total_reads_;
+  if (rng_.chance(miss_rate_)) return std::nullopt;
+  return tag.id();
+}
+
+}  // namespace desword::supplychain

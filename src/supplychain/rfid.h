@@ -1,0 +1,86 @@
+// Simulated RFID layer.
+//
+// The paper's tag-side requirements are deliberately minimal: tags "carry
+// short product identifiers and support basic read operation". We model
+// EPC-96-style identifiers (96 bits: header / manager / object class /
+// serial), a tag with a small user memory bank, and a reader that
+// inventories a population of tags with an optional per-read miss rate
+// (real readers miss tags; protocols above must tolerate re-reads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace desword::supplychain {
+
+/// 96-bit EPC product identifier (12 bytes).
+using ProductId = Bytes;
+
+inline constexpr std::size_t kEpcBytes = 12;
+
+/// Builds an EPC-96 identifier from its fields.
+ProductId make_epc(std::uint32_t manager, std::uint32_t object_class,
+                   std::uint64_t serial);
+
+/// Hex rendering for logs and examples.
+std::string epc_to_string(const ProductId& id);
+
+/// True iff `id` is a well-formed EPC-96 identifier.
+bool epc_valid(const ProductId& id);
+
+/// A passive UHF tag: identifier plus a small writable user bank.
+class RfidTag {
+ public:
+  explicit RfidTag(ProductId id);
+
+  const ProductId& id() const { return id_; }
+
+  /// Writes into user memory; throws ProtocolError beyond capacity
+  /// (tags have tiny memories — the paper's design keeps all state in
+  /// backend databases for exactly this reason).
+  void write_user_bank(BytesView data);
+  const Bytes& user_bank() const { return user_bank_; }
+
+  static constexpr std::size_t kUserBankCapacity = 64;  // bytes
+
+ private:
+  ProductId id_;
+  Bytes user_bank_;
+};
+
+/// A reader inventorying tag populations. `miss_rate` models per-tag read
+/// failures; inventory_all retries until every tag is seen (bounded).
+class RfidReader {
+ public:
+  explicit RfidReader(std::string name, double miss_rate = 0.0,
+                      std::uint64_t seed = 1);
+
+  const std::string& name() const { return name_; }
+
+  /// One inventory round: each tag is seen independently with probability
+  /// (1 - miss_rate).
+  std::vector<ProductId> inventory_round(const std::vector<RfidTag>& tags);
+
+  /// Repeats inventory rounds (up to `max_rounds`) until all tags are
+  /// seen; returns the union. Throws ProtocolError if tags remain unseen.
+  std::vector<ProductId> inventory_all(const std::vector<RfidTag>& tags,
+                                       int max_rounds = 32);
+
+  /// Singulates one tag and reads its identifier.
+  std::optional<ProductId> read_tag(const RfidTag& tag);
+
+  std::uint64_t total_reads() const { return total_reads_; }
+
+ private:
+  std::string name_;
+  double miss_rate_;
+  SimRng rng_;
+  std::uint64_t total_reads_ = 0;
+};
+
+}  // namespace desword::supplychain

@@ -1,0 +1,84 @@
+#include "supplychain/trace.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace desword::supplychain {
+
+Bytes TraceInfo::serialize() const {
+  BinaryWriter w;
+  w.str(participant);
+  w.str(operation);
+  w.u64(timestamp);
+  w.varint(ingredients.size());
+  for (const auto& s : ingredients) w.str(s);
+  w.varint(parameters.size());
+  for (const auto& s : parameters) w.str(s);
+  return w.take();
+}
+
+TraceInfo TraceInfo::deserialize(BytesView data) {
+  BinaryReader r(data);
+  TraceInfo info;
+  info.participant = r.str();
+  info.operation = r.str();
+  info.timestamp = r.u64();
+  const std::uint64_t n_ing = r.varint();
+  for (std::uint64_t i = 0; i < n_ing; ++i) info.ingredients.push_back(r.str());
+  const std::uint64_t n_par = r.varint();
+  for (std::uint64_t i = 0; i < n_par; ++i) info.parameters.push_back(r.str());
+  r.expect_done();
+  return info;
+}
+
+Bytes RfidTrace::serialize() const {
+  BinaryWriter w;
+  w.bytes(id);
+  w.bytes(da.serialize());
+  return w.take();
+}
+
+RfidTrace RfidTrace::deserialize(BytesView data) {
+  BinaryReader r(data);
+  RfidTrace t;
+  t.id = r.bytes();
+  t.da = TraceInfo::deserialize(r.bytes());
+  r.expect_done();
+  if (!epc_valid(t.id)) throw SerializationError("trace has invalid EPC");
+  return t;
+}
+
+void TraceDatabase::record(const RfidTrace& trace) {
+  if (!epc_valid(trace.id)) {
+    throw ProtocolError("cannot record trace with invalid EPC");
+  }
+  traces_[trace.id] = trace;
+}
+
+bool TraceDatabase::has(const ProductId& id) const {
+  return traces_.find(id) != traces_.end();
+}
+
+const RfidTrace* TraceDatabase::find(const ProductId& id) const {
+  const auto it = traces_.find(id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+void TraceDatabase::remove(const ProductId& id) { traces_.erase(id); }
+
+std::map<Bytes, Bytes> TraceDatabase::as_poc_input() const {
+  std::map<Bytes, Bytes> out;
+  for (const auto& [id, trace] : traces_) {
+    out.emplace(id, trace.da.serialize());
+  }
+  return out;
+}
+
+std::vector<RfidTrace> TraceDatabase::all() const {
+  std::vector<RfidTrace> out;
+  out.reserve(traces_.size());
+  for (const auto& [id, trace] : traces_) out.push_back(trace);
+  return out;
+}
+
+}  // namespace desword::supplychain

@@ -1,0 +1,63 @@
+// RFID-traces: t_v^id = (id, da_v^id).
+//
+// The information part `da` records production details (operation,
+// ingredients, parameters, timestamp). Its canonical serialization is the
+// value committed into POCs, so it must be deterministic.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "supplychain/rfid.h"
+
+namespace desword::supplychain {
+
+/// Production information recorded when a participant processes a product.
+struct TraceInfo {
+  std::string participant;  // who processed it
+  std::string operation;    // e.g. "manufacture", "repackage", "ship"
+  std::uint64_t timestamp = 0;  // simulation time
+  std::vector<std::string> ingredients;
+  std::vector<std::string> parameters;
+
+  bool operator==(const TraceInfo&) const = default;
+  Bytes serialize() const;
+  static TraceInfo deserialize(BytesView data);
+};
+
+/// A full RFID-trace.
+struct RfidTrace {
+  ProductId id;
+  TraceInfo da;
+
+  bool operator==(const RfidTrace&) const = default;
+  Bytes serialize() const;
+  static RfidTrace deserialize(BytesView data);
+};
+
+/// A participant's local trace database (D_v), keyed by product id.
+class TraceDatabase {
+ public:
+  /// Records a trace; re-recording the same product id overwrites (a
+  /// participant keeps one trace per product per task).
+  void record(const RfidTrace& trace);
+
+  bool has(const ProductId& id) const;
+  const RfidTrace* find(const ProductId& id) const;
+  std::size_t size() const { return traces_.size(); }
+  void remove(const ProductId& id);
+  void clear() { traces_.clear(); }
+
+  /// Product id -> serialized da, the input of POC-Agg.
+  std::map<Bytes, Bytes> as_poc_input() const;
+
+  /// All traces in id order.
+  std::vector<RfidTrace> all() const;
+
+ private:
+  std::map<ProductId, RfidTrace> traces_;
+};
+
+}  // namespace desword::supplychain

@@ -1,0 +1,159 @@
+#include "zkedb/batch.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "zkedb/prover.h"
+
+namespace desword::zkedb {
+
+Bytes EdbBatchMembershipProof::serialize(const EdbCrs& crs) const {
+  const Bignum& n = crs.params().qtmc_pk.n;
+  BinaryWriter w;
+  w.varint(steps.size());
+  for (const EdbBatchStep& s : steps) {
+    w.bytes(s.prefix);
+    w.bytes(s.opening.serialize(n));
+    w.bytes(s.child_commitment);
+  }
+  w.varint(leaves.size());
+  for (const EdbBatchLeaf& l : leaves) {
+    w.bytes(l.key);
+    w.bytes(l.opening.serialize(crs.group()));
+    w.bytes(l.value);
+  }
+  return w.take();
+}
+
+EdbBatchMembershipProof EdbBatchMembershipProof::deserialize(
+    const EdbCrs& crs, BytesView data) {
+  const Bignum& n = crs.params().qtmc_pk.n;
+  BinaryReader r(data);
+  EdbBatchMembershipProof proof;
+  const std::uint64_t n_steps = r.varint();
+  for (std::uint64_t i = 0; i < n_steps; ++i) {
+    EdbBatchStep step;
+    step.prefix = r.bytes();
+    step.opening = mercurial::QtmcOpening::deserialize(n, r.bytes());
+    step.child_commitment = r.bytes();
+    if (step.prefix.size() >= crs.height()) {
+      throw SerializationError("batch step prefix too deep");
+    }
+    proof.steps.push_back(std::move(step));
+  }
+  const std::uint64_t n_leaves = r.varint();
+  for (std::uint64_t i = 0; i < n_leaves; ++i) {
+    EdbBatchLeaf leaf;
+    leaf.key = r.bytes();
+    leaf.opening = mercurial::TmcOpening::deserialize(crs.group(), r.bytes());
+    leaf.value = r.bytes();
+    proof.leaves.push_back(std::move(leaf));
+  }
+  r.expect_done();
+  return proof;
+}
+
+EdbBatchMembershipProof edb_prove_membership_batch(
+    EdbProver& prover, const std::vector<EdbKey>& keys) {
+  const EdbCrs& crs = prover.crs();
+  EdbBatchMembershipProof batch;
+  std::map<std::pair<Bytes, std::uint32_t>, std::size_t> seen_steps;
+  std::set<EdbKey> seen_keys;
+
+  for (const EdbKey& key : keys) {
+    if (!seen_keys.insert(key).second) continue;  // duplicate request
+    const std::vector<std::uint32_t> digits = crs.digits_of(key);
+    EdbMembershipProof single = prover.prove_membership(key);
+    Bytes prefix;
+    for (std::uint32_t d = 0; d < crs.height(); ++d) {
+      const auto step_id = std::make_pair(prefix, digits[d]);
+      if (seen_steps.find(step_id) == seen_steps.end()) {
+        seen_steps.emplace(step_id, batch.steps.size());
+        batch.steps.push_back(EdbBatchStep{
+            prefix, std::move(single.openings[d]),
+            std::move(single.child_commitments[d])});
+      }
+      prefix.push_back(static_cast<std::uint8_t>(digits[d]));
+    }
+    batch.leaves.push_back(EdbBatchLeaf{key, std::move(single.leaf_opening),
+                                        std::move(single.value)});
+  }
+  return batch;
+}
+
+std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof) {
+  try {
+    const std::uint32_t h = crs.height();
+    const Bignum& n = crs.params().qtmc_pk.n;
+
+    // Index the deduplicated material.
+    std::map<std::pair<Bytes, std::uint32_t>, const EdbBatchStep*> steps;
+    for (const EdbBatchStep& s : proof.steps) {
+      steps[{s.prefix, s.opening.pos}] = &s;
+    }
+    std::map<EdbKey, const EdbBatchLeaf*> leaves;
+    for (const EdbBatchLeaf& l : proof.leaves) leaves[l.key] = &l;
+
+    // Each unique (prefix, digit) edge is verified once; chains sharing it
+    // share the identical commitment reconstruction, so caching is sound.
+    std::set<std::pair<Bytes, std::uint32_t>> verified;
+
+    std::map<EdbKey, Bytes> values;
+    for (const EdbKey& key : keys) {
+      if (values.find(key) != values.end()) continue;  // duplicate request
+      const std::vector<std::uint32_t> digits = crs.digits_of(key);
+      mercurial::QtmcCommitment cur = root;
+      Bytes prefix;
+      const EdbBatchStep* last_step = nullptr;
+      for (std::uint32_t d = 0; d < h; ++d) {
+        const auto it = steps.find({prefix, digits[d]});
+        if (it == steps.end()) return std::nullopt;
+        const EdbBatchStep* step = it->second;
+        if (verified.find({prefix, digits[d]}) == verified.end()) {
+          if (step->opening.pos != digits[d]) return std::nullopt;
+          if (!crs.qtmc().verify_open(cur, step->opening)) {
+            return std::nullopt;
+          }
+          // The opened message must be the digest of the revealed child.
+          Bytes digest;
+          if (d + 1 == h) {
+            digest = crs.digest_leaf(mercurial::TmcCommitment::deserialize(
+                crs.group(), step->child_commitment));
+          } else {
+            digest = crs.digest_inner(mercurial::QtmcCommitment::deserialize(
+                n, step->child_commitment));
+          }
+          if (digest != step->opening.message) return std::nullopt;
+          verified.insert({prefix, digits[d]});
+        }
+        if (d + 1 < h) {
+          cur = mercurial::QtmcCommitment::deserialize(
+              n, step->child_commitment);
+        }
+        last_step = step;
+        prefix.push_back(static_cast<std::uint8_t>(digits[d]));
+      }
+      const auto leaf_it = leaves.find(key);
+      if (leaf_it == leaves.end()) return std::nullopt;
+      const EdbBatchLeaf* leaf = leaf_it->second;
+      const mercurial::TmcCommitment leaf_com =
+          mercurial::TmcCommitment::deserialize(crs.group(),
+                                                last_step->child_commitment);
+      if (!crs.tmc().verify_open(leaf_com, leaf->opening)) {
+        return std::nullopt;
+      }
+      if (leaf->opening.message != leaf_value_digest(leaf->value)) {
+        return std::nullopt;
+      }
+      values.emplace(key, leaf->value);
+    }
+    return values;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace desword::zkedb

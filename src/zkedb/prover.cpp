@@ -1,0 +1,352 @@
+#include "zkedb/prover.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "mercurial/message.h"
+
+namespace desword::zkedb {
+
+std::string EdbProver::child_prefix(const std::string& prefix,
+                                    std::uint32_t digit) {
+  std::string out = prefix;
+  out.push_back(static_cast<char>(static_cast<unsigned char>(digit)));
+  return out;
+}
+
+EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries)
+    : crs_(std::move(crs)) {
+  std::vector<BuildEntry> build_entries;
+  build_entries.reserve(entries.size());
+  for (const auto& [key, value] : entries) {
+    build_entries.emplace_back(crs_->digits_of(key), value);
+    values_.emplace(key, value);
+  }
+  // std::map iterates keys in lexicographic == numeric order, which is the
+  // same order as digit vectors; assert the invariant in debug builds.
+  const bool sorted = std::is_sorted(
+      build_entries.begin(), build_entries.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (!sorted) throw ProtocolError("entry ordering invariant violated");
+
+  (void)build(build_entries, std::string(), 0, build_entries.size());
+  root_com_ = inner_.at(std::string()).com;
+}
+
+Bytes EdbProver::commitment_bytes() const {
+  return root_com_.serialize(crs_->params().qtmc_pk.n);
+}
+
+bool EdbProver::contains(const EdbKey& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<Bytes> EdbProver::value_of(const EdbKey& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::pair<std::size_t, Bytes> EdbProver::make_soft_node(std::uint32_t depth) {
+  const std::size_t id = soft_nodes_.size();
+  if (depth == crs_->height()) {
+    auto [com, dec] = crs_->tmc().soft_commit();
+    Bytes digest = crs_->digest_leaf(com);
+    soft_nodes_.push_back(SoftLeaf{std::move(com), std::move(dec)});
+    return {id, std::move(digest)};
+  }
+  auto [com, dec] = crs_->qtmc().soft_commit();
+  Bytes digest = crs_->digest_inner(com);
+  soft_nodes_.push_back(SoftInner{std::move(com), std::move(dec), {}});
+  return {id, std::move(digest)};
+}
+
+Bytes EdbProver::soft_digest(std::size_t id) const {
+  const SoftNode& node = soft_nodes_.at(id);
+  if (const auto* inner = std::get_if<SoftInner>(&node)) {
+    return crs_->digest_inner(inner->com);
+  }
+  return crs_->digest_leaf(std::get<SoftLeaf>(node).com);
+}
+
+Bytes EdbProver::backing_digest(const std::string& prefix,
+                                std::uint32_t digit) {
+  const std::uint32_t depth = static_cast<std::uint32_t>(prefix.size());
+  const std::string backing_key =
+      crs_->params().soft_mode == SoftMode::kShared
+          ? prefix
+          : child_prefix(prefix, digit);
+  const auto it = soft_backing_.find(backing_key);
+  if (it != soft_backing_.end()) return soft_digest(it->second);
+  auto [id, digest] = make_soft_node(depth + 1);
+  soft_backing_.emplace(backing_key, id);
+  return digest;
+}
+
+Bytes EdbProver::build(const std::vector<BuildEntry>& entries,
+                       const std::string& prefix, std::size_t lo,
+                       std::size_t hi) {
+  const std::uint32_t depth = static_cast<std::uint32_t>(prefix.size());
+  if (depth == crs_->height()) {
+    if (hi - lo != 1) {
+      throw ProtocolError("duplicate ZK-EDB keys in one leaf");
+    }
+    const Bytes& value = entries[lo].second;
+    auto [com, dec] = crs_->tmc().hard_commit(leaf_value_digest(value));
+    Bytes digest = crs_->digest_leaf(com);
+    leaves_.emplace(prefix, LeafNode{std::move(com), std::move(dec)});
+    return digest;
+  }
+
+  const std::uint32_t q = crs_->q();
+  std::vector<Bytes> messages(q);
+  std::vector<bool> present(q, false);
+
+  // Entries are sorted by digit vectors, so children form contiguous runs.
+  std::size_t run_lo = lo;
+  while (run_lo < hi) {
+    const std::uint32_t digit = entries[run_lo].first[depth];
+    std::size_t run_hi = run_lo;
+    while (run_hi < hi && entries[run_hi].first[depth] == digit) {
+      ++run_hi;
+    }
+    messages[digit] =
+        build(entries, child_prefix(prefix, digit), run_lo, run_hi);
+    present[digit] = true;
+    run_lo = run_hi;
+  }
+
+  // Back absent children with soft commitments.
+  for (std::uint32_t c = 0; c < q; ++c) {
+    if (!present[c]) messages[c] = backing_digest(prefix, c);
+  }
+
+  auto [com, dec] = crs_->qtmc().hard_commit(messages);
+  Bytes digest = crs_->digest_inner(com);
+  inner_.emplace(prefix, InnerNode{std::move(com), std::move(dec)});
+  return digest;
+}
+
+EdbMembershipProof EdbProver::prove_membership(const EdbKey& key) {
+  if (!contains(key)) {
+    throw ProtocolError("prove_membership: key not in database");
+  }
+  const std::vector<std::uint32_t> digits = crs_->digits_of(key);
+  const std::uint32_t h = crs_->height();
+  const Bignum& n = crs_->params().qtmc_pk.n;
+
+  EdbMembershipProof proof;
+  proof.openings.reserve(h);
+  proof.child_commitments.reserve(h);
+  std::string prefix;
+  for (std::uint32_t d = 0; d < h; ++d) {
+    const InnerNode& node = inner_.at(prefix);
+    proof.openings.push_back(crs_->qtmc().hard_open(node.dec, digits[d]));
+    prefix = child_prefix(prefix, digits[d]);
+    if (d + 1 < h) {
+      proof.child_commitments.push_back(inner_.at(prefix).com.serialize(n));
+    } else {
+      proof.child_commitments.push_back(leaves_.at(prefix).com.serialize());
+    }
+  }
+  const LeafNode& leaf = leaves_.at(prefix);
+  proof.leaf_opening = crs_->tmc().hard_open(leaf.dec);
+  proof.value = values_.at(key);
+  return proof;
+}
+
+EdbNonMembershipProof EdbProver::prove_non_membership(const EdbKey& key) {
+  if (contains(key)) {
+    throw ProtocolError("prove_non_membership: key is in database");
+  }
+  const std::vector<std::uint32_t> digits = crs_->digits_of(key);
+  const std::uint32_t h = crs_->height();
+  const Bignum& n = crs_->params().qtmc_pk.n;
+
+  EdbNonMembershipProof proof;
+  proof.teases.reserve(h);
+  proof.child_commitments.reserve(h);
+
+  // Phase 1: walk committed trie nodes, teasing to committed digests.
+  std::string prefix;
+  std::uint32_t d = 0;
+  std::optional<std::size_t> soft_id;
+  while (d < h) {
+    const InnerNode& node = inner_.at(prefix);
+    const std::uint32_t digit = digits[d];
+    proof.teases.push_back(crs_->qtmc().tease_hard(node.dec, digit));
+    const std::string next = child_prefix(prefix, digit);
+    const bool child_in_trie =
+        (d + 1 < h) ? (inner_.find(next) != inner_.end())
+                    : (leaves_.find(next) != leaves_.end());
+    if (child_in_trie) {
+      if (d + 1 == h) {
+        // Walked into a committed leaf — the key is present after all.
+        throw ProtocolError("non-membership walk reached a committed leaf");
+      }
+      proof.child_commitments.push_back(inner_.at(next).com.serialize(n));
+      prefix = next;
+      ++d;
+      continue;
+    }
+    // Fell off the trie: the committed digest at this position is the soft
+    // backing node's digest.
+    const std::string backing_key =
+        crs_->params().soft_mode == SoftMode::kShared ? prefix : next;
+    soft_id = soft_backing_.at(backing_key);
+    proof.child_commitments.push_back(
+        std::holds_alternative<SoftInner>(soft_nodes_[*soft_id])
+            ? std::get<SoftInner>(soft_nodes_[*soft_id]).com.serialize(n)
+            : std::get<SoftLeaf>(soft_nodes_[*soft_id]).com.serialize());
+    ++d;
+    break;
+  }
+
+  // Phase 2: fabricate (memoized) soft nodes down to the leaf.
+  while (d < h) {
+    const std::uint32_t digit = digits[d];
+    auto& cur = std::get<SoftInner>(soft_nodes_[*soft_id]);
+    const auto it = cur.teases.find(digit);
+    if (it != cur.teases.end()) {
+      proof.teases.push_back(it->second.first);
+      soft_id = it->second.second;
+    } else {
+      // Creating the child may reallocate soft_nodes_, so copy the
+      // decommitment first and re-acquire the reference afterwards.
+      const mercurial::QtmcSoftDecommit dec = cur.dec;
+      auto [child_id, child_digest] = make_soft_node(d + 1);
+      mercurial::QtmcTease tease =
+          crs_->qtmc().tease_soft(dec, digit, child_digest);
+      std::get<SoftInner>(soft_nodes_[*soft_id])
+          .teases.emplace(digit, std::make_pair(tease, child_id));
+      proof.teases.push_back(std::move(tease));
+      soft_id = child_id;
+    }
+    proof.child_commitments.push_back(
+        std::holds_alternative<SoftInner>(soft_nodes_[*soft_id])
+            ? std::get<SoftInner>(soft_nodes_[*soft_id]).com.serialize(n)
+            : std::get<SoftLeaf>(soft_nodes_[*soft_id]).com.serialize());
+    ++d;
+  }
+
+  const auto& leaf = std::get<SoftLeaf>(soft_nodes_[*soft_id]);
+  proof.leaf_tease =
+      crs_->tmc().tease_soft(leaf.dec, mercurial::null_message());
+  return proof;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental updates
+// ---------------------------------------------------------------------------
+
+Bytes EdbProver::grow_branch(const std::vector<std::uint32_t>& digits,
+                             std::uint32_t from_depth, const Bytes& value) {
+  const std::uint32_t h = crs_->height();
+  // Leaf first.
+  std::string prefix;
+  for (std::uint32_t d = 0; d < h; ++d) {
+    prefix = child_prefix(prefix, digits[d]);
+  }
+  auto [leaf_com, leaf_dec] =
+      crs_->tmc().hard_commit(leaf_value_digest(value));
+  Bytes digest = crs_->digest_leaf(leaf_com);
+  leaves_.emplace(prefix, LeafNode{std::move(leaf_com), std::move(leaf_dec)});
+
+  // Inner nodes from depth h-1 down to from_depth, each with exactly one
+  // trie child (the one just created) and soft backing elsewhere.
+  for (std::uint32_t d = h; d-- > from_depth;) {
+    prefix.pop_back();
+    const std::uint32_t q = crs_->q();
+    std::vector<Bytes> messages(q);
+    for (std::uint32_t c = 0; c < q; ++c) {
+      messages[c] = (c == digits[d]) ? digest : backing_digest(prefix, c);
+    }
+    auto [com, dec] = crs_->qtmc().hard_commit(messages);
+    digest = crs_->digest_inner(com);
+    inner_.insert_or_assign(prefix, InnerNode{std::move(com), std::move(dec)});
+  }
+  return digest;
+}
+
+void EdbProver::recommit_path(const std::vector<std::uint32_t>& digits,
+                              std::uint32_t depth, const Bytes& child_digest) {
+  // Update nodes from `depth` (whose child digest at digits[depth]
+  // changed) up to the root, re-hard-committing each.
+  Bytes digest = child_digest;
+  std::string prefix(digits.begin(),
+                     digits.begin() + static_cast<long>(depth) + 1);
+  prefix.pop_back();  // prefix of the node at `depth`
+  for (std::uint32_t d = depth + 1; d-- > 0;) {
+    InnerNode& node = inner_.at(prefix);
+    std::vector<Bytes> messages = node.dec.messages;
+    messages[digits[d]] = digest;
+    auto [com, dec] = crs_->qtmc().hard_commit(messages);
+    node.com = std::move(com);
+    node.dec = std::move(dec);
+    digest = crs_->digest_inner(node.com);
+    if (!prefix.empty()) prefix.pop_back();
+  }
+  root_com_ = inner_.at(std::string()).com;
+}
+
+void EdbProver::insert(const EdbKey& key, const Bytes& value) {
+  if (contains(key)) throw ProtocolError("insert: key already present");
+  const std::vector<std::uint32_t> digits = crs_->digits_of(key);
+  const std::uint32_t h = crs_->height();
+
+  // Find the deepest existing ancestor.
+  std::string prefix;
+  std::uint32_t d = 0;
+  while (d < h) {
+    const std::string next = child_prefix(prefix, digits[d]);
+    const bool child_in_trie =
+        (d + 1 < h) ? (inner_.find(next) != inner_.end())
+                    : (leaves_.find(next) != leaves_.end());
+    if (!child_in_trie) break;
+    prefix = next;
+    ++d;
+  }
+  if (d == h) throw ProtocolError("insert: leaf already exists");
+
+  // Grow the missing branch below depth d+1 and splice it into the node
+  // at depth d, then recommit up to the root.
+  const Bytes branch_digest = grow_branch(digits, d + 1, value);
+  values_.emplace(key, value);
+  recommit_path(digits, d, branch_digest);
+}
+
+void EdbProver::erase(const EdbKey& key) {
+  if (!contains(key)) throw ProtocolError("erase: key not present");
+  const std::vector<std::uint32_t> digits = crs_->digits_of(key);
+  const std::uint32_t h = crs_->height();
+
+  // Remove the leaf.
+  std::string prefix(digits.begin(), digits.end());
+  leaves_.erase(prefix);
+  values_.erase(key);
+
+  // Prune childless inner nodes bottom-up (never the root).
+  std::uint32_t d = h;  // depth of the removed node's parent + 1
+  while (d > 1) {
+    prefix.pop_back();
+    --d;
+    // Does this node still have any trie child?
+    bool has_child = false;
+    for (std::uint32_t c = 0; c < crs_->q() && !has_child; ++c) {
+      const std::string next = child_prefix(prefix, c);
+      has_child = (d + 1 < h) ? (inner_.find(next) != inner_.end())
+                              : (leaves_.find(next) != leaves_.end());
+    }
+    if (has_child) {
+      // Replace the removed child's digest with soft backing, recommit.
+      recommit_path(digits, d, backing_digest(prefix, digits[d]));
+      return;
+    }
+    inner_.erase(prefix);
+  }
+  // Everything below the root vanished: recommit the root with soft
+  // backing at the removed position.
+  recommit_path(digits, 0, backing_digest(std::string(), digits[0]));
+}
+
+}  // namespace desword::zkedb

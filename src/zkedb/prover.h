@@ -1,0 +1,140 @@
+// ZK-EDB prover: commits a database and answers membership /
+// non-membership queries.
+//
+// Committing builds the trie of committed keys bottom-up: leaves are TMC
+// hard commitments to H(value); every inner trie node is a qTMC hard
+// commitment over its q child digests, where absent children point at soft
+// commitments (shared or per-child, see SoftMode). Non-membership proofs
+// fabricate soft nodes lazily below the committed trie; fabrications are
+// memoized so repeated queries present a consistent view.
+//
+// The prover object *is* the (Com, Dec) pair of the paper's EDB-commit:
+// `commitment()` is Com, the internal state is Dec.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "zkedb/proof.h"
+
+namespace desword::zkedb {
+
+class EdbProver {
+ public:
+  /// EDB-commit: builds the tree over `entries` (key -> value). Keys must
+  /// be unique, 16 bytes, within [0, q^height).
+  EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries);
+
+  /// Com: the root qTMC commitment.
+  const mercurial::QtmcCommitment& commitment() const { return root_com_; }
+  /// Com in wire form.
+  Bytes commitment_bytes() const;
+
+  const EdbCrs& crs() const { return *crs_; }
+  std::size_t size() const { return values_.size(); }
+  bool contains(const EdbKey& key) const;
+  /// The committed value for `key`, if any.
+  std::optional<Bytes> value_of(const EdbKey& key) const;
+
+  /// EDB-proof for x ∈ [D]. Throws ProtocolError if the key is absent.
+  EdbMembershipProof prove_membership(const EdbKey& key);
+
+  /// EDB-proof for x ∉ [D]. Throws ProtocolError if the key is present.
+  /// Mutates internal memoization state (fabricated soft subtrees).
+  EdbNonMembershipProof prove_non_membership(const EdbKey& key);
+
+  /// Inserts a new entry, recommitting the affected root-to-leaf path
+  /// (extension: dynamic databases). The root commitment CHANGES; the
+  /// owner must re-publish its POC. Throws ProtocolError if the key is
+  /// already present or out of range.
+  void insert(const EdbKey& key, const Bytes& value);
+
+  /// Removes an entry, recommitting the affected path (and pruning
+  /// now-empty branches). The root commitment changes. Throws
+  /// ProtocolError if the key is absent.
+  void erase(const EdbKey& key);
+
+  /// Serializes the full prover state (Dec): commitments, decommitments,
+  /// soft backing nodes and memoized fabrications. Participants persist
+  /// this across sessions — rebuilding from the entries alone would
+  /// resample randomness and change the commitment.
+  Bytes serialize_state() const;
+
+  /// Restores a prover from `serialize_state` output. The resulting
+  /// prover produces proofs valid under the original commitment.
+  static EdbProver load(EdbCrsPtr crs, BytesView state);
+
+ private:
+  struct InnerNode {
+    mercurial::QtmcCommitment com;
+    mercurial::QtmcHardDecommit dec;
+  };
+  struct LeafNode {
+    mercurial::TmcCommitment com;
+    mercurial::TmcHardDecommit dec;
+  };
+  struct SoftInner {
+    mercurial::QtmcCommitment com;
+    mercurial::QtmcSoftDecommit dec;
+    // digit -> (memoized tease, child soft-node id)
+    std::map<std::uint32_t, std::pair<mercurial::QtmcTease, std::size_t>>
+        teases;
+  };
+  struct SoftLeaf {
+    mercurial::TmcCommitment com;
+    mercurial::TmcSoftDecommit dec;
+  };
+  using SoftNode = std::variant<SoftInner, SoftLeaf>;
+
+  /// Uninitialized shell used by `load`.
+  explicit EdbProver(EdbCrsPtr crs) : crs_(std::move(crs)) {}
+
+  using BuildEntry = std::pair<std::vector<std::uint32_t>, Bytes>;
+
+  // Builds the subtree for entries[lo, hi) under `prefix`; returns the
+  // digest of the subtree root.
+  Bytes build(const std::vector<BuildEntry>& entries,
+              const std::string& prefix, std::size_t lo, std::size_t hi);
+
+  /// Creates the chain of nodes for `digits` from depth `from_depth` down
+  /// to the leaf (all with exactly one trie child); returns the digest of
+  /// the node at `from_depth`.
+  Bytes grow_branch(const std::vector<std::uint32_t>& digits,
+                    std::uint32_t from_depth, const Bytes& value);
+
+  /// Digest of the soft node backing absent children of the trie node at
+  /// `prefix` (child depth = prefix depth + 1), creating it if needed.
+  Bytes backing_digest(const std::string& prefix, std::uint32_t digit);
+
+  /// Re-hard-commits the node at `prefix` with one child digest replaced,
+  /// then propagates digest changes up to the root.
+  void recommit_path(const std::vector<std::uint32_t>& digits,
+                     std::uint32_t depth, const Bytes& child_digest);
+
+  // Creates a soft node whose *node depth* is `depth` (leaf iff == height);
+  // returns (id, digest).
+  std::pair<std::size_t, Bytes> make_soft_node(std::uint32_t depth);
+
+  // Digest of a soft node by id.
+  Bytes soft_digest(std::size_t id) const;
+
+  static std::string child_prefix(const std::string& prefix,
+                                  std::uint32_t digit);
+
+  EdbCrsPtr crs_;
+  // Trie nodes addressed by digit-prefix strings (one byte per digit).
+  std::map<std::string, InnerNode> inner_;
+  std::map<std::string, LeafNode> leaves_;
+  // Soft backing of absent children: trie prefix (shared mode) or trie
+  // prefix + digit (per-child mode) -> soft node id.
+  std::map<std::string, std::size_t> soft_backing_;
+  std::vector<SoftNode> soft_nodes_;
+  std::map<Bytes, Bytes> values_;
+  mercurial::QtmcCommitment root_com_;
+};
+
+}  // namespace desword::zkedb

@@ -1,0 +1,99 @@
+#include "zkedb/verifier.h"
+
+#include "common/error.h"
+#include "mercurial/message.h"
+
+namespace desword::zkedb {
+
+namespace {
+
+/// Digest of a serialized child commitment at depth `child_depth`
+/// (leaf iff == height). Returns nullopt on malformed bytes.
+std::optional<Bytes> child_digest(const EdbCrs& crs, BytesView serialized,
+                                  std::uint32_t child_depth) {
+  try {
+    if (child_depth == crs.height()) {
+      return crs.digest_leaf(
+          mercurial::TmcCommitment::deserialize(crs.group(), serialized));
+    }
+    return crs.digest_inner(mercurial::QtmcCommitment::deserialize(
+        crs.params().qtmc_pk.n, serialized));
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<Bytes> edb_verify_membership(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const EdbKey& key, const EdbMembershipProof& proof) {
+  try {
+    const std::uint32_t h = crs.height();
+    if (proof.openings.size() != h || proof.child_commitments.size() != h) {
+      return std::nullopt;
+    }
+    const std::vector<std::uint32_t> digits = crs.digits_of(key);
+
+    mercurial::QtmcCommitment cur = root;
+    for (std::uint32_t d = 0; d < h; ++d) {
+      const mercurial::QtmcOpening& op = proof.openings[d];
+      if (op.pos != digits[d]) return std::nullopt;
+      if (!crs.qtmc().verify_open(cur, op)) return std::nullopt;
+      const auto digest =
+          child_digest(crs, proof.child_commitments[d], d + 1);
+      if (!digest.has_value() || *digest != op.message) return std::nullopt;
+      if (d + 1 < h) {
+        cur = mercurial::QtmcCommitment::deserialize(
+            crs.params().qtmc_pk.n, proof.child_commitments[d]);
+      }
+    }
+    const mercurial::TmcCommitment leaf_com =
+        mercurial::TmcCommitment::deserialize(crs.group(),
+                                              proof.child_commitments[h - 1]);
+    if (!crs.tmc().verify_open(leaf_com, proof.leaf_opening)) {
+      return std::nullopt;
+    }
+    if (proof.leaf_opening.message != leaf_value_digest(proof.value)) {
+      return std::nullopt;
+    }
+    return proof.value;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+bool edb_verify_non_membership(const EdbCrs& crs,
+                               const mercurial::QtmcCommitment& root,
+                               const EdbKey& key,
+                               const EdbNonMembershipProof& proof) {
+  try {
+    const std::uint32_t h = crs.height();
+    if (proof.teases.size() != h || proof.child_commitments.size() != h) {
+      return false;
+    }
+    const std::vector<std::uint32_t> digits = crs.digits_of(key);
+
+    mercurial::QtmcCommitment cur = root;
+    for (std::uint32_t d = 0; d < h; ++d) {
+      const mercurial::QtmcTease& tease = proof.teases[d];
+      if (tease.pos != digits[d]) return false;
+      if (!crs.qtmc().verify_tease(cur, tease)) return false;
+      const auto digest = child_digest(crs, proof.child_commitments[d], d + 1);
+      if (!digest.has_value() || *digest != tease.message) return false;
+      if (d + 1 < h) {
+        cur = mercurial::QtmcCommitment::deserialize(
+            crs.params().qtmc_pk.n, proof.child_commitments[d]);
+      }
+    }
+    const mercurial::TmcCommitment leaf_com =
+        mercurial::TmcCommitment::deserialize(crs.group(),
+                                              proof.child_commitments[h - 1]);
+    if (!crs.tmc().verify_tease(leaf_com, proof.leaf_tease)) return false;
+    return proof.leaf_tease.message == mercurial::null_message();
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace desword::zkedb

@@ -1,0 +1,31 @@
+// ZK-EDB verification (the paper's EDB-Verify).
+//
+// Verification walks the proof chain from the root commitment, checking at
+// every depth that (a) the opening/tease is valid for the current node's
+// commitment, (b) it is at the key's digit position, and (c) its message
+// equals the digest of the next node's commitment. Verification cost is
+// O(height) and independent of q — the property Figure 5 measures.
+#pragma once
+
+#include <optional>
+
+#include "zkedb/proof.h"
+
+namespace desword::zkedb {
+
+/// Verifies a membership proof against `root`. Returns the proven value
+/// D(key) on success, std::nullopt if the proof is invalid. Never throws
+/// on malformed proof content.
+std::optional<Bytes> edb_verify_membership(const EdbCrs& crs,
+                                           const mercurial::QtmcCommitment& root,
+                                           const EdbKey& key,
+                                           const EdbMembershipProof& proof);
+
+/// Verifies a non-membership proof against `root`. Returns true iff the
+/// proof is valid (i.e. the prover demonstrated D(key) = ⊥).
+bool edb_verify_non_membership(const EdbCrs& crs,
+                               const mercurial::QtmcCommitment& root,
+                               const EdbKey& key,
+                               const EdbNonMembershipProof& proof);
+
+}  // namespace desword::zkedb

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "desword/baseline.h"
+
+namespace desword::baseline {
+namespace {
+
+supplychain::TraceDatabase make_db(int count) {
+  supplychain::TraceDatabase db;
+  for (int i = 0; i < count; ++i) {
+    supplychain::TraceInfo info;
+    info.participant = "v1";
+    info.operation = "process";
+    info.timestamp = static_cast<std::uint64_t>(i);
+    db.record(supplychain::RfidTrace{
+        supplychain::make_epc(1, 1, static_cast<std::uint64_t>(i)), info});
+  }
+  return db;
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  GroupPtr group_ = make_p256_group();
+  BaselineScheme scheme_{group_};
+};
+
+TEST_F(BaselineTest, ProvesProcessingForCommittedProducts) {
+  const auto db = make_db(5);
+  const auto [poc, keys] = scheme_.aggregate("v1", db);
+  for (const auto& trace : db.all()) {
+    EXPECT_TRUE(scheme_.proves_processing(poc, trace.id));
+    EXPECT_TRUE(scheme_.verify_trace(poc, trace));
+  }
+  EXPECT_FALSE(scheme_.proves_processing(poc, supplychain::make_epc(9, 9, 9)));
+}
+
+TEST_F(BaselineTest, TamperedTraceRejected) {
+  const auto db = make_db(2);
+  const auto [poc, keys] = scheme_.aggregate("v1", db);
+  supplychain::RfidTrace tampered = db.all()[0];
+  tampered.da.operation = "forged";
+  EXPECT_FALSE(scheme_.verify_trace(poc, tampered));
+}
+
+TEST_F(BaselineTest, PocSizeIsLinearInTraceCount) {
+  // The §II-C strawman's core deficiency vs the ZK-EDB POC.
+  const auto [poc8, k8] = scheme_.aggregate("v1", make_db(8));
+  const auto [poc64, k64] = scheme_.aggregate("v1", make_db(64));
+  EXPECT_GT(poc64.serialize().size(), 6 * poc8.serialize().size());
+}
+
+TEST_F(BaselineTest, CommittedIdsLeakPublicly) {
+  // Anyone holding the baseline POC reads the ids — no privacy.
+  const auto db = make_db(3);
+  const auto [poc, keys] = scheme_.aggregate("v1", db);
+  const BaselinePoc reparsed = BaselinePoc::deserialize(poc.serialize());
+  for (const auto& trace : db.all()) {
+    EXPECT_TRUE(reparsed.contains(trace.id));
+  }
+}
+
+TEST_F(BaselineTest, DishonestOwnerDefeatsBaseline) {
+  // The honest-data-owner failure: a participant can sign a fake trace at
+  // construction time and the baseline verifies it happily.
+  supplychain::TraceDatabase fake_db;
+  supplychain::TraceInfo fake;
+  fake.participant = "v1";
+  fake.operation = "never-happened";
+  fake_db.record(supplychain::RfidTrace{supplychain::make_epc(7, 7, 7), fake});
+  const auto [poc, keys] = scheme_.aggregate("v1", fake_db);
+  EXPECT_TRUE(scheme_.proves_processing(poc, supplychain::make_epc(7, 7, 7)));
+}
+
+}  // namespace
+}  // namespace desword::baseline

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/serial.h"
+
+namespace desword {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(BytesTest, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  const Bytes b = bytes_of("hello");
+  EXPECT_EQ(string_of(b), "hello");
+}
+
+TEST(BytesTest, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  const Bytes c = concat({a, b});
+  EXPECT_EQ(c, (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, Bytes{1, 2}));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(BytesTest, Be64RoundTrip) {
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  EXPECT_EQ(read_be64(be64(v)), v);
+  EXPECT_EQ(be64(0), Bytes(8, 0));
+  EXPECT_THROW(read_be64(Bytes{1, 2}), std::invalid_argument);
+}
+
+TEST(SerialTest, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  w.boolean(true);
+  w.boolean(false);
+  const Bytes buf = w.take();
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerialTest, VarintBoundaries) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          0xffffffffULL, ~0ULL}) {
+    BinaryWriter w;
+    w.varint(v);
+    BinaryReader r(w.view());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(SerialTest, BytesAndStrings) {
+  BinaryWriter w;
+  w.bytes(Bytes{9, 8, 7});
+  w.str("desword");
+  w.bytes({});
+  const Bytes buf = w.take();
+
+  BinaryReader r(buf);
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "desword");
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_done();
+}
+
+TEST(SerialTest, TruncationThrows) {
+  BinaryWriter w;
+  w.u32(42);
+  Bytes buf = w.take();
+  buf.pop_back();
+  BinaryReader r(buf);
+  EXPECT_THROW(r.u32(), SerializationError);
+}
+
+TEST(SerialTest, LengthPrefixBeyondBufferThrows) {
+  BinaryWriter w;
+  w.varint(1000);  // claims a 1000-byte string
+  Bytes buf = w.take();
+  buf.push_back(1);
+  BinaryReader r(buf);
+  EXPECT_THROW(r.bytes(), SerializationError);
+}
+
+TEST(SerialTest, TrailingBytesDetected) {
+  BinaryWriter w;
+  w.u8(1);
+  w.u8(2);
+  BinaryReader r(w.view());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerializationError);
+}
+
+TEST(SerialTest, BadBooleanThrows) {
+  const Bytes buf = {7};
+  BinaryReader r(buf);
+  EXPECT_THROW(r.boolean(), SerializationError);
+}
+
+TEST(RngTest, RandomBytesDistinct) {
+  const Bytes a = random_bytes(32);
+  const Bytes b = random_bytes(32);
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_NE(a, b);  // probability 2^-256 of flaking
+}
+
+TEST(RngTest, SimRngDeterministic) {
+  SimRng r1(42);
+  SimRng r2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.next(), r2.next());
+}
+
+TEST(RngTest, SimRngBelowInRange) {
+  SimRng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(RngTest, SimRngUniformInUnitInterval) {
+  SimRng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, SimRngChanceExtremes) {
+  SimRng r(1);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(RngTest, SimRngBytesDeterministic) {
+  SimRng a(5);
+  SimRng b(5);
+  EXPECT_EQ(a.bytes(33), b.bytes(33));
+  EXPECT_EQ(a.bytes(10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace desword

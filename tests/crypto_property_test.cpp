@@ -1,0 +1,149 @@
+// Property-style sweeps over the arithmetic and commitment layers:
+// algebraic laws on random inputs, equivalence of the Montgomery fast
+// path with the reference implementation, and cross-CRS rejection.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bignum.h"
+#include "crypto/hash.h"
+#include "crypto/modexp.h"
+#include "crypto/primes.h"
+#include "crypto/rsa.h"
+#include "mercurial/qtmc.h"
+#include "mercurial/tmc.h"
+
+namespace desword {
+namespace {
+
+Bignum random_bn(int bits) { return Bignum::rand_bits(bits); }
+
+TEST(BignumPropertyTest, RingLaws) {
+  for (int i = 0; i < 25; ++i) {
+    const Bignum a = random_bn(200);
+    const Bignum b = random_bn(180);
+    const Bignum c = random_bn(90);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(BignumPropertyTest, DivisionInvariant) {
+  for (int i = 0; i < 25; ++i) {
+    const Bignum a = random_bn(300);
+    const Bignum d = random_bn(120);
+    Bignum r;
+    const Bignum q = a.divided_by(d, &r);
+    EXPECT_EQ(q * d + r, a);
+    EXPECT_LT(r, d);
+  }
+}
+
+TEST(BignumPropertyTest, ModularExponentLaws) {
+  const Bignum m = Bignum::generate_prime(128);
+  for (int i = 0; i < 10; ++i) {
+    const Bignum g = random_bn(100).mod(m);
+    const Bignum x = random_bn(64);
+    const Bignum y = random_bn(64);
+    // g^(x+y) == g^x * g^y (mod m)
+    EXPECT_EQ(Bignum::mod_exp(g, x + y, m),
+              Bignum::mod_mul(Bignum::mod_exp(g, x, m),
+                              Bignum::mod_exp(g, y, m), m));
+    // (g^x)^y == g^(x*y)
+    EXPECT_EQ(Bignum::mod_exp(Bignum::mod_exp(g, x, m), y, m),
+              Bignum::mod_exp(g, x * y, m));
+  }
+}
+
+TEST(BignumPropertyTest, GcdLaws) {
+  for (int i = 0; i < 25; ++i) {
+    const Bignum a = random_bn(150);
+    const Bignum b = random_bn(150);
+    const Bignum g = Bignum::gcd(a, b);
+    EXPECT_TRUE(a.divisible_by(g));
+    EXPECT_TRUE(b.divisible_by(g));
+    EXPECT_EQ(Bignum::gcd(a, b), Bignum::gcd(b, a));
+  }
+}
+
+TEST(ModExpContextTest, MatchesReferenceImplementation) {
+  const RsaModulus mod = generate_rsa_modulus(512);
+  const ModExpContext ctx(mod.n);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum base = random_bn(500);
+    const Bignum e = random_bn(1 + static_cast<int>(random_u64() % 300));
+    EXPECT_EQ(ctx.exp(base, e), Bignum::mod_exp(base.mod(mod.n), e, mod.n));
+  }
+}
+
+TEST(ModExpContextTest, SignedExponentInverts) {
+  const RsaModulus mod = generate_rsa_modulus(512);
+  const ModExpContext ctx(mod.n);
+  const Bignum g = random_quadratic_residue(mod.n);
+  const Bignum e = random_bn(100);
+  const Bignum pos = ctx.exp_signed(g, e);
+  const Bignum neg = ctx.exp_signed(g, e.negated());
+  EXPECT_TRUE(Bignum::mod_mul(pos, neg, mod.n).is_one());
+}
+
+TEST(ModExpContextTest, RejectsEvenModulus) {
+  EXPECT_THROW(ModExpContext(Bignum(100)), CryptoError);
+  EXPECT_THROW(ModExpContext(Bignum(1)), CryptoError);
+}
+
+// Proofs generated under one CRS must never verify under another, even
+// with identical configurations — commitments bind to the key material.
+TEST(CrossCrsTest, TmcRejectsForeignOpenings) {
+  const GroupPtr group = make_p256_group();
+  const auto keys_a = mercurial::TmcScheme::keygen(group);
+  const auto keys_b = mercurial::TmcScheme::keygen(group);
+  const mercurial::TmcScheme a(group, keys_a.pk);
+  const mercurial::TmcScheme b(group, keys_b.pk);
+
+  const Bytes msg = hash_to_128("m", {bytes_of("x")});
+  const auto [com, dec] = a.hard_commit(msg);
+  EXPECT_TRUE(a.verify_open(com, a.hard_open(dec)));
+  EXPECT_FALSE(b.verify_open(com, a.hard_open(dec)));
+}
+
+TEST(CrossCrsTest, QtmcRejectsForeignOpenings) {
+  const auto keys_a = mercurial::QtmcScheme::keygen(4, 512);
+  const auto keys_b = mercurial::QtmcScheme::keygen(4, 512);
+  const mercurial::QtmcScheme a(keys_a.pk);
+  const mercurial::QtmcScheme b(keys_b.pk);
+
+  std::vector<Bytes> msgs;
+  for (int i = 0; i < 4; ++i) msgs.push_back(hash_to_128("m", {be64(i)}));
+  const auto [com, dec] = a.hard_commit(msgs);
+  const auto op = a.hard_open(dec, 1);
+  EXPECT_TRUE(a.verify_open(com, op));
+  EXPECT_FALSE(b.verify_open(com, op));
+}
+
+TEST(CrossCrsTest, QtmcDifferentSeedsGiveDifferentPrimes) {
+  // Same modulus reused with a different prime seed is still a different
+  // scheme: openings cannot transfer.
+  const auto keys = mercurial::QtmcScheme::keygen(4, 512);
+  mercurial::QtmcPublicKey other_pk = keys.pk;
+  other_pk.prime_seed = bytes_of("different-seed");
+  const mercurial::QtmcScheme a(keys.pk);
+  const mercurial::QtmcScheme b(other_pk);
+
+  std::vector<Bytes> msgs;
+  for (int i = 0; i < 4; ++i) msgs.push_back(hash_to_128("m", {be64(i)}));
+  const auto [com, dec] = a.hard_commit(msgs);
+  EXPECT_FALSE(b.verify_open(com, a.hard_open(dec, 0)));
+}
+
+TEST(HashToPrimePropertyTest, WidthSweep) {
+  for (const int bits : {64, 96, 136, 160}) {
+    const Bignum p = hash_to_prime(bytes_of("sweep"), 3, bits);
+    EXPECT_EQ(p.bits(), bits);
+    EXPECT_TRUE(p.is_prime());
+    EXPECT_TRUE(p.is_odd());
+  }
+}
+
+}  // namespace
+}  // namespace desword

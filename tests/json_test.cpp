@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace desword::json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(v.is_object());
+  const Array& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_EQ(arr[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").is_null());
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_TRUE(v.has("d"));
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  const Value v = parse("  {\n\t\"k\" :  [ 1 ,\r 2 ]\n} ");
+  EXPECT_EQ(v.at("k").as_array().size(), 2u);
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(parse(R"("Aé中")").as_string(), "A\xc3\xa9\xe4\xb8\xad");
+  EXPECT_THROW(parse(R"("\ud800")"), SerializationError);
+  EXPECT_THROW(parse(R"("\q")"), SerializationError);
+  EXPECT_THROW(parse("\"ctrl\x01char\""), SerializationError);
+}
+
+TEST(JsonTest, DumpRoundTrip) {
+  const char* doc =
+      R"({"name":"v1","count":3,"weights":[1.5,2],"nested":{"ok":true},"none":null})";
+  const Value v = parse(doc);
+  const Value again = parse(v.dump());
+  EXPECT_EQ(again.at("name").as_string(), "v1");
+  EXPECT_EQ(again.at("count").as_int(), 3);
+  EXPECT_TRUE(again.at("nested").at("ok").as_bool());
+  // Insertion order preserved.
+  EXPECT_EQ(v.dump(), again.dump());
+}
+
+TEST(JsonTest, DumpEscapesStrings) {
+  Object obj;
+  obj["k\"ey"] = Value(std::string("line1\nline2\x01"));
+  const std::string out = Value(std::move(obj)).dump();
+  EXPECT_EQ(parse(out).at("k\"ey").as_string(), "line1\nline2\x01");
+}
+
+TEST(JsonTest, PrettyDumpParses) {
+  const Value v = parse(R"({"a":[1,2],"b":{}})");
+  const std::string pretty = v.dump_pretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty).dump(), v.dump());
+}
+
+TEST(JsonTest, BuilderInterface) {
+  Value root;
+  root.mutable_object()["ids"].mutable_array().push_back(Value("a"));
+  root.mutable_object()["ids"].mutable_array().push_back(Value("b"));
+  root.mutable_object()["n"] = Value(std::int64_t{7});
+  const Value parsed = parse(root.dump());
+  EXPECT_EQ(parsed.at("ids").as_array().size(), 2u);
+  EXPECT_EQ(parsed.at("n").as_int(), 7);
+}
+
+TEST(JsonTest, MalformedInputsRejected) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "nul", "01x", "-",
+        "\"unterminated", "[1 2]", "{\"a\":1,}", "[]]", "{\"a\":1}extra",
+        R"({"a":1,"a":2})"}) {
+    EXPECT_THROW(parse(bad), SerializationError) << bad;
+  }
+}
+
+TEST(JsonTest, DeepNestingRejected) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(parse(deep), SerializationError);
+}
+
+TEST(JsonTest, IntExactness) {
+  EXPECT_EQ(parse("9007199254740991").as_int(), 9007199254740991LL);
+  EXPECT_THROW(parse("2.5").as_int(), SerializationError);
+  EXPECT_DOUBLE_EQ(parse("42").as_double(), 42.0);  // int usable as double
+}
+
+}  // namespace
+}  // namespace desword::json

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "net/network.h"
+
+namespace desword::net {
+namespace {
+
+TEST(NetworkTest, DeliversMessages) {
+  Network net;
+  std::vector<std::string> received;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope& env) {
+    received.push_back(env.type + ":" + string_of(env.payload));
+  });
+  net.send("a", "b", "hello", bytes_of("x"));
+  net.send("a", "b", "hello", bytes_of("y"));
+  EXPECT_EQ(net.run(), 2u);
+  EXPECT_EQ(received, (std::vector<std::string>{"hello:x", "hello:y"}));
+}
+
+TEST(NetworkTest, HandlersCanReply) {
+  Network net;
+  std::string got;
+  net.register_node("client", [&](const Envelope& env) {
+    got = string_of(env.payload);
+  });
+  net.register_node("server", [&](const Envelope& env) {
+    net.send("server", env.from, "pong", env.payload);
+  });
+  net.send("client", "server", "ping", bytes_of("42"));
+  net.run();
+  EXPECT_EQ(got, "42");
+}
+
+TEST(NetworkTest, LatencyOrdersDelivery) {
+  Network net;
+  std::vector<std::string> order;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope& env) {
+    order.push_back(env.type);
+  });
+  net.set_link_policy("a", "b", LinkPolicy{/*latency=*/10, 0.0});
+  net.send("a", "b", "slow", {});
+  net.set_link_policy("a", "b", LinkPolicy{/*latency=*/1, 0.0});
+  net.send("a", "b", "fast", {});
+  net.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"fast", "slow"}));
+  EXPECT_GE(net.now(), 10u);
+}
+
+TEST(NetworkTest, DropsAreCountedNotDelivered) {
+  Network net(/*seed=*/5);
+  int delivered = 0;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope&) { ++delivered; });
+  net.set_link_policy("a", "b", LinkPolicy{1, /*drop_rate=*/1.0});
+  for (int i = 0; i < 10; ++i) net.send("a", "b", "m", {});
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats("a", "b").messages_dropped, 10u);
+  EXPECT_EQ(net.stats("a", "b").messages_sent, 10u);
+}
+
+TEST(NetworkTest, ByteAccounting) {
+  Network net;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [](const Envelope&) {});
+  net.send("a", "b", "m", Bytes(100, 0));
+  net.send("a", "b", "m", Bytes(28, 0));
+  net.run();
+  EXPECT_EQ(net.stats("a", "b").bytes_sent, 128u);
+  EXPECT_EQ(net.total_stats().bytes_sent, 128u);
+}
+
+TEST(NetworkTest, UnknownRecipientThrows) {
+  Network net;
+  net.register_node("a", [](const Envelope&) {});
+  EXPECT_THROW(net.send("a", "ghost", "m", {}), Error);
+}
+
+TEST(NetworkTest, DuplicateRegistrationThrows) {
+  Network net;
+  net.register_node("a", [](const Envelope&) {});
+  EXPECT_THROW(net.register_node("a", [](const Envelope&) {}), Error);
+}
+
+TEST(NetworkTest, UnregisteredReceiverLosesMessage) {
+  Network net;
+  int delivered = 0;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope&) { ++delivered; });
+  net.send("a", "b", "m", {});
+  net.unregister_node("b");
+  net.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(NetworkTest, MaxStepsBoundsDelivery) {
+  Network net;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [](const Envelope&) {});
+  for (int i = 0; i < 5; ++i) net.send("a", "b", "m", {});
+  EXPECT_EQ(net.run(2), 2u);
+  EXPECT_EQ(net.pending(), 3u);
+  net.run();
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  Network net(/*seed=*/3);
+  int delivered = 0;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope&) { ++delivered; });
+  LinkPolicy policy;
+  policy.duplicate_rate = 1.0;
+  net.set_link_policy("a", "b", policy);
+  for (int i = 0; i < 5; ++i) net.send("a", "b", "m", {});
+  net.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(net.stats("a", "b").messages_duplicated, 5u);
+}
+
+TEST(NetworkTest, JitterReordersMessages) {
+  Network net(/*seed=*/17);
+  std::vector<int> order;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope& env) {
+    order.push_back(static_cast<int>(env.payload[0]));
+  });
+  LinkPolicy policy;
+  policy.jitter = 50;
+  net.set_link_policy("a", "b", policy);
+  for (int i = 0; i < 32; ++i) {
+    net.send("a", "b", "m", Bytes{static_cast<std::uint8_t>(i)});
+  }
+  net.run();
+  ASSERT_EQ(order.size(), 32u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()))
+      << "jitter should reorder at least one pair";
+}
+
+TEST(NetworkTest, PartialDropRateDropsSome) {
+  Network net(/*seed=*/11);
+  int delivered = 0;
+  net.register_node("a", [](const Envelope&) {});
+  net.register_node("b", [&](const Envelope&) { ++delivered; });
+  net.set_link_policy("a", "b", LinkPolicy{1, 0.5});
+  for (int i = 0; i < 200; ++i) net.send("a", "b", "m", {});
+  net.run();
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+}
+
+}  // namespace
+}  // namespace desword::net

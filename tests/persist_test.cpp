@@ -1,0 +1,129 @@
+// DPOC persistence: a reloaded prover must keep producing proofs that
+// verify under the ORIGINAL commitment, including previously memoized
+// non-membership fabrications.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/hash.h"
+#include "poc/poc.h"
+#include "supplychain/rfid.h"
+#include "zkedb/prover.h"
+#include "zkedb/verifier.h"
+
+namespace desword::zkedb {
+namespace {
+
+EdbConfig test_config() {
+  EdbConfig cfg;
+  cfg.q = 4;
+  cfg.height = 8;
+  cfg.rsa_bits = 512;
+  cfg.group_name = "p256";
+  return cfg;
+}
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crs_ = generate_crs(test_config());
+    std::map<Bytes, Bytes> entries;
+    for (int i = 0; i < 4; ++i) {
+      entries[key("prod-" + std::to_string(i))] =
+          bytes_of("value-" + std::to_string(i));
+    }
+    prover_ = std::make_unique<EdbProver>(crs_, entries);
+  }
+
+  EdbKey key(const std::string& id) const {
+    return key_for_identifier(*crs_, bytes_of(id));
+  }
+
+  EdbCrsPtr crs_;
+  std::unique_ptr<EdbProver> prover_;
+};
+
+TEST_F(PersistTest, ReloadedProverKeepsCommitment) {
+  const Bytes state = prover_->serialize_state();
+  EdbProver reloaded = EdbProver::load(crs_, state);
+  EXPECT_EQ(reloaded.commitment(), prover_->commitment());
+  EXPECT_EQ(reloaded.size(), prover_->size());
+}
+
+TEST_F(PersistTest, ReloadedMembershipProofsVerifyUnderOriginalRoot) {
+  const Bytes state = prover_->serialize_state();
+  EdbProver reloaded = EdbProver::load(crs_, state);
+  for (int i = 0; i < 4; ++i) {
+    const EdbKey k = key("prod-" + std::to_string(i));
+    const auto proof = reloaded.prove_membership(k);
+    const auto value =
+        edb_verify_membership(*crs_, prover_->commitment(), k, proof);
+    ASSERT_TRUE(value.has_value()) << i;
+    EXPECT_EQ(*value, bytes_of("value-" + std::to_string(i)));
+  }
+}
+
+TEST_F(PersistTest, MemoizedFabricationsSurviveReload) {
+  // Fabricate a soft path before saving; afterwards the reloaded prover
+  // must present the SAME digest chain for that key (consistency of the
+  // simulated view across restarts).
+  const EdbKey ghost = key("ghost");
+  const auto before = prover_->prove_non_membership(ghost);
+  const Bytes state = prover_->serialize_state();
+  EdbProver reloaded = EdbProver::load(crs_, state);
+  const auto after = reloaded.prove_non_membership(ghost);
+  ASSERT_EQ(before.child_commitments.size(), after.child_commitments.size());
+  for (std::size_t i = 0; i < before.child_commitments.size(); ++i) {
+    EXPECT_EQ(before.child_commitments[i], after.child_commitments[i]) << i;
+  }
+  EXPECT_TRUE(edb_verify_non_membership(*crs_, prover_->commitment(), ghost,
+                                        after));
+}
+
+TEST_F(PersistTest, FreshNonMembershipAfterReloadWorks) {
+  const Bytes state = prover_->serialize_state();
+  EdbProver reloaded = EdbProver::load(crs_, state);
+  const EdbKey ghost = key("never-queried-before");
+  const auto proof = reloaded.prove_non_membership(ghost);
+  EXPECT_TRUE(edb_verify_non_membership(*crs_, prover_->commitment(), ghost,
+                                        proof));
+}
+
+TEST_F(PersistTest, CorruptedStateRejected) {
+  Bytes state = prover_->serialize_state();
+  // Wrong magic.
+  Bytes bad_magic = state;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(EdbProver::load(crs_, bad_magic), SerializationError);
+  // Truncations never crash.
+  for (std::size_t len : {0ul, 4ul, 5ul, state.size() / 2, state.size() - 1}) {
+    const Bytes prefix(state.begin(), state.begin() + static_cast<long>(len));
+    EXPECT_THROW(EdbProver::load(crs_, prefix), SerializationError) << len;
+  }
+}
+
+TEST_F(PersistTest, PocDecommitmentRoundTrip) {
+  poc::PocScheme scheme(crs_);
+  std::map<Bytes, Bytes> traces;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    traces[supplychain::make_epc(1, 1, i)] = bytes_of("da");
+  }
+  auto [p, dpoc] = scheme.aggregate("v1", traces);
+  const Bytes blob = dpoc->serialize();
+  const auto reloaded = poc::PocDecommitment::load(crs_, blob);
+  EXPECT_EQ(reloaded->trace_count(), 3u);
+  EXPECT_TRUE(reloaded->owns(supplychain::make_epc(1, 1, 0)));
+
+  // Proofs from the reloaded DPOC verify under the original POC.
+  const poc::PocProof own = scheme.prove(*reloaded,
+                                         supplychain::make_epc(1, 1, 1));
+  EXPECT_EQ(scheme.verify(p, supplychain::make_epc(1, 1, 1), own).verdict,
+            poc::PocVerdict::kTrace);
+  const poc::PocProof nown = scheme.prove(*reloaded,
+                                          supplychain::make_epc(9, 9, 9));
+  EXPECT_EQ(scheme.verify(p, supplychain::make_epc(9, 9, 9), nown).verdict,
+            poc::PocVerdict::kValid);
+}
+
+}  // namespace
+}  // namespace desword::zkedb

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "poc/poc.h"
+#include "poc/poc_list.h"
+#include "supplychain/rfid.h"
+
+namespace desword::poc {
+namespace {
+
+zkedb::EdbConfig test_config() {
+  zkedb::EdbConfig cfg;
+  cfg.q = 4;
+  cfg.height = 6;
+  cfg.rsa_bits = 512;
+  cfg.group_name = "p256";
+  return cfg;
+}
+
+class PocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crs_ = ps_gen(test_config());
+    scheme_ = std::make_unique<PocScheme>(crs_);
+    traces_[supplychain::make_epc(1, 1, 1)] = bytes_of("da-1");
+    traces_[supplychain::make_epc(1, 1, 2)] = bytes_of("da-2");
+    traces_[supplychain::make_epc(1, 1, 3)] = bytes_of("da-3");
+    auto [poc, dpoc] = scheme_->aggregate("v2", traces_);
+    poc_ = poc;
+    dpoc_ = std::move(dpoc);
+  }
+
+  zkedb::EdbCrsPtr crs_;
+  std::unique_ptr<PocScheme> scheme_;
+  std::map<Bytes, Bytes> traces_;
+  Poc poc_;
+  std::unique_ptr<PocDecommitment> dpoc_;
+};
+
+TEST_F(PocTest, OwnershipProofRecoversTrace) {
+  const Bytes id = supplychain::make_epc(1, 1, 2);
+  const PocProof proof = scheme_->prove(*dpoc_, id);
+  EXPECT_TRUE(proof.ownership);
+  const PocVerifyResult result = scheme_->verify(poc_, id, proof);
+  ASSERT_EQ(result.verdict, PocVerdict::kTrace);
+  EXPECT_EQ(*result.trace_info, bytes_of("da-2"));
+}
+
+TEST_F(PocTest, NonOwnershipProofForUnknownProduct) {
+  const Bytes id = supplychain::make_epc(9, 9, 9);
+  const PocProof proof = scheme_->prove(*dpoc_, id);
+  EXPECT_FALSE(proof.ownership);
+  EXPECT_EQ(scheme_->verify(poc_, id, proof).verdict, PocVerdict::kValid);
+}
+
+TEST_F(PocTest, CrossProductProofRejected) {
+  const Bytes id1 = supplychain::make_epc(1, 1, 1);
+  const Bytes id2 = supplychain::make_epc(1, 1, 2);
+  const PocProof proof = scheme_->prove(*dpoc_, id1);
+  EXPECT_EQ(scheme_->verify(poc_, id2, proof).verdict, PocVerdict::kBad);
+}
+
+TEST_F(PocTest, MislabeledProofRejected) {
+  // A non-ownership proof presented as ownership (the "claim processing"
+  // forgery) must come back bad, and vice versa.
+  const Bytes ghost = supplychain::make_epc(9, 9, 9);
+  PocProof forged = scheme_->prove(*dpoc_, ghost);
+  forged.ownership = true;
+  EXPECT_EQ(scheme_->verify(poc_, ghost, forged).verdict, PocVerdict::kBad);
+
+  const Bytes owned = supplychain::make_epc(1, 1, 1);
+  PocProof forged2 = scheme_->prove(*dpoc_, owned);
+  forged2.ownership = false;
+  EXPECT_EQ(scheme_->verify(poc_, owned, forged2).verdict, PocVerdict::kBad);
+}
+
+TEST_F(PocTest, GarbageProofRejectedNotThrown) {
+  PocProof garbage;
+  garbage.ownership = true;
+  garbage.zk_proof = bytes_of("not a proof");
+  const Bytes id = supplychain::make_epc(1, 1, 1);
+  EXPECT_EQ(scheme_->verify(poc_, id, garbage).verdict, PocVerdict::kBad);
+}
+
+TEST_F(PocTest, WrongPocRejected) {
+  auto [other_poc, other_dpoc] =
+      scheme_->aggregate("v3", {{supplychain::make_epc(1, 1, 1),
+                                 bytes_of("other-da")}});
+  const Bytes id = supplychain::make_epc(1, 1, 1);
+  const PocProof proof = scheme_->prove(*dpoc_, id);
+  EXPECT_EQ(scheme_->verify(other_poc, id, proof).verdict, PocVerdict::kBad);
+}
+
+TEST_F(PocTest, PocSerializationRoundTrip) {
+  const Poc poc2 = Poc::deserialize(poc_.serialize());
+  EXPECT_EQ(poc2, poc_);
+  const PocProof proof =
+      scheme_->prove(*dpoc_, supplychain::make_epc(1, 1, 1));
+  const PocProof proof2 = PocProof::deserialize(proof.serialize());
+  EXPECT_EQ(scheme_->verify(poc2, supplychain::make_epc(1, 1, 1), proof2)
+                .verdict,
+            PocVerdict::kTrace);
+}
+
+TEST_F(PocTest, PocIsCompact) {
+  // POC size is independent of the number of committed traces.
+  std::map<Bytes, Bytes> big;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    big[supplychain::make_epc(2, 2, i)] = bytes_of("da");
+  }
+  auto [big_poc, big_dpoc] = scheme_->aggregate("v9", big);
+  EXPECT_EQ(big_poc.serialize().size(), poc_.serialize().size());
+}
+
+TEST_F(PocTest, EmptyParticipantIdRejected) {
+  EXPECT_THROW(scheme_->aggregate("", traces_), Error);
+}
+
+TEST_F(PocTest, DpocOwnership) {
+  EXPECT_TRUE(dpoc_->owns(supplychain::make_epc(1, 1, 1)));
+  EXPECT_FALSE(dpoc_->owns(supplychain::make_epc(5, 5, 5)));
+  EXPECT_EQ(dpoc_->trace_count(), 3u);
+}
+
+class PocListTest : public ::testing::Test {
+ protected:
+  Poc make_poc(const std::string& participant, const char* salt) {
+    // Synthetic commitments are fine for graph-level tests.
+    return Poc{participant, bytes_of(std::string("commit-") + salt)};
+  }
+};
+
+TEST_F(PocListTest, BuildAndQuery) {
+  PocList list(bytes_of("ps"));
+  list.add_poc(make_poc("v0", "0"));
+  list.add_poc(make_poc("v2", "2"));
+  list.add_poc(make_poc("v5", "5"));
+  list.add_edge("v0", "v2");
+  list.add_edge("v2", "v5");
+
+  EXPECT_EQ(list.poc_count(), 3u);
+  EXPECT_EQ(list.edge_count(), 2u);
+  EXPECT_TRUE(list.has_edge("v0", "v2"));
+  EXPECT_FALSE(list.has_edge("v0", "v5"));
+  EXPECT_EQ(list.children_of("v2"), (std::vector<std::string>{"v5"}));
+  EXPECT_EQ(list.parents_of("v2"), (std::vector<std::string>{"v0"}));
+  EXPECT_EQ(list.initial_participants(), (std::vector<std::string>{"v0"}));
+  ASSERT_NE(list.find("v2"), nullptr);
+  EXPECT_EQ(list.find("v2")->participant, "v2");
+  EXPECT_EQ(list.find("nope"), nullptr);
+}
+
+TEST_F(PocListTest, ConflictingPocRejected) {
+  PocList list;
+  list.add_poc(make_poc("v0", "a"));
+  list.add_poc(make_poc("v0", "a"));  // identical duplicate is fine
+  EXPECT_THROW(list.add_poc(make_poc("v0", "b")), Error);
+}
+
+TEST_F(PocListTest, EdgeRequiresRegisteredEndpoints) {
+  PocList list;
+  list.add_poc(make_poc("v0", "0"));
+  EXPECT_THROW(list.add_edge("v0", "v2"), Error);
+  EXPECT_THROW(list.add_edge("v0", "v0"), Error);
+}
+
+TEST_F(PocListTest, SerializationRoundTrip) {
+  PocList list(bytes_of("ps-bytes"));
+  list.add_poc(make_poc("v0", "0"));
+  list.add_poc(make_poc("v2", "2"));
+  list.add_edge("v0", "v2");
+  const PocList list2 = PocList::deserialize(list.serialize());
+  EXPECT_EQ(list2.ps(), bytes_of("ps-bytes"));
+  EXPECT_EQ(list2.poc_count(), 2u);
+  EXPECT_TRUE(list2.has_edge("v0", "v2"));
+  EXPECT_EQ(list2.initial_participants(), (std::vector<std::string>{"v0"}));
+}
+
+}  // namespace
+}  // namespace desword::poc

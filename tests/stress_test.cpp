@@ -1,0 +1,99 @@
+// Larger-scale soak: a 20-participant chain, several tasks, dozens of
+// queries with mixed qualities and a sprinkle of adversaries — checks that
+// nothing degrades across many sequential protocol runs (memoization
+// growth, session bookkeeping, reputation accumulation).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "desword/applications.h"
+#include "desword/scenario.h"
+
+namespace desword::protocol {
+namespace {
+
+using supplychain::DistributionConfig;
+using supplychain::make_products;
+using supplychain::SupplyChainGraph;
+
+TEST(StressTest, MultiTaskMultiQuerySoak) {
+  ScenarioConfig cfg;
+  cfg.edb = zkedb::EdbConfig{4, 8, 512, "p256", zkedb::SoftMode::kShared};
+  Scenario scenario(SupplyChainGraph::layered(5, 4, 2), cfg);
+
+  // Three tasks from different initial participants.
+  std::vector<std::vector<supplychain::ProductId>> lots;
+  for (int t = 0; t < 3; ++t) {
+    DistributionConfig dist;
+    dist.initial = "L0-" + std::to_string(t);
+    dist.products = make_products(static_cast<std::uint32_t>(t + 1),
+                                  static_cast<std::uint64_t>(t) * 1000, 6);
+    dist.seed = static_cast<std::uint64_t>(t) + 17;
+    scenario.run_task("task-" + std::to_string(t), dist);
+    lots.push_back(dist.products);
+  }
+
+  // One adversary per behaviour class, scattered over the chain.
+  QueryBehavior wrong_next;
+  wrong_next.wrong_next[lots[0][0]] = "L4-0";
+  scenario.participant("L0-0").set_query_behavior(wrong_next);
+
+  QueryBehavior denial;
+  denial.claim_non_processing.insert(lots[1][1]);
+  const auto& denial_path = *scenario.path_of(lots[1][1]);
+  scenario.participant(denial_path[1]).set_query_behavior(denial);
+
+  // Sweep every product of every lot with alternating qualities.
+  int complete = 0;
+  int detected = 0;
+  SimRng rng(4242);
+  for (std::size_t lot = 0; lot < lots.size(); ++lot) {
+    for (std::size_t i = 0; i < lots[lot].size(); ++i) {
+      const ProductQuality quality = (i % 3 == 0) ? ProductQuality::kBad
+                                                  : ProductQuality::kGood;
+      const QueryOutcome outcome =
+          scenario.proxy().run_query(lots[lot][i], quality);
+      if (outcome.complete) {
+        ++complete;
+        EXPECT_EQ(outcome.path, *scenario.path_of(lots[lot][i]));
+      }
+      detected += static_cast<int>(outcome.violations.size());
+    }
+  }
+
+  // All but the two sabotaged products complete with exact paths.
+  EXPECT_EQ(complete, 18 - 2);
+  EXPECT_GE(detected, 2);
+  // Ledger bookkeeping stayed consistent: every event references a real
+  // query and participant.
+  for (const auto& event : scenario.proxy().ledger().history()) {
+    EXPECT_FALSE(event.participant.empty());
+    EXPECT_GT(event.query_id, 0u);
+  }
+}
+
+TEST(StressTest, RepeatedNonMembershipQueriesBoundedGrowth) {
+  // Repeatedly querying the same absent products must reuse memoized
+  // fabrications rather than growing state per query.
+  zkedb::EdbConfig cfg{4, 8, 512, "p256", zkedb::SoftMode::kShared};
+  const zkedb::EdbCrsPtr crs = zkedb::generate_crs(cfg);
+  poc::PocScheme scheme(crs);
+  std::map<Bytes, Bytes> traces;
+  traces[supplychain::make_epc(1, 1, 1)] = bytes_of("da");
+  auto [p, dpoc] = scheme.aggregate("v1", traces);
+
+  const supplychain::ProductId ghost = supplychain::make_epc(2, 2, 2);
+  const Bytes first = scheme.prove(*dpoc, ghost).serialize();
+  const std::size_t state_after_first = dpoc->serialize().size();
+  for (int i = 0; i < 20; ++i) {
+    const poc::PocProof proof = scheme.prove(*dpoc, ghost);
+    EXPECT_EQ(scheme.verify(p, ghost, proof).verdict,
+              poc::PocVerdict::kValid);
+  }
+  EXPECT_EQ(dpoc->serialize().size(), state_after_first)
+      << "repeated queries for the same key must not grow the DPOC";
+  (void)first;
+}
+
+}  // namespace
+}  // namespace desword::protocol

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "supplychain/distribution.h"
+#include "supplychain/graph.h"
+#include "supplychain/rfid.h"
+#include "supplychain/trace.h"
+
+namespace desword::supplychain {
+namespace {
+
+TEST(EpcTest, MakeAndValidate) {
+  const ProductId id = make_epc(42, 7, 1001);
+  EXPECT_EQ(id.size(), kEpcBytes);
+  EXPECT_TRUE(epc_valid(id));
+  EXPECT_FALSE(epc_valid(Bytes{1, 2, 3}));
+  EXPECT_NE(make_epc(42, 7, 1001), make_epc(42, 7, 1002));
+  EXPECT_EQ(make_epc(42, 7, 1001), make_epc(42, 7, 1001));
+}
+
+TEST(EpcTest, FieldLimitsEnforced) {
+  EXPECT_THROW(make_epc(1, 0x1000000, 1), Error);
+  EXPECT_THROW(make_epc(1, 1, 0x100000000ULL), Error);
+}
+
+TEST(EpcTest, ToStringIsHex) {
+  const ProductId id = make_epc(1, 1, 1);
+  EXPECT_EQ(epc_to_string(id).substr(0, 4), "epc:");
+}
+
+TEST(RfidTagTest, UserBankBounds) {
+  RfidTag tag(make_epc(1, 1, 1));
+  tag.write_user_bank(bytes_of("lot=7"));
+  EXPECT_EQ(string_of(tag.user_bank()), "lot=7");
+  EXPECT_THROW(tag.write_user_bank(Bytes(100, 0)), Error);
+}
+
+TEST(RfidTagTest, RejectsInvalidEpc) {
+  EXPECT_THROW(RfidTag(Bytes{1, 2}), Error);
+}
+
+TEST(RfidReaderTest, PerfectReaderSeesEverything) {
+  std::vector<RfidTag> tags;
+  for (std::uint64_t i = 0; i < 10; ++i) tags.emplace_back(make_epc(1, 1, i));
+  RfidReader reader("r1");
+  EXPECT_EQ(reader.inventory_round(tags).size(), 10u);
+  EXPECT_EQ(reader.inventory_all(tags).size(), 10u);
+}
+
+TEST(RfidReaderTest, LossyReaderConvergesWithRetries) {
+  std::vector<RfidTag> tags;
+  for (std::uint64_t i = 0; i < 50; ++i) tags.emplace_back(make_epc(1, 1, i));
+  RfidReader reader("r1", /*miss_rate=*/0.5, /*seed=*/7);
+  const auto all = reader.inventory_all(tags, /*max_rounds=*/64);
+  EXPECT_EQ(all.size(), 50u);
+  EXPECT_GT(reader.total_reads(), 50u);  // needed more than one round
+}
+
+TEST(RfidReaderTest, ReadTagRespectsMissRate) {
+  RfidTag tag(make_epc(1, 1, 1));
+  RfidReader lossy("r", 0.9, 3);
+  int seen = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (lossy.read_tag(tag).has_value()) ++seen;
+  }
+  EXPECT_GT(seen, 0);
+  EXPECT_LT(seen, 100);
+}
+
+TEST(RfidReaderTest, InvalidMissRateRejected) {
+  EXPECT_THROW(RfidReader("r", 1.0), Error);
+  EXPECT_THROW(RfidReader("r", -0.1), Error);
+}
+
+TEST(TraceTest, SerializationRoundTrip) {
+  TraceInfo info;
+  info.participant = "v2";
+  info.operation = "process";
+  info.timestamp = 17;
+  info.ingredients = {"paracetamol", "starch"};
+  info.parameters = {"temp=20C"};
+  const TraceInfo info2 = TraceInfo::deserialize(info.serialize());
+  EXPECT_EQ(info, info2);
+
+  RfidTrace trace{make_epc(1, 1, 5), info};
+  const RfidTrace trace2 = RfidTrace::deserialize(trace.serialize());
+  EXPECT_EQ(trace, trace2);
+}
+
+TEST(TraceTest, SerializationIsDeterministic) {
+  TraceInfo info;
+  info.participant = "v1";
+  info.operation = "ship";
+  EXPECT_EQ(info.serialize(), info.serialize());
+}
+
+TEST(TraceDatabaseTest, RecordFindRemove) {
+  TraceDatabase db;
+  const ProductId id = make_epc(1, 1, 9);
+  EXPECT_FALSE(db.has(id));
+  db.record(RfidTrace{id, TraceInfo{"v1", "manufacture", 0, {}, {}}});
+  EXPECT_TRUE(db.has(id));
+  ASSERT_NE(db.find(id), nullptr);
+  EXPECT_EQ(db.find(id)->da.operation, "manufacture");
+  EXPECT_EQ(db.size(), 1u);
+  db.remove(id);
+  EXPECT_FALSE(db.has(id));
+}
+
+TEST(TraceDatabaseTest, PocInputMatchesTraces) {
+  TraceDatabase db;
+  const ProductId a = make_epc(1, 1, 1);
+  const ProductId b = make_epc(1, 1, 2);
+  db.record(RfidTrace{a, TraceInfo{"v1", "m", 0, {}, {}}});
+  db.record(RfidTrace{b, TraceInfo{"v1", "m", 1, {}, {}}});
+  const auto input = db.as_poc_input();
+  ASSERT_EQ(input.size(), 2u);
+  EXPECT_EQ(input.at(a), db.find(a)->da.serialize());
+}
+
+TEST(GraphTest, PaperExampleShape) {
+  const SupplyChainGraph g = SupplyChainGraph::paper_example();
+  EXPECT_EQ(g.participant_count(), 10u);
+  const auto initials = g.initial_participants();
+  EXPECT_EQ(initials, (std::vector<ParticipantId>{"v0", "v1"}));
+  const auto leaves = g.leaf_participants();
+  EXPECT_EQ(leaves, (std::vector<ParticipantId>{"v5", "v7", "v8", "v9"}));
+  EXPECT_TRUE(g.has_edge("v0", "v2"));
+  EXPECT_TRUE(g.has_edge("v2", "v5"));
+}
+
+TEST(GraphTest, CycleRejected) {
+  SupplyChainGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  EXPECT_THROW(g.add_edge("c", "a"), Error);
+  EXPECT_THROW(g.add_edge("a", "a"), Error);
+}
+
+TEST(GraphTest, DynamicUpdates) {
+  SupplyChainGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  EXPECT_TRUE(g.has_edge("a", "b"));
+  g.remove_edge("a", "b");
+  EXPECT_FALSE(g.has_edge("a", "b"));
+  EXPECT_THROW(g.remove_edge("a", "b"), Error);
+  g.remove_participant("b");
+  EXPECT_FALSE(g.has_participant("b"));
+  EXPECT_TRUE(g.has_participant("c"));
+  EXPECT_THROW(g.remove_participant("zz"), Error);
+}
+
+TEST(GraphTest, InitialAndLeafClassification) {
+  SupplyChainGraph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  EXPECT_TRUE(g.is_initial("a"));
+  EXPECT_FALSE(g.is_initial("b"));
+  EXPECT_TRUE(g.is_leaf("c"));
+  EXPECT_FALSE(g.is_leaf("b"));
+}
+
+TEST(GraphTest, LayeredGenerator) {
+  const SupplyChainGraph g = SupplyChainGraph::layered(4, 3, 2);
+  EXPECT_EQ(g.participant_count(), 12u);
+  EXPECT_EQ(g.initial_participants().size(), 3u);
+  EXPECT_EQ(g.leaf_participants().size(), 3u);
+  EXPECT_THROW(SupplyChainGraph::layered(1, 3, 2), Error);
+}
+
+class DistributionTest : public ::testing::Test {
+ protected:
+  SupplyChainGraph graph_ = SupplyChainGraph::paper_example();
+};
+
+TEST_F(DistributionTest, PathsFollowGraphEdges) {
+  DistributionConfig cfg;
+  cfg.initial = "v0";
+  cfg.products = make_products(1, 100, 8);
+  cfg.seed = 3;
+  const DistributionResult result = run_distribution(graph_, cfg);
+  ASSERT_EQ(result.paths.size(), 8u);
+  for (const auto& [id, path] : result.paths) {
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), "v0");
+    EXPECT_TRUE(graph_.is_leaf(path.back()));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(graph_.has_edge(path[i], path[i + 1]))
+          << path[i] << "->" << path[i + 1];
+    }
+  }
+}
+
+TEST_F(DistributionTest, TracesRecordedAlongPath) {
+  DistributionConfig cfg;
+  cfg.initial = "v0";
+  cfg.products = make_products(1, 100, 8);
+  const DistributionResult result = run_distribution(graph_, cfg);
+  for (const auto& [id, path] : result.paths) {
+    for (const auto& hop : path) {
+      const TraceDatabase& db = result.databases.at(hop);
+      ASSERT_TRUE(db.has(id)) << hop;
+      EXPECT_EQ(db.find(id)->da.participant, hop);
+    }
+  }
+}
+
+TEST_F(DistributionTest, UsedEdgesAreGraphEdges) {
+  DistributionConfig cfg;
+  cfg.initial = "v1";
+  cfg.products = make_products(2, 0, 16);
+  const DistributionResult result = run_distribution(graph_, cfg);
+  for (const auto& [parent, children] : result.used_edges) {
+    for (const auto& child : children) {
+      EXPECT_TRUE(graph_.has_edge(parent, child));
+    }
+  }
+}
+
+TEST_F(DistributionTest, DeterministicUnderSeed) {
+  DistributionConfig cfg;
+  cfg.initial = "v0";
+  cfg.products = make_products(1, 0, 10);
+  cfg.seed = 99;
+  const DistributionResult r1 = run_distribution(graph_, cfg);
+  const DistributionResult r2 = run_distribution(graph_, cfg);
+  EXPECT_EQ(r1.paths, r2.paths);
+}
+
+TEST_F(DistributionTest, RejectsBadInputs) {
+  DistributionConfig cfg;
+  cfg.initial = "v5";  // leaf, not initial
+  cfg.products = make_products(1, 0, 2);
+  EXPECT_THROW(run_distribution(graph_, cfg), Error);
+  cfg.initial = "nope";
+  EXPECT_THROW(run_distribution(graph_, cfg), Error);
+  cfg.initial = "v0";
+  cfg.products.push_back(cfg.products.front());  // duplicate
+  EXPECT_THROW(run_distribution(graph_, cfg), Error);
+}
+
+TEST_F(DistributionTest, LossyReadersStillRecordEverything) {
+  DistributionConfig cfg;
+  cfg.initial = "v0";
+  cfg.products = make_products(1, 0, 12);
+  cfg.reader_miss_rate = 0.3;
+  const DistributionResult result = run_distribution(graph_, cfg);
+  for (const auto& [id, path] : result.paths) {
+    for (const auto& hop : path) {
+      EXPECT_TRUE(result.databases.at(hop).has(id));
+    }
+  }
+}
+
+TEST(MakeProductsTest, CountAndUniqueness) {
+  const auto products = make_products(7, 1000, 20);
+  EXPECT_EQ(products.size(), 20u);
+  const std::set<ProductId> unique(products.begin(), products.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+}  // namespace
+}  // namespace desword::supplychain

@@ -1,0 +1,13 @@
+// Thin executable wrapper around the CLI library.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return desword::cli::run(args, std::cout, std::cerr);
+}
