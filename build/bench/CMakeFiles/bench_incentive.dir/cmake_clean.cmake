@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incentive.dir/bench_incentive.cpp.o"
+  "CMakeFiles/bench_incentive.dir/bench_incentive.cpp.o.d"
+  "bench_incentive"
+  "bench_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poc_comm.dir/bench_poc_comm.cpp.o"
+  "CMakeFiles/bench_poc_comm.dir/bench_poc_comm.cpp.o.d"
+  "bench_poc_comm"
+  "bench_poc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poc_comp.dir/bench_poc_comp.cpp.o"
+  "CMakeFiles/bench_poc_comp.dir/bench_poc_comp.cpp.o.d"
+  "bench_poc_comp"
+  "bench_poc_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poc_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qtmc_micro.dir/bench_qtmc_micro.cpp.o"
+  "CMakeFiles/bench_qtmc_micro.dir/bench_qtmc_micro.cpp.o.d"
+  "bench_qtmc_micro"
+  "bench_qtmc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qtmc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

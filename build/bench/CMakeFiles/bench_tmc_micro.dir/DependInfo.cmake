@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tmc_micro.cpp" "bench/CMakeFiles/bench_tmc_micro.dir/bench_tmc_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_tmc_micro.dir/bench_tmc_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/desword/CMakeFiles/desword_desword.dir/DependInfo.cmake"
+  "/root/repo/build/src/poc/CMakeFiles/desword_poc.dir/DependInfo.cmake"
+  "/root/repo/build/src/supplychain/CMakeFiles/desword_supplychain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/desword_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/zkedb/CMakeFiles/desword_zkedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mercurial/CMakeFiles/desword_mercurial.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/desword_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tmc_micro.dir/bench_tmc_micro.cpp.o"
+  "CMakeFiles/bench_tmc_micro.dir/bench_tmc_micro.cpp.o.d"
+  "bench_tmc_micro"
+  "bench_tmc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tmc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

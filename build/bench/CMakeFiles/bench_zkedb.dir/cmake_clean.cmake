@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zkedb.dir/bench_zkedb.cpp.o"
+  "CMakeFiles/bench_zkedb.dir/bench_zkedb.cpp.o.d"
+  "bench_zkedb"
+  "bench_zkedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zkedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contamination_recall.dir/contamination_recall.cpp.o"
+  "CMakeFiles/contamination_recall.dir/contamination_recall.cpp.o.d"
+  "contamination_recall"
+  "contamination_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contamination_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfeit_audit.dir/counterfeit_audit.cpp.o"
+  "CMakeFiles/counterfeit_audit.dir/counterfeit_audit.cpp.o.d"
+  "counterfeit_audit"
+  "counterfeit_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfeit_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

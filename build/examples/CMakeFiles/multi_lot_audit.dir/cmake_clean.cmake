@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_lot_audit.dir/multi_lot_audit.cpp.o"
+  "CMakeFiles/multi_lot_audit.dir/multi_lot_audit.cpp.o.d"
+  "multi_lot_audit"
+  "multi_lot_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_lot_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reputation_simulation.dir/reputation_simulation.cpp.o"
+  "CMakeFiles/reputation_simulation.dir/reputation_simulation.cpp.o.d"
+  "reputation_simulation"
+  "reputation_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_common.dir/bytes.cpp.o"
+  "CMakeFiles/desword_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/desword_common.dir/json.cpp.o"
+  "CMakeFiles/desword_common.dir/json.cpp.o.d"
+  "CMakeFiles/desword_common.dir/rng.cpp.o"
+  "CMakeFiles/desword_common.dir/rng.cpp.o.d"
+  "CMakeFiles/desword_common.dir/serial.cpp.o"
+  "CMakeFiles/desword_common.dir/serial.cpp.o.d"
+  "libdesword_common.a"
+  "libdesword_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

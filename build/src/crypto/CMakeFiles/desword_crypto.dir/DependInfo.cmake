@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/ec_group.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/ec_group.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/ec_group.cpp.o.d"
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/modexp.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/modexp.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/modexp.cpp.o.d"
+  "/root/repo/src/crypto/modp_group.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/modp_group.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/modp_group.cpp.o.d"
+  "/root/repo/src/crypto/primes.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/primes.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/primes.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/desword_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/desword_crypto.dir/schnorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/desword_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/ec_group.cpp.o"
+  "CMakeFiles/desword_crypto.dir/ec_group.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/hash.cpp.o"
+  "CMakeFiles/desword_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/modexp.cpp.o"
+  "CMakeFiles/desword_crypto.dir/modexp.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/modp_group.cpp.o"
+  "CMakeFiles/desword_crypto.dir/modp_group.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/primes.cpp.o"
+  "CMakeFiles/desword_crypto.dir/primes.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/desword_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/desword_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/desword_crypto.dir/schnorr.cpp.o.d"
+  "libdesword_crypto.a"
+  "libdesword_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

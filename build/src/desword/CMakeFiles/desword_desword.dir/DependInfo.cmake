@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/desword/applications.cpp" "src/desword/CMakeFiles/desword_desword.dir/applications.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/applications.cpp.o.d"
+  "/root/repo/src/desword/baseline.cpp" "src/desword/CMakeFiles/desword_desword.dir/baseline.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/baseline.cpp.o.d"
+  "/root/repo/src/desword/messages.cpp" "src/desword/CMakeFiles/desword_desword.dir/messages.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/messages.cpp.o.d"
+  "/root/repo/src/desword/participant.cpp" "src/desword/CMakeFiles/desword_desword.dir/participant.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/participant.cpp.o.d"
+  "/root/repo/src/desword/proxy.cpp" "src/desword/CMakeFiles/desword_desword.dir/proxy.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/proxy.cpp.o.d"
+  "/root/repo/src/desword/query.cpp" "src/desword/CMakeFiles/desword_desword.dir/query.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/query.cpp.o.d"
+  "/root/repo/src/desword/reputation.cpp" "src/desword/CMakeFiles/desword_desword.dir/reputation.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/reputation.cpp.o.d"
+  "/root/repo/src/desword/scenario.cpp" "src/desword/CMakeFiles/desword_desword.dir/scenario.cpp.o" "gcc" "src/desword/CMakeFiles/desword_desword.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poc/CMakeFiles/desword_poc.dir/DependInfo.cmake"
+  "/root/repo/build/src/zkedb/CMakeFiles/desword_zkedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mercurial/CMakeFiles/desword_mercurial.dir/DependInfo.cmake"
+  "/root/repo/build/src/supplychain/CMakeFiles/desword_supplychain.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/desword_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/desword_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_desword.dir/applications.cpp.o"
+  "CMakeFiles/desword_desword.dir/applications.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/baseline.cpp.o"
+  "CMakeFiles/desword_desword.dir/baseline.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/messages.cpp.o"
+  "CMakeFiles/desword_desword.dir/messages.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/participant.cpp.o"
+  "CMakeFiles/desword_desword.dir/participant.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/proxy.cpp.o"
+  "CMakeFiles/desword_desword.dir/proxy.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/query.cpp.o"
+  "CMakeFiles/desword_desword.dir/query.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/reputation.cpp.o"
+  "CMakeFiles/desword_desword.dir/reputation.cpp.o.d"
+  "CMakeFiles/desword_desword.dir/scenario.cpp.o"
+  "CMakeFiles/desword_desword.dir/scenario.cpp.o.d"
+  "libdesword_desword.a"
+  "libdesword_desword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_desword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

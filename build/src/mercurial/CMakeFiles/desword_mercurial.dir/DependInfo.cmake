@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mercurial/qtmc.cpp" "src/mercurial/CMakeFiles/desword_mercurial.dir/qtmc.cpp.o" "gcc" "src/mercurial/CMakeFiles/desword_mercurial.dir/qtmc.cpp.o.d"
+  "/root/repo/src/mercurial/tmc.cpp" "src/mercurial/CMakeFiles/desword_mercurial.dir/tmc.cpp.o" "gcc" "src/mercurial/CMakeFiles/desword_mercurial.dir/tmc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/desword_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

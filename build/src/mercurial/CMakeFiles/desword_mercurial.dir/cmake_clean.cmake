@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_mercurial.dir/qtmc.cpp.o"
+  "CMakeFiles/desword_mercurial.dir/qtmc.cpp.o.d"
+  "CMakeFiles/desword_mercurial.dir/tmc.cpp.o"
+  "CMakeFiles/desword_mercurial.dir/tmc.cpp.o.d"
+  "libdesword_mercurial.a"
+  "libdesword_mercurial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_mercurial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for desword_mercurial.
+# This may be replaced when dependencies are built.

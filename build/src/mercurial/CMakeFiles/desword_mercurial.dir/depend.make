@@ -1,0 +1,2 @@
+# Empty dependencies file for desword_mercurial.
+# This may be replaced when dependencies are built.

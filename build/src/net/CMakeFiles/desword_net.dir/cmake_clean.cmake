@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_net.dir/network.cpp.o"
+  "CMakeFiles/desword_net.dir/network.cpp.o.d"
+  "libdesword_net.a"
+  "libdesword_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

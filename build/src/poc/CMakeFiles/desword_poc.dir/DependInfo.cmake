@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poc/poc.cpp" "src/poc/CMakeFiles/desword_poc.dir/poc.cpp.o" "gcc" "src/poc/CMakeFiles/desword_poc.dir/poc.cpp.o.d"
+  "/root/repo/src/poc/poc_list.cpp" "src/poc/CMakeFiles/desword_poc.dir/poc_list.cpp.o" "gcc" "src/poc/CMakeFiles/desword_poc.dir/poc_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zkedb/CMakeFiles/desword_zkedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mercurial/CMakeFiles/desword_mercurial.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/desword_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_poc.dir/poc.cpp.o"
+  "CMakeFiles/desword_poc.dir/poc.cpp.o.d"
+  "CMakeFiles/desword_poc.dir/poc_list.cpp.o"
+  "CMakeFiles/desword_poc.dir/poc_list.cpp.o.d"
+  "libdesword_poc.a"
+  "libdesword_poc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_poc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for desword_poc.
+# This may be replaced when dependencies are built.

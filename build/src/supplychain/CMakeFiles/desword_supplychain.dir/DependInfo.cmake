@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supplychain/distribution.cpp" "src/supplychain/CMakeFiles/desword_supplychain.dir/distribution.cpp.o" "gcc" "src/supplychain/CMakeFiles/desword_supplychain.dir/distribution.cpp.o.d"
+  "/root/repo/src/supplychain/graph.cpp" "src/supplychain/CMakeFiles/desword_supplychain.dir/graph.cpp.o" "gcc" "src/supplychain/CMakeFiles/desword_supplychain.dir/graph.cpp.o.d"
+  "/root/repo/src/supplychain/rfid.cpp" "src/supplychain/CMakeFiles/desword_supplychain.dir/rfid.cpp.o" "gcc" "src/supplychain/CMakeFiles/desword_supplychain.dir/rfid.cpp.o.d"
+  "/root/repo/src/supplychain/trace.cpp" "src/supplychain/CMakeFiles/desword_supplychain.dir/trace.cpp.o" "gcc" "src/supplychain/CMakeFiles/desword_supplychain.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_supplychain.dir/distribution.cpp.o"
+  "CMakeFiles/desword_supplychain.dir/distribution.cpp.o.d"
+  "CMakeFiles/desword_supplychain.dir/graph.cpp.o"
+  "CMakeFiles/desword_supplychain.dir/graph.cpp.o.d"
+  "CMakeFiles/desword_supplychain.dir/rfid.cpp.o"
+  "CMakeFiles/desword_supplychain.dir/rfid.cpp.o.d"
+  "CMakeFiles/desword_supplychain.dir/trace.cpp.o"
+  "CMakeFiles/desword_supplychain.dir/trace.cpp.o.d"
+  "libdesword_supplychain.a"
+  "libdesword_supplychain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_supplychain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

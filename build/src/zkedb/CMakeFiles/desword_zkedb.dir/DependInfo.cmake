@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zkedb/batch.cpp" "src/zkedb/CMakeFiles/desword_zkedb.dir/batch.cpp.o" "gcc" "src/zkedb/CMakeFiles/desword_zkedb.dir/batch.cpp.o.d"
+  "/root/repo/src/zkedb/params.cpp" "src/zkedb/CMakeFiles/desword_zkedb.dir/params.cpp.o" "gcc" "src/zkedb/CMakeFiles/desword_zkedb.dir/params.cpp.o.d"
+  "/root/repo/src/zkedb/persist.cpp" "src/zkedb/CMakeFiles/desword_zkedb.dir/persist.cpp.o" "gcc" "src/zkedb/CMakeFiles/desword_zkedb.dir/persist.cpp.o.d"
+  "/root/repo/src/zkedb/proof.cpp" "src/zkedb/CMakeFiles/desword_zkedb.dir/proof.cpp.o" "gcc" "src/zkedb/CMakeFiles/desword_zkedb.dir/proof.cpp.o.d"
+  "/root/repo/src/zkedb/prover.cpp" "src/zkedb/CMakeFiles/desword_zkedb.dir/prover.cpp.o" "gcc" "src/zkedb/CMakeFiles/desword_zkedb.dir/prover.cpp.o.d"
+  "/root/repo/src/zkedb/verifier.cpp" "src/zkedb/CMakeFiles/desword_zkedb.dir/verifier.cpp.o" "gcc" "src/zkedb/CMakeFiles/desword_zkedb.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mercurial/CMakeFiles/desword_mercurial.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/desword_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/desword_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

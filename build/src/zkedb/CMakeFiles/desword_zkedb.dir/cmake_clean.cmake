@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_zkedb.dir/batch.cpp.o"
+  "CMakeFiles/desword_zkedb.dir/batch.cpp.o.d"
+  "CMakeFiles/desword_zkedb.dir/params.cpp.o"
+  "CMakeFiles/desword_zkedb.dir/params.cpp.o.d"
+  "CMakeFiles/desword_zkedb.dir/persist.cpp.o"
+  "CMakeFiles/desword_zkedb.dir/persist.cpp.o.d"
+  "CMakeFiles/desword_zkedb.dir/proof.cpp.o"
+  "CMakeFiles/desword_zkedb.dir/proof.cpp.o.d"
+  "CMakeFiles/desword_zkedb.dir/prover.cpp.o"
+  "CMakeFiles/desword_zkedb.dir/prover.cpp.o.d"
+  "CMakeFiles/desword_zkedb.dir/verifier.cpp.o"
+  "CMakeFiles/desword_zkedb.dir/verifier.cpp.o.d"
+  "libdesword_zkedb.a"
+  "libdesword_zkedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_zkedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_property_test.dir/crypto_property_test.cpp.o"
+  "CMakeFiles/crypto_property_test.dir/crypto_property_test.cpp.o.d"
+  "crypto_property_test"
+  "crypto_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

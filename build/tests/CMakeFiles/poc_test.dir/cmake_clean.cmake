@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_test.dir/poc_test.cpp.o"
+  "CMakeFiles/poc_test.dir/poc_test.cpp.o.d"
+  "poc_test"
+  "poc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

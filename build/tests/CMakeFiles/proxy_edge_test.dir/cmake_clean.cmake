@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_edge_test.dir/proxy_edge_test.cpp.o"
+  "CMakeFiles/proxy_edge_test.dir/proxy_edge_test.cpp.o.d"
+  "proxy_edge_test"
+  "proxy_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtmc_test.dir/qtmc_test.cpp.o"
+  "CMakeFiles/qtmc_test.dir/qtmc_test.cpp.o.d"
+  "qtmc_test"
+  "qtmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplychain_test.dir/supplychain_test.cpp.o"
+  "CMakeFiles/supplychain_test.dir/supplychain_test.cpp.o.d"
+  "supplychain_test"
+  "supplychain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplychain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_test.dir/tmc_test.cpp.o"
+  "CMakeFiles/tmc_test.dir/tmc_test.cpp.o.d"
+  "tmc_test"
+  "tmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

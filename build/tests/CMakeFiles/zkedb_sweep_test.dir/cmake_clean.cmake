@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkedb_sweep_test.dir/zkedb_sweep_test.cpp.o"
+  "CMakeFiles/zkedb_sweep_test.dir/zkedb_sweep_test.cpp.o.d"
+  "zkedb_sweep_test"
+  "zkedb_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkedb_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

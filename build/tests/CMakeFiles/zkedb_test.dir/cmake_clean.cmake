@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkedb_test.dir/zkedb_test.cpp.o"
+  "CMakeFiles/zkedb_test.dir/zkedb_test.cpp.o.d"
+  "zkedb_test"
+  "zkedb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkedb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

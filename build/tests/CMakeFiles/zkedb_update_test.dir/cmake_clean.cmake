@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkedb_update_test.dir/zkedb_update_test.cpp.o"
+  "CMakeFiles/zkedb_update_test.dir/zkedb_update_test.cpp.o.d"
+  "zkedb_update_test"
+  "zkedb_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkedb_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

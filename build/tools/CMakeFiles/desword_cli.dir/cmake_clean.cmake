@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_cli.dir/desword_cli.cpp.o"
+  "CMakeFiles/desword_cli.dir/desword_cli.cpp.o.d"
+  "desword"
+  "desword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

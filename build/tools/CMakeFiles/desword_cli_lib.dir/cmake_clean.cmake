@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desword_cli_lib.dir/cli_lib.cpp.o"
+  "CMakeFiles/desword_cli_lib.dir/cli_lib.cpp.o.d"
+  "libdesword_cli_lib.a"
+  "libdesword_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desword_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

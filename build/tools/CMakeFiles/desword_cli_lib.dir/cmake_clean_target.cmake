@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdesword_cli_lib.a"
+)
