@@ -11,6 +11,7 @@
 // against a dishonest data owner (see tests/baseline_test.cpp).
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench_util.h"
 #include "common/timing.h"
@@ -66,6 +67,11 @@ int main() {
     std::printf("%-8zu %-11zuB   %-11zuB   %-12.1f %-12.1f %zu/%zu\n", n,
                 zk_poc.serialize().size(), sig_poc.serialize().size(), zk_ms,
                 sig_ms, sig_poc.entries.size(), n);
+    const std::string suffix = "/n:" + std::to_string(n);
+    benchutil::emit_json_line("bench_baseline", "ZkAggregate" + suffix,
+                              zk_ms * 1e6);
+    benchutil::emit_json_line("bench_baseline", "BaselineAggregate" + suffix,
+                              sig_ms * 1e6);
   }
 
   std::printf("\nThe ZK-EDB credential stays constant-size and leaks no\n"

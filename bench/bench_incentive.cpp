@@ -18,8 +18,10 @@
 // probability.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "desword/reputation.h"
 
@@ -113,6 +115,15 @@ int main() {
     std::printf("%-8.2f | %8.3f +- %-10.3f | %8.3f +- %-10.3f | "
                 "%8.3f +- %-10.3f\n",
                 p_bad, h.mean, h.stddev, d.mean, d.stddev, a.mean, a.stddev);
+    // Mean reputation per period is the measurement; it rides in the
+    // schema's numeric slot under explicit case names.
+    const std::string suffix = "/pbad:" + std::to_string(p_bad);
+    desword::benchutil::emit_json_line("bench_incentive",
+                                       "HonestMean" + suffix, h.mean);
+    desword::benchutil::emit_json_line("bench_incentive",
+                                       "DeleteMean" + suffix, d.mean);
+    desword::benchutil::emit_json_line("bench_incentive", "AddMean" + suffix,
+                                       a.mean);
   }
 
   std::printf(

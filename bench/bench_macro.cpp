@@ -137,8 +137,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return desword::benchutil::run_benchmarks(argc, argv, "bench_macro");
 }

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "poc/poc.h"
@@ -44,6 +45,8 @@ PocFixture& fixture_for(std::uint32_t q, std::uint32_t h) {
     auto fx = std::make_unique<PocFixture>();
     fx->crs = benchutil::crs_for(q, h);
     fx->crs->qtmc().precompute_soft_bases();
+    fx->crs->qtmc().precompute_fixed_bases();
+    fx->crs->tmc().precompute_fixed_bases();
     fx->scheme = std::make_unique<poc::PocScheme>(fx->crs);
     std::map<Bytes, Bytes> traces;
     for (std::uint64_t i = 0; i < 4; ++i) {
@@ -118,6 +121,24 @@ void BM_PocAggregate(benchmark::State& state) {
   }
 }
 
+// Distribution-phase commit with a bigger trace set, swept over the thread
+// count: range(2) = workers for the parallel trie build (1 = sequential
+// baseline).
+void BM_PocAggregateThreads(benchmark::State& state) {
+  PocFixture& fx = fixture_for(static_cast<std::uint32_t>(state.range(0)),
+                               static_cast<std::uint32_t>(state.range(1)));
+  zkedb::EdbProverOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(2));
+  std::map<Bytes, Bytes> traces;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    traces[supplychain::make_epc(1, 1, i)] = bytes_of("production-data");
+  }
+  for (auto _ : state) {
+    auto pair = fx.scheme->aggregate("v1", traces, opts);
+    benchmark::DoNotOptimize(pair.first.commitment);
+  }
+}
+
 void register_all() {
   for (const auto& [q, h] : desword::benchutil::qh_sweep()) {
     const auto add = [q = q, h = h](const char* name, auto* fn,
@@ -133,14 +154,23 @@ void register_all() {
     add("Fig5/NOwnProofVerify", BM_NOwnProofVerify, 20);
     add("Ext/PocAggregate", BM_PocAggregate, 3);
   }
+  // Thread sweep on one representative configuration.
+  const auto [q, h] = desword::benchutil::qh_sweep().front();
+  std::vector<long> thread_counts{1, 4};
+  const long hw = static_cast<long>(ThreadPool::default_threads());
+  if (hw > 4) thread_counts.push_back(hw);
+  for (const long t : thread_counts) {
+    benchmark::RegisterBenchmark("Ext/PocAggregateThreads",
+                                 BM_PocAggregateThreads)
+        ->Args({static_cast<long>(q), static_cast<long>(h), t})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return desword::benchutil::run_benchmarks(argc, argv, "bench_poc_comp");
 }

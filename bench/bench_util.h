@@ -5,14 +5,21 @@
 //                            512 for quick runs)
 //   DESWORD_BENCH_QUICK      if set (non-empty), benchmarks shrink their
 //                            parameter sweeps for smoke testing
+//   DESWORD_THREADS          worker count for the parallel stages (see
+//                            common/thread_pool.h); also lands in the
+//                            "threads" field of the JSON result lines
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "crypto/hash.h"
 #include "mercurial/qtmc.h"
 #include "zkedb/params.h"
@@ -84,6 +91,58 @@ inline zkedb::EdbCrsPtr crs_for(std::uint32_t q, std::uint32_t h) {
     it = cache.emplace(key, zkedb::generate_crs(cfg)).first;
   }
   return it->second;
+}
+
+/// Worker count the parallel stages will use (the JSON "threads" field).
+inline unsigned bench_threads() { return ThreadPool::default_threads(); }
+
+/// Emits one machine-readable result line on stdout. The schema is stable
+/// — scripts grep for lines starting with '{"bench"':
+///   {"bench":"<binary>","case":"<case>","ns_per_op":<num>,"threads":<n>}
+inline void emit_json_line(const std::string& bench,
+                           const std::string& case_name, double ns_per_op) {
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::printf("{\"bench\":\"%s\",\"case\":\"%s\",\"ns_per_op\":%.1f,"
+              "\"threads\":%u}\n",
+              escaped(bench).c_str(), escaped(case_name).c_str(), ns_per_op,
+              bench_threads());
+}
+
+/// Console reporter that additionally emits one JSON line per finished
+/// benchmark run (google-benchmark binaries).
+class JsonLineReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLineReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double ns_per_op = run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e9;
+      emit_json_line(bench_, run.benchmark_name(), ns_per_op);
+    }
+  }
+
+ private:
+  std::string bench_;
+};
+
+/// Standard main body for google-benchmark binaries: console output plus
+/// JSON result lines.
+inline int run_benchmarks(int argc, char** argv, const std::string& bench) {
+  benchmark::Initialize(&argc, argv);
+  JsonLineReporter reporter(bench);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace desword::benchutil

@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "supplychain/rfid.h"
+#include "zkedb/batch.h"
 #include "zkedb/prover.h"
 #include "zkedb/verifier.h"
 
@@ -22,8 +23,15 @@ using namespace desword;
 using namespace desword::zkedb;
 
 EdbCrsPtr bench_crs() {
-  if (benchutil::quick_mode()) return benchutil::crs_for(4, 8);
-  return benchutil::crs_for(16, 32);
+  static const EdbCrsPtr crs = [] {
+    EdbCrsPtr c = benchutil::quick_mode() ? benchutil::crs_for(4, 8)
+                                          : benchutil::crs_for(16, 32);
+    c->qtmc().precompute_soft_bases();
+    c->qtmc().precompute_fixed_bases();
+    c->tmc().precompute_fixed_bases();
+    return c;
+  }();
+  return crs;
 }
 
 std::map<Bytes, Bytes> entries_of(const EdbCrs& crs, std::size_t n) {
@@ -48,11 +56,45 @@ EdbProver& prover_for(std::size_t n) {
 
 void BM_Commit(benchmark::State& state) {
   const EdbCrsPtr crs = bench_crs();
-  crs->qtmc().precompute_soft_bases();
   const auto entries = entries_of(*crs, static_cast<std::size_t>(state.range(0)));
+  EdbProverOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
-    EdbProver prover(crs, entries);
+    EdbProver prover(crs, entries, opts);
     benchmark::DoNotOptimize(prover.commitment_bytes());
+  }
+}
+
+void BM_BatchProve(benchmark::State& state) {
+  EdbProver& prover = prover_for(static_cast<std::size_t>(state.range(0)));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  std::vector<EdbKey> keys;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0));
+       ++i) {
+    keys.push_back(key_for_identifier(prover.crs(), be64(i)));
+  }
+  for (auto _ : state) {
+    auto batch = edb_prove_membership_batch(prover, keys, threads);
+    benchmark::DoNotOptimize(batch.leaves);
+  }
+}
+
+void BM_BatchVerify(benchmark::State& state) {
+  EdbProver& prover = prover_for(static_cast<std::size_t>(state.range(0)));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  std::vector<EdbKey> keys;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0));
+       ++i) {
+    keys.push_back(key_for_identifier(prover.crs(), be64(i)));
+  }
+  const auto batch = edb_prove_membership_batch(prover, keys, threads);
+  for (auto _ : state) {
+    auto values = edb_verify_membership_batch(
+        prover.crs(), prover.commitment(), keys, batch, threads);
+    if (!values.has_value()) {
+      state.SkipWithError("batch verification failed");
+      return;
+    }
   }
 }
 
@@ -99,11 +141,17 @@ void register_all() {
   const std::vector<long> sizes =
       benchutil::quick_mode() ? std::vector<long>{2, 8}
                               : std::vector<long>{2, 8, 32};
+  // threads = 1 is the sequential baseline; the others exercise the pool.
+  std::vector<long> thread_counts{1, 4};
+  const long hw = static_cast<long>(ThreadPool::default_threads());
+  if (hw > 4) thread_counts.push_back(hw);
   for (const long n : sizes) {
-    benchmark::RegisterBenchmark("ZkEdb/Commit", BM_Commit)
-        ->Arg(n)
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(2);
+    for (const long t : thread_counts) {
+      benchmark::RegisterBenchmark("ZkEdb/Commit", BM_Commit)
+          ->Args({n, t})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
     benchmark::RegisterBenchmark("ZkEdb/ProveMember", BM_ProveMember)
         ->Arg(n)
         ->Unit(benchmark::kMillisecond)
@@ -118,14 +166,22 @@ void register_all() {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(5);
   }
+  const long batch_n = benchutil::quick_mode() ? 8 : 32;
+  for (const long t : thread_counts) {
+    benchmark::RegisterBenchmark("ZkEdb/BatchProve", BM_BatchProve)
+        ->Args({batch_n, t})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+    benchmark::RegisterBenchmark("ZkEdb/BatchVerify", BM_BatchVerify)
+        ->Args({batch_n, t})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return desword::benchutil::run_benchmarks(argc, argv, "bench_zkedb");
 }

@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace desword {
+
+namespace {
+
+std::mutex g_default_mu;
+unsigned g_default_override = 0;  // 0 = no override
+
+unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::run_one(Batch& batch) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (batch.drained()) return false;
+    index = batch.next++;
+    ++batch.running;
+  }
+  std::exception_ptr err;
+  try {
+    (*batch.fn)(index);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (err) {
+      if (!batch.error) batch.error = err;
+      batch.stopped = true;  // abandon unclaimed indices
+    }
+    --batch.running;
+    if (batch.done()) done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::for_each(std::size_t n,
+                          const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &f;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  // The caller drains its own batch; workers may claim indices too.
+  while (run_one(*batch)) {
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return batch->done(); });
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), batch), queue_.end());
+  if (batch->error) {
+    auto err = batch->error;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      batch = queue_.front();
+      if (batch->drained()) {
+        // Fully claimed (possibly still running elsewhere): retire it from
+        // the queue and look for the next batch.
+        queue_.pop_front();
+        continue;
+      }
+    }
+    while (run_one(*batch)) {
+    }
+  }
+}
+
+unsigned ThreadPool::default_threads() {
+  {
+    std::lock_guard<std::mutex> lk(g_default_mu);
+    if (g_default_override != 0) return g_default_override;
+  }
+  if (const char* env = std::getenv("DESWORD_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return hardware_threads();
+}
+
+void ThreadPool::set_default_threads(unsigned threads) {
+  std::lock_guard<std::mutex> lk(g_default_mu);
+  g_default_override = threads;
+}
+
+ThreadPool& ThreadPool::shared() { return with_threads(default_threads()); }
+
+ThreadPool& ThreadPool::with_threads(unsigned threads) {
+  if (threads == 0) threads = 1;
+  static std::mutex registry_mu;
+  static std::map<unsigned, std::unique_ptr<ThreadPool>>* registry =
+      new std::map<unsigned, std::unique_ptr<ThreadPool>>();
+  std::lock_guard<std::mutex> lk(registry_mu);
+  auto it = registry->find(threads);
+  if (it == registry->end()) {
+    it = registry->emplace(threads, std::make_unique<ThreadPool>(threads))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace desword

@@ -50,6 +50,12 @@ class Group {
   /// when no trapdoor is wanted).
   virtual Bytes hash_to_element(BytesView seed) const = 0;
 
+  /// Hint that `elem` will be exponentiated many times (a CRS generator):
+  /// backends may build a fixed-base precomputation table for it. Optional
+  /// — the default is a no-op. Call before sharing the group across
+  /// threads, or rely on the backend's own locking.
+  virtual void precompute_base(BytesView elem) const { (void)elem; }
+
   /// Serialized element size in bytes (fixed per backend).
   virtual std::size_t element_size() const = 0;
 

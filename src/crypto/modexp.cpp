@@ -49,4 +49,95 @@ Bignum ModExpContext::exp_signed(const Bignum& base,
   return Bignum::mod_inverse(exp(base, exponent.negated()), modulus_);
 }
 
+ModExpContext::FixedBaseTable ModExpContext::precompute(const Bignum& base,
+                                                        int max_bits,
+                                                        int window) const {
+  if (max_bits <= 0) {
+    throw CryptoError("ModExpContext::precompute: max_bits must be > 0");
+  }
+  if (window < 1 || window > 8) {
+    throw CryptoError("ModExpContext::precompute: window out of [1, 8]");
+  }
+  FixedBaseTable t;
+  t.base_ = base.mod(modulus_);
+  t.window_ = window;
+  t.max_bits_ = max_bits;
+  t.row_ = (std::size_t{1} << window) - 1;
+  const int blocks = (max_bits + window - 1) / window;
+  t.table_.resize(static_cast<std::size_t>(blocks) * t.row_);
+
+  BN_CTX* ctx = scratch();
+  // cur = base^(2^{w·j}) in Montgomery form, advanced block by block.
+  Bignum cur;
+  if (BN_to_montgomery(cur.raw(), t.base_.raw(), mont_, ctx) != 1) {
+    throw CryptoError("BN_to_montgomery failed");
+  }
+  for (int j = 0; j < blocks; ++j) {
+    Bignum* row = &t.table_[static_cast<std::size_t>(j) * t.row_];
+    row[0] = cur;
+    for (std::size_t k = 2; k <= t.row_; ++k) {
+      // row[k-1] = base^(k·2^{wj}) = row[k-2] · cur.
+      if (BN_mod_mul_montgomery(row[k - 1].raw(), row[k - 2].raw(), cur.raw(),
+                                mont_, ctx) != 1) {
+        throw CryptoError("BN_mod_mul_montgomery failed");
+      }
+    }
+    if (j + 1 < blocks) {
+      for (int s = 0; s < window; ++s) {
+        if (BN_mod_mul_montgomery(cur.raw(), cur.raw(), cur.raw(), mont_,
+                                  ctx) != 1) {
+          throw CryptoError("BN_mod_mul_montgomery failed");
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Bignum ModExpContext::exp(const FixedBaseTable& table,
+                          const Bignum& exponent) const {
+  if (exponent.is_negative()) {
+    throw CryptoError("ModExpContext::exp: negative exponent");
+  }
+  if (exponent.bits() > table.max_bits_) {
+    return exp(table.base_, exponent);  // oversized: plain path
+  }
+  if (exponent.is_zero()) return Bignum(1);
+
+  BN_CTX* ctx = scratch();
+  const int window = table.window_;
+  const int blocks = (exponent.bits() + window - 1) / window;
+  Bignum acc;
+  bool have_acc = false;
+  for (int j = 0; j < blocks; ++j) {
+    unsigned digit = 0;
+    for (int b = 0; b < window; ++b) {
+      if (BN_is_bit_set(exponent.raw(), j * window + b)) digit |= 1u << b;
+    }
+    if (digit == 0) continue;
+    const Bignum& entry =
+        table.table_[static_cast<std::size_t>(j) * table.row_ + (digit - 1)];
+    if (!have_acc) {
+      acc = entry;
+      have_acc = true;
+      continue;
+    }
+    if (BN_mod_mul_montgomery(acc.raw(), acc.raw(), entry.raw(), mont_,
+                              ctx) != 1) {
+      throw CryptoError("BN_mod_mul_montgomery failed");
+    }
+  }
+  Bignum out;
+  if (BN_from_montgomery(out.raw(), acc.raw(), mont_, ctx) != 1) {
+    throw CryptoError("BN_from_montgomery failed");
+  }
+  return out;
+}
+
+Bignum ModExpContext::exp_signed(const FixedBaseTable& table,
+                                 const Bignum& exponent) const {
+  if (!exponent.is_negative()) return exp(table, exponent);
+  return Bignum::mod_inverse(exp(table, exponent.negated()), modulus_);
+}
+
 }  // namespace desword

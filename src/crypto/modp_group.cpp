@@ -3,11 +3,15 @@
 // Elements are members of the order-q subgroup of quadratic residues of
 // Z_p^* where p = 2q + 1 is a safe prime. Serialization is the big-endian
 // value padded to the byte length of p.
+#include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string_view>
 
 #include "common/error.h"
 #include "crypto/group.h"
 #include "crypto/hash.h"
+#include "crypto/modexp.h"
 
 namespace desword {
 
@@ -37,7 +41,8 @@ class ModpGroup final : public Group {
       : name_(std::move(name)),
         p_(Bignum::from_hex(prime_hex)),
         q_((p_ - Bignum(1)).divided_by(Bignum(2))),
-        elem_size_(static_cast<std::size_t>((p_.bits() + 7) / 8)) {
+        elem_size_(static_cast<std::size_t>((p_.bits() + 7) / 8)),
+        mexp_(p_) {
     // Generator of the QR subgroup: 4 = 2^2 is always a quadratic residue.
     g_ = Bignum(4).mod(p_).to_bytes_padded(elem_size_);
   }
@@ -50,7 +55,24 @@ class ModpGroup final : public Group {
   Bytes exp(BytesView elem, const Bignum& scalar) const override {
     const Bignum e = decode(elem);
     const Bignum s = scalar.mod(q_);
-    return encode(Bignum::mod_exp(e, s, p_));
+    {
+      std::shared_lock<std::shared_mutex> lk(fixed_mu_);
+      const auto it = fixed_.find(Bytes(elem.begin(), elem.end()));
+      if (it != fixed_.end()) return encode(mexp_.exp(it->second, s));
+    }
+    return encode(mexp_.exp(e, s));
+  }
+
+  void precompute_base(BytesView elem) const override {
+    (void)decode(elem);  // validate before caching
+    Bytes key(elem.begin(), elem.end());
+    std::unique_lock<std::shared_mutex> lk(fixed_mu_);
+    if (fixed_.find(key) != fixed_.end()) return;
+    // Scalars are reduced mod q before exponentiation, so q's width bounds
+    // every table lookup.
+    ModExpContext::FixedBaseTable table =
+        mexp_.precompute(Bignum::from_bytes(elem), q_.bits());
+    fixed_.emplace(std::move(key), std::move(table));
   }
 
   Bytes mul(BytesView a, BytesView b) const override {
@@ -103,7 +125,12 @@ class ModpGroup final : public Group {
   Bignum p_;
   Bignum q_;
   std::size_t elem_size_;
+  ModExpContext mexp_;
   Bytes g_;
+
+  // Fixed-base tables for registered generators (precompute_base).
+  mutable std::shared_mutex fixed_mu_;
+  mutable std::map<Bytes, ModExpContext::FixedBaseTable> fixed_;
 };
 
 }  // namespace

@@ -1,0 +1,71 @@
+#include "crypto/randsource.h"
+
+#include "common/error.h"
+#include "crypto/hash.h"
+
+namespace desword {
+
+Bignum SystemRandomSource::rand_bits(int bits) {
+  return Bignum::rand_bits(bits);
+}
+
+Bignum SystemRandomSource::rand_range(const Bignum& bound) {
+  return Bignum::rand_range(bound);
+}
+
+RandomSource& system_random() {
+  static SystemRandomSource source;
+  return source;
+}
+
+DrbgRandomSource::DrbgRandomSource(BytesView seed)
+    : seed_(seed.begin(), seed.end()) {}
+
+Bytes DrbgRandomSource::bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (buffer_pos_ >= buffer_.size()) {
+      TaggedHasher h("desword/drbg-block");
+      h.add(seed_).add_u64(counter_++);
+      buffer_ = h.digest();
+      buffer_pos_ = 0;
+    }
+    const std::size_t take =
+        std::min(n - out.size(), buffer_.size() - buffer_pos_);
+    out.insert(out.end(), buffer_.begin() + static_cast<long>(buffer_pos_),
+               buffer_.begin() + static_cast<long>(buffer_pos_ + take));
+    buffer_pos_ += take;
+  }
+  return out;
+}
+
+Bignum DrbgRandomSource::rand_bits(int bits) {
+  if (bits <= 0) throw CryptoError("DrbgRandomSource::rand_bits: bits <= 0");
+  const std::size_t n = (static_cast<std::size_t>(bits) + 7) / 8;
+  Bytes raw = bytes(n);
+  // Mask down to exactly `bits` bits, then force the top bit so the result
+  // has the same "exactly bits wide" contract as Bignum::rand_bits.
+  const int excess = static_cast<int>(n * 8) - bits;
+  raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return Bignum::from_bytes(raw);
+}
+
+Bignum DrbgRandomSource::rand_range(const Bignum& bound) {
+  if (bound.is_zero() || bound.is_negative()) {
+    throw CryptoError("DrbgRandomSource::rand_range: bound must be > 0");
+  }
+  const int bits = bound.bits();
+  const std::size_t n = (static_cast<std::size_t>(bits) + 7) / 8;
+  const int excess = static_cast<int>(n * 8) - bits;
+  // Rejection sampling on `bits`-wide candidates: acceptance >= 1/2.
+  for (;;) {
+    Bytes raw = bytes(n);
+    raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    Bignum candidate = Bignum::from_bytes(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+}  // namespace desword

@@ -1,0 +1,64 @@
+// Pluggable randomness for commitment schemes.
+//
+// Commitment randomizers normally come from the OS CSPRNG, but two callers
+// need a controlled stream instead:
+//   * the deterministic replay tests, which assert that the parallel
+//     ZK-EDB build is byte-identical to the sequential one — randomness
+//     must then depend only on WHAT is drawn (which tree node), never on
+//     thread scheduling;
+//   * auditable re-derivation of a commitment from a stored seed.
+//
+// DrbgRandomSource is a SHA-256 counter-mode DRBG: deterministic, forkable
+// by domain-separated seeds, and NOT suitable for production commitments
+// unless the seed itself is high-entropy and secret.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+
+namespace desword {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Uniform value with exactly `bits` bits (top bit set), like
+  /// Bignum::rand_bits.
+  virtual Bignum rand_bits(int bits) = 0;
+
+  /// Uniform value in [0, bound), bound > 0, like Bignum::rand_range.
+  virtual Bignum rand_range(const Bignum& bound) = 0;
+};
+
+/// The process CSPRNG (delegates to Bignum's OpenSSL-backed draws).
+/// Stateless and thread safe; `system_random()` returns a shared instance.
+class SystemRandomSource final : public RandomSource {
+ public:
+  Bignum rand_bits(int bits) override;
+  Bignum rand_range(const Bignum& bound) override;
+};
+
+RandomSource& system_random();
+
+/// Deterministic SHA-256 counter-mode stream seeded by arbitrary bytes.
+/// NOT thread safe — derive one instance per consumer.
+class DrbgRandomSource final : public RandomSource {
+ public:
+  explicit DrbgRandomSource(BytesView seed);
+
+  Bignum rand_bits(int bits) override;
+  Bignum rand_range(const Bignum& bound) override;
+
+  /// `n` deterministic bytes from the stream.
+  Bytes bytes(std::size_t n);
+
+ private:
+  Bytes seed_;
+  std::uint64_t counter_ = 0;
+  Bytes buffer_;           // unconsumed tail of the last block
+  std::size_t buffer_pos_ = 0;
+};
+
+}  // namespace desword

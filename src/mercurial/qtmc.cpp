@@ -175,35 +175,50 @@ QtmcScheme::QtmcScheme(QtmcPublicKey pk) : pk_(std::move(pk)) {
 
 std::pair<QtmcCommitment, QtmcHardDecommit> QtmcScheme::hard_commit(
     const std::vector<Bytes>& messages) const {
+  return hard_commit(messages, system_random());
+}
+
+std::pair<QtmcCommitment, QtmcHardDecommit> QtmcScheme::hard_commit(
+    const std::vector<Bytes>& messages, RandomSource& rng) const {
   if (messages.size() > pk_.q) {
     throw CryptoError("qTMC: more messages than arity");
   }
   QtmcHardDecommit dec;
   dec.messages = messages;
   dec.messages.resize(pk_.q, null_message());
-  dec.z = Bignum::rand_bits(kRandomizerBits);
-  dec.r0 = Bignum::rand_bits(kRandomizerBits);
-  dec.r1 = Bignum::rand_bits(kRandomizerBits);
+  dec.z = rng.rand_bits(kRandomizerBits);
+  dec.r0 = rng.rand_bits(kRandomizerBits);
+  dec.r1 = rng.rand_bits(kRandomizerBits);
 
-  const Bignum c1 = mexp_->exp(pk_.h, dec.r1);
-  Bignum acc = mexp_->exp(h_tilde_, dec.z);
+  const Bignum c1 = pow_h(dec.r1);
+  Bignum acc = pow_h_tilde(dec.z);
   // Group equal messages: ∏_{i∈I} S_i^m = (∏_{i∈I} S_i)^m. ZK-EDB nodes
   // commit the same soft-backing digest at most positions, so this turns
-  // q exponentiations into one per distinct message.
-  std::map<Bytes, Bignum> base_by_message;
+  // q exponentiations into one per distinct message. Messages unique to a
+  // single position go through the per-position fixed-base table instead
+  // (when built), which beats a plain exponentiation of the lone base.
+  struct Grouped {
+    Bignum base;
+    std::uint32_t first_pos = 0;
+    std::uint32_t count = 0;
+  };
+  std::map<Bytes, Grouped> base_by_message;
   for (std::uint32_t i = 0; i < pk_.q; ++i) {
     const Bytes& m = dec.messages[i];
     if (message_to_scalar(m).is_zero()) continue;  // S_i^0 = 1
     const auto it = base_by_message.find(m);
     if (it == base_by_message.end()) {
-      base_by_message.emplace(m, s_[i]);
+      base_by_message.emplace(m, Grouped{s_[i], i, 1});
     } else {
-      it->second = Bignum::mod_mul(it->second, s_[i], pk_.n);
+      it->second.base = Bignum::mod_mul(it->second.base, s_[i], pk_.n);
+      ++it->second.count;
     }
   }
-  for (const auto& [m, base] : base_by_message) {
-    acc = Bignum::mod_mul(
-        acc, mexp_->exp(base, message_to_scalar(m)), pk_.n);
+  for (const auto& [m, group] : base_by_message) {
+    const Bignum scalar = message_to_scalar(m);
+    const Bignum factor = group.count == 1 ? pow_s(group.first_pos, scalar)
+                                           : mexp_->exp(group.base, scalar);
+    acc = Bignum::mod_mul(acc, factor, pk_.n);
   }
   Bignum c0 = Bignum::mod_mul(acc, mexp_->exp(c1, dec.r0), pk_.n);
   return {QtmcCommitment{std::move(c0), c1}, std::move(dec)};
@@ -228,8 +243,7 @@ QtmcOpening QtmcScheme::hard_open(const QtmcHardDecommit& dec,
   if (pos >= pk_.q || dec.messages.size() != pk_.q) {
     throw CryptoError("qTMC hard_open: bad position or decommitment");
   }
-  const Bignum lambda =
-      mexp_->exp(pk_.g, lambda_exponent(dec, pos));
+  const Bignum lambda = pow_g(lambda_exponent(dec, pos));
   return QtmcOpening{pos, dec.messages[pos], dec.r0, lambda, dec.r1};
 }
 
@@ -238,21 +252,25 @@ QtmcTease QtmcScheme::tease_hard(const QtmcHardDecommit& dec,
   if (pos >= pk_.q || dec.messages.size() != pk_.q) {
     throw CryptoError("qTMC tease_hard: bad position or decommitment");
   }
-  const Bignum lambda =
-      mexp_->exp(pk_.g, lambda_exponent(dec, pos));
+  const Bignum lambda = pow_g(lambda_exponent(dec, pos));
   return QtmcTease{pos, dec.messages[pos], dec.r0, lambda};
 }
 
 std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::soft_commit() const {
-  Bignum r0 = Bignum::rand_bits(kRandomizerBits);
-  Bignum r1 = Bignum::rand_bits(kRandomizerBits);
+  return soft_commit(system_random());
+}
+
+std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::soft_commit(
+    RandomSource& rng) const {
+  Bignum r0 = rng.rand_bits(kRandomizerBits);
+  Bignum r1 = rng.rand_bits(kRandomizerBits);
   // Teasing needs r1 invertible modulo every e_i: gcd(r1, P) must be 1.
   // Reduce P mod r1 first so the gcd runs on 256-bit operands and the
   // whole operation stays constant in q (Figure 4(b) behaviour).
   while (!Bignum::gcd(r1, prod_all_.mod(r1)).is_one()) {
-    r1 = Bignum::rand_bits(kRandomizerBits);
+    r1 = rng.rand_bits(kRandomizerBits);
   }
-  QtmcCommitment com{mexp_->exp(pk_.g, r0), mexp_->exp(pk_.g, r1)};
+  QtmcCommitment com{pow_g(r0), pow_g(r1)};
   return {std::move(com), QtmcSoftDecommit{std::move(r0), std::move(r1)}};
 }
 
@@ -263,7 +281,7 @@ const Bignum& QtmcScheme::u_base(std::uint32_t pos) const {
     // cached so steady-state soft openings stay constant time.
     const Bignum p_pos = prod_all_.divided_by(e_[pos]);
     const Bignum quot = (p_pos - rho_[pos]).divided_by(e_[pos]);
-    u_[pos] = mexp_->exp(pk_.g, quot);
+    u_[pos] = pow_g(quot);
   }
   return *u_[pos];
 }
@@ -272,8 +290,70 @@ void QtmcScheme::precompute_soft_bases() const {
   for (std::uint32_t i = 0; i < pk_.q; ++i) (void)u_base(i);
 }
 
+void QtmcScheme::precompute_fixed_bases(bool position_bases) const {
+  std::lock_guard<std::mutex> lock(fb_mu_);
+  if (!fb_ready_.load(std::memory_order_acquire)) {
+    // λ exponents reach z·P + Σ m_j·P_j < 2^{P_bits + kRandomizerBits + 8};
+    // anything wider (hostile input) falls back to plain modexp inside
+    // ModExpContext::exp, so the cap is a fast-path bound, not a limit.
+    const int g_bits = prod_all_.bits() + kRandomizerBits + 8;
+    auto g_table = std::make_unique<ModExpContext::FixedBaseTable>(
+        mexp_->precompute(pk_.g.mod(pk_.n), g_bits));
+    auto h_table = std::make_unique<ModExpContext::FixedBaseTable>(
+        mexp_->precompute(pk_.h.mod(pk_.n), kMaxExponentBits));
+    auto ht_table = std::make_unique<ModExpContext::FixedBaseTable>(
+        mexp_->precompute(h_tilde_, kRandomizerBits));
+    fb_g_ = std::move(g_table);
+    fb_h_ = std::move(h_table);
+    fb_h_tilde_ = std::move(ht_table);
+    fb_ready_.store(true, std::memory_order_release);
+  }
+  if (position_bases && !fb_pos_ready_.load(std::memory_order_acquire)) {
+    std::vector<ModExpContext::FixedBaseTable> tables;
+    tables.reserve(pk_.q);
+    for (std::uint32_t i = 0; i < pk_.q; ++i) {
+      // Message scalars are kMessageBytes wide (128 bits).
+      tables.push_back(
+          mexp_->precompute(s_[i], static_cast<int>(kMessageBytes) * 8));
+    }
+    fb_s_ = std::move(tables);
+    fb_pos_ready_.store(true, std::memory_order_release);
+  }
+}
+
+Bignum QtmcScheme::pow_g(const Bignum& exponent) const {
+  if (fb_ready_.load(std::memory_order_acquire)) {
+    return mexp_->exp(*fb_g_, exponent);
+  }
+  return mexp_->exp(pk_.g, exponent);
+}
+
 Bignum QtmcScheme::pow_g_signed(const Bignum& exponent) const {
+  if (fb_ready_.load(std::memory_order_acquire)) {
+    return mexp_->exp_signed(*fb_g_, exponent);
+  }
   return mexp_->exp_signed(pk_.g, exponent);
+}
+
+Bignum QtmcScheme::pow_h(const Bignum& exponent) const {
+  if (fb_ready_.load(std::memory_order_acquire)) {
+    return mexp_->exp(*fb_h_, exponent);
+  }
+  return mexp_->exp(pk_.h, exponent);
+}
+
+Bignum QtmcScheme::pow_h_tilde(const Bignum& exponent) const {
+  if (fb_ready_.load(std::memory_order_acquire)) {
+    return mexp_->exp(*fb_h_tilde_, exponent);
+  }
+  return mexp_->exp(h_tilde_, exponent);
+}
+
+Bignum QtmcScheme::pow_s(std::uint32_t pos, const Bignum& exponent) const {
+  if (fb_pos_ready_.load(std::memory_order_acquire)) {
+    return mexp_->exp(fb_s_[pos], exponent);
+  }
+  return mexp_->exp(s_[pos], exponent);
 }
 
 QtmcTease QtmcScheme::tease_soft(const QtmcSoftDecommit& dec,
@@ -318,7 +398,7 @@ bool QtmcScheme::check_equation(const QtmcCommitment& com, std::uint32_t pos,
   const Bignum m = message_to_scalar(msg);
   Bignum lhs = mexp_->exp(lambda, e_[pos]);
   if (!m.is_zero()) {
-    lhs = Bignum::mod_mul(lhs, mexp_->exp(s_[pos], m), pk_.n);
+    lhs = Bignum::mod_mul(lhs, pow_s(pos, m), pk_.n);
   }
   lhs = Bignum::mod_mul(lhs, mexp_->exp(com.c1, tau), pk_.n);
   return lhs == com.c0;
@@ -328,7 +408,7 @@ bool QtmcScheme::verify_open(const QtmcCommitment& com,
                              const QtmcOpening& op) const {
   try {
     if (op.r1.is_negative() || op.r1.bits() > kMaxExponentBits) return false;
-    if (mexp_->exp(pk_.h, op.r1) != com.c1) return false;
+    if (pow_h(op.r1) != com.c1) return false;
     return check_equation(com, op.pos, op.message, op.tau, op.lambda);
   } catch (const Error&) {
     return false;
@@ -353,7 +433,7 @@ std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::fake_commit(
   while (!Bignum::gcd(r1, prod_all_.mod(r1)).is_one()) {
     r1 = Bignum::rand_bits(kRandomizerBits);
   }
-  QtmcCommitment com{mexp_->exp(pk_.g, k), mexp_->exp(pk_.h, r1)};
+  QtmcCommitment com{pow_g(k), pow_h(r1)};
   return {std::move(com), QtmcSoftDecommit{std::move(k), std::move(r1)}};
 }
 

@@ -29,6 +29,7 @@
 // key); verification is constant in q.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include "common/bytes.h"
 #include "crypto/bignum.h"
 #include "crypto/modexp.h"
+#include "crypto/randsource.h"
 #include "mercurial/message.h"
 
 namespace desword::mercurial {
@@ -117,9 +119,12 @@ class QtmcScheme {
   std::uint32_t arity() const { return pk_.q; }
 
   /// qHCom. `messages.size()` must be <= q; missing tail positions commit
-  /// the null message.
+  /// the null message. The RandomSource overload draws the randomizers
+  /// from `rng` (deterministic replay); the default uses the CSPRNG.
   std::pair<QtmcCommitment, QtmcHardDecommit> hard_commit(
       const std::vector<Bytes>& messages) const;
+  std::pair<QtmcCommitment, QtmcHardDecommit> hard_commit(
+      const std::vector<Bytes>& messages, RandomSource& rng) const;
 
   /// qHOpen at `pos`.
   QtmcOpening hard_open(const QtmcHardDecommit& dec, std::uint32_t pos) const;
@@ -129,6 +134,8 @@ class QtmcScheme {
 
   /// qSCom.
   std::pair<QtmcCommitment, QtmcSoftDecommit> soft_commit() const;
+  std::pair<QtmcCommitment, QtmcSoftDecommit> soft_commit(
+      RandomSource& rng) const;
 
   /// qSOpen of a soft commitment: tease position `pos` to arbitrary `msg`.
   QtmcTease tease_soft(const QtmcSoftDecommit& dec, std::uint32_t pos,
@@ -151,11 +158,24 @@ class QtmcScheme {
   /// steady-state constant cost of soft openings).
   void precompute_soft_bases() const;
 
+  /// Builds fixed-base windowed tables for the CRS bases — g (sized for
+  /// the full λ-exponent width), h, h̃, and optionally every S_i — turning
+  /// each fixed-base exponentiation into ~len/4 Montgomery multiplications
+  /// with no squarings. One-time cost: a few plain exponentiations' worth
+  /// of work; memory: ~(P_bits/4)·16 residues for g plus ~512 residues per
+  /// S_i (≈2.5 MiB + q·128 KiB at RSA-2048, q=16). Idempotent and safe to
+  /// race; commits/opens/verifies pick the tables up once built.
+  void precompute_fixed_bases(bool position_bases = true) const;
+
   /// Serialized size of the modulus in bytes (element width on the wire).
   std::size_t element_len() const { return n_len_; }
 
  private:
+  Bignum pow_g(const Bignum& exponent) const;
   Bignum pow_g_signed(const Bignum& exponent) const;
+  Bignum pow_h(const Bignum& exponent) const;
+  Bignum pow_h_tilde(const Bignum& exponent) const;
+  Bignum pow_s(std::uint32_t pos, const Bignum& exponent) const;
   const Bignum& u_base(std::uint32_t pos) const;
   Bignum lambda_exponent(const QtmcHardDecommit& dec, std::uint32_t pos) const;
   bool check_equation(const QtmcCommitment& com, std::uint32_t pos,
@@ -174,6 +194,16 @@ class QtmcScheme {
 
   mutable std::mutex u_mutex_;
   mutable std::vector<std::optional<Bignum>> u_;  // U_i = g^{(P/e_i) div e_i}
+
+  // Fixed-base tables (precompute_fixed_bases). Written once under fb_mu_,
+  // then read-only; fb_*_ready_ gate the fast paths with acquire loads.
+  mutable std::mutex fb_mu_;
+  mutable std::atomic<bool> fb_ready_{false};
+  mutable std::atomic<bool> fb_pos_ready_{false};
+  mutable std::unique_ptr<ModExpContext::FixedBaseTable> fb_g_;
+  mutable std::unique_ptr<ModExpContext::FixedBaseTable> fb_h_;
+  mutable std::unique_ptr<ModExpContext::FixedBaseTable> fb_h_tilde_;
+  mutable std::vector<ModExpContext::FixedBaseTable> fb_s_;
 };
 
 }  // namespace desword::mercurial

@@ -102,10 +102,15 @@ std::size_t TmcScheme::scalar_len() const {
 
 std::pair<TmcCommitment, TmcHardDecommit> TmcScheme::hard_commit(
     BytesView msg) const {
+  return hard_commit(msg, system_random());
+}
+
+std::pair<TmcCommitment, TmcHardDecommit> TmcScheme::hard_commit(
+    BytesView msg, RandomSource& rng) const {
   const Bignum m = message_to_scalar(msg);
-  Bignum r0 = group_->random_scalar();
-  Bignum r1 = group_->random_scalar();
-  while (r1.is_zero()) r1 = group_->random_scalar();
+  Bignum r0 = rng.rand_range(group_->order());
+  Bignum r1 = rng.rand_range(group_->order());
+  while (r1.is_zero()) r1 = rng.rand_range(group_->order());
   const Bytes c1 = group_->exp(pk_.h, r1);
   // m may be the all-zero null message; g^0 is the identity, which has no
   // encoding on the EC backend, so fold it in only when non-zero.
@@ -125,9 +130,14 @@ TmcTease TmcScheme::tease_hard(const TmcHardDecommit& dec) const {
 }
 
 std::pair<TmcCommitment, TmcSoftDecommit> TmcScheme::soft_commit() const {
-  Bignum r0 = group_->random_scalar();
-  Bignum r1 = group_->random_scalar();
-  while (r1.is_zero()) r1 = group_->random_scalar();
+  return soft_commit(system_random());
+}
+
+std::pair<TmcCommitment, TmcSoftDecommit> TmcScheme::soft_commit(
+    RandomSource& rng) const {
+  Bignum r0 = rng.rand_range(group_->order());
+  Bignum r1 = rng.rand_range(group_->order());
+  while (r1.is_zero()) r1 = rng.rand_range(group_->order());
   TmcCommitment com{group_->exp(pk_.g, r0), group_->exp(pk_.g, r1)};
   return {std::move(com), TmcSoftDecommit{std::move(r0), std::move(r1)}};
 }
@@ -203,6 +213,11 @@ TmcOpening TmcScheme::fake_open(const TmcSoftDecommit& dec,
   const Bignum r0 =
       Bignum::mod_mul((dec.r0 - m).mod(p), Bignum::mod_inverse(denom, p), p);
   return TmcOpening{Bytes(msg.begin(), msg.end()), r0, dec.r1};
+}
+
+void TmcScheme::precompute_fixed_bases() const {
+  group_->precompute_base(pk_.g);
+  group_->precompute_base(pk_.h);
 }
 
 }  // namespace desword::mercurial

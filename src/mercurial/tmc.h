@@ -23,6 +23,7 @@
 #include "common/bytes.h"
 #include "crypto/bignum.h"
 #include "crypto/group.h"
+#include "crypto/randsource.h"
 #include "mercurial/message.h"
 
 namespace desword::mercurial {
@@ -96,8 +97,12 @@ class TmcScheme {
   const TmcPublicKey& public_key() const { return pk_; }
   const Group& group() const { return *group_; }
 
-  /// HCom: hard commitment to a 16-byte message.
+  /// HCom: hard commitment to a 16-byte message. The overload taking a
+  /// RandomSource draws the commitment randomizers from it (deterministic
+  /// replay / parallel-build determinism); the default uses the CSPRNG.
   std::pair<TmcCommitment, TmcHardDecommit> hard_commit(BytesView msg) const;
+  std::pair<TmcCommitment, TmcHardDecommit> hard_commit(
+      BytesView msg, RandomSource& rng) const;
 
   /// HOpen: hard opening of a hard commitment.
   TmcOpening hard_open(const TmcHardDecommit& dec) const;
@@ -107,6 +112,8 @@ class TmcScheme {
 
   /// SCom: soft (equivocable) commitment.
   std::pair<TmcCommitment, TmcSoftDecommit> soft_commit() const;
+  std::pair<TmcCommitment, TmcSoftDecommit> soft_commit(
+      RandomSource& rng) const;
 
   /// SOpen on a soft commitment: tease to an arbitrary message.
   TmcTease tease_soft(const TmcSoftDecommit& dec, BytesView msg) const;
@@ -125,6 +132,10 @@ class TmcScheme {
       const Bignum& trapdoor) const;
   TmcOpening fake_open(const TmcSoftDecommit& dec, const Bignum& trapdoor,
                        BytesView msg) const;
+
+  /// Registers g and h as fixed bases with the group backend (no-op for
+  /// backends without precomputation support). Idempotent.
+  void precompute_fixed_bases() const;
 
  private:
   std::size_t scalar_len() const;

@@ -92,8 +92,8 @@ PocProof PocProof::deserialize(BytesView data) {
 PocScheme::PocScheme(zkedb::EdbCrsPtr crs) : crs_(std::move(crs)) {}
 
 std::pair<Poc, std::unique_ptr<PocDecommitment>> PocScheme::aggregate(
-    const std::string& participant,
-    const std::map<Bytes, Bytes>& traces) const {
+    const std::string& participant, const std::map<Bytes, Bytes>& traces,
+    const zkedb::EdbProverOptions& options) const {
   if (participant.empty()) {
     throw ProtocolError("POC-Agg: participant id must be non-empty");
   }
@@ -104,7 +104,7 @@ std::pair<Poc, std::unique_ptr<PocDecommitment>> PocScheme::aggregate(
       throw ProtocolError("POC-Agg: product id key collision");
     }
   }
-  auto prover = std::make_unique<zkedb::EdbProver>(crs_, entries);
+  auto prover = std::make_unique<zkedb::EdbProver>(crs_, entries, options);
   Poc poc{participant, prover->commitment_bytes()};
   auto dpoc =
       std::make_unique<PocDecommitment>(crs_, std::move(prover), traces);

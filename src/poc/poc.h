@@ -93,9 +93,11 @@ class PocScheme {
   const zkedb::EdbCrs& crs() const { return *crs_; }
 
   /// POC-Agg: commits `traces` (product id -> da) for `participant`.
+  /// `options` tunes the underlying EDB-commit (thread count, seeded
+  /// randomness for reproducible commitments).
   std::pair<Poc, std::unique_ptr<PocDecommitment>> aggregate(
-      const std::string& participant,
-      const std::map<Bytes, Bytes>& traces) const;
+      const std::string& participant, const std::map<Bytes, Bytes>& traces,
+      const zkedb::EdbProverOptions& options = {}) const;
 
   /// POC-Proof: ownership proof if the participant holds a trace for
   /// `product_id`, otherwise a non-ownership proof.

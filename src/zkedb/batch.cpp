@@ -1,12 +1,23 @@
 #include "zkedb/batch.h"
 
+#include <atomic>
 #include <set>
 
 #include "common/error.h"
 #include "common/serial.h"
+#include "common/thread_pool.h"
 #include "zkedb/prover.h"
 
 namespace desword::zkedb {
+
+namespace {
+
+ThreadPool* resolve_pool(unsigned threads) {
+  const unsigned t = threads != 0 ? threads : ThreadPool::default_threads();
+  return t > 1 ? &ThreadPool::with_threads(t) : nullptr;
+}
+
+}  // namespace
 
 Bytes EdbBatchMembershipProof::serialize(const EdbCrs& crs) const {
   const Bignum& n = crs.params().qtmc_pk.n;
@@ -55,16 +66,32 @@ EdbBatchMembershipProof EdbBatchMembershipProof::deserialize(
 }
 
 EdbBatchMembershipProof edb_prove_membership_batch(
-    EdbProver& prover, const std::vector<EdbKey>& keys) {
+    const EdbProver& prover, const std::vector<EdbKey>& keys,
+    unsigned threads) {
   const EdbCrs& crs = prover.crs();
+
+  std::vector<EdbKey> unique_keys;
+  {
+    std::set<EdbKey> seen_keys;
+    for (const EdbKey& key : keys) {
+      if (seen_keys.insert(key).second) unique_keys.push_back(key);
+    }
+  }
+
+  // Opening generation (one qTMC hard_open per edge, one TMC open per
+  // leaf) dominates; prove_membership is read-only, so keys fan out.
+  std::vector<EdbMembershipProof> singles(unique_keys.size());
+  parallel_for(resolve_pool(threads), unique_keys.size(),
+               [&](std::size_t i) {
+                 singles[i] = prover.prove_membership(unique_keys[i]);
+               });
+
   EdbBatchMembershipProof batch;
   std::map<std::pair<Bytes, std::uint32_t>, std::size_t> seen_steps;
-  std::set<EdbKey> seen_keys;
-
-  for (const EdbKey& key : keys) {
-    if (!seen_keys.insert(key).second) continue;  // duplicate request
+  for (std::size_t i = 0; i < unique_keys.size(); ++i) {
+    const EdbKey& key = unique_keys[i];
     const std::vector<std::uint32_t> digits = crs.digits_of(key);
-    EdbMembershipProof single = prover.prove_membership(key);
+    EdbMembershipProof& single = singles[i];
     Bytes prefix;
     for (std::uint32_t d = 0; d < crs.height(); ++d) {
       const auto step_id = std::make_pair(prefix, digits[d]);
@@ -84,7 +111,8 @@ EdbBatchMembershipProof edb_prove_membership_batch(
 
 std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof) {
+    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof,
+    unsigned threads) {
   try {
     const std::uint32_t h = crs.height();
     const Bignum& n = crs.params().qtmc_pk.n;
@@ -97,9 +125,23 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
     std::map<EdbKey, const EdbBatchLeaf*> leaves;
     for (const EdbBatchLeaf& l : proof.leaves) leaves[l.key] = &l;
 
-    // Each unique (prefix, digit) edge is verified once; chains sharing it
-    // share the identical commitment reconstruction, so caching is sound.
-    std::set<std::pair<Bytes, std::uint32_t>> verified;
+    // Phase 1 (sequential, no modular arithmetic): walk every chain,
+    // checking structure, and collect each unique (prefix, digit) edge
+    // together with the commitment it must be verified against. Chains
+    // sharing an edge share the identical reconstruction, so verifying it
+    // once is sound — and the edges are independent, so they fan out.
+    struct EdgeCheck {
+      const EdbBatchStep* step;
+      mercurial::QtmcCommitment parent;
+      bool at_leaf_depth;
+    };
+    std::vector<EdgeCheck> edges;
+    std::set<std::pair<Bytes, std::uint32_t>> edge_seen;
+    struct LeafCheck {
+      const EdbBatchLeaf* leaf;
+      const EdbBatchStep* last_step;
+    };
+    std::vector<LeafCheck> leaf_checks;
 
     std::map<EdbKey, Bytes> values;
     for (const EdbKey& key : keys) {
@@ -112,22 +154,9 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
         const auto it = steps.find({prefix, digits[d]});
         if (it == steps.end()) return std::nullopt;
         const EdbBatchStep* step = it->second;
-        if (verified.find({prefix, digits[d]}) == verified.end()) {
-          if (step->opening.pos != digits[d]) return std::nullopt;
-          if (!crs.qtmc().verify_open(cur, step->opening)) {
-            return std::nullopt;
-          }
-          // The opened message must be the digest of the revealed child.
-          Bytes digest;
-          if (d + 1 == h) {
-            digest = crs.digest_leaf(mercurial::TmcCommitment::deserialize(
-                crs.group(), step->child_commitment));
-          } else {
-            digest = crs.digest_inner(mercurial::QtmcCommitment::deserialize(
-                n, step->child_commitment));
-          }
-          if (digest != step->opening.message) return std::nullopt;
-          verified.insert({prefix, digits[d]});
+        if (step->opening.pos != digits[d]) return std::nullopt;
+        if (edge_seen.insert({prefix, digits[d]}).second) {
+          edges.push_back(EdgeCheck{step, cur, d + 1 == h});
         }
         if (d + 1 < h) {
           cur = mercurial::QtmcCommitment::deserialize(
@@ -138,18 +167,56 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
       }
       const auto leaf_it = leaves.find(key);
       if (leaf_it == leaves.end()) return std::nullopt;
-      const EdbBatchLeaf* leaf = leaf_it->second;
-      const mercurial::TmcCommitment leaf_com =
-          mercurial::TmcCommitment::deserialize(crs.group(),
-                                                last_step->child_commitment);
-      if (!crs.tmc().verify_open(leaf_com, leaf->opening)) {
-        return std::nullopt;
-      }
-      if (leaf->opening.message != leaf_value_digest(leaf->value)) {
-        return std::nullopt;
-      }
-      values.emplace(key, leaf->value);
+      leaf_checks.push_back(LeafCheck{leaf_it->second, last_step});
+      values.emplace(key, leaf_it->second->value);
     }
+
+    // Phase 2 (parallel): the expensive opening verifications. Failures
+    // only flip the flag, so order does not matter; remaining checks keep
+    // running but the batch is rejected as a whole (all-or-nothing).
+    std::atomic<bool> ok{true};
+    ThreadPool* pool = resolve_pool(threads);
+    parallel_for(pool, edges.size(), [&](std::size_t i) {
+      if (!ok.load(std::memory_order_relaxed)) return;
+      const EdgeCheck& e = edges[i];
+      try {
+        if (!crs.qtmc().verify_open(e.parent, e.step->opening)) {
+          ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+        // The opened message must be the digest of the revealed child.
+        const Bytes digest =
+            e.at_leaf_depth
+                ? crs.digest_leaf(mercurial::TmcCommitment::deserialize(
+                      crs.group(), e.step->child_commitment))
+                : crs.digest_inner(mercurial::QtmcCommitment::deserialize(
+                      n, e.step->child_commitment));
+        if (digest != e.step->opening.message) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+      } catch (const Error&) {
+        ok.store(false, std::memory_order_relaxed);
+      }
+    });
+    if (!ok.load()) return std::nullopt;
+
+    parallel_for(pool, leaf_checks.size(), [&](std::size_t i) {
+      if (!ok.load(std::memory_order_relaxed)) return;
+      const LeafCheck& c = leaf_checks[i];
+      try {
+        const mercurial::TmcCommitment leaf_com =
+            mercurial::TmcCommitment::deserialize(
+                crs.group(), c.last_step->child_commitment);
+        if (!crs.tmc().verify_open(leaf_com, c.leaf->opening) ||
+            c.leaf->opening.message != leaf_value_digest(c.leaf->value)) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+      } catch (const Error&) {
+        ok.store(false, std::memory_order_relaxed);
+      }
+    });
+    if (!ok.load()) return std::nullopt;
+
     return values;
   } catch (const Error&) {
     return std::nullopt;

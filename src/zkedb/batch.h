@@ -43,15 +43,19 @@ struct EdbBatchMembershipProof {
 };
 
 /// Proves membership of every key in `keys` (duplicates allowed; all must
-/// be present). Mutates nothing.
+/// be present). Mutates nothing. Per-key openings are generated on
+/// `threads` workers (0 = default, see EdbProverOptions::threads).
 EdbBatchMembershipProof edb_prove_membership_batch(
-    EdbProver& prover, const std::vector<EdbKey>& keys);
+    const EdbProver& prover, const std::vector<EdbKey>& keys,
+    unsigned threads = 0);
 
 /// Verifies the batch against `root`. Returns the proven key -> value map,
 /// or nullopt if ANY chain fails (all-or-nothing, so a partially forged
-/// batch cannot smuggle values through).
+/// batch cannot smuggle values through). The unique edge and leaf checks
+/// run on `threads` workers (0 = default).
 std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof);
+    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof,
+    unsigned threads = 0);
 
 }  // namespace desword::zkedb

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
+#include "crypto/hash.h"
 #include "mercurial/message.h"
 
 namespace desword::zkedb {
@@ -14,8 +16,9 @@ std::string EdbProver::child_prefix(const std::string& prefix,
   return out;
 }
 
-EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries)
-    : crs_(std::move(crs)) {
+EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries,
+                     const EdbProverOptions& options)
+    : crs_(std::move(crs)), opts_(options) {
   std::vector<BuildEntry> build_entries;
   build_entries.reserve(entries.size());
   for (const auto& [key, value] : entries) {
@@ -29,8 +32,49 @@ EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries)
       [](const auto& a, const auto& b) { return a.first < b.first; });
   if (!sorted) throw ProtocolError("entry ordering invariant violated");
 
-  (void)build(build_entries, std::string(), 0, build_entries.size());
+  const unsigned threads =
+      opts_.threads != 0 ? opts_.threads : ThreadPool::default_threads();
+  ThreadPool* pool =
+      threads > 1 ? &ThreadPool::with_threads(threads) : nullptr;
+  (void)build(build_entries, std::string(), 0, build_entries.size(), pool);
   root_com_ = inner_.at(std::string()).com;
+}
+
+EdbProver::EdbProver(EdbProver&& other) noexcept
+    : crs_(std::move(other.crs_)),
+      opts_(std::move(other.opts_)),
+      epoch_(other.epoch_),
+      fabrication_counter_(other.fabrication_counter_),
+      inner_(std::move(other.inner_)),
+      leaves_(std::move(other.leaves_)),
+      soft_backing_(std::move(other.soft_backing_)),
+      soft_nodes_(std::move(other.soft_nodes_)),
+      values_(std::move(other.values_)),
+      root_com_(std::move(other.root_com_)) {}
+
+EdbProver& EdbProver::operator=(EdbProver&& other) noexcept {
+  if (this != &other) {
+    crs_ = std::move(other.crs_);
+    opts_ = std::move(other.opts_);
+    epoch_ = other.epoch_;
+    fabrication_counter_ = other.fabrication_counter_;
+    inner_ = std::move(other.inner_);
+    leaves_ = std::move(other.leaves_);
+    soft_backing_ = std::move(other.soft_backing_);
+    soft_nodes_ = std::move(other.soft_nodes_);
+    values_ = std::move(other.values_);
+    root_com_ = std::move(other.root_com_);
+  }
+  return *this;
+}
+
+Bytes EdbProver::node_seed(char role, std::string_view id) const {
+  TaggedHasher h("desword/edb-node-rng");
+  h.add(*opts_.seed);
+  h.add_u64(static_cast<std::uint64_t>(static_cast<unsigned char>(role)));
+  h.add_u64(epoch_);
+  h.add_str(id);
+  return h.digest();
 }
 
 Bytes EdbProver::commitment_bytes() const {
@@ -47,16 +91,20 @@ std::optional<Bytes> EdbProver::value_of(const EdbKey& key) const {
   return it->second;
 }
 
-std::pair<std::size_t, Bytes> EdbProver::make_soft_node(std::uint32_t depth) {
-  const std::size_t id = soft_nodes_.size();
+std::pair<std::size_t, Bytes> EdbProver::make_soft_node(std::uint32_t depth,
+                                                        RandomSource& rng) {
   if (depth == crs_->height()) {
-    auto [com, dec] = crs_->tmc().soft_commit();
+    auto [com, dec] = crs_->tmc().soft_commit(rng);
     Bytes digest = crs_->digest_leaf(com);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const std::size_t id = soft_nodes_.size();
     soft_nodes_.push_back(SoftLeaf{std::move(com), std::move(dec)});
     return {id, std::move(digest)};
   }
-  auto [com, dec] = crs_->qtmc().soft_commit();
+  auto [com, dec] = crs_->qtmc().soft_commit(rng);
   Bytes digest = crs_->digest_inner(com);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const std::size_t id = soft_nodes_.size();
   soft_nodes_.push_back(SoftInner{std::move(com), std::move(dec), {}});
   return {id, std::move(digest)};
 }
@@ -76,24 +124,53 @@ Bytes EdbProver::backing_digest(const std::string& prefix,
       crs_->params().soft_mode == SoftMode::kShared
           ? prefix
           : child_prefix(prefix, digit);
-  const auto it = soft_backing_.find(backing_key);
-  if (it != soft_backing_.end()) return soft_digest(it->second);
-  auto [id, digest] = make_soft_node(depth + 1);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const auto it = soft_backing_.find(backing_key);
+    if (it != soft_backing_.end()) return soft_digest(it->second);
+  }
+  // Each backing key belongs to exactly one trie node, and that node's
+  // build/update runs on one thread, so no other thread can be creating
+  // this key concurrently; the lock only protects the containers.
+  std::optional<DrbgRandomSource> drbg;
+  if (opts_.seed) drbg.emplace(node_seed('s', backing_key));
+  RandomSource& rng =
+      drbg ? static_cast<RandomSource&>(*drbg) : system_random();
+  auto [id, digest] = make_soft_node(depth + 1, rng);
+  std::lock_guard<std::mutex> lock(state_mu_);
   soft_backing_.emplace(backing_key, id);
+  return digest;
+}
+
+Bytes EdbProver::commit_inner(const std::string& prefix,
+                              std::vector<Bytes> messages) {
+  std::optional<DrbgRandomSource> drbg;
+  if (opts_.seed) drbg.emplace(node_seed('i', prefix));
+  RandomSource& rng =
+      drbg ? static_cast<RandomSource&>(*drbg) : system_random();
+  auto [com, dec] = crs_->qtmc().hard_commit(messages, rng);
+  Bytes digest = crs_->digest_inner(com);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  inner_.insert_or_assign(prefix, InnerNode{std::move(com), std::move(dec)});
   return digest;
 }
 
 Bytes EdbProver::build(const std::vector<BuildEntry>& entries,
                        const std::string& prefix, std::size_t lo,
-                       std::size_t hi) {
+                       std::size_t hi, ThreadPool* pool) {
   const std::uint32_t depth = static_cast<std::uint32_t>(prefix.size());
   if (depth == crs_->height()) {
     if (hi - lo != 1) {
       throw ProtocolError("duplicate ZK-EDB keys in one leaf");
     }
     const Bytes& value = entries[lo].second;
-    auto [com, dec] = crs_->tmc().hard_commit(leaf_value_digest(value));
+    std::optional<DrbgRandomSource> drbg;
+    if (opts_.seed) drbg.emplace(node_seed('l', prefix));
+    RandomSource& rng =
+        drbg ? static_cast<RandomSource&>(*drbg) : system_random();
+    auto [com, dec] = crs_->tmc().hard_commit(leaf_value_digest(value), rng);
     Bytes digest = crs_->digest_leaf(com);
+    std::lock_guard<std::mutex> lock(state_mu_);
     leaves_.emplace(prefix, LeafNode{std::move(com), std::move(dec)});
     return digest;
   }
@@ -103,6 +180,14 @@ Bytes EdbProver::build(const std::vector<BuildEntry>& entries,
   std::vector<bool> present(q, false);
 
   // Entries are sorted by digit vectors, so children form contiguous runs.
+  // Collect the runs (and fill `present`, which is bit-packed and must not
+  // be written concurrently) before fanning the child builds out.
+  struct Run {
+    std::uint32_t digit;
+    std::size_t lo;
+    std::size_t hi;
+  };
+  std::vector<Run> runs;
   std::size_t run_lo = lo;
   while (run_lo < hi) {
     const std::uint32_t digit = entries[run_lo].first[depth];
@@ -110,24 +195,30 @@ Bytes EdbProver::build(const std::vector<BuildEntry>& entries,
     while (run_hi < hi && entries[run_hi].first[depth] == digit) {
       ++run_hi;
     }
-    messages[digit] =
-        build(entries, child_prefix(prefix, digit), run_lo, run_hi);
+    runs.push_back(Run{digit, run_lo, run_hi});
     present[digit] = true;
     run_lo = run_hi;
   }
+
+  // Child subtrees are independent: each task writes a distinct
+  // messages[digit] slot. Nested parallel_for is deadlock-free (a blocked
+  // caller drains its own batch), so the recursion fans out at every level
+  // and degrades to sequential once all workers are busy.
+  parallel_for(pool, runs.size(), [&](std::size_t i) {
+    const Run& r = runs[i];
+    messages[r.digit] =
+        build(entries, child_prefix(prefix, r.digit), r.lo, r.hi, pool);
+  });
 
   // Back absent children with soft commitments.
   for (std::uint32_t c = 0; c < q; ++c) {
     if (!present[c]) messages[c] = backing_digest(prefix, c);
   }
 
-  auto [com, dec] = crs_->qtmc().hard_commit(messages);
-  Bytes digest = crs_->digest_inner(com);
-  inner_.emplace(prefix, InnerNode{std::move(com), std::move(dec)});
-  return digest;
+  return commit_inner(prefix, std::move(messages));
 }
 
-EdbMembershipProof EdbProver::prove_membership(const EdbKey& key) {
+EdbMembershipProof EdbProver::prove_membership(const EdbKey& key) const {
   if (!contains(key)) {
     throw ProtocolError("prove_membership: key not in database");
   }
@@ -211,14 +302,18 @@ EdbNonMembershipProof EdbProver::prove_non_membership(const EdbKey& key) {
       proof.teases.push_back(it->second.first);
       soft_id = it->second.second;
     } else {
-      // Creating the child may reallocate soft_nodes_, so copy the
-      // decommitment first and re-acquire the reference afterwards.
-      const mercurial::QtmcSoftDecommit dec = cur.dec;
-      auto [child_id, child_digest] = make_soft_node(d + 1);
+      // soft_nodes_ is a deque, so creating the child never invalidates
+      // `cur` (a vector's push_back could reallocate out from under it).
+      std::optional<DrbgRandomSource> drbg;
+      if (opts_.seed) {
+        drbg.emplace(node_seed('f', std::to_string(fabrication_counter_++)));
+      }
+      RandomSource& rng =
+          drbg ? static_cast<RandomSource&>(*drbg) : system_random();
+      auto [child_id, child_digest] = make_soft_node(d + 1, rng);
       mercurial::QtmcTease tease =
-          crs_->qtmc().tease_soft(dec, digit, child_digest);
-      std::get<SoftInner>(soft_nodes_[*soft_id])
-          .teases.emplace(digit, std::make_pair(tease, child_id));
+          crs_->qtmc().tease_soft(cur.dec, digit, child_digest);
+      cur.teases.emplace(digit, std::make_pair(tease, child_id));
       proof.teases.push_back(std::move(tease));
       soft_id = child_id;
     }
@@ -247,8 +342,12 @@ Bytes EdbProver::grow_branch(const std::vector<std::uint32_t>& digits,
   for (std::uint32_t d = 0; d < h; ++d) {
     prefix = child_prefix(prefix, digits[d]);
   }
+  std::optional<DrbgRandomSource> drbg;
+  if (opts_.seed) drbg.emplace(node_seed('l', prefix));
+  RandomSource& rng =
+      drbg ? static_cast<RandomSource&>(*drbg) : system_random();
   auto [leaf_com, leaf_dec] =
-      crs_->tmc().hard_commit(leaf_value_digest(value));
+      crs_->tmc().hard_commit(leaf_value_digest(value), rng);
   Bytes digest = crs_->digest_leaf(leaf_com);
   leaves_.emplace(prefix, LeafNode{std::move(leaf_com), std::move(leaf_dec)});
 
@@ -261,9 +360,7 @@ Bytes EdbProver::grow_branch(const std::vector<std::uint32_t>& digits,
     for (std::uint32_t c = 0; c < q; ++c) {
       messages[c] = (c == digits[d]) ? digest : backing_digest(prefix, c);
     }
-    auto [com, dec] = crs_->qtmc().hard_commit(messages);
-    digest = crs_->digest_inner(com);
-    inner_.insert_or_assign(prefix, InnerNode{std::move(com), std::move(dec)});
+    digest = commit_inner(prefix, std::move(messages));
   }
   return digest;
 }
@@ -277,13 +374,9 @@ void EdbProver::recommit_path(const std::vector<std::uint32_t>& digits,
                      digits.begin() + static_cast<long>(depth) + 1);
   prefix.pop_back();  // prefix of the node at `depth`
   for (std::uint32_t d = depth + 1; d-- > 0;) {
-    InnerNode& node = inner_.at(prefix);
-    std::vector<Bytes> messages = node.dec.messages;
+    std::vector<Bytes> messages = inner_.at(prefix).dec.messages;
     messages[digits[d]] = digest;
-    auto [com, dec] = crs_->qtmc().hard_commit(messages);
-    node.com = std::move(com);
-    node.dec = std::move(dec);
-    digest = crs_->digest_inner(node.com);
+    digest = commit_inner(prefix, std::move(messages));
     if (!prefix.empty()) prefix.pop_back();
   }
   root_com_ = inner_.at(std::string()).com;
@@ -291,6 +384,7 @@ void EdbProver::recommit_path(const std::vector<std::uint32_t>& digits,
 
 void EdbProver::insert(const EdbKey& key, const Bytes& value) {
   if (contains(key)) throw ProtocolError("insert: key already present");
+  ++epoch_;  // recommitted nodes must draw fresh seeded randomness
   const std::vector<std::uint32_t> digits = crs_->digits_of(key);
   const std::uint32_t h = crs_->height();
 
@@ -317,6 +411,7 @@ void EdbProver::insert(const EdbKey& key, const Bytes& value) {
 
 void EdbProver::erase(const EdbKey& key) {
   if (!contains(key)) throw ProtocolError("erase: key not present");
+  ++epoch_;  // recommitted nodes must draw fresh seeded randomness
   const std::vector<std::uint32_t> digits = crs_->digits_of(key);
   const std::uint32_t h = crs_->height();
 

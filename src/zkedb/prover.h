@@ -13,21 +13,49 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
+#include "crypto/randsource.h"
 #include "zkedb/proof.h"
 
+namespace desword {
+class ThreadPool;
+}
+
 namespace desword::zkedb {
+
+/// Knobs for EDB-commit (and later updates) on an EdbProver.
+struct EdbProverOptions {
+  /// Worker threads for the bottom-up trie build: 0 = default
+  /// (DESWORD_THREADS env var, else hardware_concurrency()), 1 = fully
+  /// sequential. Commitments are identical at any thread count when `seed`
+  /// is set; without a seed the CSPRNG makes every build unique anyway.
+  unsigned threads = 0;
+  /// Deterministic commitment randomness. When set, every node draws its
+  /// randomizers from a DRBG keyed by H(seed, role, node position), so the
+  /// commitment (and all proofs) are byte-identical across runs and thread
+  /// counts. Leave unset for production use (CSPRNG).
+  std::optional<Bytes> seed;
+};
 
 class EdbProver {
  public:
   /// EDB-commit: builds the tree over `entries` (key -> value). Keys must
   /// be unique, 16 bytes, within [0, q^height).
-  EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries);
+  EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries,
+            const EdbProverOptions& options = {});
+
+  // Movable (the internal mutex is not moved; moving a prover that other
+  // threads are using is undefined anyway).
+  EdbProver(EdbProver&& other) noexcept;
+  EdbProver& operator=(EdbProver&& other) noexcept;
 
   /// Com: the root qTMC commitment.
   const mercurial::QtmcCommitment& commitment() const { return root_com_; }
@@ -41,7 +69,8 @@ class EdbProver {
   std::optional<Bytes> value_of(const EdbKey& key) const;
 
   /// EDB-proof for x ∈ [D]. Throws ProtocolError if the key is absent.
-  EdbMembershipProof prove_membership(const EdbKey& key);
+  /// Read-only: safe to call concurrently from many threads.
+  EdbMembershipProof prove_membership(const EdbKey& key) const;
 
   /// EDB-proof for x ∉ [D]. Throws ProtocolError if the key is present.
   /// Mutates internal memoization state (fabricated soft subtrees).
@@ -96,9 +125,12 @@ class EdbProver {
   using BuildEntry = std::pair<std::vector<std::uint32_t>, Bytes>;
 
   // Builds the subtree for entries[lo, hi) under `prefix`; returns the
-  // digest of the subtree root.
+  // digest of the subtree root. Child runs fan out over `pool` (nullptr =
+  // sequential); map mutations are serialized on state_mu_, crypto runs
+  // outside the lock.
   Bytes build(const std::vector<BuildEntry>& entries,
-              const std::string& prefix, std::size_t lo, std::size_t hi);
+              const std::string& prefix, std::size_t lo, std::size_t hi,
+              ThreadPool* pool);
 
   /// Creates the chain of nodes for `digits` from depth `from_depth` down
   /// to the leaf (all with exactly one trie child); returns the digest of
@@ -108,6 +140,7 @@ class EdbProver {
 
   /// Digest of the soft node backing absent children of the trie node at
   /// `prefix` (child depth = prefix depth + 1), creating it if needed.
+  /// Thread safe during parallel builds.
   Bytes backing_digest(const std::string& prefix, std::uint32_t digit);
 
   /// Re-hard-commits the node at `prefix` with one child digest replaced,
@@ -115,24 +148,50 @@ class EdbProver {
   void recommit_path(const std::vector<std::uint32_t>& digits,
                      std::uint32_t depth, const Bytes& child_digest);
 
-  // Creates a soft node whose *node depth* is `depth` (leaf iff == height);
-  // returns (id, digest).
-  std::pair<std::size_t, Bytes> make_soft_node(std::uint32_t depth);
+  // Creates a soft node whose *node depth* is `depth` (leaf iff == height),
+  // drawing its randomness from `rng`; returns (id, digest). Crypto runs
+  // outside state_mu_; only the push_back is serialized.
+  std::pair<std::size_t, Bytes> make_soft_node(std::uint32_t depth,
+                                               RandomSource& rng);
 
   // Digest of a soft node by id.
   Bytes soft_digest(std::size_t id) const;
+
+  /// DRBG seed for the node identified by (role, id): role 'i' = inner
+  /// node keyed by prefix, 'l' = leaf keyed by prefix, 's' = soft backing
+  /// keyed by backing key, 'f' = fabricated soft node keyed by a counter.
+  /// Only meaningful when opts_.seed is set; epoch_ folds updates in so
+  /// recommits of the same prefix get fresh randomness.
+  Bytes node_seed(char role, std::string_view id) const;
+
+  /// Commits `messages` at the inner node `prefix` with the right
+  /// randomness source (seeded DRBG or CSPRNG) and records it. Returns the
+  /// node digest. Thread safe.
+  Bytes commit_inner(const std::string& prefix, std::vector<Bytes> messages);
 
   static std::string child_prefix(const std::string& prefix,
                                   std::uint32_t digit);
 
   EdbCrsPtr crs_;
+  EdbProverOptions opts_;
+  // Bumped on every insert/erase so recommitted nodes draw fresh
+  // deterministic randomness (seeded mode only).
+  std::uint64_t epoch_ = 0;
+  // Names fabricated soft nodes in seeded mode (role 'f').
+  std::uint64_t fabrication_counter_ = 0;
+  // Serializes map/deque mutations during the parallel build. Never held
+  // while doing modular exponentiations.
+  mutable std::mutex state_mu_;
   // Trie nodes addressed by digit-prefix strings (one byte per digit).
   std::map<std::string, InnerNode> inner_;
   std::map<std::string, LeafNode> leaves_;
   // Soft backing of absent children: trie prefix (shared mode) or trie
   // prefix + digit (per-child mode) -> soft node id.
   std::map<std::string, std::size_t> soft_backing_;
-  std::vector<SoftNode> soft_nodes_;
+  // Deque: stable references across push_back, so fabricating a child soft
+  // node cannot invalidate the parent reference mid-update (and parallel
+  // builders can hold digests while others append).
+  std::deque<SoftNode> soft_nodes_;
   std::map<Bytes, Bytes> values_;
   mercurial::QtmcCommitment root_com_;
 };

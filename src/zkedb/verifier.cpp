@@ -1,6 +1,7 @@
 #include "zkedb/verifier.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "mercurial/message.h"
 
 namespace desword::zkedb {
@@ -94,6 +95,22 @@ bool edb_verify_non_membership(const EdbCrs& crs,
   } catch (const Error&) {
     return false;
   }
+}
+
+std::vector<std::optional<Bytes>> edb_verify_membership_many(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbMembershipQuery>& queries, unsigned threads) {
+  std::vector<std::optional<Bytes>> results(queries.size());
+  const unsigned t = threads != 0 ? threads : ThreadPool::default_threads();
+  ThreadPool* pool = t > 1 ? &ThreadPool::with_threads(t) : nullptr;
+  // Proof verification is pure (crs and root are only read), so queries
+  // are embarrassingly parallel.
+  parallel_for(pool, queries.size(), [&](std::size_t i) {
+    if (queries[i].proof == nullptr) return;  // results[i] stays nullopt
+    results[i] =
+        edb_verify_membership(crs, root, queries[i].key, *queries[i].proof);
+  });
+  return results;
 }
 
 }  // namespace desword::zkedb

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "zkedb/proof.h"
 
@@ -27,5 +28,19 @@ bool edb_verify_non_membership(const EdbCrs& crs,
                                const mercurial::QtmcCommitment& root,
                                const EdbKey& key,
                                const EdbNonMembershipProof& proof);
+
+/// One key/proof pair of a verification sweep.
+struct EdbMembershipQuery {
+  EdbKey key;
+  const EdbMembershipProof* proof;
+};
+
+/// Verifies many independent membership proofs, fanning the per-proof work
+/// out over `threads` workers (0 = default: DESWORD_THREADS env, else
+/// hardware_concurrency()). result[i] corresponds to queries[i] and equals
+/// what edb_verify_membership would return for it.
+std::vector<std::optional<Bytes>> edb_verify_membership_many(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbMembershipQuery>& queries, unsigned threads = 0);
 
 }  // namespace desword::zkedb

@@ -1,0 +1,222 @@
+// Parallel EDB-commit determinism and soft-node stability.
+//
+// The parallel trie build must be schedule-independent: with a fixed
+// EdbProverOptions::seed, every node draws randomness from a DRBG keyed by
+// its position, so the commitment — and every proof derived from it — is
+// byte-identical at any thread count. These tests pin that contract, plus
+// the deque-backed soft-node store (fabricating a child soft node while
+// holding a reference to its parent must not invalidate the parent).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "zkedb/batch.h"
+#include "zkedb/prover.h"
+#include "zkedb/verifier.h"
+
+namespace desword::zkedb {
+namespace {
+
+EdbConfig test_config(SoftMode mode = SoftMode::kShared) {
+  EdbConfig cfg;
+  cfg.q = 4;
+  cfg.height = 6;
+  cfg.rsa_bits = 512;
+  cfg.group_name = "p256";
+  cfg.soft_mode = mode;
+  return cfg;
+}
+
+EdbKey key_of(const EdbCrs& crs, const std::string& id) {
+  return key_for_identifier(crs, bytes_of(id));
+}
+
+std::map<Bytes, Bytes> test_entries(const EdbCrs& crs, int n) {
+  std::map<Bytes, Bytes> entries;
+  for (int i = 0; i < n; ++i) {
+    entries[key_of(crs, "prod-" + std::to_string(i))] =
+        bytes_of("trace-" + std::to_string(i));
+  }
+  return entries;
+}
+
+EdbProverOptions seeded(unsigned threads) {
+  EdbProverOptions opts;
+  opts.threads = threads;
+  opts.seed = bytes_of("determinism-test-seed");
+  return opts;
+}
+
+class ParallelEdbTest : public ::testing::TestWithParam<SoftMode> {
+ protected:
+  void SetUp() override { crs_ = generate_crs(test_config(GetParam())); }
+  EdbCrsPtr crs_;
+};
+
+TEST_P(ParallelEdbTest, SeededCommitIdenticalAcrossThreadCounts) {
+  const auto entries = test_entries(*crs_, 12);
+  EdbProver seq(crs_, entries, seeded(1));
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EdbProver par(crs_, entries, seeded(threads));
+    EXPECT_EQ(par.commitment_bytes(), seq.commitment_bytes())
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ParallelEdbTest, SeededProofsIdenticalAcrossThreadCounts) {
+  const auto entries = test_entries(*crs_, 12);
+  EdbProver seq(crs_, entries, seeded(1));
+  EdbProver par(crs_, entries, seeded(4));
+
+  // Single membership proofs: byte-identical.
+  const EdbKey key = key_of(*crs_, "prod-3");
+  EXPECT_EQ(seq.prove_membership(key).serialize(*crs_),
+            par.prove_membership(key).serialize(*crs_));
+
+  // Batch proofs: byte-identical, at either batch thread count.
+  std::vector<EdbKey> keys;
+  for (int i = 0; i < 12; ++i) keys.push_back(key_of(*crs_, "prod-" + std::to_string(i)));
+  const Bytes base =
+      edb_prove_membership_batch(seq, keys, /*threads=*/1).serialize(*crs_);
+  EXPECT_EQ(edb_prove_membership_batch(par, keys, /*threads=*/1)
+                .serialize(*crs_),
+            base);
+  EXPECT_EQ(edb_prove_membership_batch(par, keys, /*threads=*/4)
+                .serialize(*crs_),
+            base);
+
+  // Fabricated non-membership chains too: same seed, same query order, so
+  // the fabricated soft nodes (and thus the digest chain) coincide. The
+  // teases themselves re-randomize per query by design (blinding lift in
+  // qTMC tease_soft), so only the commitment chain is compared.
+  const EdbKey ghost = key_of(*crs_, "ghost-1");
+  const auto nseq = seq.prove_non_membership(ghost);
+  const auto npar = par.prove_non_membership(ghost);
+  ASSERT_EQ(nseq.child_commitments.size(), npar.child_commitments.size());
+  for (std::size_t j = 0; j < nseq.child_commitments.size(); ++j) {
+    EXPECT_EQ(nseq.child_commitments[j], npar.child_commitments[j]) << j;
+  }
+}
+
+TEST_P(ParallelEdbTest, ParallelCommitVerifies) {
+  const auto entries = test_entries(*crs_, 12);
+  EdbProverOptions opts;
+  opts.threads = 4;  // CSPRNG randomness, parallel build
+  EdbProver prover(crs_, entries, opts);
+  for (const auto& [key, value] : entries) {
+    const auto proof = prover.prove_membership(key);
+    const auto got =
+        edb_verify_membership(*crs_, prover.commitment(), key, proof);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value);
+  }
+  const EdbKey ghost = key_of(*crs_, "ghost");
+  EXPECT_TRUE(edb_verify_non_membership(*crs_, prover.commitment(), ghost,
+                                        prover.prove_non_membership(ghost)));
+}
+
+TEST_P(ParallelEdbTest, DifferentSeedsDifferentCommitments) {
+  const auto entries = test_entries(*crs_, 4);
+  EdbProverOptions a = seeded(1);
+  EdbProverOptions b = seeded(1);
+  b.seed = bytes_of("another-seed");
+  EXPECT_NE(EdbProver(crs_, entries, a).commitment_bytes(),
+            EdbProver(crs_, entries, b).commitment_bytes());
+  // Unseeded builds draw from the CSPRNG: two builds never collide.
+  EXPECT_NE(EdbProver(crs_, entries).commitment_bytes(),
+            EdbProver(crs_, entries).commitment_bytes());
+}
+
+TEST_P(ParallelEdbTest, SeededUpdatesStayDeterministic) {
+  const auto entries = test_entries(*crs_, 6);
+  EdbProver a(crs_, entries, seeded(1));
+  EdbProver b(crs_, entries, seeded(4));
+  const EdbKey extra = key_of(*crs_, "late-arrival");
+  a.insert(extra, bytes_of("late"));
+  b.insert(extra, bytes_of("late"));
+  EXPECT_EQ(a.commitment_bytes(), b.commitment_bytes());
+  a.erase(key_of(*crs_, "prod-0"));
+  b.erase(key_of(*crs_, "prod-0"));
+  EXPECT_EQ(a.commitment_bytes(), b.commitment_bytes());
+}
+
+TEST_P(ParallelEdbTest, ManyFabricationsKeepEarlierProofsStable) {
+  // Regression: fabricating a ghost path appends child soft nodes to the
+  // store while the updater still holds a reference to the parent soft
+  // node. With a vector store, enough growth reallocates and the parent
+  // reference dangles (UB, typically corrupt teases). The deque store must
+  // keep every earlier fabrication intact — digest chains are memoized, so
+  // re-querying an early ghost must reproduce its chain exactly.
+  EdbProver prover(crs_, test_entries(*crs_, 5));
+  const int kGhosts = 40;  // enough appends to force vector regrowth
+
+  std::vector<EdbKey> ghosts;
+  std::vector<Bytes> first_chain_digests;
+  for (int i = 0; i < kGhosts; ++i) {
+    const EdbKey ghost = key_of(*crs_, "ghost-" + std::to_string(i));
+    if (prover.contains(ghost)) continue;
+    ghosts.push_back(ghost);
+    const auto proof = prover.prove_non_membership(ghost);
+    ASSERT_TRUE(edb_verify_non_membership(*crs_, prover.commitment(), ghost,
+                                          proof))
+        << "ghost " << i;
+    if (ghosts.size() == 1) {
+      for (const auto& c : proof.child_commitments) {
+        first_chain_digests.push_back(c);
+      }
+    }
+  }
+  ASSERT_GE(ghosts.size(), 30u);
+
+  // The very first ghost's memoized chain survived all later appends.
+  const auto again = prover.prove_non_membership(ghosts.front());
+  ASSERT_EQ(again.child_commitments.size(), first_chain_digests.size());
+  for (std::size_t i = 0; i < first_chain_digests.size(); ++i) {
+    EXPECT_EQ(again.child_commitments[i], first_chain_digests[i]) << i;
+  }
+  EXPECT_TRUE(edb_verify_non_membership(*crs_, prover.commitment(),
+                                        ghosts.front(), again));
+}
+
+TEST_P(ParallelEdbTest, VerifyManySweep) {
+  const auto entries = test_entries(*crs_, 8);
+  EdbProver prover(crs_, entries, seeded(4));
+  std::vector<EdbMembershipProof> proofs;
+  std::vector<EdbMembershipQuery> queries;
+  proofs.reserve(8);
+  for (const auto& [key, value] : entries) {
+    proofs.push_back(prover.prove_membership(key));
+    queries.push_back({key, &proofs.back()});
+  }
+  queries.push_back({key_of(*crs_, "prod-0"), nullptr});  // skipped slot
+  const auto results = edb_verify_membership_many(
+      *crs_, prover.commitment(), queries, /*threads=*/4);
+  ASSERT_EQ(results.size(), queries.size());
+  std::size_t i = 0;
+  for (const auto& [key, value] : entries) {
+    ASSERT_TRUE(results[i].has_value()) << i;
+    EXPECT_EQ(*results[i], value);
+    ++i;
+  }
+  EXPECT_FALSE(results.back().has_value());
+
+  // A tampered proof fails only its own slot.
+  auto bad = proofs.front();
+  bad.value = bytes_of("forged");
+  std::vector<EdbMembershipQuery> mixed{{queries[0].key, &bad}, queries[1]};
+  const auto mixed_results = edb_verify_membership_many(
+      *crs_, prover.commitment(), mixed, /*threads=*/2);
+  EXPECT_FALSE(mixed_results[0].has_value());
+  EXPECT_TRUE(mixed_results[1].has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(SoftModes, ParallelEdbTest,
+                         ::testing::Values(SoftMode::kShared,
+                                           SoftMode::kPerChild));
+
+}  // namespace
+}  // namespace desword::zkedb

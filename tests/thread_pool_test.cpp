@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace desword {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_each(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolOfSizeOneRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.for_each(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no lock needed: single-threaded by contract
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_each(64,
+                    [&](std::size_t i) {
+                      if (i == 13) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  ThreadPool pool(4);
+  try {
+    pool.for_each(64, [](std::size_t) { throw std::runtime_error("boom"); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.for_each(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionAbandonsUnclaimedIndices) {
+  // One index throws immediately; with a big batch, at least the unclaimed
+  // tail must be skipped (count < n). Inline pool makes this deterministic.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  try {
+    pool.for_each(100, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      count.fetch_add(1);
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, NestedForEachDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.for_each(8, [&](std::size_t) {
+    // Nested fan-out from inside a task: the blocked caller drains its own
+    // batch, so this completes even with every worker busy.
+    pool.for_each(8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForHelper) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  parallel_for(&pool, 6, [&](std::size_t) {
+    parallel_for(&pool, 6, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 36);
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolIsSequential) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ForEachZeroAndOne) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.for_each(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  // n == 1 runs inline on the caller.
+  const auto caller = std::this_thread::get_id();
+  pool.for_each(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, WorkIsActuallyDistributed) {
+  // Each of 4 tasks blocks until all 4 have started, which is only
+  // possible if every one runs on a distinct thread (3 workers + caller).
+  ThreadPool pool(4);
+  std::atomic<unsigned> started{0};
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  pool.for_each(4, [&](std::size_t) {
+    started.fetch_add(1);
+    while (started.load() < 4) std::this_thread::yield();
+    std::lock_guard<std::mutex> lk(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsResolutionOrder) {
+  // Override wins over everything.
+  ThreadPool::set_default_threads(3);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ThreadPool::set_default_threads(0);  // clear
+
+  // Env var wins once the override is cleared.
+  ::setenv("DESWORD_THREADS", "5", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 5u);
+  ::setenv("DESWORD_THREADS", "0", 1);  // invalid -> fall through to hw
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::unsetenv("DESWORD_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WithThreadsCachesPerCount) {
+  ThreadPool& a = ThreadPool::with_threads(2);
+  ThreadPool& b = ThreadPool::with_threads(2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.concurrency(), 2u);
+  ThreadPool& c = ThreadPool::with_threads(3);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(c.concurrency(), 3u);
+}
+
+}  // namespace
+}  // namespace desword
