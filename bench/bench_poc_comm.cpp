@@ -8,11 +8,23 @@
 // ownership proof is slightly larger than the non-ownership proof.
 // Absolute bytes are larger here than in the paper because RSA-2048 group
 // elements (256 B) replace pairing-group elements (see DESIGN.md §2).
+// Additionally measures END-TO-END query cost (latency and wire bytes of
+// one verified good-product path query, distribution excluded) over both
+// transports: the in-process simulator and the real TCP SocketTransport on
+// loopback. Byte counts use the same logical-payload accounting on both,
+// so the pair isolates the transport's latency contribution.
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "desword/scenario.h"
+#include "net/socket_transport.h"
 #include "poc/poc.h"
 #include "supplychain/rfid.h"
 
@@ -56,6 +68,173 @@ Row measure(std::uint32_t q, std::uint32_t h) {
   return Row{q, h, own.size(), nown.size()};
 }
 
+// ---------------------------------------------------------------------------
+// End-to-end query cost over SimTransport vs SocketTransport
+// ---------------------------------------------------------------------------
+
+using namespace desword::protocol;
+using namespace desword::supplychain;
+
+zkedb::EdbConfig e2e_edb() {
+  return zkedb::EdbConfig{4, 8, benchutil::rsa_bits(), "p256",
+                          zkedb::SoftMode::kShared};
+}
+
+DistributionConfig e2e_dist() {
+  DistributionConfig dist;
+  dist.initial = "v0";
+  dist.products = make_products(1, 1, 4);
+  dist.seed = 42;
+  return dist;
+}
+
+struct E2eResult {
+  double latency_ns = 0;
+  std::uint64_t bytes = 0;
+  std::size_t hops = 0;
+};
+
+/// One good-product query through the Scenario harness (SimTransport).
+E2eResult e2e_sim() {
+  ScenarioConfig config;
+  config.edb = e2e_edb();
+  Scenario scenario(SupplyChainGraph::paper_example(), config);
+  const DistributionConfig dist = e2e_dist();
+  scenario.run_task("bench-task", dist);
+
+  scenario.network().reset_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  const QueryOutcome outcome =
+      scenario.proxy().run_query(dist.products[0], ProductQuality::kGood);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!outcome.complete) {
+    std::fprintf(stderr, "sim e2e query did not complete\n");
+    std::exit(1);
+  }
+  E2eResult r;
+  r.latency_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  r.bytes = scenario.network().total_stats().bytes_sent;
+  r.hops = outcome.path.size();
+  return r;
+}
+
+/// Same deployment as separate SocketTransport endpoints on TCP loopback:
+/// the proxy and every participant own their own transport (one listening
+/// socket each), exactly like the multi-process `desword serve-*` daemons,
+/// but pumped in-process so the bench stays self-contained.
+E2eResult e2e_socket() {
+  const auto addresses = std::make_shared<std::map<net::NodeId, std::string>>();
+  const auto options = [&] {
+    net::SocketTransportOptions o;
+    o.resolve = [addresses](const net::NodeId& id)
+        -> std::optional<std::string> {
+      const auto it = addresses->find(id);
+      if (it == addresses->end()) return std::nullopt;
+      return it->second;
+    };
+    return o;
+  };
+
+  const SupplyChainGraph graph = SupplyChainGraph::paper_example();
+  std::vector<std::unique_ptr<net::SocketTransport>> transports;
+  const auto new_transport = [&](const net::NodeId& id) {
+    transports.push_back(std::make_unique<net::SocketTransport>(options()));
+    (*addresses)[id] = transports.back()->local_address();
+    return transports.back().get();
+  };
+  const auto pump = [&](const std::function<bool()>& done) {
+    for (int i = 0; i < 1000000 && !done(); ++i) {
+      for (const auto& t : transports) t->poll(1);
+    }
+    if (!done()) {
+      std::fprintf(stderr, "socket e2e deployment stalled\n");
+      std::exit(1);
+    }
+  };
+
+  const auto crs_cache = std::make_shared<CrsCache>();
+  ProxyConfig proxy_config;
+  proxy_config.edb = e2e_edb();
+  Proxy proxy("proxy", *new_transport("proxy"), crs_cache,
+              std::move(proxy_config));
+  std::map<ParticipantId, std::unique_ptr<Participant>> participants;
+  for (const ParticipantId& id : graph.participants()) {
+    participants.emplace(id, std::make_unique<Participant>(
+                                 id, *new_transport(id), "proxy", crs_cache));
+  }
+
+  // Distribution phase across the sockets (wiring as in Scenario).
+  const DistributionConfig dist = e2e_dist();
+  const DistributionResult result = run_distribution(graph, dist);
+  for (const ParticipantId& id : result.involved) {
+    Participant& p = *participants.at(id);
+    p.load_database(result.databases.at(id));
+    TaskSetup setup;
+    setup.task_id = "bench-task";
+    setup.initial = dist.initial;
+    setup.involved = result.involved;
+    for (const auto& [parent, children] : result.used_edges) {
+      if (parent == id) setup.children.assign(children.begin(), children.end());
+      if (children.count(id) > 0) setup.parents.push_back(parent);
+    }
+    for (const auto& [product, path] : result.paths) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (path[i] == id) setup.shipments[product] = path[i + 1];
+      }
+    }
+    p.begin_task(setup);
+  }
+  participants.at(dist.initial)->initiate_task("bench-task");
+  pump([&] { return proxy.task_list("bench-task") != nullptr; });
+
+  const auto bytes_now = [&] {
+    std::uint64_t total = 0;
+    for (const auto& t : transports) total += t->total_stats().bytes_sent;
+    return total;
+  };
+  const std::uint64_t bytes_before = bytes_now();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t qid =
+      proxy.begin_query(dist.products[0], ProductQuality::kGood);
+  pump([&] { return proxy.outcome(qid) != nullptr; });
+  const auto t1 = std::chrono::steady_clock::now();
+  const QueryOutcome& outcome = *proxy.outcome(qid);
+  if (!outcome.complete) {
+    std::fprintf(stderr, "socket e2e query did not complete\n");
+    std::exit(1);
+  }
+  E2eResult r;
+  r.latency_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  r.bytes = bytes_now() - bytes_before;
+  r.hops = outcome.path.size();
+  return r;
+}
+
+void run_e2e() {
+  std::printf("\nEnd-to-end good-product query (paper Fig. 1 chain, %d-bit"
+              " RSA)\n", benchutil::rsa_bits());
+  const E2eResult sim = e2e_sim();
+  const E2eResult sock = e2e_socket();
+  std::printf("%-22s %-12s %-14s %s\n", "Transport", "Path hops", "Latency",
+              "Wire bytes");
+  std::printf("%-22s %-12zu %-11.2fms  %9llu\n", "SimTransport", sim.hops,
+              sim.latency_ns / 1e6,
+              static_cast<unsigned long long>(sim.bytes));
+  std::printf("%-22s %-12zu %-11.2fms  %9llu\n", "SocketTransport (TCP)",
+              sock.hops, sock.latency_ns / 1e6,
+              static_cast<unsigned long long>(sock.bytes));
+  benchutil::emit_json_line("bench_poc_comm", "E2EQueryLatencySim",
+                            sim.latency_ns);
+  benchutil::emit_json_line("bench_poc_comm", "E2EQueryBytesSim",
+                            static_cast<double>(sim.bytes));
+  benchutil::emit_json_line("bench_poc_comm", "E2EQueryLatencySocket",
+                            sock.latency_ns);
+  benchutil::emit_json_line("bench_poc_comm", "E2EQueryBytesSocket",
+                            static_cast<double>(sock.bytes));
+}
+
 }  // namespace
 
 int main() {
@@ -80,5 +259,6 @@ int main() {
   }
   std::printf("\npaper (jPBC):       43 -> 8.94/8.08KB ... 19 -> 3.97/3.58KB"
               " (same h-proportional shape)\n");
+  run_e2e();
   return 0;
 }

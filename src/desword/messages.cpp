@@ -222,4 +222,88 @@ NextHopResponse NextHopResponse::deserialize(BytesView data) {
   return m;
 }
 
+Bytes ClientQueryRequest::serialize() const {
+  BinaryWriter w;
+  w.u64(client_ref);
+  w.bytes(product);
+  w.u8(static_cast<std::uint8_t>(quality));
+  w.boolean(task_hint.has_value());
+  if (task_hint.has_value()) w.str(*task_hint);
+  return w.take();
+}
+
+ClientQueryRequest ClientQueryRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  ClientQueryRequest m;
+  m.client_ref = r.u64();
+  m.product = r.bytes();
+  m.quality = read_quality(r);
+  if (r.boolean()) m.task_hint = r.str();
+  r.expect_done();
+  return m;
+}
+
+Bytes ClientQueryResponse::serialize() const {
+  BinaryWriter w;
+  w.u64(client_ref);
+  w.boolean(ok);
+  w.str(error);
+  w.str(report_json);
+  return w.take();
+}
+
+ClientQueryResponse ClientQueryResponse::deserialize(BytesView data) {
+  BinaryReader r(data);
+  ClientQueryResponse m;
+  m.client_ref = r.u64();
+  m.ok = r.boolean();
+  m.error = r.str();
+  m.report_json = r.str();
+  r.expect_done();
+  return m;
+}
+
+Bytes StatusRequest::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  return w.take();
+}
+
+StatusRequest StatusRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  StatusRequest m{r.str()};
+  r.expect_done();
+  return m;
+}
+
+Bytes StatusResponse::serialize() const {
+  BinaryWriter w;
+  w.str(task_id);
+  w.boolean(ready);
+  return w.take();
+}
+
+StatusResponse StatusResponse::deserialize(BytesView data) {
+  BinaryReader r(data);
+  StatusResponse m;
+  m.task_id = r.str();
+  m.ready = r.boolean();
+  r.expect_done();
+  return m;
+}
+
+Bytes ClientReportRequest::serialize() const {
+  BinaryWriter w;
+  w.u64(client_ref);
+  return w.take();
+}
+
+ClientReportRequest ClientReportRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  ClientReportRequest m;
+  m.client_ref = r.u64();
+  r.expect_done();
+  return m;
+}
+
 }  // namespace desword::protocol

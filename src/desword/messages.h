@@ -147,6 +147,62 @@ struct NextHopResponse {
   static NextHopResponse deserialize(BytesView data);
 };
 
+// --------------------------------------------------------------------------
+// Client / admin extension (CLI daemons)
+// --------------------------------------------------------------------------
+//
+// Not part of the paper's protocol: a thin RPC layer that the standalone
+// `desword serve-proxy` daemon exposes so external clients (the `desword
+// query` command) can trigger queries and fetch the audit report over the
+// same transport. The proxy routes these to its fallback handler.
+
+/// Client asks the proxy daemon to run a product path query.
+struct ClientQueryRequest {
+  std::uint64_t client_ref = 0;  // echoed back so clients match replies
+  ProductId product;
+  ProductQuality quality = ProductQuality::kGood;
+  std::optional<std::string> task_hint;
+
+  Bytes serialize() const;
+  static ClientQueryRequest deserialize(BytesView data);
+};
+
+struct ClientQueryResponse {
+  std::uint64_t client_ref = 0;
+  bool ok = false;
+  std::string error;        // set when !ok
+  std::string report_json;  // QueryOutcome summary (see Proxy report schema)
+
+  Bytes serialize() const;
+  static ClientQueryResponse deserialize(BytesView data);
+};
+
+/// Readiness probe: "has task_id's POC list been submitted yet?"
+struct StatusRequest {
+  std::string task_id;
+
+  Bytes serialize() const;
+  static StatusRequest deserialize(BytesView data);
+};
+
+struct StatusResponse {
+  std::string task_id;
+  bool ready = false;
+
+  Bytes serialize() const;
+  static StatusResponse deserialize(BytesView data);
+};
+
+/// Client asks the proxy daemon for the full audit report
+/// (`Proxy::export_report_json`). Reply is a ClientQueryResponse carrying
+/// the report in `report_json`.
+struct ClientReportRequest {
+  std::uint64_t client_ref = 0;
+
+  Bytes serialize() const;
+  static ClientReportRequest deserialize(BytesView data);
+};
+
 // Message type tags used on the wire.
 namespace msg {
 inline constexpr const char* kPsRequest = "ps_request";
@@ -161,6 +217,14 @@ inline constexpr const char* kRevealRequest = "reveal_request";
 inline constexpr const char* kRevealResponse = "reveal_response";
 inline constexpr const char* kNextHopRequest = "next_hop_request";
 inline constexpr const char* kNextHopResponse = "next_hop_response";
+// Client / admin extension (CLI daemons only).
+inline constexpr const char* kClientQueryRequest = "client_query_request";
+inline constexpr const char* kClientQueryResponse = "client_query_response";
+inline constexpr const char* kStatusRequest = "status_request";
+inline constexpr const char* kStatusResponse = "status_response";
+inline constexpr const char* kClientReportRequest = "client_report_request";
+/// Empty payload; asks a daemon to exit its serve loop.
+inline constexpr const char* kAdminShutdown = "admin_shutdown";
 }  // namespace msg
 
 }  // namespace desword::protocol

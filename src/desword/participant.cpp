@@ -4,22 +4,54 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "crypto/hash.h"
 #include "zkedb/proof.h"
 
 namespace desword::protocol {
 
+namespace {
+
+/// Interval between ps re-requests by the initial participant (transport
+/// clock units; see ProxyConfig::retransmit_timeout for semantics).
+constexpr std::uint64_t kPsRetryInterval = 500;
+
+/// Query-phase reply cache bound. Sized for the retransmission window of a
+/// handful of concurrent queries, not for history: a digest plus response
+/// per in-flight request round.
+constexpr std::size_t kReplyCacheCapacity = 128;
+
+}  // namespace
+
+Participant::Participant(ParticipantId id, net::Transport& transport,
+                         net::NodeId proxy, CrsCachePtr crs_cache)
+    : Participant(std::move(id), nullptr, &transport, std::move(proxy),
+                  std::move(crs_cache)) {}
+
 Participant::Participant(ParticipantId id, net::Network& network,
                          net::NodeId proxy, CrsCachePtr crs_cache)
+    : Participant(std::move(id), std::make_unique<net::SimTransport>(network),
+                  nullptr, std::move(proxy), std::move(crs_cache)) {}
+
+Participant::Participant(ParticipantId id,
+                         std::unique_ptr<net::SimTransport> owned,
+                         net::Transport* transport, net::NodeId proxy,
+                         CrsCachePtr crs_cache)
     : id_(std::move(id)),
-      network_(network),
+      owned_transport_(std::move(owned)),
+      transport_(owned_transport_ ? static_cast<net::Transport&>(
+                                        *owned_transport_)
+                                  : *transport),
       proxy_(std::move(proxy)),
       crs_cache_(std::move(crs_cache)) {
-  network_.register_node(id_,
-                         [this](const net::Envelope& env) { handle(env); });
+  transport_.register_node(id_,
+                           [this](const net::Envelope& env) { handle(env); });
 }
 
 Participant::~Participant() {
-  if (network_.has_node(id_)) network_.unregister_node(id_);
+  for (auto& [task_id, task] : tasks_) {
+    if (task.ps_retry_timer != 0) transport_.cancel_timer(task.ps_retry_timer);
+  }
+  if (transport_.has_node(id_)) transport_.unregister_node(id_);
 }
 
 void Participant::load_database(supplychain::TraceDatabase db) {
@@ -49,8 +81,26 @@ void Participant::initiate_task(const std::string& task_id) {
   if (task.setup.initial != id_) {
     throw ProtocolError("only the initial participant initiates a task");
   }
-  network_.send(id_, proxy_, msg::kPsRequest,
-                PsRequest{task_id}.serialize());
+  transport_.send(id_, proxy_, msg::kPsRequest,
+                  PsRequest{task_id}.serialize());
+  if (task.ps_retry_timer != 0) transport_.cancel_timer(task.ps_retry_timer);
+  task.ps_retry_timer = transport_.set_timer(
+      kPsRetryInterval, [this, task_id] { on_ps_retry(task_id); });
+}
+
+void Participant::on_ps_retry(const std::string& task_id) {
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  TaskState& task = it->second;
+  task.ps_retry_timer = 0;
+  if (task.list_submitted) return;  // distribution done; stop nagging
+  // Re-request ps. A duplicate ps response triggers the full re-broadcast /
+  // re-report recovery chain, healing any message lost anywhere in the
+  // distribution phase.
+  transport_.send(id_, proxy_, msg::kPsRequest,
+                  PsRequest{task_id}.serialize());
+  task.ps_retry_timer = transport_.set_timer(
+      kPsRetryInterval, [this, task_id] { on_ps_retry(task_id); });
 }
 
 bool Participant::task_complete(const std::string& task_id) const {
@@ -91,8 +141,11 @@ void Participant::dispatch(const net::Envelope& env) {
     on_reveal_request(env, RevealRequest::deserialize(env.payload));
   } else if (env.type == msg::kNextHopRequest) {
     on_next_hop_request(env, NextHopRequest::deserialize(env.payload));
+  } else if (fallback_) {
+    // Admin extensions (daemon shutdown etc.); unknown types are otherwise
+    // ignored (forward compatibility).
+    fallback_(env);
   }
-  // Unknown message types are ignored (forward compatibility).
 }
 
 // ---------------------------------------------------------------------------
@@ -104,18 +157,18 @@ void Participant::on_ps_response(const PsResponse& m) {
   if (it == tasks_.end() || it->second.setup.initial != id_) return;
   TaskState& task = it->second;
   if (!task.ps.empty()) {
-    // Duplicate (the scenario re-kicked the task after message loss):
-    // re-broadcast ps so participants that missed it can recover.
+    // Duplicate (re-kick or ps-retry after message loss): re-broadcast ps
+    // so participants that missed it can recover.
     for (const ParticipantId& other : task.setup.involved) {
       if (other == id_) continue;
-      network_.send(id_, other, msg::kPsBroadcast,
-                    PsBroadcast{m.task_id, task.ps}.serialize());
+      transport_.send(id_, other, msg::kPsBroadcast,
+                      PsBroadcast{m.task_id, task.ps}.serialize());
     }
     if (task.list_submitted) {
       // The submission itself may have been the lost message.
-      network_.send(id_, proxy_, msg::kPocListSubmit,
-                    PocListSubmit{task.setup.task_id, task.list.serialize()}
-                        .serialize());
+      transport_.send(id_, proxy_, msg::kPocListSubmit,
+                      PocListSubmit{task.setup.task_id, task.list.serialize()}
+                          .serialize());
     } else {
       maybe_submit_list(task);
     }
@@ -127,8 +180,8 @@ void Participant::on_ps_response(const PsResponse& m) {
   // participant v1 requests ps from the proxy and broadcasts it").
   for (const ParticipantId& other : task.setup.involved) {
     if (other == id_) continue;
-    network_.send(id_, other, msg::kPsBroadcast,
-                  PsBroadcast{m.task_id, task.ps}.serialize());
+    transport_.send(id_, other, msg::kPsBroadcast,
+                    PsBroadcast{m.task_id, task.ps}.serialize());
   }
   aggregate_poc(task);
   maybe_send_pairs(task);
@@ -143,17 +196,17 @@ void Participant::on_ps_broadcast(const PsBroadcast& m) {
     // Duplicate: re-announce our POC (receivers dedup) and re-report any
     // pairs in case the originals were lost.
     for (const ParticipantId& parent : task.setup.parents) {
-      network_.send(id_, parent, msg::kPocToParent,
-                    PocToParent{m.task_id, task.own_poc->serialize()}
-                        .serialize());
+      transport_.send(id_, parent, msg::kPocToParent,
+                      PocToParent{m.task_id, task.own_poc->serialize()}
+                          .serialize());
     }
     if (task.pairs_sent && task.setup.initial != id_) {
       PocPairsToInitial report;
       report.task_id = task.setup.task_id;
       report.own_poc = task.own_poc->serialize();
       report.pairs = task.pairs;
-      network_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
-                    report.serialize());
+      transport_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
+                      report.serialize());
     }
     return;
   }
@@ -161,9 +214,9 @@ void Participant::on_ps_broadcast(const PsBroadcast& m) {
   aggregate_poc(task);
   // Announce our POC to every task parent so they can build POC pairs.
   for (const ParticipantId& parent : task.setup.parents) {
-    network_.send(id_, parent, msg::kPocToParent,
-                  PocToParent{m.task_id, task.own_poc->serialize()}
-                      .serialize());
+    transport_.send(id_, parent, msg::kPocToParent,
+                    PocToParent{m.task_id, task.own_poc->serialize()}
+                        .serialize());
   }
   // Buffered child POCs may have arrived before ps did.
   for (const Bytes& child : task.buffered_child_pocs) {
@@ -203,7 +256,12 @@ void Participant::on_poc_to_parent(const net::Envelope& env,
   if (it == tasks_.end()) return;
   TaskState& task = it->second;
   if (!task.own_poc.has_value()) {
-    task.buffered_child_pocs.push_back(m.poc);
+    // Dedup the buffer: with duplicated links the same child POC can show
+    // up several times before ps arrives.
+    const auto& buf = task.buffered_child_pocs;
+    if (std::find(buf.begin(), buf.end(), m.poc) == buf.end()) {
+      task.buffered_child_pocs.push_back(m.poc);
+    }
     return;
   }
   absorb_child_poc(task, m.poc);
@@ -237,8 +295,8 @@ void Participant::maybe_send_pairs(TaskState& task) {
     absorb_report_at_initial(task, id_, report);
     maybe_submit_list(task);
   } else {
-    network_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
-                  report.serialize());
+    transport_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
+                    report.serialize());
   }
 }
 
@@ -269,7 +327,11 @@ void Participant::maybe_submit_list(TaskState& task) {
   if (task.setup.initial != id_ || task.list_submitted) return;
   if (task.reports_received.size() < task.setup.involved.size()) return;
   task.list_submitted = true;
-  network_.send(
+  if (task.ps_retry_timer != 0) {
+    transport_.cancel_timer(task.ps_retry_timer);
+    task.ps_retry_timer = 0;
+  }
+  transport_.send(
       id_, proxy_, msg::kPocListSubmit,
       PocListSubmit{task.setup.task_id, task.list.serialize()}.serialize());
 }
@@ -291,6 +353,7 @@ const Participant::ProofContext* Participant::context_for(
 
 Bytes Participant::make_ownership_proof(const ProofContext& ctx,
                                         const supplychain::ProductId& product) {
+  stats_.proofs_generated += 1;
   poc::PocProof proof = ctx.scheme->prove(*ctx.dpoc, product);
   if (query_behavior_.wrong_trace.count(product) > 0) {
     // "Return wrong RFID-trace": tamper with the revealed value. The
@@ -302,91 +365,122 @@ Bytes Participant::make_ownership_proof(const ProofContext& ctx,
   return proof.serialize();
 }
 
+void Participant::respond_cached(const net::Envelope& env,
+                                 const std::string& resp_type,
+                                 const std::function<Bytes()>& compute) {
+  const Bytes key = TaggedHasher("desword.reply-cache")
+                        .add_str(env.type)
+                        .add(env.payload)
+                        .digest();
+  const auto it = reply_cache_.find(key);
+  if (it != reply_cache_.end()) {
+    stats_.duplicate_requests_served += 1;
+    transport_.send(id_, env.from, it->second.type, it->second.payload);
+    return;
+  }
+  Bytes payload = compute();
+  if (reply_cache_order_.size() >= kReplyCacheCapacity) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+  reply_cache_[key] = CachedReply{resp_type, payload};
+  reply_cache_order_.push_back(key);
+  transport_.send(id_, env.from, resp_type, std::move(payload));
+}
+
 void Participant::on_query_request(const net::Envelope& env,
                                    const QueryRequest& m) {
   if (query_behavior_.unresponsive) return;
-  QueryResponse resp;
-  resp.query_id = m.query_id;
+  respond_cached(env, msg::kQueryResponse, [&]() -> Bytes {
+    QueryResponse resp;
+    resp.query_id = m.query_id;
 
-  const ProofContext* ctx = context_for(m.poc);
-  if (ctx == nullptr) {
-    // We never built this POC: answer "not processing", no proof. The
-    // proxy treats the missing proof according to the product quality.
-    resp.claims_processing = false;
-    network_.send(id_, env.from, msg::kQueryResponse, resp.serialize());
-    return;
-  }
+    const ProofContext* ctx = context_for(m.poc);
+    if (ctx == nullptr) {
+      // We never built this POC: answer "not processing", no proof. The
+      // proxy treats the missing proof according to the product quality.
+      resp.claims_processing = false;
+      return resp.serialize();
+    }
 
-  const bool committed = ctx->dpoc->owns(m.product);
-  if (m.quality == ProductQuality::kGood) {
-    if (committed && query_behavior_.claim_non_processing.count(m.product) ==
-                         0) {
-      // Honest: claim processing with an ownership proof (tampered if the
-      // wrong-trace deviation is configured).
-      resp.claims_processing = true;
-      resp.proof = make_ownership_proof(*ctx, m.product);
-    } else if (!committed &&
-               query_behavior_.claim_processing.count(m.product) > 0) {
-      // "Claim processing": the best a cheater can do is send something
-      // shaped like a proof — here its (valid) non-ownership proof dressed
-      // up as an ownership proof. Verification must reject it.
-      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
-      forged.ownership = true;
-      resp.claims_processing = true;
-      resp.proof = forged.serialize();
-    } else {
-      resp.claims_processing = false;  // forfeit the positive score
+    const bool committed = ctx->dpoc->owns(m.product);
+    if (m.quality == ProductQuality::kGood) {
+      if (committed && query_behavior_.claim_non_processing.count(m.product) ==
+                           0) {
+        // Honest: claim processing with an ownership proof (tampered if the
+        // wrong-trace deviation is configured).
+        resp.claims_processing = true;
+        resp.proof = make_ownership_proof(*ctx, m.product);
+      } else if (!committed &&
+                 query_behavior_.claim_processing.count(m.product) > 0) {
+        // "Claim processing": the best a cheater can do is send something
+        // shaped like a proof — here its (valid) non-ownership proof dressed
+        // up as an ownership proof. Verification must reject it.
+        stats_.proofs_generated += 1;
+        poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+        forged.ownership = true;
+        resp.claims_processing = true;
+        resp.proof = forged.serialize();
+      } else {
+        resp.claims_processing = false;  // forfeit the positive score
+      }
+    } else {  // bad product
+      if (!committed) {
+        // Honest denial with a non-ownership proof.
+        stats_.proofs_generated += 1;
+        resp.claims_processing = false;
+        resp.proof = ctx->scheme->prove(*ctx->dpoc, m.product).serialize();
+      } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
+        // "Claim non-processing": forge a denial. A valid non-ownership
+        // proof cannot exist (Claim 1), so the cheater sends its ownership
+        // proof relabelled — or garbage; either way verification rejects.
+        stats_.proofs_generated += 1;
+        poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+        forged.ownership = false;
+        forged.zk_proof = random_bytes(64);
+        resp.claims_processing = false;
+        resp.proof = forged.serialize();
+      } else {
+        // Honest: cannot deny; admit processing and await the reveal round.
+        resp.claims_processing = true;
+      }
     }
-  } else {  // bad product
-    if (!committed) {
-      // Honest denial with a non-ownership proof.
-      resp.claims_processing = false;
-      resp.proof = ctx->scheme->prove(*ctx->dpoc, m.product).serialize();
-    } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
-      // "Claim non-processing": forge a denial. A valid non-ownership
-      // proof cannot exist (Claim 1), so the cheater sends its ownership
-      // proof relabelled — or garbage; either way verification rejects.
-      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
-      forged.ownership = false;
-      forged.zk_proof = random_bytes(64);
-      resp.claims_processing = false;
-      resp.proof = forged.serialize();
-    } else {
-      // Honest: cannot deny; admit processing and await the reveal round.
-      resp.claims_processing = true;
-    }
-  }
-  network_.send(id_, env.from, msg::kQueryResponse, resp.serialize());
+    return resp.serialize();
+  });
 }
 
 void Participant::on_reveal_request(const net::Envelope& env,
                                     const RevealRequest& m) {
   if (query_behavior_.unresponsive) return;
-  RevealResponse resp;
-  resp.query_id = m.query_id;
-  const ProofContext* ctx = context_for(m.poc);
-  if (ctx != nullptr && ctx->dpoc->owns(m.product) &&
-      !query_behavior_.refuse_reveal) {
-    resp.proof = make_ownership_proof(*ctx, m.product);
-  }
-  network_.send(id_, env.from, msg::kRevealResponse, resp.serialize());
+  respond_cached(env, msg::kRevealResponse, [&]() -> Bytes {
+    RevealResponse resp;
+    resp.query_id = m.query_id;
+    const ProofContext* ctx = context_for(m.poc);
+    if (ctx != nullptr && ctx->dpoc->owns(m.product) &&
+        !query_behavior_.refuse_reveal) {
+      resp.proof = make_ownership_proof(*ctx, m.product);
+    }
+    return resp.serialize();
+  });
 }
 
 void Participant::on_next_hop_request(const net::Envelope& env,
                                       const NextHopRequest& m) {
   if (query_behavior_.unresponsive) return;
-  NextHopResponse resp;
-  resp.query_id = m.query_id;
-  const auto wrong = query_behavior_.wrong_next.find(m.product);
-  if (query_behavior_.false_termination.count(m.product) > 0) {
-    // Pretend the product's journey ended here.
-  } else if (wrong != query_behavior_.wrong_next.end()) {
-    resp.next = wrong->second;
-  } else {
-    const auto it = shipments_.find(m.product);
-    if (it != shipments_.end()) resp.next = it->second;
-  }
-  network_.send(id_, env.from, msg::kNextHopResponse, resp.serialize());
+  respond_cached(env, msg::kNextHopResponse, [&]() -> Bytes {
+    NextHopResponse resp;
+    resp.query_id = m.query_id;
+    const auto wrong = query_behavior_.wrong_next.find(m.product);
+    if (query_behavior_.false_termination.count(m.product) > 0) {
+      // Pretend the product's journey ended here.
+    } else if (wrong != query_behavior_.wrong_next.end()) {
+      resp.next = wrong->second;
+    } else {
+      const auto it = shipments_.find(m.product);
+      if (it != shipments_.end()) resp.next = it->second;
+    }
+    return resp.serialize();
+  });
 }
 
 }  // namespace desword::protocol

@@ -1,7 +1,7 @@
 // A DE-Sword participant backend node.
 //
 // Owns the participant's RFID-trace database and drives both protocol
-// phases over the simulated network:
+// phases over an abstract `net::Transport` (simulated network or TCP):
 //
 //   * distribution phase: fetch/receive ps, aggregate the trace database
 //     into a POC (applying any configured dishonest deviations), exchange
@@ -9,8 +9,15 @@
 //     the task-initial participant, who submits the POC list to the proxy;
 //   * query phase: answer query / reveal / next-hop requests under the
 //     configured query behaviour.
+//
+// Query-phase request handling is idempotent: a duplicate request (proxy
+// retransmission, duplicated link delivery) is answered from a bounded
+// reply cache instead of re-running proof generation, so retransmissions
+// cost bytes but never CPU.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -21,7 +28,7 @@
 #include "desword/behavior.h"
 #include "desword/crs_cache.h"
 #include "desword/messages.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "poc/poc.h"
 #include "poc/poc_list.h"
 #include "supplychain/graph.h"
@@ -48,6 +55,10 @@ struct TaskSetup {
 
 class Participant {
  public:
+  Participant(ParticipantId id, net::Transport& transport, net::NodeId proxy,
+              CrsCachePtr crs_cache);
+  /// Compatibility: runs over an internally-owned SimTransport wrapping
+  /// `network`.
   Participant(ParticipantId id, net::Network& network, net::NodeId proxy,
               CrsCachePtr crs_cache);
   ~Participant();
@@ -56,6 +67,7 @@ class Participant {
   Participant& operator=(const Participant&) = delete;
 
   const ParticipantId& id() const { return id_; }
+  net::Transport& transport() { return transport_; }
 
   /// Loads the RFID-trace database produced by a distribution task.
   void load_database(supplychain::TraceDatabase db);
@@ -70,7 +82,9 @@ class Participant {
   void begin_task(const TaskSetup& setup);
 
   /// Kicks off the distribution phase for a task (initial participant
-  /// only): requests ps from the proxy.
+  /// only): requests ps from the proxy and arms a retry timer that
+  /// re-requests it until the POC list is submitted (the duplicate-ps
+  /// recovery path re-broadcasts, which heals any lost message downstream).
   void initiate_task(const std::string& task_id);
 
   /// Whether this participant finished its distribution-phase duties for
@@ -80,7 +94,25 @@ class Participant {
   /// The POC built for a task, if any (for tests/inspection).
   const poc::Poc* poc_for_task(const std::string& task_id) const;
 
+  struct Stats {
+    /// Query-phase requests answered from the reply cache (no recompute).
+    std::uint64_t duplicate_requests_served = 0;
+    /// POC proofs actually generated (each is heavyweight ZK-EDB work).
+    std::uint64_t proofs_generated = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Receives envelopes whose type the participant does not understand
+  /// (admin extensions layered on top of the core protocol).
+  void set_fallback_handler(net::Handler handler) {
+    fallback_ = std::move(handler);
+  }
+
  private:
+  Participant(ParticipantId id, std::unique_ptr<net::SimTransport> owned,
+              net::Transport* transport, net::NodeId proxy,
+              CrsCachePtr crs_cache);
+
   struct TaskState {
     TaskSetup setup;
     Bytes ps;
@@ -96,6 +128,7 @@ class Participant {
     poc::PocList list;
     std::set<ParticipantId> reports_received;
     bool list_submitted = false;
+    net::Transport::TimerId ps_retry_timer = 0;
   };
 
   /// Per-commitment proving context for the query phase.
@@ -120,6 +153,7 @@ class Participant {
   void absorb_report_at_initial(TaskState& task, const ParticipantId& from,
                                 const PocPairsToInitial& m);
   void maybe_submit_list(TaskState& task);
+  void on_ps_retry(const std::string& task_id);
 
   // Query phase.
   void on_query_request(const net::Envelope& env, const QueryRequest& m);
@@ -129,9 +163,16 @@ class Participant {
   /// Ownership proof honouring wrong_trace behaviour.
   Bytes make_ownership_proof(const ProofContext& ctx,
                              const supplychain::ProductId& product);
+  /// Serves `env` from the reply cache, or computes the response payload
+  /// via `compute`, caches it, and sends it. Deduplication is keyed on a
+  /// digest of the request (type + payload), so retransmitted requests get
+  /// byte-identical responses without re-running proof generation.
+  void respond_cached(const net::Envelope& env, const std::string& resp_type,
+                      const std::function<Bytes()>& compute);
 
   ParticipantId id_;
-  net::Network& network_;
+  std::unique_ptr<net::SimTransport> owned_transport_;  // compat ctor only
+  net::Transport& transport_;
   net::NodeId proxy_;
   CrsCachePtr crs_cache_;
   supplychain::TraceDatabase db_;
@@ -142,6 +183,15 @@ class Participant {
   std::map<Bytes, ProofContext> contexts_;
   /// Ground-truth next hops (merged across tasks).
   std::map<supplychain::ProductId, ParticipantId> shipments_;
+
+  struct CachedReply {
+    std::string type;
+    Bytes payload;
+  };
+  std::map<Bytes, CachedReply> reply_cache_;  // request digest -> reply
+  std::deque<Bytes> reply_cache_order_;       // FIFO eviction
+  Stats stats_;
+  net::Handler fallback_;
 };
 
 }  // namespace desword::protocol

@@ -7,15 +7,34 @@
 
 namespace desword::protocol {
 
+Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
+             ProxyConfig config)
+    : Proxy(std::move(id), nullptr, &transport, std::move(crs_cache), nullptr,
+            std::move(config)) {}
+
+Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
+             zkedb::EdbCrsPtr crs, ProxyConfig config)
+    : Proxy(std::move(id), nullptr, &transport, std::move(crs_cache),
+            std::move(crs), std::move(config)) {}
+
 Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
              ProxyConfig config)
-    : Proxy(std::move(id), network, std::move(crs_cache), nullptr,
-            std::move(config)) {}
+    : Proxy(std::move(id), std::make_unique<net::SimTransport>(network),
+            nullptr, std::move(crs_cache), nullptr, std::move(config)) {}
 
 Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
              zkedb::EdbCrsPtr crs, ProxyConfig config)
+    : Proxy(std::move(id), std::make_unique<net::SimTransport>(network),
+            nullptr, std::move(crs_cache), std::move(crs), std::move(config)) {}
+
+Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
+             net::Transport* transport, CrsCachePtr crs_cache,
+             zkedb::EdbCrsPtr crs, ProxyConfig config)
     : id_(std::move(id)),
-      network_(network),
+      owned_transport_(std::move(owned)),
+      transport_(owned_transport_ ? static_cast<net::Transport&>(
+                                        *owned_transport_)
+                                  : *transport),
       crs_cache_(std::move(crs_cache)),
       config_(std::move(config)),
       // config_ is initialized before crs_ (declaration order), so a fresh
@@ -25,12 +44,15 @@ Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
   ps_bytes_ = crs_->params().serialize();
   crs_cache_->put(crs_);
   scheme_ = std::make_unique<poc::PocScheme>(crs_);
-  network_.register_node(id_,
-                         [this](const net::Envelope& env) { handle(env); });
+  transport_.register_node(id_,
+                           [this](const net::Envelope& env) { handle(env); });
 }
 
 Proxy::~Proxy() {
-  if (network_.has_node(id_)) network_.unregister_node(id_);
+  for (auto& [qid, s] : sessions_) {
+    if (s.retrans_timer != 0) transport_.cancel_timer(s.retrans_timer);
+  }
+  if (transport_.has_node(id_)) transport_.unregister_node(id_);
 }
 
 const poc::PocList* Proxy::task_list(const std::string& task_id) const {
@@ -56,6 +78,10 @@ void Proxy::handle(const net::Envelope& env) {
       on_reveal_response(env, RevealResponse::deserialize(env.payload));
     } else if (env.type == msg::kNextHopResponse) {
       on_next_hop_response(env, NextHopResponse::deserialize(env.payload));
+    } else if (fallback_) {
+      // Not a core protocol message: let the embedding server (CLI daemon)
+      // interpret client/admin extensions.
+      fallback_(env);
     }
   } catch (const SerializationError&) {
     // Malformed message from an untrusted node: drop it. Retransmission
@@ -64,8 +90,8 @@ void Proxy::handle(const net::Envelope& env) {
 }
 
 void Proxy::on_ps_request(const net::Envelope& env, const PsRequest& m) {
-  network_.send(id_, env.from, msg::kPsResponse,
-                PsResponse{m.task_id, ps_bytes_}.serialize());
+  transport_.send(id_, env.from, msg::kPsResponse,
+                  PsResponse{m.task_id, ps_bytes_}.serialize());
 }
 
 void Proxy::on_poc_list_submit(const net::Envelope& env,
@@ -133,12 +159,51 @@ void Proxy::send_tracked(Session& s, const net::NodeId& to,
   s.retries = 0;
   s.awaiting = true;
   s.transcript.push_back(
-      TranscriptEntry{network_.now(), true, to, type, payload.size()});
-  network_.send(id_, to, type, std::move(payload));
+      TranscriptEntry{transport_.now(), true, to, type, payload.size()});
+  transport_.send(id_, to, type, std::move(payload));
+  arm_retransmit(s);
+}
+
+void Proxy::settle(Session& s) {
+  s.awaiting = false;
+  if (s.retrans_timer != 0) {
+    transport_.cancel_timer(s.retrans_timer);
+    s.retrans_timer = 0;
+  }
+}
+
+void Proxy::arm_retransmit(Session& s) {
+  if (s.retrans_timer != 0) transport_.cancel_timer(s.retrans_timer);
+  const std::uint64_t query_id = s.outcome.query_id;
+  s.retrans_timer = transport_.set_timer(
+      config_.retransmit_timeout,
+      [this, query_id] { on_retransmit_timeout(query_id); });
+}
+
+void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
+  const auto it = sessions_.find(query_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  s.retrans_timer = 0;
+  if (s.phase == Phase::kDone || !s.awaiting) return;
+  if (s.retries < config_.max_retries) {
+    ++s.retries;
+    // Retransmissions do not get transcript entries: the transcript audits
+    // the logical exchange, LinkStats count the physical bytes.
+    transport_.send(id_, s.last_to, s.last_type, s.last_payload);
+    arm_retransmit(s);
+    return;
+  }
+  record_violation(s, s.last_to, ViolationType::kNoResponse);
+  if (s.phase == Phase::kInitialScan) {
+    advance_candidate(s);
+  } else {
+    finish(s, false);
+  }
 }
 
 void Proxy::record_incoming(Session& s, const net::Envelope& env) {
-  s.transcript.push_back(TranscriptEntry{network_.now(), false, env.from,
+  s.transcript.push_back(TranscriptEntry{transport_.now(), false, env.from,
                                          env.type, env.payload.size()});
 }
 
@@ -241,9 +306,10 @@ void Proxy::record_violation(Session& s, const std::string& participant,
 void Proxy::finish(Session& s, bool complete) {
   if (s.phase == Phase::kDone) return;
   s.phase = Phase::kDone;
-  s.awaiting = false;
+  settle(s);
   s.outcome.complete = complete;
   apply_scores(s);
+  if (completion_cb_) completion_cb_(s.outcome);
 }
 
 void Proxy::apply_scores(Session& s) {
@@ -278,8 +344,8 @@ void Proxy::on_query_response(const net::Envelope& env,
     if (s.candidate_idx >= s.candidates.size()) return;
     const Candidate cand = s.candidates[s.candidate_idx];
     if (env.from != cand.participant) return;  // stray
-    s.awaiting = false;
-  record_incoming(s, env);
+    settle(s);
+    record_incoming(s, env);
     s.current_poc = cand.poc;  // verification target during the scan
 
     if (s.outcome.quality == ProductQuality::kGood) {
@@ -341,7 +407,7 @@ void Proxy::on_query_response(const net::Envelope& env,
   }
 
   if (s.phase != Phase::kWalk || env.from != s.current) return;
-  s.awaiting = false;
+  settle(s);
   record_incoming(s, env);
 
   if (s.outcome.quality == ProductQuality::kGood) {
@@ -406,7 +472,7 @@ void Proxy::on_reveal_response(const net::Envelope& env,
   if (it == sessions_.end()) return;
   Session& s = it->second;
   if (s.phase != Phase::kReveal || env.from != s.current) return;
-  s.awaiting = false;
+  settle(s);
   record_incoming(s, env);
 
   if (!m.proof.has_value()) {
@@ -428,7 +494,7 @@ void Proxy::on_next_hop_response(const net::Envelope& env,
   if (it == sessions_.end()) return;
   Session& s = it->second;
   if (s.phase != Phase::kNextHop || env.from != s.current) return;
-  s.awaiting = false;
+  settle(s);
   record_incoming(s, env);
 
   if (!m.next.has_value()) {
@@ -455,29 +521,23 @@ void Proxy::on_next_hop_response(const net::Envelope& env,
   query_current(s);
 }
 
+bool Proxy::has_active_sessions() const {
+  for (const auto& [qid, s] : sessions_) {
+    if (s.phase != Phase::kDone) return true;
+  }
+  return false;
+}
+
 void Proxy::pump() {
-  constexpr int kMaxIdleRounds = 100000;
-  for (int round = 0; round < kMaxIdleRounds; ++round) {
-    network_.run();
-    // All messages delivered; look for stalled sessions.
-    std::vector<Session*> stalled;
-    for (auto& [qid, s] : sessions_) {
-      if (s.phase != Phase::kDone && s.awaiting) stalled.push_back(&s);
-    }
-    if (stalled.empty()) return;
-    for (Session* s : stalled) {
-      if (s->retries < config_.max_retries) {
-        ++s->retries;
-        network_.send(id_, s->last_to, s->last_type, s->last_payload);
-      } else {
-        record_violation(*s, s->last_to, ViolationType::kNoResponse);
-        if (s->phase == Phase::kInitialScan) {
-          advance_candidate(*s);
-        } else {
-          finish(*s, false);
-        }
-      }
-    }
+  // Every in-flight session owns a retransmission timer, so progress is
+  // timer-driven: each poll() either delivers messages or fires due timers
+  // (SimTransport fires them at quiescence; SocketTransport after real
+  // timeouts). A session always resolves after at most
+  // max_retries * timeout of silence per request.
+  constexpr int kMaxRounds = 1000000;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    transport_.poll(/*timeout_ms=*/10);
+    if (!has_active_sessions()) return;
   }
   throw ProtocolError("proxy pump did not converge");
 }

@@ -8,12 +8,18 @@
 //   * maintain public reputation scores under the double-edged award
 //     strategy.
 //
-// Queries are asynchronous sessions over the simulated network; the
-// `pump()` driver delivers messages, retransmits into lossy links, and
-// deems unresponsive participants after bounded retries.
+// Each query is an event-driven session state machine over an abstract
+// `net::Transport`: every request the session sends arms a retransmission
+// timer; a matching response cancels it; when the timer fires past
+// `max_retries`, the peer is deemed unresponsive. The proxy therefore
+// runs identically over the in-process simulator (`SimTransport`) and a
+// real TCP event loop (`SocketTransport`) — `pump()`/`run_query()` remain
+// as synchronous conveniences that drive the transport until every
+// in-flight session resolves.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -24,7 +30,7 @@
 #include "desword/messages.h"
 #include "desword/query.h"
 #include "desword/reputation.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "poc/poc_list.h"
 
 namespace desword::protocol {
@@ -33,13 +39,23 @@ struct ProxyConfig {
   zkedb::EdbConfig edb;
   ScorePolicy scores;
   int max_retries = 3;
+  /// Retransmission timeout in transport clock units (simulated ticks for
+  /// SimTransport — where any value behaves the same, timers fire at
+  /// quiescence — and milliseconds for SocketTransport).
+  std::uint64_t retransmit_timeout = 250;
 };
 
 class Proxy {
  public:
-  Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
+  Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
         ProxyConfig config);
   /// Variant reusing an existing CRS (benchmarks share one across setups).
+  Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
+        zkedb::EdbCrsPtr crs, ProxyConfig config);
+  /// Compatibility: runs over an internally-owned SimTransport wrapping
+  /// `network`.
+  Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
+        ProxyConfig config);
   Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
         zkedb::EdbCrsPtr crs, ProxyConfig config);
   ~Proxy();
@@ -49,6 +65,7 @@ class Proxy {
 
   const net::NodeId& id() const { return id_; }
   const zkedb::EdbCrsPtr& crs() const { return crs_; }
+  net::Transport& transport() { return transport_; }
 
   // -- Distribution-phase state ------------------------------------------
 
@@ -72,8 +89,8 @@ class Proxy {
                             ProductQuality quality,
                             std::optional<std::string> task_hint = {});
 
-  /// Drives the network until every in-flight query resolves. Handles
-  /// retransmissions and no-response aborts.
+  /// Drives the transport until every in-flight query resolves
+  /// (retransmissions and no-response aborts happen via session timers).
   void pump();
 
   /// Synchronous convenience: begin + pump + fetch.
@@ -84,9 +101,25 @@ class Proxy {
   /// Outcome of a finished query (nullptr while in flight / unknown).
   const QueryOutcome* outcome(std::uint64_t query_id) const;
 
+  /// True while any query session is unresolved.
+  bool has_active_sessions() const;
+
+  /// Invoked (synchronously, from transport context) whenever a query
+  /// session finishes — the hook a server wrapper uses to answer remote
+  /// clients.
+  void set_completion_callback(std::function<void(const QueryOutcome&)> cb) {
+    completion_cb_ = std::move(cb);
+  }
+
+  /// Receives envelopes whose type the proxy itself does not understand
+  /// (admin/client extensions layered on top of the core protocol).
+  void set_fallback_handler(net::Handler handler) {
+    fallback_ = std::move(handler);
+  }
+
   /// One audit-log entry per protocol message of a query session.
   struct TranscriptEntry {
-    std::uint64_t at = 0;  // simulated network time
+    std::uint64_t at = 0;  // transport time
     bool outgoing = false;  // proxy -> participant?
     net::NodeId peer;
     std::string type;
@@ -110,6 +143,12 @@ class Proxy {
   std::string export_report_json() const;
 
  private:
+  /// All public ctors delegate here. Exactly one of `owned` / `transport`
+  /// is set; when `owned` is non-null the proxy keeps it alive and uses it.
+  Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
+        net::Transport* transport, CrsCachePtr crs_cache, zkedb::EdbCrsPtr crs,
+        ProxyConfig config);
+
   enum class Phase : std::uint8_t { kInitialScan, kWalk, kReveal, kNextHop,
                                     kDone };
 
@@ -138,6 +177,7 @@ class Proxy {
     Bytes last_payload;
     int retries = 0;
     bool awaiting = false;
+    net::Transport::TimerId retrans_timer = 0;
   };
 
   void handle(const net::Envelope& env);
@@ -149,6 +189,10 @@ class Proxy {
 
   void send_tracked(Session& s, const net::NodeId& to, const std::string& type,
                     Bytes payload);
+  /// Response accepted: stop awaiting and disarm the session's timer.
+  void settle(Session& s);
+  void arm_retransmit(Session& s);
+  void on_retransmit_timeout(std::uint64_t query_id);
   void record_incoming(Session& s, const net::Envelope& env);
   void advance_candidate(Session& s);
   void start_walk(Session& s, const Candidate& candidate,
@@ -158,7 +202,6 @@ class Proxy {
   void request_next_hop(Session& s);
   /// Verifies an ownership proof and records the trace; returns success.
   bool absorb_ownership_proof(Session& s, const Bytes& proof_bytes);
-  void identified(Session& s);
   void record_violation(Session& s, const std::string& participant,
                         ViolationType type);
   void finish(Session& s, bool complete);
@@ -167,12 +210,15 @@ class Proxy {
   poc::PocScheme& scheme() { return *scheme_; }
 
   net::NodeId id_;
-  net::Network& network_;
+  std::unique_ptr<net::SimTransport> owned_transport_;  // compat ctors only
+  net::Transport& transport_;
   CrsCachePtr crs_cache_;
   ProxyConfig config_;
   zkedb::EdbCrsPtr crs_;
   Bytes ps_bytes_;
   std::unique_ptr<poc::PocScheme> scheme_;
+  std::function<void(const QueryOutcome&)> completion_cb_;
+  net::Handler fallback_;
 
   std::map<std::string, poc::PocList> lists_;  // task id -> POC list
   std::map<std::string, std::vector<QueueEntry>> queues_;  // initial -> queue

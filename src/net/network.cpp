@@ -37,11 +37,17 @@ const LinkPolicy& Network::policy_for(const NodeId& from,
 
 void Network::send(const NodeId& from, const NodeId& to,
                    const std::string& type, Bytes payload) {
-  if (!has_node(to)) throw ProtocolError("send to unknown node: " + to);
   const LinkPolicy& policy = policy_for(from, to);
   LinkStats& stats = stats_[{from, to}];
   stats.messages_sent += 1;
   stats.bytes_sent += payload.size();
+  if (!has_node(to)) {
+    // A crashed or deregistered peer must not take the *sender* down: the
+    // message is dropped and counted, and the sender's retransmission /
+    // no-response path deals with the silence.
+    stats.messages_dropped += 1;
+    return;
+  }
   if (rng_.chance(policy.drop_rate)) {
     stats.messages_dropped += 1;
     return;
@@ -87,6 +93,7 @@ LinkStats Network::total_stats() const {
   for (const auto& [link, s] : stats_) {
     total.messages_sent += s.messages_sent;
     total.messages_dropped += s.messages_dropped;
+    total.messages_duplicated += s.messages_duplicated;
     total.bytes_sent += s.bytes_sent;
   }
   return total;

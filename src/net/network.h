@@ -65,8 +65,11 @@ class Network {
                        LinkPolicy policy);
   void set_default_policy(LinkPolicy policy) { default_policy_ = policy; }
 
-  /// Queues a message. Unknown recipients throw ProtocolError; drops are
-  /// decided at send time per link policy.
+  /// Queues a message. Sending to an unknown (crashed / deregistered)
+  /// recipient drops the message and counts it in
+  /// `LinkStats::messages_dropped` — it never throws, so a dead peer
+  /// cannot kill the sender. Lossy-link drops are decided at send time per
+  /// link policy.
   void send(const NodeId& from, const NodeId& to, const std::string& type,
             Bytes payload);
 

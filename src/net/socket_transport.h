@@ -1,0 +1,107 @@
+// Real TCP transport: a poll(2)-based, single-threaded event loop speaking
+// the length-prefixed envelope framing of net/wire.h.
+//
+// One SocketTransport is one process's network endpoint. It owns a
+// listening socket (ephemeral port by default) plus one non-blocking
+// connection per peer. Outbound peers are resolved lazily through a
+// caller-supplied resolver (NodeId -> "host:port"); inbound peers are
+// learned from the `from` field of the frames they send, so a reply can
+// travel back over the connection the request arrived on — clients
+// therefore never need a resolvable address.
+//
+// Delivery semantics match the simulator's lossy defaults: an unreachable
+// or unresolvable peer silently drops the message (counted in LinkStats)
+// and the sender's retransmission timers recover — TCP only makes the
+// in-connection stream reliable, not the peer available.
+//
+// Single-threaded by design: handlers and timer callbacks run inside
+// `poll()` on the calling thread; `send()` from handler context queues
+// into per-connection write buffers that `poll()` flushes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/transport.h"
+
+namespace desword::net {
+
+struct SocketTransportOptions {
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral port
+  /// Maps a peer node id to "host:port". Return nullopt when unknown (the
+  /// message is dropped). Called lazily, at most once per successful
+  /// connection per peer.
+  std::function<std::optional<std::string>(const NodeId&)> resolve;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// "host:port" actually bound (port resolved when options.port was 0).
+  const std::string& local_address() const { return local_address_; }
+
+  // -- Transport -----------------------------------------------------------
+  void register_node(const NodeId& id, Handler handler) override;
+  void unregister_node(const NodeId& id) override;
+  bool has_node(const NodeId& id) const override;
+  void send(const NodeId& from, const NodeId& to, const std::string& type,
+            Bytes payload) override;
+  std::uint64_t now() const override;  // ms since transport construction
+  TimerId set_timer(std::uint64_t delay_ms, TimerFn fn) override;
+  void cancel_timer(TimerId id) override;
+  std::size_t poll(int timeout_ms = 0) override;
+  const LinkStats& stats(const NodeId& from, const NodeId& to) const override;
+  LinkStats total_stats() const override;
+
+  /// Polls until every connection's write buffer drained or `timeout_ms`
+  /// elapsed. Returns true when fully flushed.
+  bool flush(int timeout_ms);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool connecting = false;  // non-blocking connect() in flight
+    Bytes inbuf;
+    Bytes outbuf;
+    NodeId peer;  // learned from inbound frames or set at connect time
+  };
+
+  int listen_fd_ = -1;
+  std::string local_address_;
+  SocketTransportOptions options_;
+  std::uint64_t epoch_ns_ = 0;  // steady-clock origin
+
+  std::map<NodeId, Handler> handlers_;
+  std::map<int, Connection> connections_;        // fd -> connection
+  std::map<NodeId, int> peer_connections_;       // peer id -> fd
+  std::deque<Envelope> local_queue_;             // loopback deliveries
+
+  TimerId next_timer_id_ = 1;
+  struct Timer {
+    std::uint64_t deadline_ms = 0;
+    TimerFn fn;
+  };
+  std::map<TimerId, Timer> timers_;
+
+  mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
+
+  Connection* connection_for(const NodeId& to);
+  void learn_peer(const NodeId& peer, int fd);
+  void close_connection(int fd);
+  std::size_t drain_input(Connection& conn);
+  bool flush_output(Connection& conn);
+  std::size_t fire_due_timers();
+  std::optional<std::uint64_t> next_timer_deadline() const;
+};
+
+}  // namespace desword::net

@@ -1,0 +1,40 @@
+#include "net/transport.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace desword::net {
+
+Transport::TimerId SimTransport::set_timer(std::uint64_t delay, TimerFn fn) {
+  if (!fn) throw ProtocolError("timer callback must be callable");
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, Timer{network_.now() + delay, std::move(fn)});
+  return id;
+}
+
+std::size_t SimTransport::poll(int timeout_ms) {
+  (void)timeout_ms;  // simulated time: the queue drains instantly
+  const std::size_t delivered = network_.run();
+  if (delivered > 0) return delivered;
+  if (timers_.empty()) return 0;
+  // Queue drained: every pending timer is due before anything else can
+  // happen. Snapshot the pending set — callbacks may arm new timers (e.g.
+  // a retransmission re-arming itself) and those must wait for the next
+  // quiescent point, exactly like a fresh stall-scan round.
+  std::vector<TimerId> due;
+  due.reserve(timers_.size());
+  for (const auto& [id, timer] : timers_) due.push_back(id);
+  std::size_t fired = 0;
+  for (const TimerId id : due) {
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled by an earlier callback
+    TimerFn fn = std::move(it->second.fn);
+    timers_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace desword::net

@@ -1,0 +1,129 @@
+// Transport abstraction decoupling the protocol layer from its message
+// substrate.
+//
+// The DE-Sword proxy and participants are distributed backend servers
+// (§II-C). The protocol endpoints (`protocol::Proxy`, `protocol::
+// Participant`) are written against this interface only, so the same state
+// machines run over:
+//
+//   * `SimTransport`  — the in-process simulated `Network` (deterministic,
+//     fault-injecting; what every test and the `Scenario` harness uses);
+//   * `SocketTransport` — a poll(2)-based TCP event loop with
+//     length-prefixed envelope framing (see net/wire.h), letting a proxy
+//     and N participants run as separate OS processes.
+//
+// Endpoints are event driven: they react to delivered envelopes and to
+// timers. Timers are the only way an endpoint regains control without a
+// message (retransmission, give-up timeouts) — there is no global "scan
+// for stalled work" primitive, because one cannot exist outside a
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/network.h"
+
+namespace desword::net {
+
+class Transport {
+ public:
+  using TimerId = std::uint64_t;
+  using TimerFn = std::function<void()>;
+
+  virtual ~Transport() = default;
+
+  /// Registers the handler for envelopes addressed to `id`. Throws
+  /// ProtocolError on duplicates.
+  virtual void register_node(const NodeId& id, Handler handler) = 0;
+  virtual void unregister_node(const NodeId& id) = 0;
+  virtual bool has_node(const NodeId& id) const = 0;
+
+  /// Queues a message for delivery. Never throws on an unreachable or
+  /// unknown recipient — the message is dropped and counted, and the
+  /// sender's timer/retransmission path recovers.
+  virtual void send(const NodeId& from, const NodeId& to,
+                    const std::string& type, Bytes payload) = 0;
+
+  /// Transport clock. Simulated ticks for SimTransport, milliseconds since
+  /// transport start for SocketTransport. Timer delays use the same unit.
+  virtual std::uint64_t now() const = 0;
+
+  /// Arms a one-shot timer firing `delay` clock units from now. The
+  /// returned id can cancel it; ids are never reused.
+  virtual TimerId set_timer(std::uint64_t delay, TimerFn fn) = 0;
+  /// Cancels a pending timer; unknown / already-fired ids are a no-op.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Processes pending transport work: delivers queued/readable envelopes
+  /// to handlers and fires due timers. `timeout_ms` bounds how long a
+  /// real-time transport may block waiting for events (ignored by the
+  /// simulator). Returns the number of events processed (envelope
+  /// deliveries + timer firings); 0 means the transport is idle.
+  virtual std::size_t poll(int timeout_ms = 0) = 0;
+
+  /// Per-link traffic counters (sent/dropped/bytes), keyed like the
+  /// simulator's.
+  virtual const LinkStats& stats(const NodeId& from, const NodeId& to)
+      const = 0;
+  virtual LinkStats total_stats() const = 0;
+};
+
+/// Adapter running the protocol over the in-process simulated `Network`,
+/// byte-for-byte compatible with driving the `Network` directly (same
+/// envelopes, same LinkStats accounting).
+///
+/// Timer semantics follow discrete-event simulation: while messages are in
+/// flight the clock only advances through deliveries; once the queue is
+/// fully drained nothing can preempt a pending timer anymore, so `poll()`
+/// fires *all* pending timers (in arming order). This reproduces exactly
+/// the retransmit-all-stalled-sessions rounds of the historical
+/// `Proxy::pump()` stall scan.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Network& network) : network_(network) {}
+
+  void register_node(const NodeId& id, Handler handler) override {
+    network_.register_node(id, std::move(handler));
+  }
+  void unregister_node(const NodeId& id) override {
+    network_.unregister_node(id);
+  }
+  bool has_node(const NodeId& id) const override {
+    return network_.has_node(id);
+  }
+
+  void send(const NodeId& from, const NodeId& to, const std::string& type,
+            Bytes payload) override {
+    network_.send(from, to, type, std::move(payload));
+  }
+
+  std::uint64_t now() const override { return network_.now(); }
+
+  TimerId set_timer(std::uint64_t delay, TimerFn fn) override;
+  void cancel_timer(TimerId id) override { timers_.erase(id); }
+
+  std::size_t poll(int timeout_ms = 0) override;
+
+  const LinkStats& stats(const NodeId& from, const NodeId& to) const override {
+    return network_.stats(from, to);
+  }
+  LinkStats total_stats() const override { return network_.total_stats(); }
+
+  Network& network() { return network_; }
+  std::size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    std::uint64_t deadline = 0;
+    TimerFn fn;
+  };
+
+  Network& network_;
+  TimerId next_timer_id_ = 1;
+  std::map<TimerId, Timer> timers_;  // keyed by id == arming order
+};
+
+}  // namespace desword::net

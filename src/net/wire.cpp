@@ -1,0 +1,53 @@
+#include "net/wire.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace desword::net {
+
+Bytes encode_envelope(const Envelope& env) {
+  BinaryWriter w;
+  w.str(env.from);
+  w.str(env.to);
+  w.str(env.type);
+  w.bytes(env.payload);
+  return w.take();
+}
+
+Envelope decode_envelope(BytesView data) {
+  BinaryReader r(data);
+  Envelope env;
+  env.from = r.str();
+  env.to = r.str();
+  env.type = r.str();
+  env.payload = r.bytes();
+  r.expect_done();
+  return env;
+}
+
+Bytes encode_frame(const Envelope& env) {
+  const Bytes body = encode_envelope(env);
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  Bytes out = w.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<Envelope> try_decode_frame(BytesView buffer,
+                                         std::size_t& consumed) {
+  consumed = 0;
+  if (buffer.size() < 4) return std::nullopt;
+  BinaryReader r(buffer.subspan(0, 4));
+  const std::uint32_t len = r.u32();
+  if (len > kMaxFrameBytes) {
+    throw SerializationError("frame length " + std::to_string(len) +
+                             " exceeds limit");
+  }
+  if (buffer.size() < 4u + len) return std::nullopt;
+  Envelope env = decode_envelope(buffer.subspan(4, len));
+  consumed = 4u + len;
+  return env;
+}
+
+}  // namespace desword::net

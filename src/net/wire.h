@@ -1,0 +1,46 @@
+// Canonical wire format for protocol envelopes.
+//
+// A framed envelope is what travels over a real byte stream (TCP):
+//
+//   frame    := u32_be total_len | envelope          (len of envelope only)
+//   envelope := str from | str to | str type | bytes payload
+//
+// using the repo-wide binary conventions of common/serial.h (big-endian
+// fixed ints, LEB128 varints, varint-length-prefixed strings/bytes).
+// `SocketTransport` speaks this format on the wire; `SimTransport` carries
+// the same `Envelope` fields in process (its byte accounting counts the
+// logical `payload` only, matching the original simulator). See
+// PROTOCOL.md "Wire format".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "net/network.h"
+
+namespace desword::net {
+
+/// Frames larger than this are treated as protocol violations and the
+/// connection carrying them is dropped (guards against hostile or corrupt
+/// length prefixes allocating unbounded memory).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Serializes the envelope body (no length prefix).
+Bytes encode_envelope(const Envelope& env);
+
+/// Parses an envelope body. Throws SerializationError on malformed input
+/// (including trailing bytes).
+Envelope decode_envelope(BytesView data);
+
+/// Serializes a complete frame: u32_be length prefix + envelope body.
+Bytes encode_frame(const Envelope& env);
+
+/// Attempts to cut one frame off the front of a receive buffer.
+/// Returns the decoded envelope and sets `consumed` to the number of
+/// buffer bytes to discard, or nullopt when the buffer does not yet hold a
+/// complete frame (`consumed` is 0 then). Throws SerializationError on a
+/// malformed body or an oversized length prefix.
+std::optional<Envelope> try_decode_frame(BytesView buffer,
+                                         std::size_t& consumed);
+
+}  // namespace desword::net

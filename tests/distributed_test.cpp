@@ -1,0 +1,210 @@
+// End-to-end distributed deployment test: runs the proxy and participants
+// as separate OS processes (the real `desword` CLI binary) speaking the
+// TCP SocketTransport on loopback, then drives distribution, a good and a
+// bad product query, the audit report, and an orderly shutdown through the
+// `desword query` client.
+//
+// The CLI binary path is injected at compile time (DESWORD_CLI_PATH).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace desword {
+namespace {
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Forks and execs the CLI with `args`, stdout+stderr appended to
+/// `log_path`. Returns the child pid.
+pid_t spawn_cli(const std::vector<std::string>& args,
+                const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child.
+  const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  std::string bin = DESWORD_CLI_PATH;
+  argv.push_back(bin.data());
+  std::vector<std::string> copy = args;
+  for (std::string& a : copy) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(bin.c_str(), argv.data());
+  ::_exit(127);
+}
+
+/// Waits for `pid` with a deadline; SIGKILLs and returns -1 on timeout,
+/// else the exit status (as from waitpid).
+int wait_with_timeout(pid_t pid, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 50) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) return status;
+    if (got < 0) return -1;  // already reaped / no such child
+    ::usleep(50 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+/// Runs a blocking CLI command to completion; returns its exit code and
+/// fills `output` with everything it printed.
+int run_cli(const std::vector<std::string>& args, const std::string& log_path,
+            std::string* output, int timeout_ms = 120000) {
+  const pid_t pid = spawn_cli(args, log_path);
+  const int status = wait_with_timeout(pid, timeout_ms);
+  if (output != nullptr) *output = read_text(log_path);
+  if (status < 0 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/desword-dist-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    plan_ = dir_ + "/plan.json";
+  }
+
+  void TearDown() override {
+    for (const pid_t pid : daemons_) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  std::string log(const std::string& name) const {
+    return dir_ + "/" + name + ".log";
+  }
+
+  std::string dir_;
+  std::string plan_;
+  std::vector<pid_t> daemons_;
+};
+
+TEST_F(DistributedTest, FullDeploymentOverTcpLoopback) {
+  // 1. Plan: 4 participants in a chain, 2 products, ground truth recorded.
+  std::string out;
+  ASSERT_EQ(run_cli({"plan", "--out", plan_, "--addr-dir", dir_ + "/addr",
+                     "--participants", "4", "--products", "2"},
+                    log("plan"), &out), 0)
+      << out;
+  const json::Value plan = json::parse(read_text(plan_));
+  const auto& products = plan.at("task").at("products").as_array();
+  ASSERT_EQ(products.size(), 2u);
+  const std::string good_product = products[0].as_string();
+  const std::string bad_product = products[1].as_string();
+
+  std::vector<std::string> participant_ids;
+  for (const json::Value& p : plan.at("participants").as_array()) {
+    participant_ids.push_back(p.at("id").as_string());
+  }
+  ASSERT_EQ(participant_ids.size(), 4u);
+
+  // 2. Spawn the proxy and one daemon per participant.
+  daemons_.push_back(spawn_cli({"serve-proxy", "--plan", plan_},
+                               log("proxy")));
+  for (const std::string& id : participant_ids) {
+    daemons_.push_back(spawn_cli(
+        {"serve-participant", "--plan", plan_, "--id", id}, log(id)));
+  }
+
+  // 3. Distribution phase runs across the processes; wait until the POC
+  //    list landed at the proxy.
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--wait-ready", "60000"},
+                    log("wait"), &out), 0)
+      << out;
+
+  // 4. Good-product query: full verified path, +1 for every hop.
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--product", good_product,
+                     "--quality", "good"},
+                    log("good"), &out), 0)
+      << out;
+  {
+    const json::Value outcome = json::parse(out);
+    EXPECT_TRUE(outcome.at("complete").as_bool());
+    std::vector<std::string> path;
+    for (const json::Value& hop : outcome.at("path").as_array()) {
+      path.push_back(hop.as_string());
+    }
+    // Ground truth from the plan: the product's recorded distribution path.
+    std::vector<std::string> expected;
+    for (const json::Value& pj : plan.at("paths").as_array()) {
+      if (pj.at("product").as_string() != good_product) continue;
+      for (const json::Value& hop : pj.at("path").as_array()) {
+        expected.push_back(hop.as_string());
+      }
+    }
+    EXPECT_EQ(path, expected);
+    EXPECT_EQ(outcome.at("violations").as_array().size(), 0u);
+    for (const std::string& id : participant_ids) {
+      EXPECT_DOUBLE_EQ(outcome.at("reputation").at(id).as_double(), 1.0)
+          << id;
+    }
+  }
+
+  // 5. Bad-product query: double-edged penalty, every hop at +1-2 = -1.
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--product", bad_product,
+                     "--quality", "bad"},
+                    log("bad"), &out), 0)
+      << out;
+  {
+    const json::Value outcome = json::parse(out);
+    EXPECT_TRUE(outcome.at("complete").as_bool());
+    for (const std::string& id : participant_ids) {
+      EXPECT_DOUBLE_EQ(outcome.at("reputation").at(id).as_double(), -1.0)
+          << id;
+    }
+  }
+
+  // 6. The audit report records both queries and all ledger events.
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--report", "-"},
+                    log("report"), &out), 0)
+      << out;
+  {
+    const json::Value report = json::parse(out);
+    EXPECT_EQ(report.at("queries").as_array().size(), 2u);
+    EXPECT_EQ(report.at("events").as_array().size(),
+              2 * participant_ids.size());
+  }
+
+  // 7. Orderly shutdown: every daemon exits 0 on its own.
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--shutdown", "all"},
+                    log("shutdown"), &out), 0)
+      << out;
+  for (const pid_t pid : daemons_) {
+    const int status = wait_with_timeout(pid, 30000);
+    ASSERT_GE(status, 0) << "daemon did not exit after shutdown";
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << read_text(log("proxy")) << read_text(log("v0"));
+  }
+  daemons_.clear();
+}
+
+}  // namespace
+}  // namespace desword

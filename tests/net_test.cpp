@@ -75,10 +75,19 @@ TEST(NetworkTest, ByteAccounting) {
   EXPECT_EQ(net.total_stats().bytes_sent, 128u);
 }
 
-TEST(NetworkTest, UnknownRecipientThrows) {
+TEST(NetworkTest, UnknownRecipientDropsAndCounts) {
+  // A crashed / never-registered peer must not take the sender down: the
+  // message is silently dropped and shows up in the drop counter, exactly
+  // like a lossy-link drop. The sender's retransmission and no-response
+  // machinery deal with the silence.
   Network net;
   net.register_node("a", [](const Envelope&) {});
-  EXPECT_THROW(net.send("a", "ghost", "m", {}), Error);
+  EXPECT_NO_THROW(net.send("a", "ghost", "m", Bytes(7, 0)));
+  EXPECT_EQ(net.run(), 0u);
+  EXPECT_EQ(net.stats("a", "ghost").messages_sent, 1u);
+  EXPECT_EQ(net.stats("a", "ghost").messages_dropped, 1u);
+  EXPECT_EQ(net.stats("a", "ghost").bytes_sent, 7u);
+  EXPECT_EQ(net.total_stats().messages_dropped, 1u);
 }
 
 TEST(NetworkTest, DuplicateRegistrationThrows) {

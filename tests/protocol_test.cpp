@@ -620,6 +620,89 @@ TEST_F(ProtocolTest, GarbageMessagesDoNotCrashEndpoints) {
       scenario_->proxy().run_query(product, ProductQuality::kGood).complete);
 }
 
+TEST_F(ProtocolTest, DistributionSurvivesDuplicatesAndJitter) {
+  // Duplicate + reorder every message during the DISTRIBUTION phase (the
+  // chaos tests above only stress the query phase). Duplicated ps
+  // responses, POCs and pair reports must all be absorbed idempotently,
+  // and the resulting deployment must behave exactly like a clean one.
+  net::LinkPolicy noisy;
+  noisy.duplicate_rate = 0.3;
+  noisy.jitter = 9;
+  scenario_->network().set_default_policy(noisy);
+  run_task();
+
+  ASSERT_NE(scenario_->proxy().task_list("task-1"), nullptr);
+  const ProductId product = product_with_path_length(3);
+  const QueryOutcome outcome =
+      scenario_->proxy().run_query(product, ProductQuality::kGood);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.path, *scenario_->path_of(product));
+  EXPECT_TRUE(outcome.violations.empty());
+  // Reputation is pinned to the clean-run values: duplicates must not
+  // double-apply scores anywhere.
+  for (const auto& hop : outcome.path) {
+    EXPECT_DOUBLE_EQ(scenario_->proxy().reputation(hop), 1.0) << hop;
+  }
+  EXPECT_GT(scenario_->network().total_stats().messages_duplicated, 0u);
+}
+
+TEST_F(ProtocolTest, DuplicatedRequestsServedFromReplyCache) {
+  run_task();
+  const ProductId product = product_with_path_length(3);
+  // Deliver every proxy->participant request twice: participants answer
+  // the copy from their reply cache instead of regenerating proofs.
+  net::LinkPolicy duplicate_all;
+  duplicate_all.duplicate_rate = 1.0;
+  for (const auto& id : scenario_->graph().participants()) {
+    scenario_->network().set_link_policy("proxy", id, duplicate_all);
+  }
+  std::map<std::string, std::uint64_t> proofs_before;
+  for (const auto& id : scenario_->graph().participants()) {
+    proofs_before[id] = scenario_->participant(id).stats().proofs_generated;
+  }
+
+  const QueryOutcome outcome =
+      scenario_->proxy().run_query(product, ProductQuality::kGood);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_EQ(outcome.path, *scenario_->path_of(product));
+
+  std::uint64_t cached_replies = 0;
+  std::uint64_t proofs_during = 0;
+  for (const auto& id : scenario_->graph().participants()) {
+    const auto& stats = scenario_->participant(id).stats();
+    cached_replies += stats.duplicate_requests_served;
+    proofs_during += stats.proofs_generated - proofs_before[id];
+  }
+  EXPECT_GT(cached_replies, 0u);
+
+  // Pin against a clean twin deployment (same graph, seeds and query):
+  // every duplicated request must cost zero EXTRA proofs.
+  Scenario clean(SupplyChainGraph::paper_example(), fast_config());
+  DistributionConfig dist;
+  dist.initial = "v0";
+  dist.products = products_;
+  dist.seed = 42;
+  clean.run_task("task-1", dist);
+  std::uint64_t proofs_clean = 0;
+  for (const auto& id : clean.graph().participants()) {
+    proofs_clean += clean.participant(id).stats().proofs_generated;
+  }
+  const QueryOutcome clean_outcome =
+      clean.proxy().run_query(product, ProductQuality::kGood);
+  ASSERT_TRUE(clean_outcome.complete);
+  std::uint64_t proofs_clean_during = 0;
+  for (const auto& id : clean.graph().participants()) {
+    proofs_clean_during += clean.participant(id).stats().proofs_generated;
+  }
+  proofs_clean_during -= proofs_clean;
+  EXPECT_EQ(proofs_during, proofs_clean_during);
+
+  // And scores applied exactly once per hop despite doubled traffic.
+  for (const auto& hop : outcome.path) {
+    EXPECT_DOUBLE_EQ(scenario_->proxy().reputation(hop), 1.0) << hop;
+  }
+}
+
 TEST_F(ProtocolTest, ResponsibilityWeightedScores) {
   ScenarioConfig cfg = fast_config();
   cfg.scores.weight_by_responsibility = true;

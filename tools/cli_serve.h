@@ -1,0 +1,31 @@
+// Distributed-deployment commands of the `desword` CLI: run the proxy and
+// each participant as separate OS processes speaking the real TCP
+// transport, coordinated through a plan file plus a directory of
+// `<node>.addr` files (written by each daemon once it is listening, so
+// ports are kernel-assigned and race-free).
+//
+//   desword plan              --out plan.json --addr-dir DIR
+//                             [--participants 4 --products 3 --task task-1
+//                              --q 4 --height 8 --rsa-bits 512 --group p256
+//                              --seed 7]
+//   desword serve-proxy       --plan plan.json
+//   desword serve-participant --plan plan.json --id v1
+//   desword query             --plan plan.json
+//                             (--wait-ready MS |
+//                              --product HEX --quality good|bad [--task ID] |
+//                              --report - | --shutdown all)
+//                             [--timeout-ms 30000]
+#pragma once
+
+#include <ostream>
+
+#include "cli_util.h"
+
+namespace desword::cli {
+
+int cmd_plan(const Flags& flags, std::ostream& out);
+int cmd_serve_proxy(const Flags& flags, std::ostream& out);
+int cmd_serve_participant(const Flags& flags, std::ostream& out);
+int cmd_query(const Flags& flags, std::ostream& out, std::ostream& err);
+
+}  // namespace desword::cli

@@ -1,0 +1,146 @@
+// Shared helpers for the `desword` CLI commands (flag parsing, file IO,
+// product/trace JSON decoding). Header-only; used by cli_lib.cpp and
+// cli_serve.cpp.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "supplychain/rfid.h"
+#include "supplychain/trace.h"
+
+namespace desword::cli {
+
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+inline Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  return Bytes(s.begin(), s.end());
+}
+
+inline void write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("write failed: " + path);
+}
+
+/// Flag parser: --name value pairs after the subcommand.
+class Flags {
+ public:
+  Flags(const std::vector<std::string>& args, std::size_t start) {
+    for (std::size_t i = start; i < args.size(); i += 2) {
+      const std::string& name = args[i];
+      if (name.rfind("--", 0) != 0) {
+        throw UsageError("expected flag, got '" + name + "'");
+      }
+      if (i + 1 >= args.size()) {
+        throw UsageError("flag " + name + " needs a value");
+      }
+      values_[name.substr(2)] = args[i + 1];
+    }
+  }
+
+  bool has(const std::string& name) const {
+    used_.insert(name);
+    return values_.find(name) != values_.end();
+  }
+
+  std::string require(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) throw UsageError("missing --" + name);
+    used_.insert(name);
+    return it->second;
+  }
+
+  std::string get(const std::string& name, const std::string& dflt) const {
+    const auto it = values_.find(name);
+    used_.insert(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+  int get_int(const std::string& name, int dflt) const {
+    const auto it = values_.find(name);
+    used_.insert(name);
+    if (it == values_.end()) return dflt;
+    return std::stoi(it->second);
+  }
+
+  void reject_unknown() const {
+    for (const auto& [name, value] : values_) {
+      if (used_.find(name) == used_.end()) {
+        throw UsageError("unknown flag --" + name);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+inline supplychain::ProductId parse_product(const std::string& hex) {
+  Bytes id;
+  try {
+    id = from_hex(hex);
+  } catch (const std::invalid_argument&) {
+    throw UsageError("product id is not valid hex");
+  }
+  if (!supplychain::epc_valid(id)) {
+    throw UsageError("product id is not a valid EPC-96 (24 hex chars, "
+                     "header 0x30)");
+  }
+  return id;
+}
+
+inline supplychain::ProductId product_from_json(const json::Value& v) {
+  if (v.is_string()) return parse_product(v.as_string());
+  return supplychain::make_epc(
+      static_cast<std::uint32_t>(v.at("manager").as_int()),
+      static_cast<std::uint32_t>(v.at("class").as_int()),
+      static_cast<std::uint64_t>(v.at("serial").as_int()));
+}
+
+inline supplychain::TraceDatabase traces_from_json(
+    const json::Value& doc, const std::string& participant) {
+  supplychain::TraceDatabase db;
+  for (const json::Value& t : doc.at("traces").as_array()) {
+    supplychain::TraceInfo info;
+    info.participant = participant;
+    info.operation = t.has("operation") ? t.at("operation").as_string()
+                                        : std::string("process");
+    info.timestamp = t.has("timestamp")
+                         ? static_cast<std::uint64_t>(t.at("timestamp").as_int())
+                         : 0;
+    if (t.has("ingredients")) {
+      for (const json::Value& s : t.at("ingredients").as_array()) {
+        info.ingredients.push_back(s.as_string());
+      }
+    }
+    if (t.has("parameters")) {
+      for (const json::Value& s : t.at("parameters").as_array()) {
+        info.parameters.push_back(s.as_string());
+      }
+    }
+    db.record(supplychain::RfidTrace{product_from_json(t.at("id")),
+                                     std::move(info)});
+  }
+  return db;
+}
+
+}  // namespace desword::cli
