@@ -1,0 +1,7 @@
+// libFuzzer entry point (built only with DESWORD_FUZZ=ON under Clang).
+#include "fuzz/harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return desword::fuzz::run_messages(data, size);
+}

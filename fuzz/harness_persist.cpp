@@ -1,0 +1,147 @@
+// Fuzz harness for zkedb persistence and proof/commitment deserialization
+// — the decoders that run over bytes a participant stored earlier (DPOC
+// state) or received from an untrusted peer (proofs, POCs, POC lists,
+// public parameters).
+//
+// The first input byte selects the decoder; the rest is the untrusted
+// blob. CRS-bound decoders run against a fixed small CRS loaded from the
+// checked-in `fuzz/corpus/persist_crs.bin` (so corpus inputs generated
+// against that CRS replay meaningfully); when the file is missing a fresh
+// small CRS is generated instead — robustness properties hold under any
+// CRS.
+//
+// Because several of these types embed bignums (where decoding accepts
+// non-minimal encodings but encoding is minimal), the canonicality check
+// here is normalization idempotence: serialize(deserialize(x)) must be a
+// fixed point of decode-then-encode.
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+#include "common/error.h"
+#include "fuzz/harnesses.h"
+#include "poc/poc.h"
+#include "poc/poc_list.h"
+#include "zkedb/params.h"
+#include "zkedb/proof.h"
+#include "zkedb/prover.h"
+
+#ifndef DESWORD_FUZZ_DATA_DIR
+#define DESWORD_FUZZ_DATA_DIR "fuzz/corpus"
+#endif
+
+namespace desword::fuzz {
+
+namespace {
+
+zkedb::EdbCrsPtr make_crs() {
+  std::ifstream in(DESWORD_FUZZ_DATA_DIR "/persist_crs.bin",
+                   std::ios::binary);
+  if (in) {
+    Bytes blob((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    return std::make_shared<zkedb::EdbCrs>(
+        zkedb::EdbPublicParams::deserialize(blob));
+  }
+  zkedb::EdbConfig config;
+  config.q = 4;
+  config.height = 8;
+  config.rsa_bits = 512;
+  config.group_name = "modp512-test";
+  return zkedb::generate_crs(config);
+}
+
+const zkedb::EdbCrsPtr& crs() {
+  static const zkedb::EdbCrsPtr instance = make_crs();
+  return instance;
+}
+
+/// abort() unless decode-then-encode is a fixed point of `x`.
+template <typename Decode>
+void require_idempotent(const Bytes& x, Decode decode) {
+  const Bytes again = decode(x);
+  if (again != x) std::abort();  // normalized form is not a fixed point
+}
+
+void decode_one(std::uint8_t selector, BytesView blob) {
+  const zkedb::EdbCrsPtr& c = crs();
+  switch (selector % 8) {
+    case 0: {
+      zkedb::EdbProver prover = zkedb::EdbProver::load(c, blob);
+      require_idempotent(prover.serialize_state(), [&](const Bytes& x) {
+        return zkedb::EdbProver::load(c, x).serialize_state();
+      });
+      break;
+    }
+    case 1: {
+      auto dpoc = poc::PocDecommitment::load(c, blob);
+      require_idempotent(dpoc->serialize(), [&](const Bytes& x) {
+        return poc::PocDecommitment::load(c, x)->serialize();
+      });
+      break;
+    }
+    case 2: {
+      auto proof = zkedb::EdbMembershipProof::deserialize(*c, blob);
+      require_idempotent(proof.serialize(*c), [&](const Bytes& x) {
+        return zkedb::EdbMembershipProof::deserialize(*c, x).serialize(*c);
+      });
+      break;
+    }
+    case 3: {
+      auto proof = zkedb::EdbNonMembershipProof::deserialize(*c, blob);
+      require_idempotent(proof.serialize(*c), [&](const Bytes& x) {
+        return zkedb::EdbNonMembershipProof::deserialize(*c, x).serialize(*c);
+      });
+      break;
+    }
+    case 4: {
+      auto params = zkedb::EdbPublicParams::deserialize(blob);
+      require_idempotent(params.serialize(), [](const Bytes& x) {
+        return zkedb::EdbPublicParams::deserialize(x).serialize();
+      });
+      // Instantiating the runtime CRS from hostile parameters must also be
+      // safe (it validates group/key consistency).
+      zkedb::EdbCrs runtime(params);
+      break;
+    }
+    case 5: {
+      auto list = poc::PocList::deserialize(blob);
+      require_idempotent(list.serialize(), [](const Bytes& x) {
+        return poc::PocList::deserialize(x).serialize();
+      });
+      break;
+    }
+    case 6: {
+      auto proof = poc::PocProof::deserialize(blob);
+      require_idempotent(proof.serialize(), [](const Bytes& x) {
+        return poc::PocProof::deserialize(x).serialize();
+      });
+      break;
+    }
+    case 7: {
+      auto poc = poc::Poc::deserialize(blob);
+      require_idempotent(poc.serialize(), [](const Bytes& x) {
+        return poc::Poc::deserialize(x).serialize();
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int run_persist(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  try {
+    decode_one(data[0], BytesView(data + 1, size - 1));
+  } catch (const CheckError&) {
+    throw;  // internal invariant violation — a real bug, crash loudly
+  } catch (const Error&) {
+    // SerializationError / ProtocolError / ConfigError / CryptoError are
+    // all legitimate classifications of hostile input at this layer.
+  }
+  return 0;
+}
+
+}  // namespace desword::fuzz

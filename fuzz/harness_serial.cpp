@@ -1,0 +1,84 @@
+// Fuzz harness for the common/serial BinaryReader primitives.
+//
+// The input drives an op-stream interpreter: each iteration consumes one
+// selector byte and then decodes one primitive from the same reader. For
+// every successfully decoded value the harness re-encodes it with
+// BinaryWriter and checks that the encoding reproduces the consumed bytes
+// exactly — the serial layer is canonical by design (digests are computed
+// over serialized bytes), so any non-canonical decode is a real bug.
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "fuzz/harnesses.h"
+
+namespace desword::fuzz {
+
+namespace {
+
+/// Bytes the reader consumed so far (it tracks `remaining` only).
+std::size_t consumed(const BinaryReader& r, std::size_t total) {
+  return total - r.remaining();
+}
+
+/// Aborts when a decoded value does not re-encode to the bytes it was
+/// decoded from. abort() (not an exception) so both libFuzzer and the
+/// corpus-replay gtest report it as a crash, never as "expected" input.
+void require_canonical(BytesView input, std::size_t begin, std::size_t end,
+                       const BinaryWriter& reencoded) {
+  BytesView original = input.subspan(begin, end - begin);
+  BytesView redone = reencoded.view();
+  if (original.size() != redone.size() ||
+      !std::equal(original.begin(), original.end(), redone.begin())) {
+    std::abort();  // non-canonical decode: one value, two spellings
+  }
+}
+
+}  // namespace
+
+int run_serial(const std::uint8_t* data, std::size_t size) {
+  BytesView input(data, size);
+  BinaryReader reader(input);
+  try {
+    while (!reader.done()) {
+      const std::uint8_t op = reader.u8();
+      const std::size_t begin = consumed(reader, size);
+      BinaryWriter w;
+      switch (op % 8) {
+        case 0:
+          w.u8(reader.u8());
+          break;
+        case 1:
+          w.u16(reader.u16());
+          break;
+        case 2:
+          w.u32(reader.u32());
+          break;
+        case 3:
+          w.u64(reader.u64());
+          break;
+        case 4:
+          w.varint(reader.varint());
+          break;
+        case 5:
+          w.bytes(reader.bytes());
+          break;
+        case 6:
+          w.str(reader.str());
+          break;
+        case 7:
+          w.boolean(reader.boolean());
+          break;
+      }
+      require_canonical(input, begin, consumed(reader, size), w);
+    }
+    reader.expect_done();
+  } catch (const SerializationError&) {
+    // Expected classification of malformed input; anything else escapes
+    // and crashes the harness.
+  }
+  return 0;
+}
+
+}  // namespace desword::fuzz

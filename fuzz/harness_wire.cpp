@@ -1,0 +1,52 @@
+// Fuzz harness for net/wire envelope framing — the first decoder hostile
+// bytes reach when they arrive over TCP.
+//
+// Exercises both entry points:
+//   * try_decode_frame on the raw input (a receive-buffer prefix), and
+//   * decode_envelope on the input body directly.
+// A decoded envelope must re-encode byte-for-byte (the framing layer is
+// canonical), and `consumed` must stay within the buffer.
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "fuzz/harnesses.h"
+#include "net/wire.h"
+
+namespace desword::fuzz {
+
+int run_wire(const std::uint8_t* data, std::size_t size) {
+  BytesView input(data, size);
+
+  try {
+    std::size_t consumed = 0;
+    std::optional<net::Envelope> env = net::try_decode_frame(input, consumed);
+    if (env.has_value()) {
+      if (consumed < 4 || consumed > size) std::abort();  // out-of-range cut
+      Bytes frame = net::encode_frame(*env);
+      BytesView prefix = input.first(consumed);
+      if (frame.size() != prefix.size() ||
+          !std::equal(frame.begin(), frame.end(), prefix.begin())) {
+        std::abort();  // decoded frame does not re-encode canonically
+      }
+    } else if (consumed != 0) {
+      std::abort();  // incomplete frame must not consume bytes
+    }
+  } catch (const SerializationError&) {
+    // Malformed frame: expected classification.
+  }
+
+  try {
+    net::Envelope env = net::decode_envelope(input);
+    Bytes body = net::encode_envelope(env);
+    if (body.size() != input.size() ||
+        !std::equal(body.begin(), body.end(), input.begin())) {
+      std::abort();  // decoded envelope does not re-encode canonically
+    }
+  } catch (const SerializationError&) {
+    // Expected.
+  }
+  return 0;
+}
+
+}  // namespace desword::fuzz

@@ -1,0 +1,38 @@
+// Fuzz harness bodies for every decoder that consumes untrusted bytes.
+//
+// Each run_* function feeds one input to a decoder family and enforces two
+// properties:
+//
+//   1. robustness — arbitrary bytes either decode or throw
+//      desword::SerializationError (or a sibling input-classification
+//      error); they never crash, over-read, or throw anything else;
+//   2. canonicality — when an input does decode, re-encoding it reproduces
+//      the input byte-for-byte (digests are computed over serialized
+//      commitments, so one value must have exactly one spelling).
+//
+// The bodies are ordinary library code: the libFuzzer executables
+// (fuzz_serial, fuzz_wire, ...; built with DESWORD_FUZZ=ON under Clang)
+// and the tier-1 corpus-replay gtest (fuzz_regression_test) link the same
+// functions, so every checked-in corpus input runs on every ctest
+// invocation without requiring libFuzzer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace desword::fuzz {
+
+/// common/serial BinaryReader primitives, driven by an op-stream.
+int run_serial(const std::uint8_t* data, std::size_t size);
+
+/// net/wire envelope framing (try_decode_frame / decode_envelope).
+int run_wire(const std::uint8_t* data, std::size_t size);
+
+/// desword/messages protocol message decoding (first byte selects type).
+int run_messages(const std::uint8_t* data, std::size_t size);
+
+/// zkedb/persist + proof/commitment deserialization under a fixed CRS
+/// (first byte selects the decoder).
+int run_persist(const std::uint8_t* data, std::size_t size);
+
+}  // namespace desword::fuzz

@@ -44,4 +44,42 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("config: " + what) {}
 };
 
+/// Violated internal invariant (a bug in DE-Sword itself, not bad input).
+/// Thrown by DESWORD_CHECK so broken invariants fail loudly in Release
+/// builds too, instead of silently corrupting state like a compiled-out
+/// assert() would.
+class CheckError : public Error {
+ public:
+  explicit CheckError(const std::string& what) : Error("check: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw CheckError(std::string(file) + ":" + std::to_string(line) +
+                   ": invariant `" + expr + "` violated" +
+                   (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
 }  // namespace desword
+
+/// Always-on invariant check. Unlike assert(), active in every build type;
+/// failure throws desword::CheckError with file/line context.
+#define DESWORD_CHECK(cond, ...)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::desword::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                      ::std::string{__VA_ARGS__});      \
+    }                                                                   \
+  } while (false)
+
+/// Debug-only invariant check for hot paths: compiled out under NDEBUG,
+/// identical to DESWORD_CHECK otherwise.
+#ifdef NDEBUG
+#define DESWORD_DCHECK(cond, ...) \
+  do {                            \
+  } while (false)
+#else
+#define DESWORD_DCHECK(cond, ...) DESWORD_CHECK(cond, ##__VA_ARGS__)
+#endif

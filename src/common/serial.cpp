@@ -82,6 +82,11 @@ std::uint64_t BinaryReader::varint() {
       if (i == 9 && byte > 1) {
         throw SerializationError("varint overflows 64 bits");
       }
+      // Reject non-minimal encodings (e.g. 1 as 81 00): serialized bytes
+      // feed digests, so decode(encode(x)) must be the only spelling of x.
+      if (i > 0 && byte == 0) {
+        throw SerializationError("non-minimal varint encoding");
+      }
       return v;
     }
     shift += 7;

@@ -44,6 +44,10 @@ struct QueryBehavior {
   std::map<supplychain::ProductId, std::string> wrong_next;
   /// Claim to be the last hop for these products although they moved on.
   std::set<supplychain::ProductId> false_termination;
+  /// Bit-flip the serialized proof for these products before sending:
+  /// models wire corruption or crude tampering. The proxy must treat it as
+  /// a clean verification failure, never crash.
+  std::set<supplychain::ProductId> corrupt_proof;
   /// Refuse to reveal an ownership proof when identified in the bad case.
   bool refuse_reveal = false;
   /// Ignore queries entirely (models a withdrawn/offline participant).
@@ -52,7 +56,8 @@ struct QueryBehavior {
   bool is_honest() const {
     return claim_non_processing.empty() && claim_processing.empty() &&
            wrong_trace.empty() && wrong_next.empty() &&
-           false_termination.empty() && !refuse_reveal && !unresponsive;
+           false_termination.empty() && corrupt_proof.empty() &&
+           !refuse_reveal && !unresponsive;
   }
 };
 

@@ -9,6 +9,57 @@ std::string to_string(ProductQuality quality) {
   return quality == ProductQuality::kGood ? "good" : "bad";
 }
 
+MessageType message_type_of(std::string_view tag) {
+  if (tag == msg::kPsRequest) return MessageType::kPsRequest;
+  if (tag == msg::kPsResponse) return MessageType::kPsResponse;
+  if (tag == msg::kPsBroadcast) return MessageType::kPsBroadcast;
+  if (tag == msg::kPocToParent) return MessageType::kPocToParent;
+  if (tag == msg::kPocPairsToInitial) return MessageType::kPocPairsToInitial;
+  if (tag == msg::kPocListSubmit) return MessageType::kPocListSubmit;
+  if (tag == msg::kQueryRequest) return MessageType::kQueryRequest;
+  if (tag == msg::kQueryResponse) return MessageType::kQueryResponse;
+  if (tag == msg::kRevealRequest) return MessageType::kRevealRequest;
+  if (tag == msg::kRevealResponse) return MessageType::kRevealResponse;
+  if (tag == msg::kNextHopRequest) return MessageType::kNextHopRequest;
+  if (tag == msg::kNextHopResponse) return MessageType::kNextHopResponse;
+  if (tag == msg::kClientQueryRequest) return MessageType::kClientQueryRequest;
+  if (tag == msg::kClientQueryResponse) {
+    return MessageType::kClientQueryResponse;
+  }
+  if (tag == msg::kStatusRequest) return MessageType::kStatusRequest;
+  if (tag == msg::kStatusResponse) return MessageType::kStatusResponse;
+  if (tag == msg::kClientReportRequest) {
+    return MessageType::kClientReportRequest;
+  }
+  if (tag == msg::kAdminShutdown) return MessageType::kAdminShutdown;
+  return MessageType::kUnknown;
+}
+
+const char* to_tag(MessageType type) {
+  switch (type) {
+    case MessageType::kPsRequest: return msg::kPsRequest;
+    case MessageType::kPsResponse: return msg::kPsResponse;
+    case MessageType::kPsBroadcast: return msg::kPsBroadcast;
+    case MessageType::kPocToParent: return msg::kPocToParent;
+    case MessageType::kPocPairsToInitial: return msg::kPocPairsToInitial;
+    case MessageType::kPocListSubmit: return msg::kPocListSubmit;
+    case MessageType::kQueryRequest: return msg::kQueryRequest;
+    case MessageType::kQueryResponse: return msg::kQueryResponse;
+    case MessageType::kRevealRequest: return msg::kRevealRequest;
+    case MessageType::kRevealResponse: return msg::kRevealResponse;
+    case MessageType::kNextHopRequest: return msg::kNextHopRequest;
+    case MessageType::kNextHopResponse: return msg::kNextHopResponse;
+    case MessageType::kClientQueryRequest: return msg::kClientQueryRequest;
+    case MessageType::kClientQueryResponse: return msg::kClientQueryResponse;
+    case MessageType::kStatusRequest: return msg::kStatusRequest;
+    case MessageType::kStatusResponse: return msg::kStatusResponse;
+    case MessageType::kClientReportRequest: return msg::kClientReportRequest;
+    case MessageType::kAdminShutdown: return msg::kAdminShutdown;
+    case MessageType::kUnknown: break;
+  }
+  throw ProtocolError("MessageType::kUnknown has no wire tag");
+}
+
 namespace {
 
 void write_optional_bytes(BinaryWriter& w, const std::optional<Bytes>& v) {

@@ -227,4 +227,38 @@ inline constexpr const char* kClientReportRequest = "client_report_request";
 inline constexpr const char* kAdminShutdown = "admin_shutdown";
 }  // namespace msg
 
+/// Enumerated view of the wire `type` tags. Dispatch loops switch over this
+/// enum *exhaustively* (no `default:` — enforced by tools/desword_lint.py
+/// plus -Wswitch) so adding a message type forces every endpoint to decide
+/// how to treat it.
+enum class MessageType : std::uint8_t {
+  kUnknown = 0,  // foreign tag: fallback/extension handling only
+  kPsRequest,
+  kPsResponse,
+  kPsBroadcast,
+  kPocToParent,
+  kPocPairsToInitial,
+  kPocListSubmit,
+  kQueryRequest,
+  kQueryResponse,
+  kRevealRequest,
+  kRevealResponse,
+  kNextHopRequest,
+  kNextHopResponse,
+  kClientQueryRequest,
+  kClientQueryResponse,
+  kStatusRequest,
+  kStatusResponse,
+  kClientReportRequest,
+  kAdminShutdown,
+};
+
+/// Maps a wire tag to its MessageType; unrecognized tags (future protocol
+/// extensions, garbage from hostile peers) map to kUnknown.
+MessageType message_type_of(std::string_view tag);
+
+/// Canonical wire tag of a known message type. Throws ProtocolError for
+/// kUnknown, which has no wire spelling.
+const char* to_tag(MessageType type);
+
 }  // namespace desword::protocol

@@ -120,31 +120,57 @@ const poc::Poc* Participant::poc_for_task(const std::string& task_id) const {
 void Participant::handle(const net::Envelope& env) {
   try {
     dispatch(env);
-  } catch (const SerializationError&) {
-    // Malformed message from the network: drop it (retransmission and the
-    // proxy's no-response handling recover the protocol).
+  } catch (const CheckError&) {
+    // Internal invariant violation: a DE-Sword bug, never input-dependent.
+    throw;
+  } catch (const Error&) {
+    // Malformed or adversarial message from the network: drop it
+    // (retransmission and the proxy's no-response handling recover the
+    // protocol). This covers decode failures and deeper rejections alike —
+    // e.g. a hostile peer shipping conflicting POCs or an unparseable ps.
   }
 }
 
 void Participant::dispatch(const net::Envelope& env) {
-  if (env.type == msg::kPsResponse) {
-    on_ps_response(PsResponse::deserialize(env.payload));
-  } else if (env.type == msg::kPsBroadcast) {
-    on_ps_broadcast(PsBroadcast::deserialize(env.payload));
-  } else if (env.type == msg::kPocToParent) {
-    on_poc_to_parent(env, PocToParent::deserialize(env.payload));
-  } else if (env.type == msg::kPocPairsToInitial) {
-    on_poc_pairs_to_initial(env, PocPairsToInitial::deserialize(env.payload));
-  } else if (env.type == msg::kQueryRequest) {
-    on_query_request(env, QueryRequest::deserialize(env.payload));
-  } else if (env.type == msg::kRevealRequest) {
-    on_reveal_request(env, RevealRequest::deserialize(env.payload));
-  } else if (env.type == msg::kNextHopRequest) {
-    on_next_hop_request(env, NextHopRequest::deserialize(env.payload));
-  } else if (fallback_) {
-    // Admin extensions (daemon shutdown etc.); unknown types are otherwise
-    // ignored (forward compatibility).
-    fallback_(env);
+  switch (message_type_of(env.type)) {
+    case MessageType::kPsResponse:
+      on_ps_response(PsResponse::deserialize(env.payload));
+      break;
+    case MessageType::kPsBroadcast:
+      on_ps_broadcast(PsBroadcast::deserialize(env.payload));
+      break;
+    case MessageType::kPocToParent:
+      on_poc_to_parent(env, PocToParent::deserialize(env.payload));
+      break;
+    case MessageType::kPocPairsToInitial:
+      on_poc_pairs_to_initial(env,
+                              PocPairsToInitial::deserialize(env.payload));
+      break;
+    case MessageType::kQueryRequest:
+      on_query_request(env, QueryRequest::deserialize(env.payload));
+      break;
+    case MessageType::kRevealRequest:
+      on_reveal_request(env, RevealRequest::deserialize(env.payload));
+      break;
+    case MessageType::kNextHopRequest:
+      on_next_hop_request(env, NextHopRequest::deserialize(env.payload));
+      break;
+    case MessageType::kPsRequest:
+    case MessageType::kPocListSubmit:
+    case MessageType::kQueryResponse:
+    case MessageType::kRevealResponse:
+    case MessageType::kNextHopResponse:
+    case MessageType::kClientQueryRequest:
+    case MessageType::kClientQueryResponse:
+    case MessageType::kStatusRequest:
+    case MessageType::kStatusResponse:
+    case MessageType::kClientReportRequest:
+    case MessageType::kAdminShutdown:
+    case MessageType::kUnknown:
+      // Admin extensions (daemon shutdown etc.); unknown types are
+      // otherwise ignored (forward compatibility).
+      if (fallback_) fallback_(env);
+      break;
   }
 }
 
@@ -362,7 +388,19 @@ Bytes Participant::make_ownership_proof(const ProofContext& ctx,
     zk.value = bytes_of("tampered-trace");
     proof.zk_proof = zk.serialize(*ctx.crs);
   }
-  return proof.serialize();
+  return maybe_corrupt_proof(product, proof.serialize());
+}
+
+Bytes Participant::maybe_corrupt_proof(const supplychain::ProductId& product,
+                                       Bytes proof) const {
+  if (query_behavior_.corrupt_proof.count(product) == 0 || proof.empty()) {
+    return proof;
+  }
+  // Deterministic single bit-flip in the middle of the buffer: enough to
+  // break either the serialization framing or the cryptographic check,
+  // depending on what the flipped byte encoded.
+  proof[proof.size() / 2] ^= 0x10;
+  return proof;
 }
 
 void Participant::respond_cached(const net::Envelope& env,
@@ -429,7 +467,8 @@ void Participant::on_query_request(const net::Envelope& env,
         // Honest denial with a non-ownership proof.
         stats_.proofs_generated += 1;
         resp.claims_processing = false;
-        resp.proof = ctx->scheme->prove(*ctx->dpoc, m.product).serialize();
+        resp.proof = maybe_corrupt_proof(
+            m.product, ctx->scheme->prove(*ctx->dpoc, m.product).serialize());
       } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
         // "Claim non-processing": forge a denial. A valid non-ownership
         // proof cannot exist (Claim 1), so the cheater sends its ownership

@@ -163,6 +163,10 @@ class Participant {
   /// Ownership proof honouring wrong_trace behaviour.
   Bytes make_ownership_proof(const ProofContext& ctx,
                              const supplychain::ProductId& product);
+  /// Applies the corrupt_proof deviation (bit-flips the serialized proof)
+  /// when configured for `product`; identity otherwise.
+  Bytes maybe_corrupt_proof(const supplychain::ProductId& product,
+                            Bytes proof) const;
   /// Serves `env` from the reply cache, or computes the response payload
   /// via `compute`, caches it, and sends it. Deduplication is keyed on a
   /// digest of the request (type + payload), so retransmitted requests get

@@ -68,24 +68,50 @@ std::vector<Proxy::QueueEntry> Proxy::poc_queue(
 
 void Proxy::handle(const net::Envelope& env) {
   try {
-    if (env.type == msg::kPsRequest) {
-      on_ps_request(env, PsRequest::deserialize(env.payload));
-    } else if (env.type == msg::kPocListSubmit) {
-      on_poc_list_submit(env, PocListSubmit::deserialize(env.payload));
-    } else if (env.type == msg::kQueryResponse) {
-      on_query_response(env, QueryResponse::deserialize(env.payload));
-    } else if (env.type == msg::kRevealResponse) {
-      on_reveal_response(env, RevealResponse::deserialize(env.payload));
-    } else if (env.type == msg::kNextHopResponse) {
-      on_next_hop_response(env, NextHopResponse::deserialize(env.payload));
-    } else if (fallback_) {
-      // Not a core protocol message: let the embedding server (CLI daemon)
-      // interpret client/admin extensions.
-      fallback_(env);
+    switch (message_type_of(env.type)) {
+      case MessageType::kPsRequest:
+        on_ps_request(env, PsRequest::deserialize(env.payload));
+        break;
+      case MessageType::kPocListSubmit:
+        on_poc_list_submit(env, PocListSubmit::deserialize(env.payload));
+        break;
+      case MessageType::kQueryResponse:
+        on_query_response(env, QueryResponse::deserialize(env.payload));
+        break;
+      case MessageType::kRevealResponse:
+        on_reveal_response(env, RevealResponse::deserialize(env.payload));
+        break;
+      case MessageType::kNextHopResponse:
+        on_next_hop_response(env, NextHopResponse::deserialize(env.payload));
+        break;
+      case MessageType::kPsResponse:
+      case MessageType::kPsBroadcast:
+      case MessageType::kPocToParent:
+      case MessageType::kPocPairsToInitial:
+      case MessageType::kQueryRequest:
+      case MessageType::kRevealRequest:
+      case MessageType::kNextHopRequest:
+      case MessageType::kClientQueryRequest:
+      case MessageType::kClientQueryResponse:
+      case MessageType::kStatusRequest:
+      case MessageType::kStatusResponse:
+      case MessageType::kClientReportRequest:
+      case MessageType::kAdminShutdown:
+      case MessageType::kUnknown:
+        // Not a proxy-bound core message: let the embedding server (CLI
+        // daemon) interpret client/admin extensions; otherwise drop.
+        if (fallback_) fallback_(env);
+        break;
     }
-  } catch (const SerializationError&) {
-    // Malformed message from an untrusted node: drop it. Retransmission
-    // or the no-response path will deal with the sender.
+  } catch (const CheckError&) {
+    // Internal invariant violation: a DE-Sword bug, never input-dependent.
+    // Fail loudly instead of limping on with corrupt state.
+    throw;
+  } catch (const Error&) {
+    // Any other failure while decoding or absorbing the message means the
+    // bytes were adversarial or corrupt (malformed framing, conflicting
+    // POCs, unknown groups, ...): drop it. Retransmission or the
+    // no-response path will deal with the sender.
   }
 }
 

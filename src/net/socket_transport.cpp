@@ -157,6 +157,7 @@ SocketTransport::Connection* SocketTransport::connection_for(
   conn.connecting = rc < 0;
   conn.peer = to;
   auto [it, inserted] = connections_.emplace(fd, std::move(conn));
+  DESWORD_CHECK(inserted, "connection fd already tracked");
   peer_connections_[to] = fd;
   return &it->second;
 }
@@ -203,6 +204,10 @@ std::size_t SocketTransport::drain_input(Connection& conn) {
       const std::optional<Envelope> env =
           try_decode_frame(conn.inbuf, consumed);
       if (!env.has_value()) break;
+      // Decoder contract: a decoded frame consumed its length prefix and at
+      // most the buffered bytes, otherwise the erase below would be UB.
+      DESWORD_CHECK(consumed >= 4 && consumed <= conn.inbuf.size(),
+                    "frame decoder consumed out-of-range byte count");
       conn.inbuf.erase(conn.inbuf.begin(),
                        conn.inbuf.begin() +
                            static_cast<std::ptrdiff_t>(consumed));

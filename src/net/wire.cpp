@@ -27,6 +27,8 @@ Envelope decode_envelope(BytesView data) {
 
 Bytes encode_frame(const Envelope& env) {
   const Bytes body = encode_envelope(env);
+  DESWORD_CHECK(body.size() <= kMaxFrameBytes,
+                "envelope exceeds the frame size limit");
   BinaryWriter w;
   w.u32(static_cast<std::uint32_t>(body.size()));
   Bytes out = w.take();
@@ -44,9 +46,12 @@ std::optional<Envelope> try_decode_frame(BytesView buffer,
     throw SerializationError("frame length " + std::to_string(len) +
                              " exceeds limit");
   }
-  if (buffer.size() < 4u + len) return std::nullopt;
+  // size_t arithmetic: a hostile 32-bit length prefix must not be able to
+  // wrap the comparison below.
+  const std::size_t frame_len = static_cast<std::size_t>(len) + 4;
+  if (buffer.size() < frame_len) return std::nullopt;
   Envelope env = decode_envelope(buffer.subspan(4, len));
-  consumed = 4u + len;
+  consumed = frame_len;
   return env;
 }
 

@@ -26,11 +26,12 @@ EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries,
     values_.emplace(key, value);
   }
   // std::map iterates keys in lexicographic == numeric order, which is the
-  // same order as digit vectors; assert the invariant in debug builds.
-  const bool sorted = std::is_sorted(
-      build_entries.begin(), build_entries.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (!sorted) throw ProtocolError("entry ordering invariant violated");
+  // same order as digit vectors — the recursive build depends on it.
+  DESWORD_CHECK(std::is_sorted(build_entries.begin(), build_entries.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.first < b.first;
+                               }),
+                "ZK-EDB build entries not in digit order");
 
   const unsigned threads =
       opts_.threads != 0 ? opts_.threads : ThreadPool::default_threads();
@@ -110,6 +111,7 @@ std::pair<std::size_t, Bytes> EdbProver::make_soft_node(std::uint32_t depth,
 }
 
 Bytes EdbProver::soft_digest(std::size_t id) const {
+  DESWORD_DCHECK(id < soft_nodes_.size(), "soft node id out of range");
   const SoftNode& node = soft_nodes_.at(id);
   if (const auto* inner = std::get_if<SoftInner>(&node)) {
     return crs_->digest_inner(inner->com);
@@ -160,9 +162,7 @@ Bytes EdbProver::build(const std::vector<BuildEntry>& entries,
                        std::size_t hi, ThreadPool* pool) {
   const std::uint32_t depth = static_cast<std::uint32_t>(prefix.size());
   if (depth == crs_->height()) {
-    if (hi - lo != 1) {
-      throw ProtocolError("duplicate ZK-EDB keys in one leaf");
-    }
+    DESWORD_CHECK(hi - lo == 1, "duplicate ZK-EDB keys in one leaf");
     const Bytes& value = entries[lo].second;
     std::optional<DrbgRandomSource> drbg;
     if (opts_.seed) drbg.emplace(node_seed('l', prefix));

@@ -1,0 +1,86 @@
+// Corpus-replay regression test: feeds every checked-in fuzz corpus input
+// through the same harness bodies the libFuzzer executables use, so tier-1
+// ctest exercises the whole corpus on every run without requiring
+// libFuzzer/Clang. A crash or unexpected exception here is exactly what
+// the fuzzers would report in CI.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fuzz/harnesses.h"
+
+namespace fs = std::filesystem;
+
+#ifndef DESWORD_FUZZ_CORPUS_DIR
+#error "DESWORD_FUZZ_CORPUS_DIR must point at fuzz/corpus"
+#endif
+
+namespace {
+
+using Harness = std::function<int(const std::uint8_t*, std::size_t)>;
+
+std::vector<fs::path> corpus_files(const std::string& harness) {
+  const fs::path dir = fs::path(DESWORD_FUZZ_CORPUS_DIR) / harness;
+  std::vector<fs::path> files;
+  if (fs::is_directory(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+desword::Bytes slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return desword::Bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+}
+
+void replay(const std::string& name, const Harness& harness,
+            std::size_t min_inputs) {
+  const std::vector<fs::path> files = corpus_files(name);
+  // The corpus is checked in; a shrinking corpus means inputs were lost,
+  // not that the decoder got safer.
+  ASSERT_GE(files.size(), min_inputs)
+      << "corpus for '" << name << "' is missing inputs — regenerate with "
+      << "desword_gen_corpus or restore fuzz/corpus/" << name;
+  for (const fs::path& file : files) {
+    const desword::Bytes input = slurp(file);
+    SCOPED_TRACE(file.filename().string());
+    // Harnesses classify malformed input internally; any exception that
+    // escapes (or a crash) is a finding.
+    EXPECT_NO_THROW(harness(input.data(), input.size()));
+  }
+}
+
+TEST(FuzzRegression, Serial) {
+  replay("serial", desword::fuzz::run_serial, 20);
+}
+
+TEST(FuzzRegression, Wire) { replay("wire", desword::fuzz::run_wire, 20); }
+
+TEST(FuzzRegression, Messages) {
+  replay("messages", desword::fuzz::run_messages, 20);
+}
+
+TEST(FuzzRegression, Persist) {
+  replay("persist", desword::fuzz::run_persist, 20);
+}
+
+// The harnesses must also tolerate the degenerate empty input (libFuzzer
+// always starts there).
+TEST(FuzzRegression, EmptyInput) {
+  EXPECT_EQ(0, desword::fuzz::run_serial(nullptr, 0));
+  EXPECT_EQ(0, desword::fuzz::run_wire(nullptr, 0));
+  EXPECT_EQ(0, desword::fuzz::run_messages(nullptr, 0));
+  EXPECT_EQ(0, desword::fuzz::run_persist(nullptr, 0));
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint for the DE-Sword codebase.
+
+Rules (each can be waived on a specific line with a trailing
+``// desword-lint: allow(<rule>)`` marker):
+
+  randomness    No ``std::rand``/``srand``/``rand()`` and no ``time(...)``
+                seeding outside ``src/crypto/randsource*``. All randomness
+                must flow through RandomSource (CSPRNG or seeded DRBG) so
+                commitments stay unpredictable and tests stay reproducible.
+
+  decode-cast   No ``memcpy`` or ``reinterpret_cast`` in decode-path files
+                (everything that parses untrusted bytes). Decoders go
+                through BinaryReader, which bounds-checks every read; raw
+                pointer reinterpretation is how length-prefix bugs become
+                memory corruption.
+
+  switch-default
+                ``switch`` statements over ``MessageType`` must not have a
+                ``default:`` label. -Wswitch then forces every dispatch
+                site to be revisited when a message type is added.
+
+  secret-print  Lines that print/log must not mention trapdoor or secret
+                key material (``trapdoor``, ``secret``, ``_sk``/``sk_``).
+                The trapdoor breaks the binding of every commitment made
+                under the CRS; it must never reach logs.
+
+Run:  tools/desword_lint.py --root <repo root>
+Exit status 0 = clean, 1 = violations (printed one per line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cpp", "fuzz/**/*.h", "fuzz/**/*.cpp",
+                "tools/**/*.cpp", "examples/**/*.cpp", "bench/**/*.cpp")
+
+# Files allowed to talk to the system RNG / clock directly.
+RANDOMNESS_EXEMPT = re.compile(r"src/crypto/randsource\.(h|cpp)$")
+
+# Decode paths: every file that parses attacker-supplied or persisted
+# bytes. memcpy/reinterpret_cast are banned here (rule decode-cast).
+DECODE_PATH_FILES = {
+    "src/common/serial.cpp",
+    "src/common/serial.h",
+    "src/net/wire.cpp",
+    "src/desword/messages.cpp",
+    "src/zkedb/persist.cpp",
+    "src/zkedb/proof.cpp",
+    "src/zkedb/params.cpp",
+    "src/mercurial/qtmc.cpp",
+    "src/mercurial/tmc.cpp",
+    "src/poc/poc.cpp",
+    "src/poc/poc_list.cpp",
+}
+
+RE_ALLOW = re.compile(r"//\s*desword-lint:\s*allow\(([a-z-]+)\)")
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_RANDOMNESS = re.compile(
+    r"std::rand\b|\bsrand\s*\(|[^_\w.:]rand\s*\(|\bstd::time\s*\(|"
+    r"[^_\w.:]time\s*\(\s*(NULL|nullptr|0)\s*\)")
+RE_DECODE_CAST = re.compile(r"\bmemcpy\s*\(|\breinterpret_cast\b")
+RE_SWITCH = re.compile(r"\bswitch\s*\(")
+RE_MESSAGE_TYPE = re.compile(r"\bMessageType\b|\bmessage_type_of\s*\(")
+RE_PRINT = re.compile(
+    r"std::cout|std::cerr|\bprintf\s*\(|\bfprintf\s*\(|\bsnprintf\s*\(|"
+    r"\blog\w*\s*\(")
+RE_SECRET = re.compile(r"\btrapdoor\b|\bsecret\w*\b|\b\w*_sk\b|\bsk_\w+\b",
+                       re.IGNORECASE)
+
+
+def strip_comment(line: str) -> str:
+    """Removes a trailing // comment (crude: ignores // inside strings,
+    which is fine for these token-level rules)."""
+    return RE_LINE_COMMENT.sub("", line)
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = RE_ALLOW.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, rel: str, lineno: int, rule: str, message: str) -> None:
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+        self.check_line_rules(rel, lines)
+        self.check_switch_default(rel, text, lines)
+
+    def check_line_rules(self, rel: str, lines: list[str]) -> None:
+        decode_path = rel in DECODE_PATH_FILES
+        randomness_applies = not RANDOMNESS_EXEMPT.search(rel)
+        for lineno, raw in enumerate(lines, start=1):
+            code = strip_comment(raw)
+            if randomness_applies and RE_RANDOMNESS.search(code):
+                if not allowed(raw, "randomness"):
+                    self.report(rel, lineno, "randomness",
+                                "direct rand()/time() use; go through "
+                                "crypto/randsource (RandomSource)")
+            if decode_path and RE_DECODE_CAST.search(code):
+                if not allowed(raw, "decode-cast"):
+                    self.report(rel, lineno, "decode-cast",
+                                "memcpy/reinterpret_cast in a decode path; "
+                                "use BinaryReader primitives")
+            if RE_PRINT.search(code) and RE_SECRET.search(code):
+                if not allowed(raw, "secret-print"):
+                    self.report(rel, lineno, "secret-print",
+                                "print/log statement mentions trapdoor or "
+                                "secret-key material")
+
+    def check_switch_default(self, rel: str, text: str,
+                             lines: list[str]) -> None:
+        """Flags `default:` inside switch statements over MessageType."""
+        for match in RE_SWITCH.finditer(text):
+            # The switch condition: everything up to the matching ')'.
+            cond_start = text.index("(", match.start())
+            depth = 0
+            i = cond_start
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            condition = text[cond_start:i + 1]
+            if not RE_MESSAGE_TYPE.search(condition):
+                continue
+            # The switch body: balance braces from the first '{' after ')'.
+            body_start = text.find("{", i)
+            if body_start < 0:
+                continue
+            depth = 0
+            j = body_start
+            while j < len(text):
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            body = text[body_start:j + 1]
+            offset = body.find("default:")
+            if offset < 0:
+                continue
+            lineno = text.count("\n", 0, body_start + offset) + 1
+            if not allowed(lines[lineno - 1], "switch-default"):
+                self.report(rel, lineno, "switch-default",
+                            "switch over MessageType must be exhaustive "
+                            "(no default:)")
+
+    def run(self) -> int:
+        files = sorted(
+            {p for g in SOURCE_GLOBS for p in self.root.glob(g)
+             if p.is_file()})
+        if not files:
+            print("desword_lint: no source files found under "
+                  f"{self.root}", file=sys.stderr)
+            return 1
+        for path in files:
+            self.lint_file(path)
+        for v in self.violations:
+            print(v)
+        if self.violations:
+            print(f"desword_lint: {len(self.violations)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"desword_lint: {len(files)} files clean")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
