@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "crypto/hash.h"
 #include "mercurial/qtmc.h"
+#include "obs/metrics.h"
 #include "zkedb/params.h"
 
 namespace desword::benchutil {
@@ -98,7 +99,11 @@ inline unsigned bench_threads() { return ThreadPool::default_threads(); }
 
 /// Emits one machine-readable result line on stdout. The schema is stable
 /// — scripts grep for lines starting with '{"bench"':
-///   {"bench":"<binary>","case":"<case>","ns_per_op":<num>,"threads":<n>}
+///   {"bench":"<binary>","case":"<case>","ns_per_op":<num>,"threads":<n>,
+///    "metrics":{...}}
+/// The "metrics" object is the process-global observability snapshot
+/// (non-zero instruments only, see obs/metrics.h), so a result line also
+/// records how much crypto/ZK-EDB work the run has driven so far.
 inline void emit_json_line(const std::string& bench,
                            const std::string& case_name, double ns_per_op) {
   const auto escaped = [](const std::string& s) {
@@ -110,9 +115,10 @@ inline void emit_json_line(const std::string& bench,
     return out;
   };
   std::printf("{\"bench\":\"%s\",\"case\":\"%s\",\"ns_per_op\":%.1f,"
-              "\"threads\":%u}\n",
+              "\"threads\":%u,\"metrics\":%s}\n",
               escaped(bench).c_str(), escaped(case_name).c_str(), ns_per_op,
-              bench_threads());
+              bench_threads(),
+              obs::MetricsRegistry::global().compact_json().c_str());
 }
 
 /// Console reporter that additionally emits one JSON line per finished

@@ -1,10 +1,24 @@
 #include "crypto/modexp.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace desword {
 
 namespace {
+
+/// Call counters for the two modexp paths (DESIGN.md §8). Function-local
+/// statics would retake the registry lock-free scan per TU anyway; these
+/// file-level references bind once at static-init time.
+obs::Counter& modexp_calls() {
+  static obs::Counter& c = obs::metric("crypto.modexp.calls");
+  return c;
+}
+
+obs::Counter& fixed_base_hits() {
+  static obs::Counter& c = obs::metric("crypto.modexp.fixed_base_hits");
+  return c;
+}
 
 BN_CTX* scratch() {
   thread_local BN_CTX* c = BN_CTX_new();
@@ -33,6 +47,7 @@ Bignum ModExpContext::exp(const Bignum& base, const Bignum& exponent) const {
   if (exponent.is_negative()) {
     throw CryptoError("ModExpContext::exp: negative exponent");
   }
+  modexp_calls().add();
   Bignum out;
   // Reduce the base first: BN_mod_exp_mont requires base < modulus.
   const Bignum reduced = base.mod(modulus_);
@@ -100,8 +115,10 @@ Bignum ModExpContext::exp(const FixedBaseTable& table,
     throw CryptoError("ModExpContext::exp: negative exponent");
   }
   if (exponent.bits() > table.max_bits_) {
-    return exp(table.base_, exponent);  // oversized: plain path
+    return exp(table.base_, exponent);  // oversized: plain path (counted there)
   }
+  modexp_calls().add();
+  fixed_base_hits().add();
   if (exponent.is_zero()) return Bignum(1);
 
   BN_CTX* ctx = scratch();

@@ -7,6 +7,7 @@
 // mirroring how real deployments cache published CRS material.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,11 +32,23 @@ class CrsCache {
     return crs;
   }
 
-  /// Pre-seeds the cache with an already-instantiated CRS.
-  void put(const zkedb::EdbCrsPtr& crs) {
+  /// Pre-seeds the cache with an already-instantiated CRS and returns the
+  /// canonical instance for those parameters: the cached one if the key is
+  /// already present (keep-first — `crs` is NOT swapped in), else `crs`
+  /// itself. Callers should adopt the return value so every node holding
+  /// the same parameters shares one EdbCrs (and its power tables).
+  zkedb::EdbCrsPtr put(const zkedb::EdbCrsPtr& crs) {
     const Bytes key = sha256(crs->params().serialize());
     std::lock_guard<std::mutex> lock(mutex_);
-    cache_.emplace(key, crs);
+    const auto [it, inserted] = cache_.emplace(key, crs);
+    (void)inserted;
+    return it->second;
+  }
+
+  /// Number of distinct parameter sets cached. Thread safe.
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
   }
 
  private:

@@ -32,6 +32,7 @@ MessageType message_type_of(std::string_view tag) {
     return MessageType::kClientReportRequest;
   }
   if (tag == msg::kAdminShutdown) return MessageType::kAdminShutdown;
+  if (tag == msg::kStatsRequest) return MessageType::kStatsRequest;
   return MessageType::kUnknown;
 }
 
@@ -55,6 +56,7 @@ const char* to_tag(MessageType type) {
     case MessageType::kStatusResponse: return msg::kStatusResponse;
     case MessageType::kClientReportRequest: return msg::kClientReportRequest;
     case MessageType::kAdminShutdown: return msg::kAdminShutdown;
+    case MessageType::kStatsRequest: return msg::kStatsRequest;
     case MessageType::kUnknown: break;
   }
   throw ProtocolError("MessageType::kUnknown has no wire tag");
@@ -352,6 +354,20 @@ Bytes ClientReportRequest::serialize() const {
 ClientReportRequest ClientReportRequest::deserialize(BytesView data) {
   BinaryReader r(data);
   ClientReportRequest m;
+  m.client_ref = r.u64();
+  r.expect_done();
+  return m;
+}
+
+Bytes StatsRequest::serialize() const {
+  BinaryWriter w;
+  w.u64(client_ref);
+  return w.take();
+}
+
+StatsRequest StatsRequest::deserialize(BytesView data) {
+  BinaryReader r(data);
+  StatsRequest m;
   m.client_ref = r.u64();
   r.expect_done();
   return m;

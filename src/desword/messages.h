@@ -203,6 +203,17 @@ struct ClientReportRequest {
   static ClientReportRequest deserialize(BytesView data);
 };
 
+/// Client asks a daemon for its observability snapshot
+/// (`Proxy::export_stats_json` on the proxy; the process-wide metrics
+/// registry on a participant). Reply is a ClientQueryResponse carrying the
+/// snapshot in `report_json`.
+struct StatsRequest {
+  std::uint64_t client_ref = 0;
+
+  Bytes serialize() const;
+  static StatsRequest deserialize(BytesView data);
+};
+
 // Message type tags used on the wire.
 namespace msg {
 inline constexpr const char* kPsRequest = "ps_request";
@@ -223,6 +234,7 @@ inline constexpr const char* kClientQueryResponse = "client_query_response";
 inline constexpr const char* kStatusRequest = "status_request";
 inline constexpr const char* kStatusResponse = "status_response";
 inline constexpr const char* kClientReportRequest = "client_report_request";
+inline constexpr const char* kStatsRequest = "stats_request";
 /// Empty payload; asks a daemon to exit its serve loop.
 inline constexpr const char* kAdminShutdown = "admin_shutdown";
 }  // namespace msg
@@ -251,6 +263,7 @@ enum class MessageType : std::uint8_t {
   kStatusResponse,
   kClientReportRequest,
   kAdminShutdown,
+  kStatsRequest,  // appended: keep earlier values' wire-adjacent numbering
 };
 
 /// Maps a wire tag to its MessageType; unrecognized tags (future protocol

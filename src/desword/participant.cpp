@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "crypto/hash.h"
+#include "obs/metrics.h"
 #include "zkedb/proof.h"
 
 namespace desword::protocol {
@@ -15,10 +16,30 @@ namespace {
 /// clock units; see ProxyConfig::retransmit_timeout for semantics).
 constexpr std::uint64_t kPsRetryInterval = 500;
 
-/// Query-phase reply cache bound. Sized for the retransmission window of a
-/// handful of concurrent queries, not for history: a digest plus response
-/// per in-flight request round.
-constexpr std::size_t kReplyCacheCapacity = 128;
+obs::Counter& reply_cache_hits() {
+  static obs::Counter& c = obs::metric("net.reply_cache.hits");
+  return c;
+}
+
+obs::Counter& reply_cache_misses() {
+  static obs::Counter& c = obs::metric("net.reply_cache.misses");
+  return c;
+}
+
+obs::Counter& reply_cache_evictions() {
+  static obs::Counter& c = obs::metric("net.reply_cache.evictions");
+  return c;
+}
+
+obs::Counter& ownership_proofs() {
+  static obs::Counter& c = obs::metric("protocol.proof.ownership");
+  return c;
+}
+
+obs::Counter& non_ownership_proofs() {
+  static obs::Counter& c = obs::metric("protocol.proof.non_ownership");
+  return c;
+}
 
 }  // namespace
 
@@ -166,6 +187,7 @@ void Participant::dispatch(const net::Envelope& env) {
     case MessageType::kStatusResponse:
     case MessageType::kClientReportRequest:
     case MessageType::kAdminShutdown:
+    case MessageType::kStatsRequest:
     case MessageType::kUnknown:
       // Admin extensions (daemon shutdown etc.); unknown types are
       // otherwise ignored (forward compatibility).
@@ -380,6 +402,7 @@ const Participant::ProofContext* Participant::context_for(
 Bytes Participant::make_ownership_proof(const ProofContext& ctx,
                                         const supplychain::ProductId& product) {
   stats_.proofs_generated += 1;
+  ownership_proofs().add();
   poc::PocProof proof = ctx.scheme->prove(*ctx.dpoc, product);
   if (query_behavior_.wrong_trace.count(product) > 0) {
     // "Return wrong RFID-trace": tamper with the revealed value. The
@@ -403,6 +426,16 @@ Bytes Participant::maybe_corrupt_proof(const supplychain::ProductId& product,
   return proof;
 }
 
+void Participant::set_reply_cache_capacity(std::size_t cap) {
+  reply_cache_capacity_ = cap;
+  while (reply_cache_capacity_ > 0 &&
+         reply_cache_.size() > reply_cache_capacity_) {
+    reply_cache_.erase(reply_cache_lru_.back());
+    reply_cache_lru_.pop_back();
+    reply_cache_evictions().add();
+  }
+}
+
 void Participant::respond_cached(const net::Envelope& env,
                                  const std::string& resp_type,
                                  const std::function<Bytes()>& compute) {
@@ -413,16 +446,22 @@ void Participant::respond_cached(const net::Envelope& env,
   const auto it = reply_cache_.find(key);
   if (it != reply_cache_.end()) {
     stats_.duplicate_requests_served += 1;
+    reply_cache_hits().add();
+    reply_cache_lru_.splice(reply_cache_lru_.begin(), reply_cache_lru_,
+                            it->second.pos);
     transport_.send(id_, env.from, it->second.type, it->second.payload);
     return;
   }
+  reply_cache_misses().add();
   Bytes payload = compute();
-  if (reply_cache_order_.size() >= kReplyCacheCapacity) {
-    reply_cache_.erase(reply_cache_order_.front());
-    reply_cache_order_.pop_front();
+  while (reply_cache_capacity_ > 0 &&
+         reply_cache_.size() >= reply_cache_capacity_) {
+    reply_cache_.erase(reply_cache_lru_.back());
+    reply_cache_lru_.pop_back();
+    reply_cache_evictions().add();
   }
-  reply_cache_[key] = CachedReply{resp_type, payload};
-  reply_cache_order_.push_back(key);
+  reply_cache_lru_.push_front(key);
+  reply_cache_[key] = CachedReply{resp_type, payload, reply_cache_lru_.begin()};
   transport_.send(id_, env.from, resp_type, std::move(payload));
 }
 
@@ -455,6 +494,7 @@ void Participant::on_query_request(const net::Envelope& env,
         // shaped like a proof — here its (valid) non-ownership proof dressed
         // up as an ownership proof. Verification must reject it.
         stats_.proofs_generated += 1;
+        ownership_proofs().add();
         poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
         forged.ownership = true;
         resp.claims_processing = true;
@@ -466,6 +506,7 @@ void Participant::on_query_request(const net::Envelope& env,
       if (!committed) {
         // Honest denial with a non-ownership proof.
         stats_.proofs_generated += 1;
+        non_ownership_proofs().add();
         resp.claims_processing = false;
         resp.proof = maybe_corrupt_proof(
             m.product, ctx->scheme->prove(*ctx->dpoc, m.product).serialize());
@@ -474,6 +515,7 @@ void Participant::on_query_request(const net::Envelope& env,
         // proof cannot exist (Claim 1), so the cheater sends its ownership
         // proof relabelled — or garbage; either way verification rejects.
         stats_.proofs_generated += 1;
+        non_ownership_proofs().add();
         poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
         forged.ownership = false;
         forged.zk_proof = random_bytes(64);

@@ -17,7 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -101,6 +101,12 @@ class Participant {
     std::uint64_t proofs_generated = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Rebounds the query-phase reply cache (LRU; 0 = unbounded). Shrinks
+  /// eagerly, evicting least-recently-used entries, when lowered.
+  void set_reply_cache_capacity(std::size_t cap);
+  std::size_t reply_cache_capacity() const { return reply_cache_capacity_; }
+  std::size_t reply_cache_size() const { return reply_cache_.size(); }
 
   /// Receives envelopes whose type the participant does not understand
   /// (admin extensions layered on top of the core protocol).
@@ -191,9 +197,14 @@ class Participant {
   struct CachedReply {
     std::string type;
     Bytes payload;
+    std::list<Bytes>::iterator pos;  // position in reply_cache_lru_
   };
   std::map<Bytes, CachedReply> reply_cache_;  // request digest -> reply
-  std::deque<Bytes> reply_cache_order_;       // FIFO eviction
+  std::list<Bytes> reply_cache_lru_;          // most recently used first
+  /// Sized for the retransmission window of a handful of concurrent
+  /// queries, not for history: a digest plus response per in-flight
+  /// request round.
+  std::size_t reply_cache_capacity_ = 128;
   Stats stats_;
   net::Handler fallback_;
 };

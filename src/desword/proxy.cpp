@@ -4,8 +4,38 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "obs/metrics.h"
 
 namespace desword::protocol {
+
+namespace {
+
+obs::Counter& queries_started() {
+  static obs::Counter& c = obs::metric("protocol.query.started");
+  return c;
+}
+
+obs::Counter& queries_completed() {
+  static obs::Counter& c = obs::metric("protocol.query.completed");
+  return c;
+}
+
+obs::Counter& violations_detected() {
+  static obs::Counter& c = obs::metric("protocol.violation.detected");
+  return c;
+}
+
+obs::Counter& retransmits_fired() {
+  static obs::Counter& c = obs::metric("net.retransmit.fired");
+  return c;
+}
+
+obs::Gauge& sessions_active() {
+  static obs::Gauge& g = obs::gauge_metric("protocol.sessions.active");
+  return g;
+}
+
+}  // namespace
 
 Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
              ProxyConfig config)
@@ -42,7 +72,11 @@ Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
       crs_(crs != nullptr ? std::move(crs)
                           : zkedb::generate_crs(config_.edb)) {
   ps_bytes_ = crs_->params().serialize();
-  crs_cache_->put(crs_);
+  // Adopt the cache's canonical instance: if another in-process node
+  // already derived a CRS for the same parameters, share it (and its
+  // precomputed power tables) instead of keeping a duplicate alive.
+  crs_ = crs_cache_->put(crs_);
+  ledger_.set_history_cap(config_.reputation_history_cap);
   scheme_ = std::make_unique<poc::PocScheme>(crs_);
   transport_.register_node(id_,
                            [this](const net::Envelope& env) { handle(env); });
@@ -97,6 +131,7 @@ void Proxy::handle(const net::Envelope& env) {
       case MessageType::kStatusResponse:
       case MessageType::kClientReportRequest:
       case MessageType::kAdminShutdown:
+      case MessageType::kStatsRequest:
       case MessageType::kUnknown:
         // Not a proxy-bound core message: let the embedding server (CLI
         // daemon) interpret client/admin extensions; otherwise drop.
@@ -148,6 +183,9 @@ std::uint64_t Proxy::begin_query(const supplychain::ProductId& product,
   s.outcome.query_id = query_id;
   s.outcome.product = product;
   s.outcome.quality = quality;
+  s.trace.set_query_id(query_id);
+  queries_started().add();
+  sessions_active().add(1);
 
   if (task_hint.has_value()) {
     const poc::PocList* list = task_list(*task_hint);
@@ -186,6 +224,7 @@ void Proxy::send_tracked(Session& s, const net::NodeId& to,
   s.awaiting = true;
   s.transcript.push_back(
       TranscriptEntry{transport_.now(), true, to, type, payload.size()});
+  s.trace.record(transport_.now(), to, obs::span::kRequestSent, type);
   transport_.send(id_, to, type, std::move(payload));
   arm_retransmit(s);
 }
@@ -215,7 +254,11 @@ void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
   if (s.retries < config_.max_retries) {
     ++s.retries;
     // Retransmissions do not get transcript entries: the transcript audits
-    // the logical exchange, LinkStats count the physical bytes.
+    // the logical exchange, LinkStats count the physical bytes. The query
+    // trace records them — it audits what the session actually did.
+    retransmits_fired().add();
+    s.trace.record(transport_.now(), s.last_to, obs::span::kRetransmit,
+                   s.last_type);
     transport_.send(id_, s.last_to, s.last_type, s.last_payload);
     arm_retransmit(s);
     return;
@@ -231,12 +274,19 @@ void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
 void Proxy::record_incoming(Session& s, const net::Envelope& env) {
   s.transcript.push_back(TranscriptEntry{transport_.now(), false, env.from,
                                          env.type, env.payload.size()});
+  s.trace.record(transport_.now(), env.from, obs::span::kResponseReceived,
+                 env.type);
 }
 
 const std::vector<Proxy::TranscriptEntry>* Proxy::transcript(
     std::uint64_t query_id) const {
   const auto it = sessions_.find(query_id);
   return it == sessions_.end() ? nullptr : &it->second.transcript;
+}
+
+const obs::QueryTrace* Proxy::query_trace(std::uint64_t query_id) const {
+  const auto it = sessions_.find(query_id);
+  return it == sessions_.end() ? nullptr : &it->second.trace;
 }
 
 void Proxy::advance_candidate(Session& s) {
@@ -302,13 +352,26 @@ void Proxy::request_next_hop(Session& s) {
                    .serialize());
 }
 
+void Proxy::record_verify(Session& s, const std::string& peer, bool ok,
+                          const char* kind) {
+  s.trace.record(transport_.now(), peer,
+                 ok ? obs::span::kVerifyOk : obs::span::kVerifyFail, kind);
+}
+
 bool Proxy::absorb_ownership_proof(Session& s, const Bytes& proof_bytes) {
   try {
     const poc::PocProof proof = poc::PocProof::deserialize(proof_bytes);
-    if (!proof.ownership) return false;
+    if (!proof.ownership) {
+      record_verify(s, s.current, false, "ownership");
+      return false;
+    }
     const poc::PocVerifyResult result =
         scheme().verify(s.current_poc, s.outcome.product, proof);
-    if (result.verdict != poc::PocVerdict::kTrace) return false;
+    if (result.verdict != poc::PocVerdict::kTrace) {
+      record_verify(s, s.current, false, "ownership");
+      return false;
+    }
+    record_verify(s, s.current, true, "ownership");
     RecoveredTrace trace;
     trace.da = *result.trace_info;
     try {
@@ -320,6 +383,7 @@ bool Proxy::absorb_ownership_proof(Session& s, const Bytes& proof_bytes) {
     s.outcome.traces[s.current] = std::move(trace);
     return true;
   } catch (const Error&) {
+    record_verify(s, s.current, false, "ownership");
     return false;
   }
 }
@@ -327,6 +391,9 @@ bool Proxy::absorb_ownership_proof(Session& s, const Bytes& proof_bytes) {
 void Proxy::record_violation(Session& s, const std::string& participant,
                              ViolationType type) {
   s.outcome.violations.push_back(Violation{participant, type});
+  violations_detected().add();
+  s.trace.record(transport_.now(), participant, obs::span::kViolation,
+                 to_string(type));
 }
 
 void Proxy::finish(Session& s, bool complete) {
@@ -334,6 +401,10 @@ void Proxy::finish(Session& s, bool complete) {
   s.phase = Phase::kDone;
   settle(s);
   s.outcome.complete = complete;
+  s.trace.record(transport_.now(), id_, obs::span::kFinished,
+                 complete ? "complete" : "incomplete");
+  queries_completed().add();
+  sessions_active().add(-1);
   apply_scores(s);
   if (completion_cb_) completion_cb_(s.outcome);
 }
@@ -387,8 +458,11 @@ void Proxy::on_query_response(const net::Envelope& env,
           valid = false;
         }
         if (valid) {
+          // Valid: start_walk re-verifies via absorb_ownership_proof,
+          // which records the single verify_ok span for this hop.
           start_walk(s, cand, /*already_identified=*/true, m.proof);
         } else {
+          record_verify(s, cand.participant, false, "ownership");
           record_violation(s, cand.participant,
                            ViolationType::kClaimProcessingInvalidProof);
           advance_candidate(s);
@@ -414,6 +488,7 @@ void Proxy::on_query_response(const net::Envelope& env,
       } catch (const Error&) {
         valid = false;
       }
+      record_verify(s, cand.participant, valid, "non_ownership");
       if (valid) {
         advance_candidate(s);
       } else {
@@ -469,6 +544,7 @@ void Proxy::on_query_response(const net::Envelope& env,
     } catch (const Error&) {
       valid = false;
     }
+    record_verify(s, s.current, valid, "non_ownership");
     if (valid) {
       // Really did not process the product: the referrer lied.
       if (!s.previous.empty()) {
@@ -594,11 +670,30 @@ std::map<std::string, double> Proxy::reputation_snapshot() const {
   return ledger_.snapshot();
 }
 
+std::string Proxy::export_stats_json() const {
+  json::Object stats;
+  stats["metrics"] = obs::MetricsRegistry::global().snapshot_value();
+
+  json::Object scores;
+  for (const auto& [participant, score] : ledger_.scores()) {
+    scores[participant] = json::Value(score);
+  }
+  stats["reputation"] = json::Value(std::move(scores));
+
+  json::Array traces;
+  for (const auto& [qid, session] : sessions_) {
+    traces.push_back(session.trace.to_json());
+  }
+  stats["traces"] = json::Value(std::move(traces));
+
+  return json::Value(std::move(stats)).dump_pretty();
+}
+
 std::string Proxy::export_report_json() const {
   json::Object report;
 
   json::Object scores;
-  for (const auto& [participant, score] : ledger_.snapshot()) {
+  for (const auto& [participant, score] : ledger_.scores()) {
     scores[participant] = json::Value(score);
   }
   report["reputation"] = json::Value(std::move(scores));

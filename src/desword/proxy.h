@@ -18,6 +18,7 @@
 // in-flight session resolves.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -31,6 +32,7 @@
 #include "desword/query.h"
 #include "desword/reputation.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "poc/poc_list.h"
 
 namespace desword::protocol {
@@ -43,6 +45,9 @@ struct ProxyConfig {
   /// SimTransport — where any value behaves the same, timers fire at
   /// quiescence — and milliseconds for SocketTransport).
   std::uint64_t retransmit_timeout = 250;
+  /// Bound on the reputation ledger's retained event history (ring buffer;
+  /// 0 = unbounded). Scores are never affected, only the audit trail depth.
+  std::size_t reputation_history_cap = ReputationLedger::kDefaultHistoryCap;
 };
 
 class Proxy {
@@ -130,6 +135,17 @@ class Proxy {
   /// audits and for attributing wire costs (Table II end-to-end).
   const std::vector<TranscriptEntry>* transcript(std::uint64_t query_id) const;
 
+  /// Per-query observability trace: one timestamped span per protocol step
+  /// (request sent, response received, verify outcome, retransmit,
+  /// violation, finish). nullptr if the query id is unknown. Export one
+  /// trace as a JSON line via `obs::QueryTrace::to_json_line()`.
+  const obs::QueryTrace* query_trace(std::uint64_t query_id) const;
+
+  /// Observability snapshot: process-wide metrics registry, current
+  /// reputation scores, and every query trace. This is what `desword
+  /// stats` and the `--stats-json` flags surface.
+  std::string export_stats_json() const;
+
   // -- Reputation -----------------------------------------------------------
 
   double reputation(const std::string& participant) const;
@@ -171,6 +187,7 @@ class Proxy {
     std::string previous;  // referrer of `current` (for misdirection blame)
     std::vector<std::string> visited;
     std::vector<TranscriptEntry> transcript;
+    obs::QueryTrace trace;
     // Retransmission bookkeeping.
     net::NodeId last_to;
     std::string last_type;
@@ -202,6 +219,9 @@ class Proxy {
   void request_next_hop(Session& s);
   /// Verifies an ownership proof and records the trace; returns success.
   bool absorb_ownership_proof(Session& s, const Bytes& proof_bytes);
+  /// Records a verify-outcome span (`kind` = "ownership"/"non_ownership").
+  void record_verify(Session& s, const std::string& peer, bool ok,
+                     const char* kind);
   void record_violation(Session& s, const std::string& participant,
                         ViolationType type);
   void finish(Session& s, bool complete);

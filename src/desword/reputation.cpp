@@ -1,12 +1,44 @@
 #include "desword/reputation.h"
 
+#include "obs/metrics.h"
+
 namespace desword::protocol {
+
+namespace {
+
+obs::Counter& reputation_events() {
+  static obs::Counter& c = obs::metric("protocol.reputation.events");
+  return c;
+}
+
+obs::Counter& reputation_dropped() {
+  static obs::Counter& c = obs::metric("protocol.reputation.dropped");
+  return c;
+}
+
+}  // namespace
 
 void ReputationLedger::apply(const std::string& participant, double delta,
                              const std::string& reason,
                              std::uint64_t query_id) {
   scores_[participant] += delta;
   events_.push_back(ReputationEvent{participant, delta, reason, query_id});
+  events_applied_ += 1;
+  reputation_events().add();
+  while (history_cap_ > 0 && events_.size() > history_cap_) {
+    events_.pop_front();
+    events_dropped_ += 1;
+    reputation_dropped().add();
+  }
+}
+
+void ReputationLedger::set_history_cap(std::size_t cap) {
+  history_cap_ = cap;
+  while (history_cap_ > 0 && events_.size() > history_cap_) {
+    events_.pop_front();
+    events_dropped_ += 1;
+    reputation_dropped().add();
+  }
 }
 
 double ReputationLedger::score(const std::string& participant) const {

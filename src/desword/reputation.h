@@ -9,10 +9,11 @@
 // contamination originates upstream. Scores are publicly readable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
-#include <vector>
 
 namespace desword::protocol {
 
@@ -38,20 +39,42 @@ struct ReputationEvent {
 
 class ReputationLedger {
  public:
+  /// Default bound on the retained event history (see set_history_cap).
+  static constexpr std::size_t kDefaultHistoryCap = 4096;
+
   void apply(const std::string& participant, double delta,
              const std::string& reason, std::uint64_t query_id);
 
   /// Current score (0 for unknown participants — everyone starts neutral).
   double score(const std::string& participant) const;
 
-  /// Public snapshot of all scores.
+  /// Live view of all scores. Prefer this (or `score()`) over `snapshot()`
+  /// on hot paths — no copy.
+  const std::map<std::string, double>& scores() const { return scores_; }
+
+  /// Copying snapshot of all scores, for callers that need an owned map.
   std::map<std::string, double> snapshot() const { return scores_; }
 
-  const std::vector<ReputationEvent>& history() const { return events_; }
+  /// Bounds the event history ring buffer: once full, the oldest event is
+  /// dropped per new one (scores are unaffected — they are folded in at
+  /// apply() time). 0 = unbounded. Shrinks eagerly when lowered.
+  void set_history_cap(std::size_t cap);
+  std::size_t history_cap() const { return history_cap_; }
+
+  /// Most recent events, oldest first; at most history_cap() entries.
+  const std::deque<ReputationEvent>& history() const { return events_; }
+
+  /// Lifetime counters: how many events were ever applied, and how many
+  /// fell off the bounded history.
+  std::uint64_t events_applied() const { return events_applied_; }
+  std::uint64_t events_dropped() const { return events_dropped_; }
 
  private:
   std::map<std::string, double> scores_;
-  std::vector<ReputationEvent> events_;
+  std::deque<ReputationEvent> events_;
+  std::size_t history_cap_ = kDefaultHistoryCap;
+  std::uint64_t events_applied_ = 0;
+  std::uint64_t events_dropped_ = 0;
 };
 
 }  // namespace desword::protocol

@@ -33,6 +33,7 @@ class Scenario {
   net::Network& network() { return network_; }
   Proxy& proxy() { return *proxy_; }
   Participant& participant(const ParticipantId& id);
+  const CrsCachePtr& crs_cache() const { return crs_cache_; }
   const supplychain::SupplyChainGraph& graph() const { return graph_; }
 
   /// Runs one physical distribution task and the full distribution phase

@@ -3,8 +3,28 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace desword::net {
+
+namespace {
+
+obs::Counter& frames_sent() {
+  static obs::Counter& c = obs::metric("net.frame.sent");
+  return c;
+}
+
+obs::Counter& frames_received() {
+  static obs::Counter& c = obs::metric("net.frame.received");
+  return c;
+}
+
+obs::Counter& frames_dropped() {
+  static obs::Counter& c = obs::metric("net.frame.dropped");
+  return c;
+}
+
+}  // namespace
 
 void Network::register_node(const NodeId& id, Handler handler) {
   if (id.empty()) throw ProtocolError("node id must be non-empty");
@@ -41,15 +61,18 @@ void Network::send(const NodeId& from, const NodeId& to,
   LinkStats& stats = stats_[{from, to}];
   stats.messages_sent += 1;
   stats.bytes_sent += payload.size();
+  frames_sent().add();
   if (!has_node(to)) {
     // A crashed or deregistered peer must not take the *sender* down: the
     // message is dropped and counted, and the sender's retransmission /
     // no-response path deals with the silence.
     stats.messages_dropped += 1;
+    frames_dropped().add();
     return;
   }
   if (rng_.chance(policy.drop_rate)) {
     stats.messages_dropped += 1;
+    frames_dropped().add();
     return;
   }
   const auto deliver_at = [&] {
@@ -78,6 +101,7 @@ std::size_t Network::run(std::size_t max_steps) {
     now_ = std::max(now_, env.deliver_at);
     const auto node = nodes_.find(env.to);
     if (node == nodes_.end()) continue;  // receiver left: message lost
+    frames_received().add();
     node->second(env);
     ++delivered;
   }

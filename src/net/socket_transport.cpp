@@ -15,10 +15,46 @@
 
 #include "common/error.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace desword::net {
 
 namespace {
+
+obs::Counter& frames_sent() {
+  static obs::Counter& c = obs::metric("net.frame.sent");
+  return c;
+}
+
+obs::Counter& frames_received() {
+  static obs::Counter& c = obs::metric("net.frame.received");
+  return c;
+}
+
+obs::Counter& frames_dropped() {
+  static obs::Counter& c = obs::metric("net.frame.dropped");
+  return c;
+}
+
+obs::Counter& link_stats_evictions() {
+  static obs::Counter& c = obs::metric("net.link_stats.evictions");
+  return c;
+}
+
+obs::Counter& timers_armed() {
+  static obs::Counter& c = obs::metric("net.timer.armed");
+  return c;
+}
+
+obs::Counter& timers_cancelled() {
+  static obs::Counter& c = obs::metric("net.timer.cancelled");
+  return c;
+}
+
+obs::Counter& timers_fired() {
+  static obs::Counter& c = obs::metric("net.timer.fired");
+  return c;
+}
 
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
@@ -112,10 +148,39 @@ Transport::TimerId SocketTransport::set_timer(std::uint64_t delay_ms,
   if (!fn) throw ProtocolError("timer callback must be callable");
   const TimerId id = next_timer_id_++;
   timers_.emplace(id, Timer{now() + delay_ms, std::move(fn)});
+  timers_armed().add();
   return id;
 }
 
-void SocketTransport::cancel_timer(TimerId id) { timers_.erase(id); }
+void SocketTransport::cancel_timer(TimerId id) {
+  if (timers_.erase(id) > 0) timers_cancelled().add();
+}
+
+LinkStats& SocketTransport::touch_stats(const LinkKey& key) const {
+  const auto it = stats_.find(key);
+  if (it != stats_.end()) {
+    stats_lru_.splice(stats_lru_.begin(), stats_lru_, it->second.pos);
+    return it->second.stats;
+  }
+  if (options_.max_tracked_links > 0 &&
+      stats_.size() >= options_.max_tracked_links) {
+    const auto victim = stats_.find(stats_lru_.back());
+    DESWORD_CHECK(victim != stats_.end(), "link-stats LRU out of sync");
+    const LinkStats& s = victim->second.stats;
+    evicted_total_.messages_sent += s.messages_sent;
+    evicted_total_.messages_dropped += s.messages_dropped;
+    evicted_total_.messages_duplicated += s.messages_duplicated;
+    evicted_total_.bytes_sent += s.bytes_sent;
+    stats_.erase(victim);
+    stats_lru_.pop_back();
+    link_stats_evictions().add();
+  }
+  stats_lru_.push_front(key);
+  const auto [ins, inserted] =
+      stats_.emplace(key, TrackedLink{LinkStats{}, stats_lru_.begin()});
+  DESWORD_CHECK(inserted, "link-stats entry resurrected during insert");
+  return ins->second.stats;
+}
 
 void SocketTransport::learn_peer(const NodeId& peer, int fd) {
   if (peer.empty()) return;
@@ -164,9 +229,10 @@ SocketTransport::Connection* SocketTransport::connection_for(
 
 void SocketTransport::send(const NodeId& from, const NodeId& to,
                            const std::string& type, Bytes payload) {
-  LinkStats& stats = stats_[{from, to}];
+  LinkStats& stats = touch_stats({from, to});
   stats.messages_sent += 1;
   stats.bytes_sent += payload.size();
+  frames_sent().add();
 
   Envelope env{from, to, type, std::move(payload), 0};
   if (has_node(to)) {  // loopback: deliver on the next poll
@@ -176,6 +242,7 @@ void SocketTransport::send(const NodeId& from, const NodeId& to,
   Connection* conn = connection_for(to);
   if (conn == nullptr) {
     stats.messages_dropped += 1;
+    frames_dropped().add();
     return;
   }
   const Bytes frame = encode_frame(env);
@@ -216,6 +283,7 @@ std::size_t SocketTransport::drain_input(Connection& conn) {
       if (handler != handlers_.end()) {
         Envelope delivery = *env;
         delivery.deliver_at = now();
+        frames_received().add();
         handler->second(delivery);
         ++delivered;
       }
@@ -269,6 +337,7 @@ std::size_t SocketTransport::fire_due_timers() {
     timers_.erase(it);
     fn();
     ++fired;
+    timers_fired().add();
   }
   return fired;
 }
@@ -283,6 +352,7 @@ std::size_t SocketTransport::poll(int timeout_ms) {
     const auto handler = handlers_.find(env.to);
     if (handler != handlers_.end()) {
       env.deliver_at = now();
+      frames_received().add();
       handler->second(env);
       ++events;
     }
@@ -389,12 +459,13 @@ bool SocketTransport::flush(int timeout_ms) {
 
 const LinkStats& SocketTransport::stats(const NodeId& from,
                                         const NodeId& to) const {
-  return stats_[{from, to}];
+  return touch_stats({from, to});
 }
 
 LinkStats SocketTransport::total_stats() const {
-  LinkStats total;
-  for (const auto& [link, s] : stats_) {
+  LinkStats total = evicted_total_;
+  for (const auto& [link, tracked] : stats_) {
+    const LinkStats& s = tracked.stats;
     total.messages_sent += s.messages_sent;
     total.messages_dropped += s.messages_dropped;
     total.messages_duplicated += s.messages_duplicated;

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "net/transport.h"
 
@@ -37,6 +39,11 @@ struct SocketTransportOptions {
   /// message is dropped). Called lazily, at most once per successful
   /// connection per peer.
   std::function<std::optional<std::string>(const NodeId&)> resolve;
+  /// Per-link stats entries kept before the least-recently-touched one is
+  /// folded into the aggregate (`total_stats()` stays exact; per-link
+  /// detail for the evicted pair is lost). 0 = unbounded. Bounds memory
+  /// against churning peer ids (e.g. one client id per query process).
+  std::size_t max_tracked_links = 1024;
 };
 
 class SocketTransport final : public Transport {
@@ -93,8 +100,20 @@ class SocketTransport final : public Transport {
   };
   std::map<TimerId, Timer> timers_;
 
-  mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
+  // Link stats live in an LRU-capped map (see
+  // SocketTransportOptions::max_tracked_links). `stats_lru_` orders keys
+  // most-recently-touched first; each entry holds its own list position so
+  // a touch is O(1). Evicted entries are folded into `evicted_total_`.
+  using LinkKey = std::pair<NodeId, NodeId>;
+  struct TrackedLink {
+    LinkStats stats;
+    std::list<LinkKey>::iterator pos;
+  };
+  mutable std::map<LinkKey, TrackedLink> stats_;
+  mutable std::list<LinkKey> stats_lru_;
+  mutable LinkStats evicted_total_;
 
+  LinkStats& touch_stats(const LinkKey& key) const;
   Connection* connection_for(const NodeId& to);
   void learn_peer(const NodeId& peer, int fd);
   void close_connection(int fd);

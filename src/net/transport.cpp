@@ -3,14 +3,39 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace desword::net {
+
+namespace {
+
+obs::Counter& timers_armed() {
+  static obs::Counter& c = obs::metric("net.timer.armed");
+  return c;
+}
+
+obs::Counter& timers_cancelled() {
+  static obs::Counter& c = obs::metric("net.timer.cancelled");
+  return c;
+}
+
+obs::Counter& timers_fired() {
+  static obs::Counter& c = obs::metric("net.timer.fired");
+  return c;
+}
+
+}  // namespace
 
 Transport::TimerId SimTransport::set_timer(std::uint64_t delay, TimerFn fn) {
   if (!fn) throw ProtocolError("timer callback must be callable");
   const TimerId id = next_timer_id_++;
   timers_.emplace(id, Timer{network_.now() + delay, std::move(fn)});
+  timers_armed().add();
   return id;
+}
+
+void SimTransport::cancel_timer(TimerId id) {
+  if (timers_.erase(id) > 0) timers_cancelled().add();
 }
 
 std::size_t SimTransport::poll(int timeout_ms) {
@@ -33,6 +58,12 @@ std::size_t SimTransport::poll(int timeout_ms) {
     timers_.erase(it);
     fn();
     ++fired;
+    timers_fired().add();
+    // The callback queued traffic: the network is no longer quiescent, so
+    // the rest of the snapshot is NOT "due before anything else" anymore —
+    // deliveries preempt them. End the round; they fire (or get cancelled
+    // by whatever the deliveries trigger) at the next quiescent point.
+    if (network_.pending() > 0) break;
   }
   return fired;
 }

@@ -78,9 +78,14 @@ class Transport {
 /// Timer semantics follow discrete-event simulation: while messages are in
 /// flight the clock only advances through deliveries; once the queue is
 /// fully drained nothing can preempt a pending timer anymore, so `poll()`
-/// fires *all* pending timers (in arming order). This reproduces exactly
-/// the retransmit-all-stalled-sessions rounds of the historical
-/// `Proxy::pump()` stall scan.
+/// fires pending timers (in arming order) — but only while the network
+/// stays quiescent. The moment a timer callback queues traffic, the round
+/// ends: the remaining timers are no longer "due before anything else",
+/// because the new in-flight messages would be delivered first in real
+/// event order. Callbacks may also re-arm themselves or cancel sibling
+/// timers mid-round; both are honored (a cancelled sibling never fires).
+/// This reproduces exactly the retransmit-all-stalled-sessions rounds of
+/// the historical `Proxy::pump()` stall scan.
 class SimTransport final : public Transport {
  public:
   explicit SimTransport(Network& network) : network_(network) {}
@@ -103,7 +108,7 @@ class SimTransport final : public Transport {
   std::uint64_t now() const override { return network_.now(); }
 
   TimerId set_timer(std::uint64_t delay, TimerFn fn) override;
-  void cancel_timer(TimerId id) override { timers_.erase(id); }
+  void cancel_timer(TimerId id) override;
 
   std::size_t poll(int timeout_ms = 0) override;
 

@@ -1,0 +1,45 @@
+// Central registry of every metric instrument in the codebase.
+//
+// Instrument names follow the `layer.object.verb` scheme (see DESIGN.md §8)
+// and MUST be listed here: tools/desword_lint.py cross-checks every
+// `metric("...")` / `gauge_metric("...")` / `histogram_metric("...")` call
+// site against these X-macro lists, so a typo'd or unregistered name fails
+// the lint gate instead of silently creating a dead instrument.
+//
+// Adding an instrument: add one X(identifier, "layer.object.verb") line to
+// the matching list below. The identifier becomes the enum constant
+// (CounterId::identifier etc.); the string is the wire/lookup name.
+#pragma once
+
+// clang-format off
+#define DESWORD_OBS_COUNTERS(X)                                       \
+  X(crypto_modexp_calls,        "crypto.modexp.calls")                \
+  X(crypto_modexp_fb_hits,      "crypto.modexp.fixed_base_hits")      \
+  X(zkedb_commit_nodes,         "zkedb.commit.nodes")                 \
+  X(net_frame_sent,             "net.frame.sent")                     \
+  X(net_frame_received,         "net.frame.received")                 \
+  X(net_frame_dropped,          "net.frame.dropped")                  \
+  X(net_retransmit_fired,       "net.retransmit.fired")               \
+  X(net_reply_cache_hits,       "net.reply_cache.hits")               \
+  X(net_reply_cache_misses,     "net.reply_cache.misses")             \
+  X(net_reply_cache_evictions,  "net.reply_cache.evictions")          \
+  X(net_link_stats_evictions,   "net.link_stats.evictions")           \
+  X(net_timer_armed,            "net.timer.armed")                    \
+  X(net_timer_cancelled,        "net.timer.cancelled")                \
+  X(net_timer_fired,            "net.timer.fired")                    \
+  X(protocol_query_started,     "protocol.query.started")             \
+  X(protocol_query_completed,   "protocol.query.completed")           \
+  X(protocol_proof_ownership,   "protocol.proof.ownership")           \
+  X(protocol_proof_non_own,     "protocol.proof.non_ownership")       \
+  X(protocol_violation_detected,"protocol.violation.detected")        \
+  X(protocol_reputation_events, "protocol.reputation.events")         \
+  X(protocol_reputation_dropped,"protocol.reputation.dropped")
+
+#define DESWORD_OBS_GAUGES(X)                                         \
+  X(protocol_sessions_active,   "protocol.sessions.active")
+
+#define DESWORD_OBS_HISTOGRAMS(X)                                     \
+  X(zkedb_commit_wall_ms,       "zkedb.commit.wall_ms")               \
+  X(zkedb_prove_wall_ms,        "zkedb.prove.wall_ms")                \
+  X(zkedb_verify_wall_ms,       "zkedb.verify.wall_ms")
+// clang-format on

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include "common/error.h"
+
+namespace desword::obs {
+
+namespace {
+
+constexpr const char* kCounterNames[] = {
+#define DESWORD_OBS_X(id, name) name,
+    DESWORD_OBS_COUNTERS(DESWORD_OBS_X)
+#undef DESWORD_OBS_X
+};
+
+constexpr const char* kGaugeNames[] = {
+#define DESWORD_OBS_X(id, name) name,
+    DESWORD_OBS_GAUGES(DESWORD_OBS_X)
+#undef DESWORD_OBS_X
+};
+
+constexpr const char* kHistogramNames[] = {
+#define DESWORD_OBS_X(id, name) name,
+    DESWORD_OBS_HISTOGRAMS(DESWORD_OBS_X)
+#undef DESWORD_OBS_X
+};
+
+constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(CounterId::kCount);
+constexpr std::size_t kNumGauges = static_cast<std::size_t>(GaugeId::kCount);
+constexpr std::size_t kNumHistograms =
+    static_cast<std::size_t>(HistogramId::kCount);
+
+json::Value histogram_value(const Histogram& h) {
+  json::Object o;
+  o["count"] = json::Value(static_cast<std::int64_t>(h.count()));
+  o["sum_ms"] = json::Value(static_cast<double>(h.sum_us()) / 1000.0);
+  o["max_ms"] = json::Value(static_cast<double>(h.max_us()) / 1000.0);
+  json::Array buckets;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    buckets.push_back(json::Value(static_cast<std::int64_t>(h.bucket(i))));
+  }
+  o["buckets"] = json::Value(std::move(buckets));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const char* MetricsRegistry::name_of(CounterId id) {
+  return kCounterNames[static_cast<std::size_t>(id)];
+}
+
+const char* MetricsRegistry::name_of(GaugeId id) {
+  return kGaugeNames[static_cast<std::size_t>(id)];
+}
+
+const char* MetricsRegistry::name_of(HistogramId id) {
+  return kHistogramNames[static_cast<std::size_t>(id)];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (name == kCounterNames[i]) return counters_[i];
+  }
+  throw CheckError("unregistered counter: " + std::string(name));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (name == kGaugeNames[i]) return gauges_[i];
+  }
+  throw CheckError("unregistered gauge: " + std::string(name));
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    if (name == kHistogramNames[i]) return histograms_[i];
+  }
+  throw CheckError("unregistered histogram: " + std::string(name));
+}
+
+void MetricsRegistry::reset_for_test() {
+  for (Counter& c : counters_) {
+    c.value_.store(0, std::memory_order_relaxed);
+  }
+  for (Gauge& g : gauges_) {
+    g.value_.store(0, std::memory_order_relaxed);
+  }
+  for (Histogram& h : histograms_) {
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_us_.store(0, std::memory_order_relaxed);
+    h.max_us_.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+json::Value MetricsRegistry::snapshot_value() const {
+  json::Object root;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    root[kCounterNames[i]] =
+        json::Value(static_cast<std::int64_t>(counters_[i].value()));
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    root[kGaugeNames[i]] = json::Value(gauges_[i].value());
+  }
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    root[kHistogramNames[i]] = histogram_value(histograms_[i]);
+  }
+  return json::Value(std::move(root));
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  return snapshot_value().dump_pretty();
+}
+
+std::string MetricsRegistry::compact_json() const {
+  json::Object root;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (counters_[i].value() == 0) continue;
+    root[kCounterNames[i]] =
+        json::Value(static_cast<std::int64_t>(counters_[i].value()));
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (gauges_[i].value() == 0) continue;
+    root[kGaugeNames[i]] = json::Value(gauges_[i].value());
+  }
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    const Histogram& h = histograms_[i];
+    if (h.count() == 0) continue;
+    json::Object o;
+    o["count"] = json::Value(static_cast<std::int64_t>(h.count()));
+    o["sum_ms"] = json::Value(static_cast<double>(h.sum_us()) / 1000.0);
+    o["max_ms"] = json::Value(static_cast<double>(h.max_us()) / 1000.0);
+    root[kHistogramNames[i]] = json::Value(std::move(o));
+  }
+  return json::Value(std::move(root)).dump();
+}
+
+Counter& metric(std::string_view name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+Gauge& gauge_metric(std::string_view name) {
+  return MetricsRegistry::global().gauge(name);
+}
+
+Histogram& histogram_metric(std::string_view name) {
+  return MetricsRegistry::global().histogram(name);
+}
+
+}  // namespace desword::obs

@@ -1,0 +1,215 @@
+// Lock-cheap metrics registry.
+//
+// Design goals (ISSUE 4 tentpole):
+//   * zero-alloc, wait-free hot path — a counter add is one relaxed atomic
+//     fetch_add; a histogram observation is four (count, sum, CAS'd max,
+//     bucket). No mutex is ever taken while recording.
+//   * stable instrument addresses — every instrument is a fixed slot in the
+//     process-wide registry, so call sites cache the reference once:
+//       static obs::Counter& c = obs::metric("net.frame.sent");
+//       c.add();
+//   * deterministic snapshots — instruments serialize in registration
+//     (instruments.h) order, so two snapshots of identical state are
+//     byte-identical JSON.
+//   * testability — MetricsRegistry::reset_for_test() zeroes every value in
+//     place (addresses stay valid), letting tier-1 tests assert exact
+//     deltas.
+//
+// Instrument names live in obs/instruments.h; tools/desword_lint.py rejects
+// call sites using unregistered names.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/timing.h"
+#include "obs/instruments.h"
+
+namespace desword::obs {
+
+/// Monotonic event counter. Thread safe; relaxed ordering is enough because
+/// totals are only read at snapshot/assert points, never used to sequence.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (e.g. sessions currently active).
+class Gauge {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram over power-of-two microsecond boundaries:
+/// bucket i counts observations in (2^(i-1), 2^i] µs (bucket 0 is 0 µs,
+/// the last bucket is unbounded). 28 buckets cover 1 µs .. ~134 s, enough
+/// for any single proof/verify/commit in this codebase.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 28;
+
+  void observe_us(std::uint64_t us) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev && !max_us_.compare_exchange_weak(
+                            prev, us, std::memory_order_relaxed)) {
+    }
+    buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void observe_ms(double ms) {
+    observe_us(ms <= 0.0 ? 0
+                         : static_cast<std::uint64_t>(ms * 1000.0 + 0.5));
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum_us() const {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t us) {
+    if (us == 0) return 0;
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(us));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// RAII wall-clock timer recording into a histogram on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(h), start_ns_(now_ns()) {}
+  ~ScopedTimer() { h_.observe_us((now_ns() - start_ns_) / 1000u); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  std::uint64_t start_ns_;
+};
+
+enum class CounterId : std::size_t {
+#define DESWORD_OBS_X(id, name) id,
+  DESWORD_OBS_COUNTERS(DESWORD_OBS_X)
+#undef DESWORD_OBS_X
+      kCount
+};
+
+enum class GaugeId : std::size_t {
+#define DESWORD_OBS_X(id, name) id,
+  DESWORD_OBS_GAUGES(DESWORD_OBS_X)
+#undef DESWORD_OBS_X
+      kCount
+};
+
+enum class HistogramId : std::size_t {
+#define DESWORD_OBS_X(id, name) id,
+  DESWORD_OBS_HISTOGRAMS(DESWORD_OBS_X)
+#undef DESWORD_OBS_X
+      kCount
+};
+
+/// Process-wide registry. All instruments exist for the life of the
+/// process at fixed addresses; lookup by name is a linear scan meant to be
+/// done once per call site (cache the reference in a local static).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(CounterId id) {
+    return counters_[static_cast<std::size_t>(id)];
+  }
+  Gauge& gauge(GaugeId id) { return gauges_[static_cast<std::size_t>(id)]; }
+  Histogram& histogram(HistogramId id) {
+    return histograms_[static_cast<std::size_t>(id)];
+  }
+  const Counter& counter(CounterId id) const {
+    return counters_[static_cast<std::size_t>(id)];
+  }
+  const Gauge& gauge(GaugeId id) const {
+    return gauges_[static_cast<std::size_t>(id)];
+  }
+  const Histogram& histogram(HistogramId id) const {
+    return histograms_[static_cast<std::size_t>(id)];
+  }
+
+  /// Name lookups; throw CheckError for unregistered names (the lint gate
+  /// should have caught those at review time).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  static const char* name_of(CounterId id);
+  static const char* name_of(GaugeId id);
+  static const char* name_of(HistogramId id);
+
+  /// Zeroes every instrument in place. Addresses (and cached references)
+  /// stay valid. Not atomic across instruments — call only at quiescent
+  /// points in tests.
+  void reset_for_test();
+
+  /// Full snapshot as a JSON value: one member per instrument, in
+  /// instruments.h order (deterministic). Histograms expand to
+  /// {count, sum_ms, max_ms, buckets}.
+  json::Value snapshot_value() const;
+  /// snapshot_value() pretty-printed.
+  std::string snapshot_json() const;
+  /// Single-line snapshot containing only instruments that recorded
+  /// anything (for embedding in bench JSON lines). "{}" when idle.
+  std::string compact_json() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  std::array<Counter, static_cast<std::size_t>(CounterId::kCount)> counters_;
+  std::array<Gauge, static_cast<std::size_t>(GaugeId::kCount)> gauges_;
+  std::array<Histogram, static_cast<std::size_t>(HistogramId::kCount)>
+      histograms_;
+};
+
+/// Call-site sugar over MetricsRegistry::global(). Lookup is a linear name
+/// scan: cache the returned reference in a function-local static.
+Counter& metric(std::string_view name);
+Gauge& gauge_metric(std::string_view name);
+Histogram& histogram_metric(std::string_view name);
+
+}  // namespace desword::obs

@@ -1,0 +1,37 @@
+#include "obs/trace.h"
+
+namespace desword::obs {
+
+void QueryTrace::record(std::uint64_t at, std::string peer, std::string event,
+                        std::string detail) {
+  spans_.push_back(TraceSpan{at, std::move(peer), std::move(event),
+                             std::move(detail)});
+}
+
+std::size_t QueryTrace::count(std::string_view event) const {
+  std::size_t n = 0;
+  for (const TraceSpan& s : spans_) {
+    if (s.event == event) ++n;
+  }
+  return n;
+}
+
+json::Value QueryTrace::to_json() const {
+  json::Object root;
+  root["query_id"] = json::Value(static_cast<std::int64_t>(query_id_));
+  json::Array spans;
+  for (const TraceSpan& s : spans_) {
+    json::Object o;
+    o["at"] = json::Value(static_cast<std::int64_t>(s.at));
+    o["peer"] = json::Value(s.peer);
+    o["event"] = json::Value(s.event);
+    if (!s.detail.empty()) o["detail"] = json::Value(s.detail);
+    spans.push_back(json::Value(std::move(o)));
+  }
+  root["spans"] = json::Value(std::move(spans));
+  return json::Value(std::move(root));
+}
+
+std::string QueryTrace::to_json_line() const { return to_json().dump(); }
+
+}  // namespace desword::obs

@@ -1,0 +1,64 @@
+// Per-query trace spans.
+//
+// A QueryTrace rides inside the proxy's query session state machine and
+// records one timestamped span per protocol event: a request leaving for a
+// hop, the hop's response arriving, the verify outcome of its proof, a
+// retransmission firing, a violation being booked, and finally the query
+// finishing. The trace exports as a single JSON line (one query = one
+// line), the shape log pipelines ingest.
+//
+// Span schema (DESIGN.md §8):
+//   { "at": <transport clock>, "peer": "<node id>",
+//     "event": "<span::k* constant>", "detail": "<free-form qualifier>" }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace desword::obs {
+
+/// Canonical span event names. Tests assert on these, so call sites must
+/// use the constants, not ad-hoc strings.
+namespace span {
+inline constexpr const char* kRequestSent = "request_sent";
+inline constexpr const char* kResponseReceived = "response_received";
+inline constexpr const char* kVerifyOk = "verify_ok";
+inline constexpr const char* kVerifyFail = "verify_fail";
+inline constexpr const char* kRetransmit = "retransmit";
+inline constexpr const char* kViolation = "violation";
+inline constexpr const char* kFinished = "finished";
+}  // namespace span
+
+struct TraceSpan {
+  std::uint64_t at = 0;  // transport clock (ticks or ms; see Transport::now)
+  std::string peer;      // remote node the span refers to ("" for kFinished)
+  std::string event;     // one of the span::k* constants
+  std::string detail;    // qualifier: message type, proof kind, verdict, ...
+};
+
+class QueryTrace {
+ public:
+  void set_query_id(std::uint64_t id) { query_id_ = id; }
+  std::uint64_t query_id() const { return query_id_; }
+
+  void record(std::uint64_t at, std::string peer, std::string event,
+              std::string detail = {});
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Count of spans with the given event name.
+  std::size_t count(std::string_view event) const;
+
+  json::Value to_json() const;
+  /// Compact single-line JSON: {"query_id":N,"spans":[...]}.
+  std::string to_json_line() const;
+
+ private:
+  std::uint64_t query_id_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace desword::obs

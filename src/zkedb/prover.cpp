@@ -6,8 +6,18 @@
 #include "common/thread_pool.h"
 #include "crypto/hash.h"
 #include "mercurial/message.h"
+#include "obs/metrics.h"
 
 namespace desword::zkedb {
+
+namespace {
+
+obs::Histogram& prove_wall_ms() {
+  static obs::Histogram& h = obs::histogram_metric("zkedb.prove.wall_ms");
+  return h;
+}
+
+}  // namespace
 
 std::string EdbProver::child_prefix(const std::string& prefix,
                                     std::uint32_t digit) {
@@ -19,6 +29,9 @@ std::string EdbProver::child_prefix(const std::string& prefix,
 EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries,
                      const EdbProverOptions& options)
     : crs_(std::move(crs)), opts_(options) {
+  static obs::Histogram& commit_wall_ms =
+      obs::histogram_metric("zkedb.commit.wall_ms");
+  const obs::ScopedTimer commit_timer(commit_wall_ms);
   std::vector<BuildEntry> build_entries;
   build_entries.reserve(entries.size());
   for (const auto& [key, value] : entries) {
@@ -39,6 +52,8 @@ EdbProver::EdbProver(EdbCrsPtr crs, const std::map<Bytes, Bytes>& entries,
       threads > 1 ? &ThreadPool::with_threads(threads) : nullptr;
   (void)build(build_entries, std::string(), 0, build_entries.size(), pool);
   root_com_ = inner_.at(std::string()).com;
+  static obs::Counter& commit_nodes = obs::metric("zkedb.commit.nodes");
+  commit_nodes.add(inner_.size() + leaves_.size());
 }
 
 EdbProver::EdbProver(EdbProver&& other) noexcept
@@ -222,6 +237,7 @@ EdbMembershipProof EdbProver::prove_membership(const EdbKey& key) const {
   if (!contains(key)) {
     throw ProtocolError("prove_membership: key not in database");
   }
+  const obs::ScopedTimer timer(prove_wall_ms());
   const std::vector<std::uint32_t> digits = crs_->digits_of(key);
   const std::uint32_t h = crs_->height();
   const Bignum& n = crs_->params().qtmc_pk.n;
@@ -250,6 +266,7 @@ EdbNonMembershipProof EdbProver::prove_non_membership(const EdbKey& key) {
   if (contains(key)) {
     throw ProtocolError("prove_non_membership: key is in database");
   }
+  const obs::ScopedTimer timer(prove_wall_ms());
   const std::vector<std::uint32_t> digits = crs_->digits_of(key);
   const std::uint32_t h = crs_->height();
   const Bignum& n = crs_->params().qtmc_pk.n;

@@ -3,10 +3,19 @@
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "mercurial/message.h"
+#include "obs/metrics.h"
 
 namespace desword::zkedb {
 
 namespace {
+
+/// Verification runs concurrently from the thread pool (see
+/// edb_verify_membership_many), which the histogram's atomic buckets are
+/// built for — no extra synchronization here.
+obs::Histogram& verify_wall_ms() {
+  static obs::Histogram& h = obs::histogram_metric("zkedb.verify.wall_ms");
+  return h;
+}
 
 /// Digest of a serialized child commitment at depth `child_depth`
 /// (leaf iff == height). Returns nullopt on malformed bytes.
@@ -29,6 +38,7 @@ std::optional<Bytes> child_digest(const EdbCrs& crs, BytesView serialized,
 std::optional<Bytes> edb_verify_membership(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const EdbKey& key, const EdbMembershipProof& proof) {
+  const obs::ScopedTimer timer(verify_wall_ms());
   try {
     const std::uint32_t h = crs.height();
     if (proof.openings.size() != h || proof.child_commitments.size() != h) {
@@ -68,6 +78,7 @@ bool edb_verify_non_membership(const EdbCrs& crs,
                                const mercurial::QtmcCommitment& root,
                                const EdbKey& key,
                                const EdbNonMembershipProof& proof) {
+  const obs::ScopedTimer timer(verify_wall_ms());
   try {
     const std::uint32_t h = crs.height();
     if (proof.teases.size() != h || proof.child_commitments.size() != h) {

@@ -125,9 +125,12 @@ TEST_F(DistributedTest, FullDeploymentOverTcpLoopback) {
   }
   ASSERT_EQ(participant_ids.size(), 4u);
 
-  // 2. Spawn the proxy and one daemon per participant.
-  daemons_.push_back(spawn_cli({"serve-proxy", "--plan", plan_},
-                               log("proxy")));
+  // 2. Spawn the proxy (dumping an observability snapshot on exit) and one
+  //    daemon per participant.
+  const std::string stats_path = dir_ + "/proxy-stats.json";
+  daemons_.push_back(spawn_cli(
+      {"serve-proxy", "--plan", plan_, "--stats-json", stats_path},
+      log("proxy")));
   for (const std::string& id : participant_ids) {
     daemons_.push_back(spawn_cli(
         {"serve-participant", "--plan", plan_, "--id", id}, log(id)));
@@ -192,7 +195,29 @@ TEST_F(DistributedTest, FullDeploymentOverTcpLoopback) {
               2 * participant_ids.size());
   }
 
-  // 7. Orderly shutdown: every daemon exits 0 on its own.
+  // 7. `desword stats` pulls a live observability snapshot from the proxy:
+  //    metrics drove real work, and each query left a full trace.
+  ASSERT_EQ(run_cli({"stats", "--plan", plan_}, log("stats"), &out), 0)
+      << out;
+  {
+    const json::Value stats = json::parse(out);
+    EXPECT_GT(
+        stats.at("metrics").at("zkedb.verify.wall_ms").at("count").as_int(),
+        0);
+    EXPECT_EQ(stats.at("traces").as_array().size(), 2u);
+    EXPECT_FALSE(stats.at("reputation").as_object().empty());
+  }
+  //    Participants answer too, with their local proof/cache stats.
+  ASSERT_EQ(run_cli({"stats", "--plan", plan_, "--node", participant_ids[0]},
+                    log("stats-v"), &out), 0)
+      << out;
+  {
+    const json::Value stats = json::parse(out);
+    EXPECT_TRUE(stats.has("metrics"));
+    EXPECT_GT(stats.at("participant").at("proofs_generated").as_int(), 0);
+  }
+
+  // 8. Orderly shutdown: every daemon exits 0 on its own.
   ASSERT_EQ(run_cli({"query", "--plan", plan_, "--shutdown", "all"},
                     log("shutdown"), &out), 0)
       << out;
@@ -204,6 +229,13 @@ TEST_F(DistributedTest, FullDeploymentOverTcpLoopback) {
         << read_text(log("proxy")) << read_text(log("v0"));
   }
   daemons_.clear();
+
+  // 9. The proxy dumped its final snapshot on exit (--stats-json).
+  const std::string dumped = read_text(stats_path);
+  ASSERT_FALSE(dumped.empty()) << "no stats dump at " << stats_path;
+  const json::Value snapshot = json::parse(dumped);
+  EXPECT_TRUE(snapshot.has("metrics"));
+  EXPECT_TRUE(snapshot.has("traces"));
 }
 
 }  // namespace

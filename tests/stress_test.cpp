@@ -8,6 +8,7 @@
 
 #include "desword/applications.h"
 #include "desword/scenario.h"
+#include "obs/metrics.h"
 
 namespace desword::protocol {
 namespace {
@@ -93,6 +94,106 @@ TEST(StressTest, RepeatedNonMembershipQueriesBoundedGrowth) {
   EXPECT_EQ(dpoc->serialize().size(), state_after_first)
       << "repeated queries for the same key must not grow the DPOC";
   (void)first;
+}
+
+TEST(StressTest, ReplyCacheEvictsLeastRecentlyUsed) {
+  // Direct participant, no proxy: unknown-POC query requests get cheap
+  // "not processing" replies, each caching one entry. 20 distinct requests
+  // against a capacity of 8 must evict the 12 oldest; a resend of a
+  // surviving (recent) request is served from the cache.
+  net::Network network;
+  auto crs_cache = std::make_shared<CrsCache>();
+  Participant participant("p1", network, "proxy", crs_cache);
+  network.register_node("client", [](const net::Envelope&) {});
+
+  obs::MetricsRegistry::global().reset_for_test();
+  participant.set_reply_cache_capacity(8);
+
+  const auto request_for = [](std::uint64_t i) {
+    QueryRequest req;
+    req.query_id = i;
+    req.product = supplychain::make_epc(1, 1, i);
+    req.quality = ProductQuality::kGood;
+    req.poc = Bytes{0xde, 0xad};  // never built: cheap cached denial
+    return req.serialize();
+  };
+
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    network.send("client", "p1", msg::kQueryRequest, request_for(i));
+    network.run();
+  }
+  EXPECT_EQ(participant.reply_cache_size(), 8u);
+  EXPECT_EQ(obs::metric("net.reply_cache.misses").value(), 20u);
+  EXPECT_EQ(obs::metric("net.reply_cache.evictions").value(), 12u);
+  EXPECT_EQ(participant.stats().duplicate_requests_served, 0u);
+
+  // Most recent request survived the evictions: cache hit, no recompute.
+  network.send("client", "p1", msg::kQueryRequest, request_for(20));
+  network.run();
+  EXPECT_EQ(obs::metric("net.reply_cache.hits").value(), 1u);
+  EXPECT_EQ(participant.stats().duplicate_requests_served, 1u);
+  EXPECT_EQ(participant.reply_cache_size(), 8u);
+
+  // The oldest request was evicted: answering it again is a fresh miss
+  // that evicts the then-LRU entry to stay at capacity.
+  network.send("client", "p1", msg::kQueryRequest, request_for(1));
+  network.run();
+  EXPECT_EQ(obs::metric("net.reply_cache.misses").value(), 21u);
+  EXPECT_EQ(obs::metric("net.reply_cache.evictions").value(), 13u);
+  EXPECT_EQ(participant.reply_cache_size(), 8u);
+
+  obs::MetricsRegistry::global().reset_for_test();
+}
+
+TEST(StressTest, ReputationHistoryIsBounded) {
+  obs::MetricsRegistry::global().reset_for_test();
+  ReputationLedger ledger;
+  EXPECT_EQ(ledger.history_cap(), ReputationLedger::kDefaultHistoryCap);
+  ledger.set_history_cap(100);
+
+  for (std::uint64_t i = 1; i <= 250; ++i) {
+    ledger.apply("v" + std::to_string(i % 7), 1.0, "good_query", i);
+  }
+  EXPECT_EQ(ledger.history().size(), 100u);
+  EXPECT_EQ(ledger.events_applied(), 250u);
+  EXPECT_EQ(ledger.events_dropped(), 150u);
+  EXPECT_EQ(obs::metric("protocol.reputation.events").value(), 250u);
+  EXPECT_EQ(obs::metric("protocol.reputation.dropped").value(), 150u);
+  // Oldest retained event is #151; scores kept every fold regardless.
+  EXPECT_EQ(ledger.history().front().query_id, 151u);
+  EXPECT_EQ(ledger.history().back().query_id, 250u);
+  EXPECT_DOUBLE_EQ(ledger.score("v1"), 36.0);  // 36 of 250 hit v1
+
+  // Lowering the cap shrinks eagerly; raising it never resurrects.
+  ledger.set_history_cap(10);
+  EXPECT_EQ(ledger.history().size(), 10u);
+  EXPECT_EQ(ledger.events_dropped(), 240u);
+  ledger.set_history_cap(1000);
+  EXPECT_EQ(ledger.history().size(), 10u);
+
+  obs::MetricsRegistry::global().reset_for_test();
+}
+
+TEST(StressTest, ScenarioNodesShareOneCrsInstance) {
+  // CrsCache::put() keep-first semantics: the proxy generates the CRS, all
+  // participants derive theirs through the shared cache, so the whole
+  // in-process deployment holds exactly one EdbCrs (one set of qTMC power
+  // tables).
+  ScenarioConfig cfg;
+  cfg.edb = zkedb::EdbConfig{4, 6, 512, "p256", zkedb::SoftMode::kShared};
+  Scenario scenario(SupplyChainGraph::paper_example(), cfg);
+  EXPECT_EQ(scenario.crs_cache()->size(), 1u);
+
+  const zkedb::EdbCrsPtr& proxy_crs = scenario.proxy().crs();
+  ASSERT_NE(proxy_crs, nullptr);
+  // The cache's canonical instance for these parameters IS the proxy's.
+  EXPECT_EQ(scenario.crs_cache()->get(proxy_crs->params().serialize()).get(),
+            proxy_crs.get());
+  // Re-putting a fresh duplicate keeps the first instance (no silent swap).
+  const zkedb::EdbCrsPtr dup = std::make_shared<zkedb::EdbCrs>(
+      zkedb::EdbPublicParams::deserialize(proxy_crs->params().serialize()));
+  EXPECT_EQ(scenario.crs_cache()->put(dup).get(), proxy_crs.get());
+  EXPECT_EQ(scenario.crs_cache()->size(), 1u);
 }
 
 }  // namespace

@@ -165,6 +165,60 @@ TEST(SimTransportTest, TimerHandlerMayRearm) {
   EXPECT_EQ(fires, 3);
 }
 
+TEST(SimTransportTest, TimerHandlerMayCancelSibling) {
+  // Regression: a callback cancelling a later timer in the SAME firing
+  // round must win — the snapshot loop re-checks liveness per id instead
+  // of firing a stale copy of the handler.
+  Network network;
+  SimTransport transport(network);
+  std::vector<int> fired;
+  Transport::TimerId sibling = 0;
+  transport.set_timer(1, [&] {
+    fired.push_back(1);
+    transport.cancel_timer(sibling);
+  });
+  sibling = transport.set_timer(1, [&] { fired.push_back(2); });
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(fired, std::vector<int>{1});
+  EXPECT_EQ(transport.pending_timers(), 0u);
+  EXPECT_EQ(transport.poll(), 0u);  // the cancelled sibling stays dead
+  EXPECT_EQ(fired, std::vector<int>{1});
+}
+
+TEST(SimTransportTest, TimerSendingTrafficEndsFiringRound) {
+  // Regression: once a timer callback queues a message the network is no
+  // longer quiescent, so the remaining snapshot timers must wait for the
+  // next quiescent round instead of firing behind in-flight traffic (a
+  // retransmission timer must not fire "concurrently" with the reply it
+  // just requested).
+  Network network;
+  SimTransport transport(network);
+  std::vector<std::string> order;
+  transport.register_node("a", [&](const Envelope& env) {
+    order.push_back("deliver:" + env.type);
+  });
+  transport.set_timer(1, [&] {
+    order.push_back("timer1");
+    transport.send("a", "a", "probe", Bytes{});
+  });
+  transport.set_timer(1, [&] { order.push_back("timer2"); });
+
+  // Round 1: timer1 fires and queues traffic — the round ends immediately,
+  // timer2 is deferred.
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(order, std::vector<std::string>{"timer1"});
+  EXPECT_EQ(transport.pending_timers(), 1u);
+
+  // Round 2: the queued message delivers (deliveries preempt timers).
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"timer1", "deliver:probe"}));
+
+  // Round 3: quiescent again, the deferred timer finally fires.
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(order.back(), "timer2");
+}
+
 // ---------------------------------------------------------------------------
 // SocketTransport (TCP loopback)
 // ---------------------------------------------------------------------------

@@ -205,7 +205,10 @@ void print_usage(std::ostream& err) {
          "  serve-proxy        run the proxy daemon of a plan\n"
          "  serve-participant  run one participant daemon of a plan\n"
          "  query              drive a running deployment (wait-ready /\n"
-         "                     product query / report / shutdown)\n";
+         "                     product query / report / shutdown)\n"
+         "                     [--stats-json PATH fetches a metrics snapshot]\n"
+         "  stats              fetch an observability snapshot (metrics,\n"
+         "                     traces, reputation) from a running node\n";
 }
 
 }  // namespace
@@ -232,6 +235,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "serve-proxy") return cmd_serve_proxy(flags, out);
     if (cmd == "serve-participant") return cmd_serve_participant(flags, out);
     if (cmd == "query") return cmd_query(flags, out, err);
+    if (cmd == "stats") return cmd_stats(flags, out, err);
     err << "unknown command: " << cmd << "\n";
     print_usage(err);
     return 2;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <csignal>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "desword/participant.h"
 #include "desword/proxy.h"
 #include "net/socket_transport.h"
+#include "obs/metrics.h"
 #include "supplychain/distribution.h"
 #include "supplychain/graph.h"
 #include "zkedb/params.h"
@@ -25,6 +27,31 @@ namespace {
 
 namespace fs = std::filesystem;
 using namespace desword::protocol;
+
+// ---------------------------------------------------------------------------
+// Stats dumping (--stats-json + SIGUSR1)
+// ---------------------------------------------------------------------------
+
+/// Set by SIGUSR1; the serve loops poll it and dump a stats snapshot.
+volatile std::sig_atomic_t g_dump_stats = 0;
+
+extern "C" void on_sigusr1(int) { g_dump_stats = 1; }
+
+/// Observability snapshot of a participant daemon: the process-wide
+/// metrics registry plus the participant's own counters.
+std::string participant_stats_json(const Participant& participant) {
+  json::Object o;
+  o["metrics"] = obs::MetricsRegistry::global().snapshot_value();
+  json::Object ps;
+  ps["duplicate_requests_served"] = json::Value(
+      static_cast<std::int64_t>(participant.stats().duplicate_requests_served));
+  ps["proofs_generated"] = json::Value(
+      static_cast<std::int64_t>(participant.stats().proofs_generated));
+  ps["reply_cache_size"] = json::Value(
+      static_cast<std::int64_t>(participant.reply_cache_size()));
+  o["participant"] = json::Value(std::move(ps));
+  return json::Value(std::move(o)).dump_pretty();
+}
 
 // ---------------------------------------------------------------------------
 // Plan file
@@ -309,6 +336,7 @@ std::string outcome_json(const QueryOutcome& outcome, const Proxy& proxy) {
 
 int serve_proxy_impl(const Flags& flags, std::ostream& out) {
   const std::string plan_path = flags.require("plan");
+  const std::string stats_path = flags.get("stats-json", "");
   flags.reject_unknown();
   const Plan plan = load_plan(plan_path);
 
@@ -380,6 +408,14 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
       resp.report_json = proxy.export_report_json();
       transport.send(plan.proxy_id, env.from, msg::kClientQueryResponse,
                      resp.serialize());
+    } else if (env.type == msg::kStatsRequest) {
+      const StatsRequest m = StatsRequest::deserialize(env.payload);
+      ClientQueryResponse resp;
+      resp.client_ref = m.client_ref;
+      resp.ok = true;
+      resp.report_json = proxy.export_stats_json();
+      transport.send(plan.proxy_id, env.from, msg::kClientQueryResponse,
+                     resp.serialize());
     } else if (env.type == msg::kAdminShutdown) {
       running = false;
     }
@@ -390,8 +426,19 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
       << transport.local_address() << "\n";
   out.flush();
 
-  while (running) transport.poll(/*timeout_ms=*/50);
+  if (!stats_path.empty()) std::signal(SIGUSR1, on_sigusr1);
+  while (running) {
+    transport.poll(/*timeout_ms=*/50);
+    if (g_dump_stats != 0 && !stats_path.empty()) {
+      g_dump_stats = 0;
+      write_file(stats_path, bytes_of(proxy.export_stats_json()));
+    }
+  }
   transport.flush(/*timeout_ms=*/1000);  // drain in-flight client replies
+  if (!stats_path.empty()) {
+    write_file(stats_path, bytes_of(proxy.export_stats_json()));
+    out << "stats -> " << stats_path << "\n";
+  }
   out << "proxy " << plan.proxy_id << " shut down\n";
   return 0;
 }
@@ -403,6 +450,7 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
 int serve_participant_impl(const Flags& flags, std::ostream& out) {
   const std::string plan_path = flags.require("plan");
   const std::string id = flags.require("id");
+  const std::string stats_path = flags.get("stats-json", "");
   flags.reject_unknown();
   const Plan plan = load_plan(plan_path);
   const auto it = plan.participants.find(id);
@@ -419,7 +467,17 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
 
   bool running = true;
   participant.set_fallback_handler([&](const net::Envelope& env) {
-    if (env.type == msg::kAdminShutdown) running = false;
+    if (env.type == msg::kStatsRequest) {
+      const StatsRequest m = StatsRequest::deserialize(env.payload);
+      ClientQueryResponse resp;
+      resp.client_ref = m.client_ref;
+      resp.ok = true;
+      resp.report_json = participant_stats_json(participant);
+      transport.send(id, env.from, msg::kClientQueryResponse,
+                     resp.serialize());
+    } else if (env.type == msg::kAdminShutdown) {
+      running = false;
+    }
   });
 
   write_addr_file(plan.addr_dir, id, transport.local_address());
@@ -433,8 +491,19 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
     participant.initiate_task(plan.task_id);
   }
 
-  while (running) transport.poll(/*timeout_ms=*/50);
+  if (!stats_path.empty()) std::signal(SIGUSR1, on_sigusr1);
+  while (running) {
+    transport.poll(/*timeout_ms=*/50);
+    if (g_dump_stats != 0 && !stats_path.empty()) {
+      g_dump_stats = 0;
+      write_file(stats_path, bytes_of(participant_stats_json(participant)));
+    }
+  }
   transport.flush(/*timeout_ms=*/1000);
+  if (!stats_path.empty()) {
+    write_file(stats_path, bytes_of(participant_stats_json(participant)));
+    out << "stats -> " << stats_path << "\n";
+  }
   out << "participant " << id << " shut down\n";
   return 0;
 }
@@ -466,9 +535,32 @@ struct Client {
   std::optional<ClientQueryResponse> response;
 };
 
+/// Pulls `node`'s observability snapshot (kStatsRequest) and writes it to
+/// `path`. Returns 0 on success, 1 on timeout/error reply.
+int fetch_stats_to_file(Client& client, const net::NodeId& node,
+                        const std::string& path, int timeout_ms,
+                        std::ostream& err) {
+  client.response.reset();
+  client.transport.send(client.node_id, node, msg::kStatsRequest,
+                        StatsRequest{2}.serialize());
+  const std::uint64_t deadline =
+      client.transport.now() + static_cast<std::uint64_t>(timeout_ms);
+  while (!client.response.has_value() && client.transport.now() < deadline) {
+    client.transport.poll(/*timeout_ms=*/50);
+  }
+  if (!client.response.has_value() || !client.response->ok) {
+    err << "error: no stats response from " << node << " within "
+        << timeout_ms << " ms\n";
+    return 1;
+  }
+  write_file(path, bytes_of(client.response->report_json));
+  return 0;
+}
+
 int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
   const std::string plan_path = flags.require("plan");
   const int timeout_ms = flags.get_int("timeout-ms", 30000);
+  const std::string stats_path = flags.get("stats-json", "");
   const Plan plan = load_plan(plan_path);
 
   if (flags.has("wait-ready")) {
@@ -544,7 +636,13 @@ int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
       write_file(report_dest, bytes_of(client.response->report_json));
       out << "report -> " << report_dest << "\n";
     }
-    return client.response->ok ? 0 : 1;
+    const bool ok = client.response->ok;
+    if (!stats_path.empty() &&
+        fetch_stats_to_file(client, plan.proxy_id, stats_path, timeout_ms,
+                            err) != 0) {
+      return 1;
+    }
+    return ok ? 0 : 1;
   }
 
   ClientQueryRequest request;
@@ -572,14 +670,54 @@ int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
     err << "error: no query response within " << timeout_ms << " ms\n";
     return 1;
   }
-  const ClientQueryResponse& resp = *client.response;
+  const ClientQueryResponse resp = *client.response;
   if (!resp.ok) {
     err << "error: " << resp.error << "\n";
     return 1;
   }
   out << resp.report_json << "\n";
+  if (!stats_path.empty() &&
+      fetch_stats_to_file(client, plan.proxy_id, stats_path, timeout_ms,
+                          err) != 0) {
+    return 1;
+  }
   const json::Value outcome = json::parse(resp.report_json);
   return outcome.at("complete").as_bool() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// stats (client)
+// ---------------------------------------------------------------------------
+
+int stats_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string plan_path = flags.require("plan");
+  const int timeout_ms = flags.get_int("timeout-ms", 30000);
+  const std::string node = flags.get("node", "");  // default: the proxy
+  const std::string dest = flags.get("out", "-");
+  flags.reject_unknown();
+  const Plan plan = load_plan(plan_path);
+
+  Client client(plan);
+  const net::NodeId target = node.empty() ? plan.proxy_id : node;
+  client.transport.send(client.node_id, target, msg::kStatsRequest,
+                        StatsRequest{1}.serialize());
+  const std::uint64_t deadline =
+      client.transport.now() + static_cast<std::uint64_t>(timeout_ms);
+  while (!client.response.has_value() && client.transport.now() < deadline) {
+    client.transport.poll(/*timeout_ms=*/50);
+  }
+  if (!client.response.has_value()) {
+    err << "error: no stats response from " << target << " within "
+        << timeout_ms << " ms\n";
+    return 1;
+  }
+  if (dest == "-") {
+    out << client.response->report_json << "\n";
+  } else {
+    write_file(dest, bytes_of(client.response->report_json));
+    out << "stats -> " << dest << "\n";
+  }
+  return client.response->ok ? 0 : 1;
 }
 
 }  // namespace
@@ -598,6 +736,10 @@ int cmd_serve_participant(const Flags& flags, std::ostream& out) {
 
 int cmd_query(const Flags& flags, std::ostream& out, std::ostream& err) {
   return query_impl(flags, out, err);
+}
+
+int cmd_stats(const Flags& flags, std::ostream& out, std::ostream& err) {
+  return stats_impl(flags, out, err);
 }
 
 }  // namespace desword::cli

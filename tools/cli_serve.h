@@ -8,13 +8,20 @@
 //                             [--participants 4 --products 3 --task task-1
 //                              --q 4 --height 8 --rsa-bits 512 --group p256
 //                              --seed 7]
-//   desword serve-proxy       --plan plan.json
-//   desword serve-participant --plan plan.json --id v1
+//   desword serve-proxy       --plan plan.json [--stats-json PATH]
+//   desword serve-participant --plan plan.json --id v1 [--stats-json PATH]
 //   desword query             --plan plan.json
 //                             (--wait-ready MS |
 //                              --product HEX --quality good|bad [--task ID] |
 //                              --report - | --shutdown all)
+//                             [--timeout-ms 30000] [--stats-json PATH]
+//   desword stats             --plan plan.json [--node ID] [--out -]
 //                             [--timeout-ms 30000]
+//
+// `--stats-json PATH` makes the daemon dump an observability snapshot
+// (metrics + traces) to PATH on exit and on SIGUSR1; on `query` it fetches
+// the proxy's snapshot after the query completes. `stats` asks a running
+// node for its snapshot on demand.
 #pragma once
 
 #include <ostream>
@@ -27,5 +34,6 @@ int cmd_plan(const Flags& flags, std::ostream& out);
 int cmd_serve_proxy(const Flags& flags, std::ostream& out);
 int cmd_serve_participant(const Flags& flags, std::ostream& out);
 int cmd_query(const Flags& flags, std::ostream& out, std::ostream& err);
+int cmd_stats(const Flags& flags, std::ostream& out, std::ostream& err);
 
 }  // namespace desword::cli

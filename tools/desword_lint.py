@@ -25,6 +25,14 @@ Rules (each can be waived on a specific line with a trailing
                 The trapdoor breaks the binding of every commitment made
                 under the CRS; it must never reach logs.
 
+  metric-name   Every ``metric("...")`` / ``gauge_metric("...")`` /
+                ``histogram_metric("...")`` call site must use a name that
+                (a) follows the ``layer.object.verb`` scheme
+                (``^[a-z]+(\.[a-z_]+){1,3}$``) and (b) is registered in
+                ``src/obs/instruments.h``. A typo'd name would otherwise
+                throw at first use — or worse, silently record into a dead
+                instrument nobody snapshots.
+
 Run:  tools/desword_lint.py --root <repo root>
 Exit status 0 = clean, 1 = violations (printed one per line).
 """
@@ -71,6 +79,13 @@ RE_PRINT = re.compile(
     r"\blog\w*\s*\(")
 RE_SECRET = re.compile(r"\btrapdoor\b|\bsecret\w*\b|\b\w*_sk\b|\bsk_\w+\b",
                        re.IGNORECASE)
+RE_METRIC_CALL = re.compile(
+    r"\b(?:metric|gauge_metric|histogram_metric)\s*\(\s*\"([^\"]+)\"")
+RE_METRIC_NAME = re.compile(r"^[a-z]+(\.[a-z_]+){1,3}$")
+# The instrument registry: every "quoted.metric.name" literal in this file
+# is a registered instrument (see the X-macro lists there).
+INSTRUMENTS_FILE = "src/obs/instruments.h"
+RE_INSTRUMENT_LITERAL = re.compile(r"\"([a-z][a-z_.]*)\"")
 
 
 def strip_comment(line: str) -> str:
@@ -88,6 +103,14 @@ class Linter:
     def __init__(self, root: pathlib.Path):
         self.root = root
         self.violations: list[str] = []
+        self.instruments = self.load_instruments()
+
+    def load_instruments(self) -> set[str]:
+        path = self.root / INSTRUMENTS_FILE
+        if not path.is_file():
+            return set()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        return set(RE_INSTRUMENT_LITERAL.findall(text))
 
     def report(self, rel: str, lineno: int, rule: str, message: str) -> None:
         self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
@@ -119,6 +142,19 @@ class Linter:
                     self.report(rel, lineno, "secret-print",
                                 "print/log statement mentions trapdoor or "
                                 "secret-key material")
+            if rel != INSTRUMENTS_FILE:
+                for m in RE_METRIC_CALL.finditer(code):
+                    name = m.group(1)
+                    if allowed(raw, "metric-name"):
+                        continue
+                    if not RE_METRIC_NAME.match(name):
+                        self.report(rel, lineno, "metric-name",
+                                    f'"{name}" does not follow the '
+                                    "layer.object.verb naming scheme")
+                    elif self.instruments and name not in self.instruments:
+                        self.report(rel, lineno, "metric-name",
+                                    f'"{name}" is not registered in '
+                                    f"{INSTRUMENTS_FILE}")
 
     def check_switch_default(self, rel: str, text: str,
                              lines: list[str]) -> None:
