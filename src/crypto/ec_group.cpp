@@ -6,6 +6,7 @@
 #include <openssl/ec.h>
 #include <openssl/obj_mac.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/error.h"
@@ -71,6 +72,83 @@ class P256Group final : public Group {
       throw CryptoError("EC_POINT_add failed");
     }
     return encode(r.get(), ctx.get());
+  }
+
+  /// Straus interleaved multi-scalar multiplication: one shared doubling
+  /// chain over the widest scalar, per-point window tables of kWindow bits.
+  /// Variable-time, which is fine here — the scalars are verification
+  /// equation coefficients, not secrets. (EC_POINTs_mul would do this but
+  /// is deprecated in OpenSSL 3.0+.)
+  Bytes multi_exp(
+      const std::vector<std::pair<Bytes, Bignum>>& terms) const override {
+    constexpr int kWindow = 4;
+    constexpr std::size_t kRow = (std::size_t{1} << kWindow) - 1;
+    BnCtxPtr ctx(BN_CTX_new());
+
+    std::vector<EcPointPtr> table;  // [point][digit-1] = point·digit
+    std::vector<Bignum> scalars;
+    int max_bits = 0;
+    for (const auto& [elem, scalar] : terms) {
+      Bignum s = scalar.mod(order_);
+      if (s.is_zero()) continue;  // identity contribution
+      const EcPointPtr p = decode(elem, ctx.get());
+      const std::size_t base = table.size();
+      table.resize(base + kRow);
+      for (std::size_t k = 1; k <= kRow; ++k) {
+        EcPointPtr& entry = table[base + k - 1];
+        entry.reset(EC_POINT_new(group_.get()));
+        if (entry == nullptr) throw CryptoError("EC_POINT_new failed");
+        int rc;
+        if (k == 1) {
+          rc = EC_POINT_copy(entry.get(), p.get());
+        } else if (k == 2) {
+          rc = EC_POINT_dbl(group_.get(), entry.get(), p.get(), ctx.get());
+        } else {
+          rc = EC_POINT_add(group_.get(), entry.get(),
+                            table[base + k - 2].get(), p.get(), ctx.get());
+        }
+        if (rc != 1) throw CryptoError("p256 table build failed");
+      }
+      max_bits = std::max(max_bits, s.bits());
+      scalars.push_back(std::move(s));
+    }
+    if (scalars.empty()) {
+      throw CryptoError("p256 multi_exp: identity product");
+    }
+
+    EcPointPtr acc(EC_POINT_new(group_.get()));
+    if (acc == nullptr ||
+        EC_POINT_set_to_infinity(group_.get(), acc.get()) != 1) {
+      throw CryptoError("EC_POINT_set_to_infinity failed");
+    }
+    bool have_acc = false;
+    const int blocks = (max_bits + kWindow - 1) / kWindow;
+    for (int j = blocks - 1; j >= 0; --j) {
+      if (have_acc) {
+        for (int s = 0; s < kWindow; ++s) {
+          if (EC_POINT_dbl(group_.get(), acc.get(), acc.get(), ctx.get()) !=
+              1) {
+            throw CryptoError("EC_POINT_dbl failed");
+          }
+        }
+      }
+      for (std::size_t i = 0; i < scalars.size(); ++i) {
+        unsigned digit = 0;
+        for (int b = 0; b < kWindow; ++b) {
+          if (BN_is_bit_set(scalars[i].raw(), j * kWindow + b)) {
+            digit |= 1u << b;
+          }
+        }
+        if (digit == 0) continue;
+        if (EC_POINT_add(group_.get(), acc.get(), acc.get(),
+                         table[i * kRow + (digit - 1)].get(),
+                         ctx.get()) != 1) {
+          throw CryptoError("EC_POINT_add failed");
+        }
+        have_acc = true;
+      }
+    }
+    return encode(acc.get(), ctx.get());  // throws if identity
   }
 
   Bytes inverse(BytesView a) const override {

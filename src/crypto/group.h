@@ -14,8 +14,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/error.h"
 #include "crypto/bignum.h"
 
 namespace desword {
@@ -38,6 +41,30 @@ class Group {
 
   /// Group operation a * b.
   virtual Bytes mul(BytesView a, BytesView b) const = 0;
+
+  /// ∏ elem_i ^ scalar_i (scalars taken mod order; must be non-negative).
+  /// Terms whose scalar reduces to 0 contribute the identity and are
+  /// skipped. Backends override this with genuine multi-scalar
+  /// multiplication sharing one doubling chain; the default multiplies
+  /// per-term exp() results. Throws CryptoError if the product is the
+  /// identity (it has no serialization on the EC backend) — batched
+  /// verification equations avoid the identity with overwhelming
+  /// probability, and verifiers treat the throw as a mismatch.
+  virtual Bytes multi_exp(
+      const std::vector<std::pair<Bytes, Bignum>>& terms) const {
+    Bytes acc;
+    bool have_acc = false;
+    for (const auto& [elem, scalar] : terms) {
+      if (scalar.mod(order()).is_zero()) continue;
+      Bytes factor = exp(elem, scalar);
+      acc = have_acc ? mul(acc, factor) : std::move(factor);
+      have_acc = true;
+    }
+    if (!have_acc) {
+      throw CryptoError("Group::multi_exp: identity product");
+    }
+    return acc;
+  }
 
   /// Group inverse.
   virtual Bytes inverse(BytesView a) const = 0;

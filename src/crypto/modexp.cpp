@@ -1,5 +1,7 @@
 #include "crypto/modexp.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "obs/metrics.h"
 
@@ -17,6 +19,11 @@ obs::Counter& modexp_calls() {
 
 obs::Counter& fixed_base_hits() {
   static obs::Counter& c = obs::metric("crypto.modexp.fixed_base_hits");
+  return c;
+}
+
+obs::Counter& multi_exp_calls() {
+  static obs::Counter& c = obs::metric("crypto.multi_exp.calls");
   return c;
 }
 
@@ -155,6 +162,213 @@ Bignum ModExpContext::exp_signed(const FixedBaseTable& table,
                                  const Bignum& exponent) const {
   if (!exponent.is_negative()) return exp(table, exponent);
   return Bignum::mod_inverse(exp(table, exponent.negated()), modulus_);
+}
+
+namespace {
+
+/// Bits [w·j, w·j + w) of `e` as an unsigned digit.
+unsigned window_digit(const BIGNUM* e, int j, int window) {
+  unsigned digit = 0;
+  for (int b = 0; b < window; ++b) {
+    if (BN_is_bit_set(e, j * window + b)) digit |= 1u << b;
+  }
+  return digit;
+}
+
+/// Multiplication-count estimate for Straus at window w: per-base tables
+/// (2^w − 1 entries each) + the shared squaring chain + one multiply per
+/// non-zero digit (≈ L/w per base).
+double straus_cost(std::size_t n, int bits, int w) {
+  const double nd = static_cast<double>(n);
+  return nd * static_cast<double>((1 << w) - 1) + bits + nd * bits / w;
+}
+
+/// Pippenger at window w: no per-base tables; every window pays one bucket
+/// multiply per base plus ~2·(2^w − 1) multiplies for the suffix-product
+/// collapse, on top of the shared squaring chain.
+double pippenger_cost(std::size_t n, int bits, int w) {
+  const double nd = static_cast<double>(n);
+  const double blocks = static_cast<double>((bits + w - 1) / w);
+  return nd + bits + blocks * (nd + 2.0 * static_cast<double>((1 << w) - 1));
+}
+
+}  // namespace
+
+Bignum ModExpContext::multi_exp(const std::vector<ExpTerm>& terms) const {
+  std::vector<const ExpTerm*> live;
+  live.reserve(terms.size());
+  int max_bits = 0;
+  for (const ExpTerm& t : terms) {
+    if (t.exponent.is_negative()) {
+      throw CryptoError("ModExpContext::multi_exp: negative exponent");
+    }
+    if (t.exponent.is_zero()) continue;  // b^0 = 1
+    max_bits = std::max(max_bits, t.exponent.bits());
+    live.push_back(&t);
+  }
+  if (live.empty()) return Bignum(1);
+  if (live.size() == 1) return exp(live[0]->base, live[0]->exponent);
+  multi_exp_calls().add();
+
+  // Pick the algorithm/window pair with the lowest estimated multiplication
+  // count. Straus windows are capped at 8 (table memory is n·2^w residues);
+  // Pippenger buckets at 12 (2^w residues, amortized over many bases).
+  double best_cost = straus_cost(live.size(), max_bits, 1);
+  bool use_pippenger = false;
+  int best_w = 1;
+  for (int w = 1; w <= 12; ++w) {
+    if (w <= 8) {
+      const double c = straus_cost(live.size(), max_bits, w);
+      if (c < best_cost) {
+        best_cost = c;
+        best_w = w;
+        use_pippenger = false;
+      }
+    }
+    const double c = pippenger_cost(live.size(), max_bits, w);
+    if (c < best_cost) {
+      best_cost = c;
+      best_w = w;
+      use_pippenger = true;
+    }
+  }
+  return use_pippenger ? multi_exp_pippenger(live, max_bits, best_w)
+                       : multi_exp_straus(live, max_bits, best_w);
+}
+
+Bignum ModExpContext::multi_exp_straus(const std::vector<const ExpTerm*>& terms,
+                                       int max_bits, int window) const {
+  BN_CTX* ctx = scratch();
+  const std::size_t row = (std::size_t{1} << window) - 1;
+  // Per-base odd-and-even power tables: table[i][k-1] = base_i^k (Montgomery).
+  std::vector<Bignum> table(terms.size() * row);
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    Bignum* t = &table[i * row];
+    const Bignum reduced = terms[i]->base.mod(modulus_);
+    if (BN_to_montgomery(t[0].raw(), reduced.raw(), mont_, ctx) != 1) {
+      throw CryptoError("BN_to_montgomery failed");
+    }
+    for (std::size_t k = 2; k <= row; ++k) {
+      if (BN_mod_mul_montgomery(t[k - 1].raw(), t[k - 2].raw(), t[0].raw(),
+                                mont_, ctx) != 1) {
+        throw CryptoError("BN_mod_mul_montgomery failed");
+      }
+    }
+  }
+
+  // One squaring chain over the widest exponent, all bases interleaved.
+  const int blocks = (max_bits + window - 1) / window;
+  Bignum acc;
+  bool have_acc = false;
+  for (int j = blocks - 1; j >= 0; --j) {
+    if (have_acc) {
+      for (int s = 0; s < window; ++s) {
+        if (BN_mod_mul_montgomery(acc.raw(), acc.raw(), acc.raw(), mont_,
+                                  ctx) != 1) {
+          throw CryptoError("BN_mod_mul_montgomery failed");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      const unsigned digit = window_digit(terms[i]->exponent.raw(), j, window);
+      if (digit == 0) continue;
+      const Bignum& entry = table[i * row + (digit - 1)];
+      if (!have_acc) {
+        acc = entry;
+        have_acc = true;
+        continue;
+      }
+      if (BN_mod_mul_montgomery(acc.raw(), acc.raw(), entry.raw(), mont_,
+                                ctx) != 1) {
+        throw CryptoError("BN_mod_mul_montgomery failed");
+      }
+    }
+  }
+  if (!have_acc) return Bignum(1);  // unreachable: exponents are non-zero
+  Bignum out;
+  if (BN_from_montgomery(out.raw(), acc.raw(), mont_, ctx) != 1) {
+    throw CryptoError("BN_from_montgomery failed");
+  }
+  return out;
+}
+
+Bignum ModExpContext::multi_exp_pippenger(
+    const std::vector<const ExpTerm*>& terms, int max_bits, int window) const {
+  BN_CTX* ctx = scratch();
+  // Montgomery form of each base, converted once.
+  std::vector<Bignum> bases(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const Bignum reduced = terms[i]->base.mod(modulus_);
+    if (BN_to_montgomery(bases[i].raw(), reduced.raw(), mont_, ctx) != 1) {
+      throw CryptoError("BN_to_montgomery failed");
+    }
+  }
+
+  const std::size_t buckets = (std::size_t{1} << window) - 1;
+  std::vector<Bignum> bucket(buckets);
+  std::vector<bool> bucket_set(buckets);
+  const int blocks = (max_bits + window - 1) / window;
+  Bignum acc;
+  bool have_acc = false;
+  auto mont_mul_into = [&](Bignum& dst, const Bignum& a, const Bignum& b) {
+    if (BN_mod_mul_montgomery(dst.raw(), a.raw(), b.raw(), mont_, ctx) != 1) {
+      throw CryptoError("BN_mod_mul_montgomery failed");
+    }
+  };
+  for (int j = blocks - 1; j >= 0; --j) {
+    if (have_acc) {
+      for (int s = 0; s < window; ++s) mont_mul_into(acc, acc, acc);
+    }
+    // bucket[d-1] = product of every base whose j-th window digit is d.
+    std::fill(bucket_set.begin(), bucket_set.end(), false);
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      const unsigned digit = window_digit(terms[i]->exponent.raw(), j, window);
+      if (digit == 0) continue;
+      Bignum& b = bucket[digit - 1];
+      if (!bucket_set[digit - 1]) {
+        b = bases[i];
+        bucket_set[digit - 1] = true;
+      } else {
+        mont_mul_into(b, b, bases[i]);
+      }
+    }
+    // ∑ d·bucket[d] via running suffix products: S = ∏_{k>=d} bucket[k],
+    // T = ∏_d S_d = ∏_d bucket[d]^d, both with plain multiplies.
+    Bignum suffix, window_sum;
+    bool have_suffix = false, have_sum = false;
+    for (std::size_t d = buckets; d >= 1; --d) {
+      if (bucket_set[d - 1]) {
+        if (!have_suffix) {
+          suffix = bucket[d - 1];
+          have_suffix = true;
+        } else {
+          mont_mul_into(suffix, suffix, bucket[d - 1]);
+        }
+      }
+      if (have_suffix) {
+        if (!have_sum) {
+          window_sum = suffix;
+          have_sum = true;
+        } else {
+          mont_mul_into(window_sum, window_sum, suffix);
+        }
+      }
+    }
+    if (have_sum) {
+      if (!have_acc) {
+        acc = window_sum;
+        have_acc = true;
+      } else {
+        mont_mul_into(acc, acc, window_sum);
+      }
+    }
+  }
+  if (!have_acc) return Bignum(1);  // unreachable: exponents are non-zero
+  Bignum out;
+  if (BN_from_montgomery(out.raw(), acc.raw(), mont_, ctx) != 1) {
+    throw CryptoError("BN_from_montgomery failed");
+  }
+  return out;
 }
 
 }  // namespace desword

@@ -16,6 +16,15 @@
 // multiplications — no squarings at all. At w = 4 that is ~4–6× fewer
 // modular multiplications than square-and-multiply, for ~4 KiB of table
 // per 64 exponent bits at a 2048-bit modulus.
+//
+// Multi-exponentiation: verification equations are products of powers
+// ∏ b_i^{x_i} under one modulus. multi_exp() evaluates the whole product
+// with a SINGLE shared squaring chain (the dominant cost of any
+// exponentiation) instead of one chain per base: Straus interleaving for
+// small batches (per-base window tables), Pippenger bucket aggregation for
+// large ones (per-window digit buckets, no per-base tables). The crossover
+// is picked from a multiplication-count model over the batch size and the
+// widest exponent.
 #pragma once
 
 #include <openssl/bn.h>
@@ -29,8 +38,10 @@ namespace desword {
 class ModExpContext {
  public:
   /// Precomputed fixed-base table (build via `precompute`). Movable,
-  /// read-only afterwards, safe to share across threads. Valid only with
-  /// the ModExpContext that built it.
+  /// read-only afterwards, safe to share across threads. Valid with any
+  /// ModExpContext over the same modulus (the Montgomery representation
+  /// depends only on the modulus), which lets one CRS-wide table set serve
+  /// every scheme instance derived from the same public key.
   class FixedBaseTable {
    public:
     FixedBaseTable(FixedBaseTable&&) noexcept = default;
@@ -50,6 +61,12 @@ class ModExpContext {
     int max_bits_ = 0;           // largest exponent the table covers
     std::size_t row_ = 0;        // 2^w - 1 entries per block
     std::vector<Bignum> table_;  // [block][digit-1], Montgomery form
+  };
+
+  /// One b^x factor of a multi-exponentiation product.
+  struct ExpTerm {
+    Bignum base;
+    Bignum exponent;  // must be >= 0
   };
 
   /// Builds the Montgomery context for `modulus` (must be odd and > 1 —
@@ -81,7 +98,18 @@ class ModExpContext {
   /// Signed-exponent variant of the table path.
   Bignum exp_signed(const FixedBaseTable& table, const Bignum& exponent) const;
 
+  /// ∏ terms[i].base ^ terms[i].exponent mod modulus, sharing one squaring
+  /// chain across all bases. Zero exponents contribute 1 and are skipped;
+  /// an empty (or all-zero-exponent) product returns 1. Negative exponents
+  /// throw CryptoError.
+  Bignum multi_exp(const std::vector<ExpTerm>& terms) const;
+
  private:
+  Bignum multi_exp_straus(const std::vector<const ExpTerm*>& terms,
+                          int max_bits, int window) const;
+  Bignum multi_exp_pippenger(const std::vector<const ExpTerm*>& terms,
+                             int max_bits, int window) const;
+
   Bignum modulus_;
   BN_MONT_CTX* mont_;
 };

@@ -79,6 +79,21 @@ class ModpGroup final : public Group {
     return encode(Bignum::mod_mul(decode(a), decode(b), p_));
   }
 
+  Bytes multi_exp(
+      const std::vector<std::pair<Bytes, Bignum>>& terms) const override {
+    std::vector<ModExpContext::ExpTerm> exps;
+    exps.reserve(terms.size());
+    for (const auto& [elem, scalar] : terms) {
+      Bignum s = scalar.mod(q_);
+      if (s.is_zero()) continue;  // identity contribution
+      exps.push_back(ModExpContext::ExpTerm{decode(elem), std::move(s)});
+    }
+    if (exps.empty()) {
+      throw CryptoError("modp multi_exp: identity product");
+    }
+    return encode(mexp_.multi_exp(exps));
+  }
+
   Bytes inverse(BytesView a) const override {
     return encode(Bignum::mod_inverse(decode(a), p_));
   }

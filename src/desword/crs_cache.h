@@ -20,16 +20,25 @@ namespace desword::protocol {
 class CrsCache {
  public:
   /// Returns the CRS for serialized EdbPublicParams, deriving it on first
-  /// use. Thread safe.
+  /// use. Thread safe. Derivation and table warming run outside the cache
+  /// lock (they dominate; a rare concurrent double-derivation is resolved
+  /// keep-first).
   zkedb::EdbCrsPtr get(BytesView ps_serialized) {
     const Bytes key = sha256(ps_serialized);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
     auto crs = std::make_shared<zkedb::EdbCrs>(
         zkedb::EdbPublicParams::deserialize(ps_serialized));
-    cache_.emplace(key, crs);
-    return crs;
+    zkedb::EdbCrsPtr canonical;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      canonical = cache_.emplace(key, std::move(crs)).first->second;
+    }
+    warm(*canonical);
+    return canonical;
   }
 
   /// Pre-seeds the cache with an already-instantiated CRS and returns the
@@ -39,10 +48,13 @@ class CrsCache {
   /// the same parameters shares one EdbCrs (and its power tables).
   zkedb::EdbCrsPtr put(const zkedb::EdbCrsPtr& crs) {
     const Bytes key = sha256(crs->params().serialize());
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] = cache_.emplace(key, crs);
-    (void)inserted;
-    return it->second;
+    zkedb::EdbCrsPtr canonical;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      canonical = cache_.emplace(key, crs).first->second;
+    }
+    warm(*canonical);
+    return canonical;
   }
 
   /// Number of distinct parameter sets cached. Thread safe.
@@ -52,6 +64,16 @@ class CrsCache {
   }
 
  private:
+  /// Warms the fixed-base exponentiation tables every cached-CRS consumer
+  /// shares (the qTMC tables live in a process-wide per-public-key
+  /// registry, so this is once per distinct CRS no matter how many nodes
+  /// adopt it). The per-position S_i tables are left to first use — they
+  /// cost q·~128 KiB and only verification-heavy nodes need them.
+  static void warm(const zkedb::EdbCrs& crs) {
+    crs.qtmc().precompute_fixed_bases(/*position_bases=*/false);
+    crs.tmc().precompute_fixed_bases();
+  }
+
   std::mutex mutex_;
   std::map<Bytes, zkedb::EdbCrsPtr> cache_;
 };

@@ -77,7 +77,9 @@ Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
   // precomputed power tables) instead of keeping a duplicate alive.
   crs_ = crs_cache_->put(crs_);
   ledger_.set_history_cap(config_.reputation_history_cap);
-  scheme_ = std::make_unique<poc::PocScheme>(crs_);
+  zkedb::EdbVerifyOptions verify_opts;
+  verify_opts.batched = config_.batch_verify;
+  scheme_ = std::make_unique<poc::PocScheme>(crs_, verify_opts);
   transport_.register_node(id_,
                            [this](const net::Envelope& env) { handle(env); });
 }

@@ -48,6 +48,10 @@ struct ProxyConfig {
   /// Bound on the reputation ledger's retained event history (ring buffer;
   /// 0 = unbounded). Scores are never affected, only the audit trail depth.
   std::size_t reputation_history_cap = ReputationLedger::kDefaultHistoryCap;
+  /// Verify query proofs with the batched multi-exponentiation engine
+  /// (scalar per-opening checks when false). Verdicts — and thus
+  /// reputation penalties — are identical either way.
+  bool batch_verify = true;
 };
 
 class Proxy {

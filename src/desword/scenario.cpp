@@ -17,6 +17,7 @@ Scenario::Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config)
   proxy_config.edb = config_.edb;
   proxy_config.scores = config_.scores;
   proxy_config.max_retries = config_.max_retries;
+  proxy_config.batch_verify = config_.batch_verify;
   proxy_ = std::make_unique<Proxy>(kProxyId, network_, crs_cache_,
                                    std::move(proxy_config));
   for (const ParticipantId& id : graph_.participants()) {

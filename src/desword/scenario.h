@@ -24,6 +24,9 @@ struct ScenarioConfig {
   ScorePolicy scores;
   std::uint64_t network_seed = 1;
   int max_retries = 3;
+  /// Forwarded to ProxyConfig::batch_verify (query-proof verification
+  /// strategy; verdicts identical either way).
+  bool batch_verify = true;
 };
 
 class Scenario {

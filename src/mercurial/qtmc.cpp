@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/serial.h"
+#include "crypto/hash.h"
 #include "crypto/primes.h"
 #include "crypto/rsa.h"
 
@@ -39,6 +40,29 @@ void fill_powers(const Bignum& base, const std::vector<Bignum>& primes,
   const Bignum prod_right = product_range(primes, mid, hi);
   fill_powers(mexp.exp(base, prod_right), primes, lo, mid, mexp, out);
   fill_powers(mexp.exp(base, prod_left), primes, mid, hi, mexp, out);
+}
+
+// Process-wide registry of fixed-base table sets, keyed by the hash of the
+// serialized public key. Fixed-base tables depend only on the modulus and
+// the base, so every QtmcScheme instance built from the same CRS can adopt
+// one shared, immutable set instead of rebuilding megabytes of
+// precomputation per instance (proxy + participants all hold the same CRS).
+// Memory is bounded by the number of distinct CRSs seen by the process.
+struct FixedBaseSet {
+  std::shared_ptr<const ModExpContext::FixedBaseTable> g;
+  std::shared_ptr<const ModExpContext::FixedBaseTable> h;
+  std::shared_ptr<const ModExpContext::FixedBaseTable> h_tilde;
+  std::shared_ptr<const std::vector<ModExpContext::FixedBaseTable>> s;
+};
+
+std::mutex& fixed_base_registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<Bytes, FixedBaseSet>& fixed_base_registry() {
+  static auto* reg = new std::map<Bytes, FixedBaseSet>();
+  return *reg;
 }
 
 }  // namespace
@@ -292,33 +316,54 @@ void QtmcScheme::precompute_soft_bases() const {
 
 void QtmcScheme::precompute_fixed_bases(bool position_bases) const {
   std::lock_guard<std::mutex> lock(fb_mu_);
+  if (fb_ready_.load(std::memory_order_acquire) &&
+      (!position_bases || fb_pos_ready_.load(std::memory_order_acquire))) {
+    return;
+  }
+  const Bytes key = sha256(pk_.serialize());
+  // The registry lock is held across table builds: concurrent instances of
+  // the SAME CRS then block instead of duplicating megabytes of work, and
+  // the build is one-time.
+  std::lock_guard<std::mutex> registry_lock(fixed_base_registry_mu());
+  FixedBaseSet& set = fixed_base_registry()[key];
   if (!fb_ready_.load(std::memory_order_acquire)) {
-    // λ exponents reach z·P + Σ m_j·P_j < 2^{P_bits + kRandomizerBits + 8};
-    // anything wider (hostile input) falls back to plain modexp inside
-    // ModExpContext::exp, so the cap is a fast-path bound, not a limit.
-    const int g_bits = prod_all_.bits() + kRandomizerBits + 8;
-    auto g_table = std::make_unique<ModExpContext::FixedBaseTable>(
-        mexp_->precompute(pk_.g.mod(pk_.n), g_bits));
-    auto h_table = std::make_unique<ModExpContext::FixedBaseTable>(
-        mexp_->precompute(pk_.h.mod(pk_.n), kMaxExponentBits));
-    auto ht_table = std::make_unique<ModExpContext::FixedBaseTable>(
-        mexp_->precompute(h_tilde_, kRandomizerBits));
-    fb_g_ = std::move(g_table);
-    fb_h_ = std::move(h_table);
-    fb_h_tilde_ = std::move(ht_table);
+    if (set.g == nullptr) {
+      // λ exponents reach z·P + Σ m_j·P_j < 2^{P_bits + kRandomizerBits + 8};
+      // anything wider (hostile input) falls back to plain modexp inside
+      // ModExpContext::exp, so the cap is a fast-path bound, not a limit.
+      const int g_bits = prod_all_.bits() + kRandomizerBits + 8;
+      set.g = std::make_shared<const ModExpContext::FixedBaseTable>(
+          mexp_->precompute(pk_.g.mod(pk_.n), g_bits));
+      set.h = std::make_shared<const ModExpContext::FixedBaseTable>(
+          mexp_->precompute(pk_.h.mod(pk_.n), kMaxExponentBits));
+      set.h_tilde = std::make_shared<const ModExpContext::FixedBaseTable>(
+          mexp_->precompute(h_tilde_, kRandomizerBits));
+    }
+    fb_g_ = set.g;
+    fb_h_ = set.h;
+    fb_h_tilde_ = set.h_tilde;
     fb_ready_.store(true, std::memory_order_release);
   }
   if (position_bases && !fb_pos_ready_.load(std::memory_order_acquire)) {
-    std::vector<ModExpContext::FixedBaseTable> tables;
-    tables.reserve(pk_.q);
-    for (std::uint32_t i = 0; i < pk_.q; ++i) {
-      // Message scalars are kMessageBytes wide (128 bits).
-      tables.push_back(
-          mexp_->precompute(s_[i], static_cast<int>(kMessageBytes) * 8));
+    if (set.s == nullptr) {
+      std::vector<ModExpContext::FixedBaseTable> tables;
+      tables.reserve(pk_.q);
+      for (std::uint32_t i = 0; i < pk_.q; ++i) {
+        // Message scalars are kMessageBytes wide (128 bits).
+        tables.push_back(
+            mexp_->precompute(s_[i], static_cast<int>(kMessageBytes) * 8));
+      }
+      set.s = std::make_shared<const std::vector<ModExpContext::FixedBaseTable>>(
+          std::move(tables));
     }
-    fb_s_ = std::move(tables);
+    fb_s_ = set.s;
     fb_pos_ready_.store(true, std::memory_order_release);
   }
+}
+
+const void* QtmcScheme::fixed_base_tables_id() const {
+  std::lock_guard<std::mutex> lock(fb_mu_);
+  return fb_g_.get();
 }
 
 Bignum QtmcScheme::pow_g(const Bignum& exponent) const {
@@ -351,7 +396,7 @@ Bignum QtmcScheme::pow_h_tilde(const Bignum& exponent) const {
 
 Bignum QtmcScheme::pow_s(std::uint32_t pos, const Bignum& exponent) const {
   if (fb_pos_ready_.load(std::memory_order_acquire)) {
-    return mexp_->exp(fb_s_[pos], exponent);
+    return mexp_->exp((*fb_s_)[pos], exponent);
   }
   return mexp_->exp(s_[pos], exponent);
 }
@@ -382,34 +427,130 @@ QtmcTease QtmcScheme::tease_soft(const QtmcSoftDecommit& dec,
                    std::move(lambda)};
 }
 
-bool QtmcScheme::element_ok(const Bignum& x) const {
-  return !x.is_zero() && !x.is_negative() && x < pk_.n &&
-         Bignum::gcd(x, pk_.n).is_one();
+bool QtmcScheme::element_in_range(const Bignum& x) const {
+  return !x.is_zero() && !x.is_negative() && x < pk_.n;
 }
 
-bool QtmcScheme::check_equation(const QtmcCommitment& com, std::uint32_t pos,
-                                BytesView msg, const Bignum& tau,
-                                const Bignum& lambda) const {
+void QtmcScheme::accumulate_elements(const std::vector<RsaEquation>& eqs,
+                                     std::size_t begin, std::size_t end,
+                                     Bignum& acc) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    for (const RsaTerm& term : eqs[i].lhs) {
+      if (term.kind == RsaTerm::Kind::kGeneric) {
+        acc = Bignum::mod_mul(acc, term.base, pk_.n);
+      }
+    }
+    acc = Bignum::mod_mul(acc, eqs[i].rhs, pk_.n);
+  }
+}
+
+bool QtmcScheme::product_coprime(const Bignum& acc) const {
+  return Bignum::gcd(acc, pk_.n).is_one();
+}
+
+bool QtmcScheme::elements_coprime(const std::vector<RsaEquation>& eqs,
+                                  std::size_t begin, std::size_t end) const {
+  Bignum acc(1);
+  accumulate_elements(eqs, begin, end, acc);
+  return product_coprime(acc);
+}
+
+bool QtmcScheme::main_equation(const QtmcCommitment& com, std::uint32_t pos,
+                               BytesView msg, const Bignum& tau,
+                               const Bignum& lambda,
+                               std::vector<RsaEquation>& out) const {
   if (pos >= pk_.q || msg.size() != kMessageBytes) return false;
-  if (!element_ok(com.c0) || !element_ok(com.c1) || !element_ok(lambda)) {
+  // Range checks only; coprimality with N is enforced by the consumer via
+  // elements_coprime (one aggregated gcd instead of one per element).
+  if (!element_in_range(com.c0) || !element_in_range(com.c1) ||
+      !element_in_range(lambda)) {
     return false;
   }
   if (tau.is_negative() || tau.bits() > kMaxExponentBits) return false;
+  // Λ^{e_pos} · S_pos^m · C1^τ == C0 (the S term drops for the null
+  // message, matching the scalar verifier).
+  RsaEquation eq;
+  eq.lhs.push_back(RsaTerm{RsaTerm::Kind::kGeneric, 0, lambda, e_[pos]});
   const Bignum m = message_to_scalar(msg);
-  Bignum lhs = mexp_->exp(lambda, e_[pos]);
   if (!m.is_zero()) {
-    lhs = Bignum::mod_mul(lhs, pow_s(pos, m), pk_.n);
+    eq.lhs.push_back(RsaTerm{RsaTerm::Kind::kS, pos, Bignum(), m});
   }
-  lhs = Bignum::mod_mul(lhs, mexp_->exp(com.c1, tau), pk_.n);
-  return lhs == com.c0;
+  eq.lhs.push_back(RsaTerm{RsaTerm::Kind::kGeneric, 0, com.c1, tau});
+  eq.rhs = com.c0;
+  out.push_back(std::move(eq));
+  return true;
+}
+
+bool QtmcScheme::open_equations(const QtmcCommitment& com,
+                                const QtmcOpening& op,
+                                std::vector<RsaEquation>& out) const {
+  if (op.r1.is_negative() || op.r1.bits() > kMaxExponentBits) return false;
+  const std::size_t mark = out.size();
+  if (!main_equation(com, op.pos, op.message, op.tau, op.lambda, out)) {
+    return false;
+  }
+  // h^{r1} == C1 — the check that distinguishes hard openings from teases.
+  RsaEquation eq;
+  eq.lhs.push_back(RsaTerm{RsaTerm::Kind::kH, 0, Bignum(), op.r1});
+  eq.rhs = com.c1;
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(mark), std::move(eq));
+  return true;
+}
+
+bool QtmcScheme::tease_equations(const QtmcCommitment& com,
+                                 const QtmcTease& tease,
+                                 std::vector<RsaEquation>& out) const {
+  return main_equation(com, tease.pos, tease.message, tease.tau, tease.lambda,
+                       out);
+}
+
+const Bignum& QtmcScheme::term_base(const RsaTerm& term) const {
+  switch (term.kind) {
+    case RsaTerm::Kind::kH:
+      return pk_.h;
+    case RsaTerm::Kind::kS:
+      DESWORD_CHECK(term.pos < pk_.q, "qTMC term_base: S position");
+      return s_[term.pos];
+    case RsaTerm::Kind::kGeneric:
+      return term.base;
+  }
+  throw CryptoError("qTMC term_base: bad kind");
+}
+
+Bignum QtmcScheme::eval_term(const RsaTerm& term) const {
+  switch (term.kind) {
+    case RsaTerm::Kind::kH:
+      return pow_h(term.exponent);
+    case RsaTerm::Kind::kS:
+      DESWORD_CHECK(term.pos < pk_.q, "qTMC eval_term: S position");
+      return pow_s(term.pos, term.exponent);
+    case RsaTerm::Kind::kGeneric:
+      return mexp_->exp(term.base, term.exponent);
+  }
+  throw CryptoError("qTMC eval_term: bad kind");
+}
+
+bool QtmcScheme::check_scalar(const RsaEquation& eq) const {
+  Bignum acc;
+  bool have_acc = false;
+  for (const RsaTerm& term : eq.lhs) {
+    Bignum factor = eval_term(term);
+    acc = have_acc ? Bignum::mod_mul(acc, factor, pk_.n) : std::move(factor);
+    have_acc = true;
+  }
+  return have_acc && acc == eq.rhs;
 }
 
 bool QtmcScheme::verify_open(const QtmcCommitment& com,
                              const QtmcOpening& op) const {
   try {
-    if (op.r1.is_negative() || op.r1.bits() > kMaxExponentBits) return false;
-    if (pow_h(op.r1) != com.c1) return false;
-    return check_equation(com, op.pos, op.message, op.tau, op.lambda);
+    std::vector<RsaEquation> eqs;
+    if (!open_equations(com, op, eqs)) return false;
+    if (!elements_coprime(eqs, 0, eqs.size())) return false;
+    for (const RsaEquation& eq : eqs) {
+      if (!check_scalar(eq)) return false;
+    }
+    return true;
   } catch (const Error&) {
     return false;
   }
@@ -418,8 +559,13 @@ bool QtmcScheme::verify_open(const QtmcCommitment& com,
 bool QtmcScheme::verify_tease(const QtmcCommitment& com,
                               const QtmcTease& tease) const {
   try {
-    return check_equation(com, tease.pos, tease.message, tease.tau,
-                          tease.lambda);
+    std::vector<RsaEquation> eqs;
+    if (!tease_equations(com, tease, eqs)) return false;
+    if (!elements_coprime(eqs, 0, eqs.size())) return false;
+    for (const RsaEquation& eq : eqs) {
+      if (!check_scalar(eq)) return false;
+    }
+    return true;
   } catch (const Error&) {
     return false;
   }

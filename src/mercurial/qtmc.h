@@ -40,6 +40,7 @@
 #include "crypto/bignum.h"
 #include "crypto/modexp.h"
 #include "crypto/randsource.h"
+#include "mercurial/equation.h"
 #include "mercurial/message.h"
 
 namespace desword::mercurial {
@@ -141,11 +142,63 @@ class QtmcScheme {
   QtmcTease tease_soft(const QtmcSoftDecommit& dec, std::uint32_t pos,
                        BytesView msg) const;
 
-  /// Verifies a hard opening. Never throws on bad input.
+  /// Verifies a hard opening. Never throws on bad input. Equivalent to
+  /// emitting open_equations and checking each equation scalar-wise.
   bool verify_open(const QtmcCommitment& com, const QtmcOpening& op) const;
 
   /// Verifies a tease. Never throws on bad input.
   bool verify_tease(const QtmcCommitment& com, const QtmcTease& tease) const;
+
+  /// Equation-accumulator flavour of verify_open: runs the structural
+  /// checks (position/message/exponent ranges, elements in [1, N)) and,
+  /// when they pass, appends the two product equations `h^{r1} == C1` and
+  /// `Λ^{e_pos}·S_pos^m·C1^τ == C0` to `out`. Returns false (appending
+  /// nothing) on structural failure. Coprimality of the proof-supplied
+  /// elements with N is NOT checked here — consumers enforce it in
+  /// aggregate via elements_coprime (one gcd per opening in the scalar
+  /// verifiers, one per fold in BatchVerifier). The opening is valid iff
+  /// this returns true AND elements_coprime holds AND every appended
+  /// equation holds.
+  bool open_equations(const QtmcCommitment& com, const QtmcOpening& op,
+                      std::vector<RsaEquation>& out) const;
+
+  /// Equation-accumulator flavour of verify_tease (one equation).
+  bool tease_equations(const QtmcCommitment& com, const QtmcTease& tease,
+                       std::vector<RsaEquation>& out) const;
+
+  /// Resolves a term's base: the CRS base it names, or its generic payload.
+  const Bignum& term_base(const RsaTerm& term) const;
+
+  /// Evaluates one term exactly as the scalar verifier would (CRS bases go
+  /// through the fixed-base tables when built).
+  Bignum eval_term(const RsaTerm& term) const;
+
+  /// Evaluates one emitted equation exactly as verify_open/verify_tease
+  /// would (term-by-term, unfolded). May throw on internal crypto errors;
+  /// never on well-formed emitted equations.
+  bool check_scalar(const RsaEquation& eq) const;
+
+  /// Folds every untrusted element of eqs[begin..end) — generic term bases
+  /// and equation RHS values — into `acc` (mod N). Together with
+  /// product_coprime this enforces gcd(x, N) = 1 for all of them at the
+  /// cost of ONE gcd: gcd(∏ x mod N, N) = 1 iff every factor is coprime
+  /// (any prime divisor of N dividing some x divides the product). A gcd
+  /// is ~50× a modular multiplication, so verifiers aggregate the check —
+  /// per opening in verify_open/verify_tease, per fold in BatchVerifier —
+  /// instead of paying it per element.
+  void accumulate_elements(const std::vector<RsaEquation>& eqs,
+                           std::size_t begin, std::size_t end,
+                           Bignum& acc) const;
+
+  /// gcd(acc, N) == 1 — the single-gcd tail of accumulate_elements.
+  bool product_coprime(const Bignum& acc) const;
+
+  /// accumulate_elements + product_coprime over one contiguous range.
+  bool elements_coprime(const std::vector<RsaEquation>& eqs,
+                        std::size_t begin, std::size_t end) const;
+
+  /// The shared Montgomery/multi-exponentiation context for the modulus N.
+  const ModExpContext& modexp_context() const { return *mexp_; }
 
   /// Simulator (requires trapdoor): fake hard-lookalike commitment that can
   /// later be hard-opened to arbitrary messages. Test/analysis only.
@@ -165,7 +218,17 @@ class QtmcScheme {
   /// of work; memory: ~(P_bits/4)·16 residues for g plus ~512 residues per
   /// S_i (≈2.5 MiB + q·128 KiB at RSA-2048, q=16). Idempotent and safe to
   /// race; commits/opens/verifies pick the tables up once built.
+  ///
+  /// Tables live in a process-wide registry keyed by the public key, so
+  /// every QtmcScheme instance built from the same CRS (proxy sessions,
+  /// participants, cached EdbCrs copies) shares ONE table set — the
+  /// Montgomery representation depends only on the modulus.
   void precompute_fixed_bases(bool position_bases = true) const;
+
+  /// Identity of the adopted shared table set (nullptr until
+  /// precompute_fixed_bases ran). Diagnostics/tests: equal pointers mean
+  /// two instances share the same registry entry.
+  const void* fixed_base_tables_id() const;
 
   /// Serialized size of the modulus in bytes (element width on the wire).
   std::size_t element_len() const { return n_len_; }
@@ -178,10 +241,12 @@ class QtmcScheme {
   Bignum pow_s(std::uint32_t pos, const Bignum& exponent) const;
   const Bignum& u_base(std::uint32_t pos) const;
   Bignum lambda_exponent(const QtmcHardDecommit& dec, std::uint32_t pos) const;
-  bool check_equation(const QtmcCommitment& com, std::uint32_t pos,
-                      BytesView msg, const Bignum& tau,
-                      const Bignum& lambda) const;
-  bool element_ok(const Bignum& x) const;
+  /// Structural checks + emission of the main equation
+  /// Λ^{e_pos}·S_pos^m·C1^τ == C0 shared by hard and soft openings.
+  bool main_equation(const QtmcCommitment& com, std::uint32_t pos,
+                     BytesView msg, const Bignum& tau, const Bignum& lambda,
+                     std::vector<RsaEquation>& out) const;
+  bool element_in_range(const Bignum& x) const;
 
   QtmcPublicKey pk_;
   std::size_t n_len_ = 0;
@@ -195,15 +260,17 @@ class QtmcScheme {
   mutable std::mutex u_mutex_;
   mutable std::vector<std::optional<Bignum>> u_;  // U_i = g^{(P/e_i) div e_i}
 
-  // Fixed-base tables (precompute_fixed_bases). Written once under fb_mu_,
-  // then read-only; fb_*_ready_ gate the fast paths with acquire loads.
+  // Fixed-base tables (precompute_fixed_bases), adopted from the process-
+  // wide per-public-key registry. Written once under fb_mu_, then
+  // read-only; fb_*_ready_ gate the fast paths with acquire loads.
   mutable std::mutex fb_mu_;
   mutable std::atomic<bool> fb_ready_{false};
   mutable std::atomic<bool> fb_pos_ready_{false};
-  mutable std::unique_ptr<ModExpContext::FixedBaseTable> fb_g_;
-  mutable std::unique_ptr<ModExpContext::FixedBaseTable> fb_h_;
-  mutable std::unique_ptr<ModExpContext::FixedBaseTable> fb_h_tilde_;
-  mutable std::vector<ModExpContext::FixedBaseTable> fb_s_;
+  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_g_;
+  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_h_;
+  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_h_tilde_;
+  mutable std::shared_ptr<const std::vector<ModExpContext::FixedBaseTable>>
+      fb_s_;
 };
 
 }  // namespace desword::mercurial

@@ -152,21 +152,83 @@ TmcTease TmcScheme::tease_soft(const TmcSoftDecommit& dec,
   return TmcTease{Bytes(msg.begin(), msg.end()), std::move(tau)};
 }
 
+bool TmcScheme::open_equations(const TmcCommitment& com, const TmcOpening& op,
+                               std::vector<EcEquation>& out) const {
+  if (op.message.size() != kMessageBytes) return false;
+  if (!group_->is_valid_element(com.c0) || !group_->is_valid_element(com.c1)) {
+    return false;
+  }
+  // Zero randomizers make a term the group identity; the EC backend cannot
+  // encode it and the scalar verifier rejects via the resulting exception.
+  // Reject structurally so the batched fold (which would just drop the
+  // term) reaches the same verdict. Honest openings never hit this.
+  const Bignum& p = group_->order();
+  if (op.r0.mod(p).is_zero() || op.r1.mod(p).is_zero()) return false;
+  // h^{r1} == C1.
+  EcEquation hard;
+  hard.lhs.push_back(EcTerm{EcTerm::Kind::kH, Bytes(), op.r1});
+  hard.rhs = com.c1;
+  out.push_back(std::move(hard));
+  // g^m · C1^{r0} == C0 (the g term drops for the null message, matching
+  // the scalar verifier).
+  EcEquation eq;
+  const Bignum m = message_to_scalar(op.message);
+  if (!m.is_zero()) eq.lhs.push_back(EcTerm{EcTerm::Kind::kG, Bytes(), m});
+  eq.lhs.push_back(EcTerm{EcTerm::Kind::kGeneric, com.c1, op.r0});
+  eq.rhs = com.c0;
+  out.push_back(std::move(eq));
+  return true;
+}
+
+bool TmcScheme::tease_equations(const TmcCommitment& com, const TmcTease& tease,
+                                std::vector<EcEquation>& out) const {
+  if (tease.message.size() != kMessageBytes) return false;
+  if (!group_->is_valid_element(com.c0) || !group_->is_valid_element(com.c1)) {
+    return false;
+  }
+  // See open_equations: zero τ is the unencodable identity on EC backends.
+  if (tease.tau.mod(group_->order()).is_zero()) return false;
+  EcEquation eq;
+  const Bignum m = message_to_scalar(tease.message);
+  if (!m.is_zero()) eq.lhs.push_back(EcTerm{EcTerm::Kind::kG, Bytes(), m});
+  eq.lhs.push_back(EcTerm{EcTerm::Kind::kGeneric, com.c1, tease.tau});
+  eq.rhs = com.c0;
+  out.push_back(std::move(eq));
+  return true;
+}
+
+const Bytes& TmcScheme::term_elem(const EcTerm& term) const {
+  switch (term.kind) {
+    case EcTerm::Kind::kG:
+      return pk_.g;
+    case EcTerm::Kind::kH:
+      return pk_.h;
+    case EcTerm::Kind::kGeneric:
+      return term.elem;
+  }
+  throw CryptoError("TMC term_elem: bad kind");
+}
+
+bool TmcScheme::check_scalar(const EcEquation& eq) const {
+  Bytes acc;
+  bool have_acc = false;
+  for (const EcTerm& term : eq.lhs) {
+    Bytes factor = group_->exp(term_elem(term), term.scalar);
+    acc = have_acc ? group_->mul(acc, factor) : std::move(factor);
+    have_acc = true;
+  }
+  return have_acc && acc == eq.rhs;
+}
+
 bool TmcScheme::verify_open(const TmcCommitment& com,
                             const TmcOpening& op) const {
   try {
-    if (op.message.size() != kMessageBytes) return false;
-    if (!group_->is_valid_element(com.c0) ||
-        !group_->is_valid_element(com.c1)) {
-      return false;
+    std::vector<EcEquation> eqs;
+    if (!open_equations(com, op, eqs)) return false;
+    for (const EcEquation& eq : eqs) {
+      if (!check_scalar(eq)) return false;
     }
-    const Bignum m = message_to_scalar(op.message);
-    if (group_->exp(pk_.h, op.r1) != com.c1) return false;
-    Bytes expected = group_->exp(com.c1, op.r0);
-    if (!m.is_zero()) {
-      expected = group_->mul(group_->exp(pk_.g, m), expected);
-    }
-    return expected == com.c0;
+    return true;
   } catch (const Error&) {
     return false;
   }
@@ -175,17 +237,12 @@ bool TmcScheme::verify_open(const TmcCommitment& com,
 bool TmcScheme::verify_tease(const TmcCommitment& com,
                              const TmcTease& tease) const {
   try {
-    if (tease.message.size() != kMessageBytes) return false;
-    if (!group_->is_valid_element(com.c0) ||
-        !group_->is_valid_element(com.c1)) {
-      return false;
+    std::vector<EcEquation> eqs;
+    if (!tease_equations(com, tease, eqs)) return false;
+    for (const EcEquation& eq : eqs) {
+      if (!check_scalar(eq)) return false;
     }
-    const Bignum m = message_to_scalar(tease.message);
-    Bytes expected = group_->exp(com.c1, tease.tau);
-    if (!m.is_zero()) {
-      expected = group_->mul(group_->exp(pk_.g, m), expected);
-    }
-    return expected == com.c0;
+    return true;
   } catch (const Error&) {
     return false;
   }

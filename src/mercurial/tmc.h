@@ -20,10 +20,13 @@
 
 #include <optional>
 
+#include <vector>
+
 #include "common/bytes.h"
 #include "crypto/bignum.h"
 #include "crypto/group.h"
 #include "crypto/randsource.h"
+#include "mercurial/equation.h"
 #include "mercurial/message.h"
 
 namespace desword::mercurial {
@@ -123,6 +126,26 @@ class TmcScheme {
 
   /// SVer: verifies a tease. Never throws on bad input.
   bool verify_tease(const TmcCommitment& com, const TmcTease& tease) const;
+
+  /// Equation-accumulator flavour of verify_open: structural checks, then
+  /// appends `h^{r1} == C1` and `g^m · C1^{r0} == C0`. Returns false
+  /// (appending nothing) on structural failure; the opening is valid iff
+  /// this returns true AND every appended equation holds.
+  bool open_equations(const TmcCommitment& com, const TmcOpening& op,
+                      std::vector<EcEquation>& out) const;
+
+  /// Equation-accumulator flavour of verify_tease (one equation).
+  bool tease_equations(const TmcCommitment& com, const TmcTease& tease,
+                       std::vector<EcEquation>& out) const;
+
+  /// Resolves a term's element: the CRS base it names, or its payload.
+  const Bytes& term_elem(const EcTerm& term) const;
+
+  /// Evaluates one emitted equation exactly as verify_open/verify_tease
+  /// would (term-by-term, unfolded). Throws CryptoError if a factor or the
+  /// product is the group identity (the scalar verifiers treat that as a
+  /// rejection).
+  bool check_scalar(const EcEquation& eq) const;
 
   /// Zero-knowledge simulator: with the trapdoor, produce a *fake* hard
   /// commitment that can later be hard-opened to any message. Used by

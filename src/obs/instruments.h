@@ -15,7 +15,12 @@
 #define DESWORD_OBS_COUNTERS(X)                                       \
   X(crypto_modexp_calls,        "crypto.modexp.calls")                \
   X(crypto_modexp_fb_hits,      "crypto.modexp.fixed_base_hits")      \
+  X(crypto_multi_exp_calls,     "crypto.multi_exp.calls")             \
+  X(crypto_batch_folds,         "crypto.batch_verify.folds")          \
+  X(crypto_batch_bisects,       "crypto.batch_verify.bisect_steps")   \
   X(zkedb_commit_nodes,         "zkedb.commit.nodes")                 \
+  X(zkedb_verify_batched,       "zkedb.verify.batched")               \
+  X(zkedb_verify_scalar,        "zkedb.verify.scalar")                \
   X(net_frame_sent,             "net.frame.sent")                     \
   X(net_frame_received,         "net.frame.received")                 \
   X(net_frame_dropped,          "net.frame.dropped")                  \

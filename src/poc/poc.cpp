@@ -89,7 +89,8 @@ PocProof PocProof::deserialize(BytesView data) {
   return p;
 }
 
-PocScheme::PocScheme(zkedb::EdbCrsPtr crs) : crs_(std::move(crs)) {}
+PocScheme::PocScheme(zkedb::EdbCrsPtr crs, zkedb::EdbVerifyOptions verify_opts)
+    : crs_(std::move(crs)), verify_opts_(verify_opts) {}
 
 std::pair<Poc, std::unique_ptr<PocDecommitment>> PocScheme::aggregate(
     const std::string& participant, const std::map<Bytes, Bytes>& traces,
@@ -132,13 +133,15 @@ PocVerifyResult PocScheme::verify(const Poc& poc, BytesView product_id,
     if (proof.ownership) {
       const auto zk =
           zkedb::EdbMembershipProof::deserialize(*crs_, proof.zk_proof);
-      const auto value = zkedb::edb_verify_membership(*crs_, root, key, zk);
+      const auto value =
+          zkedb::edb_verify_membership(*crs_, root, key, zk, verify_opts_);
       if (!value.has_value()) return {PocVerdict::kBad, std::nullopt};
       return {PocVerdict::kTrace, *value};
     }
     const auto zk =
         zkedb::EdbNonMembershipProof::deserialize(*crs_, proof.zk_proof);
-    if (!zkedb::edb_verify_non_membership(*crs_, root, key, zk)) {
+    if (!zkedb::edb_verify_non_membership(*crs_, root, key, zk,
+                                          verify_opts_)) {
       return {PocVerdict::kBad, std::nullopt};
     }
     return {PocVerdict::kValid, std::nullopt};

@@ -88,9 +88,15 @@ struct PocVerifyResult {
 
 class PocScheme {
  public:
-  explicit PocScheme(zkedb::EdbCrsPtr crs);
+  /// `verify_opts` picks the ZK-proof verification strategy (batched
+  /// multi-exponentiation by default); it never changes verdicts.
+  explicit PocScheme(zkedb::EdbCrsPtr crs,
+                     zkedb::EdbVerifyOptions verify_opts = {});
 
   const zkedb::EdbCrs& crs() const { return *crs_; }
+  const zkedb::EdbVerifyOptions& verify_options() const {
+    return verify_opts_;
+  }
 
   /// POC-Agg: commits `traces` (product id -> da) for `participant`.
   /// `options` tunes the underlying EDB-commit (thread count, seeded
@@ -109,6 +115,7 @@ class PocScheme {
 
  private:
   zkedb::EdbCrsPtr crs_;
+  zkedb::EdbVerifyOptions verify_opts_;
 };
 
 }  // namespace desword::poc

@@ -1,11 +1,13 @@
 #include "zkedb/batch.h"
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 
 #include "common/error.h"
 #include "common/serial.h"
 #include "common/thread_pool.h"
+#include "mercurial/batch_verify.h"
 #include "zkedb/prover.h"
 
 namespace desword::zkedb {
@@ -112,7 +114,7 @@ EdbBatchMembershipProof edb_prove_membership_batch(
 std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof,
-    unsigned threads) {
+    const EdbVerifyOptions& opts) {
   try {
     const std::uint32_t h = crs.height();
     const Bignum& n = crs.params().qtmc_pk.n;
@@ -175,7 +177,83 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
     // only flip the flag, so order does not matter; remaining checks keep
     // running but the batch is rejected as a whole (all-or-nothing).
     std::atomic<bool> ok{true};
-    ThreadPool* pool = resolve_pool(threads);
+    ThreadPool* pool = resolve_pool(opts.threads);
+    // Contiguous shards so the batched strategy can fold a whole shard
+    // into one multi-exponentiation per worker.
+    const unsigned t =
+        opts.threads != 0 ? opts.threads : ThreadPool::default_threads();
+    const auto run_sharded = [&](std::size_t count, auto&& shard_fn) {
+      const std::size_t shards =
+          pool == nullptr
+              ? 1
+              : std::max<std::size_t>(1, std::min<std::size_t>(t, count));
+      parallel_for(pool, count == 0 ? 0 : shards, [&](std::size_t s) {
+        const std::size_t begin = count * s / shards;
+        const std::size_t end = count * (s + 1) / shards;
+        if (begin != end) shard_fn(begin, end);
+      });
+    };
+
+    // The opened message of an edge must be the digest of its revealed
+    // child; throws on malformed child bytes.
+    const auto edge_digest = [&](const EdgeCheck& e) {
+      return e.at_leaf_depth
+                 ? crs.digest_leaf(mercurial::TmcCommitment::deserialize(
+                       crs.group(), e.step->child_commitment))
+                 : crs.digest_inner(mercurial::QtmcCommitment::deserialize(
+                       n, e.step->child_commitment));
+    };
+
+    if (opts.batched) {
+      run_sharded(edges.size(), [&](std::size_t begin, std::size_t end) {
+        if (!ok.load(std::memory_order_relaxed)) return;
+        mercurial::BatchVerifier bv(crs.qtmc());
+        bool shard_ok = true;
+        for (std::size_t i = begin; i < end && shard_ok; ++i) {
+          const EdgeCheck& e = edges[i];
+          bv.begin_unit();
+          try {
+            if (!bv.add_open(e.parent, e.step->opening) ||
+                edge_digest(e) != e.step->opening.message) {
+              shard_ok = false;
+            }
+          } catch (const Error&) {
+            shard_ok = false;
+          }
+        }
+        if (shard_ok) shard_ok = bv.verify().all_ok;
+        if (!shard_ok) ok.store(false, std::memory_order_relaxed);
+      });
+      if (!ok.load()) return std::nullopt;
+
+      run_sharded(leaf_checks.size(), [&](std::size_t begin,
+                                          std::size_t end) {
+        if (!ok.load(std::memory_order_relaxed)) return;
+        mercurial::BatchVerifier bv(crs.qtmc(), &crs.tmc());
+        bool shard_ok = true;
+        for (std::size_t i = begin; i < end && shard_ok; ++i) {
+          const LeafCheck& c = leaf_checks[i];
+          bv.begin_unit();
+          try {
+            const mercurial::TmcCommitment leaf_com =
+                mercurial::TmcCommitment::deserialize(
+                    crs.group(), c.last_step->child_commitment);
+            if (!bv.add_leaf_open(leaf_com, c.leaf->opening) ||
+                c.leaf->opening.message != leaf_value_digest(c.leaf->value)) {
+              shard_ok = false;
+            }
+          } catch (const Error&) {
+            shard_ok = false;
+          }
+        }
+        if (shard_ok) shard_ok = bv.verify().all_ok;
+        if (!shard_ok) ok.store(false, std::memory_order_relaxed);
+      });
+      if (!ok.load()) return std::nullopt;
+
+      return values;
+    }
+
     parallel_for(pool, edges.size(), [&](std::size_t i) {
       if (!ok.load(std::memory_order_relaxed)) return;
       const EdgeCheck& e = edges[i];
@@ -184,14 +262,7 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
           ok.store(false, std::memory_order_relaxed);
           return;
         }
-        // The opened message must be the digest of the revealed child.
-        const Bytes digest =
-            e.at_leaf_depth
-                ? crs.digest_leaf(mercurial::TmcCommitment::deserialize(
-                      crs.group(), e.step->child_commitment))
-                : crs.digest_inner(mercurial::QtmcCommitment::deserialize(
-                      n, e.step->child_commitment));
-        if (digest != e.step->opening.message) {
+        if (edge_digest(e) != e.step->opening.message) {
           ok.store(false, std::memory_order_relaxed);
         }
       } catch (const Error&) {
@@ -221,6 +292,15 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
   } catch (const Error&) {
     return std::nullopt;
   }
+}
+
+std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof,
+    unsigned threads) {
+  EdbVerifyOptions opts;
+  opts.threads = threads;
+  return edb_verify_membership_batch(crs, root, keys, proof, opts);
 }
 
 }  // namespace desword::zkedb

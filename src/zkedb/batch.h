@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "zkedb/proof.h"
+#include "zkedb/verifier.h"
 
 namespace desword::zkedb {
 
@@ -52,10 +53,17 @@ EdbBatchMembershipProof edb_prove_membership_batch(
 /// Verifies the batch against `root`. Returns the proven key -> value map,
 /// or nullopt if ANY chain fails (all-or-nothing, so a partially forged
 /// batch cannot smuggle values through). The unique edge and leaf checks
-/// run on `threads` workers (0 = default).
+/// run on `opts.threads` workers (0 = default); with `opts.batched` each
+/// worker folds its edge/leaf shard into one multi-exponentiation.
 std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof,
-    unsigned threads = 0);
+    const EdbVerifyOptions& opts = {});
+
+/// Back-compat overload: threads only, defaults otherwise.
+std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbKey>& keys, const EdbBatchMembershipProof& proof,
+    unsigned threads);
 
 }  // namespace desword::zkedb

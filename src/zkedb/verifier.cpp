@@ -1,7 +1,10 @@
 #include "zkedb/verifier.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "mercurial/batch_verify.h"
 #include "mercurial/message.h"
 #include "obs/metrics.h"
 
@@ -15,6 +18,16 @@ namespace {
 obs::Histogram& verify_wall_ms() {
   static obs::Histogram& h = obs::histogram_metric("zkedb.verify.wall_ms");
   return h;
+}
+
+obs::Counter& batched_verifies() {
+  static obs::Counter& c = obs::metric("zkedb.verify.batched");
+  return c;
+}
+
+obs::Counter& scalar_verifies() {
+  static obs::Counter& c = obs::metric("zkedb.verify.scalar");
+  return c;
 }
 
 /// Digest of a serialized child commitment at depth `child_depth`
@@ -33,12 +46,74 @@ std::optional<Bytes> child_digest(const EdbCrs& crs, BytesView serialized,
   }
 }
 
-}  // namespace
+/// Walks a membership chain, accumulating every opening into `bv` (one
+/// already-begun unit) and running all non-equation checks: digit
+/// positions, chain digests, the leaf value digest. Returns false — the
+/// caller must then fail the unit — when any of them rejects; the proof is
+/// valid iff this returns true AND the unit's equations verify. May throw
+/// Error on malformed bytes (callers catch).
+bool add_membership_chain(const EdbCrs& crs,
+                          const mercurial::QtmcCommitment& root,
+                          const EdbKey& key, const EdbMembershipProof& proof,
+                          mercurial::BatchVerifier& bv) {
+  const std::uint32_t h = crs.height();
+  if (proof.openings.size() != h || proof.child_commitments.size() != h) {
+    return false;
+  }
+  const std::vector<std::uint32_t> digits = crs.digits_of(key);
 
-std::optional<Bytes> edb_verify_membership(
+  mercurial::QtmcCommitment cur = root;
+  for (std::uint32_t d = 0; d < h; ++d) {
+    const mercurial::QtmcOpening& op = proof.openings[d];
+    if (op.pos != digits[d]) return false;
+    if (!bv.add_open(cur, op)) return false;
+    const auto digest = child_digest(crs, proof.child_commitments[d], d + 1);
+    if (!digest.has_value() || *digest != op.message) return false;
+    if (d + 1 < h) {
+      cur = mercurial::QtmcCommitment::deserialize(crs.params().qtmc_pk.n,
+                                                   proof.child_commitments[d]);
+    }
+  }
+  const mercurial::TmcCommitment leaf_com = mercurial::TmcCommitment::deserialize(
+      crs.group(), proof.child_commitments[h - 1]);
+  if (!bv.add_leaf_open(leaf_com, proof.leaf_opening)) return false;
+  return proof.leaf_opening.message == leaf_value_digest(proof.value);
+}
+
+/// Non-membership analogue of add_membership_chain (teases instead of
+/// openings, null message at the leaf).
+bool add_non_membership_chain(const EdbCrs& crs,
+                              const mercurial::QtmcCommitment& root,
+                              const EdbKey& key,
+                              const EdbNonMembershipProof& proof,
+                              mercurial::BatchVerifier& bv) {
+  const std::uint32_t h = crs.height();
+  if (proof.teases.size() != h || proof.child_commitments.size() != h) {
+    return false;
+  }
+  const std::vector<std::uint32_t> digits = crs.digits_of(key);
+
+  mercurial::QtmcCommitment cur = root;
+  for (std::uint32_t d = 0; d < h; ++d) {
+    const mercurial::QtmcTease& tease = proof.teases[d];
+    if (tease.pos != digits[d]) return false;
+    if (!bv.add_tease(cur, tease)) return false;
+    const auto digest = child_digest(crs, proof.child_commitments[d], d + 1);
+    if (!digest.has_value() || *digest != tease.message) return false;
+    if (d + 1 < h) {
+      cur = mercurial::QtmcCommitment::deserialize(crs.params().qtmc_pk.n,
+                                                   proof.child_commitments[d]);
+    }
+  }
+  const mercurial::TmcCommitment leaf_com = mercurial::TmcCommitment::deserialize(
+      crs.group(), proof.child_commitments[h - 1]);
+  if (!bv.add_leaf_tease(leaf_com, proof.leaf_tease)) return false;
+  return proof.leaf_tease.message == mercurial::null_message();
+}
+
+std::optional<Bytes> verify_membership_scalar(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const EdbKey& key, const EdbMembershipProof& proof) {
-  const obs::ScopedTimer timer(verify_wall_ms());
   try {
     const std::uint32_t h = crs.height();
     if (proof.openings.size() != h || proof.child_commitments.size() != h) {
@@ -74,11 +149,10 @@ std::optional<Bytes> edb_verify_membership(
   }
 }
 
-bool edb_verify_non_membership(const EdbCrs& crs,
-                               const mercurial::QtmcCommitment& root,
-                               const EdbKey& key,
-                               const EdbNonMembershipProof& proof) {
-  const obs::ScopedTimer timer(verify_wall_ms());
+bool verify_non_membership_scalar(const EdbCrs& crs,
+                                  const mercurial::QtmcCommitment& root,
+                                  const EdbKey& key,
+                                  const EdbNonMembershipProof& proof) {
   try {
     const std::uint32_t h = crs.height();
     if (proof.teases.size() != h || proof.child_commitments.size() != h) {
@@ -108,20 +182,123 @@ bool edb_verify_non_membership(const EdbCrs& crs,
   }
 }
 
+}  // namespace
+
+std::optional<Bytes> edb_verify_membership(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const EdbKey& key, const EdbMembershipProof& proof,
+    const EdbVerifyOptions& opts) {
+  const obs::ScopedTimer timer(verify_wall_ms());
+  if (!opts.batched) {
+    scalar_verifies().add();
+    return verify_membership_scalar(crs, root, key, proof);
+  }
+  batched_verifies().add();
+  try {
+    mercurial::BatchVerifier bv(crs.qtmc(), &crs.tmc());
+    bv.begin_unit();
+    if (!add_membership_chain(crs, root, key, proof, bv)) return std::nullopt;
+    if (!bv.verify().all_ok) return std::nullopt;
+    return proof.value;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+bool edb_verify_non_membership(const EdbCrs& crs,
+                               const mercurial::QtmcCommitment& root,
+                               const EdbKey& key,
+                               const EdbNonMembershipProof& proof,
+                               const EdbVerifyOptions& opts) {
+  const obs::ScopedTimer timer(verify_wall_ms());
+  if (!opts.batched) {
+    scalar_verifies().add();
+    return verify_non_membership_scalar(crs, root, key, proof);
+  }
+  batched_verifies().add();
+  try {
+    mercurial::BatchVerifier bv(crs.qtmc(), &crs.tmc());
+    bv.begin_unit();
+    if (!add_non_membership_chain(crs, root, key, proof, bv)) return false;
+    return bv.verify().all_ok;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::vector<std::optional<Bytes>> edb_verify_membership_many(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbMembershipQuery>& queries,
+    const EdbVerifyOptions& opts) {
+  std::vector<std::optional<Bytes>> results(queries.size());
+  const unsigned t = opts.threads != 0 ? opts.threads
+                                       : ThreadPool::default_threads();
+  ThreadPool* pool = t > 1 ? &ThreadPool::with_threads(t) : nullptr;
+
+  if (!opts.batched) {
+    // Proof verification is pure (crs and root are only read), so queries
+    // are embarrassingly parallel.
+    parallel_for(pool, queries.size(), [&](std::size_t i) {
+      if (queries[i].proof == nullptr) return;  // results[i] stays nullopt
+      results[i] = edb_verify_membership(crs, root, queries[i].key,
+                                         *queries[i].proof, opts);
+    });
+    return results;
+  }
+
+  // Batched: contiguous shards, one BatchVerifier per worker so each fold
+  // spans as many proofs as possible (the fold's win grows with the number
+  // of merged equations). Units are proofs, so a bad proof in a shard is
+  // bisected down to its own slot and everything else still passes.
+  const std::size_t shards =
+      pool == nullptr
+          ? 1
+          : std::max<std::size_t>(
+                1, std::min<std::size_t>(t, queries.size()));
+  parallel_for(pool, shards, [&](std::size_t s) {
+    const std::size_t begin = queries.size() * s / shards;
+    const std::size_t end = queries.size() * (s + 1) / shards;
+    if (begin == end) return;
+    const obs::ScopedTimer timer(verify_wall_ms());
+    mercurial::BatchVerifier bv(crs.qtmc(), &crs.tmc());
+    struct Pending {
+      std::size_t query;
+      std::size_t unit;
+    };
+    std::vector<Pending> pending;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (queries[i].proof == nullptr) continue;  // stays nullopt
+      batched_verifies().add();
+      const std::size_t unit = bv.begin_unit();
+      bool ok = false;
+      try {
+        ok = add_membership_chain(crs, root, queries[i].key,
+                                  *queries[i].proof, bv);
+      } catch (const Error&) {
+        ok = false;
+      }
+      if (!ok) {
+        bv.fail_unit();
+        continue;  // rejected before the equations; stays nullopt
+      }
+      pending.push_back({i, unit});
+    }
+    const mercurial::BatchVerifier::Result res = bv.verify();
+    for (const Pending& p : pending) {
+      if (res.unit_ok[p.unit]) {
+        results[p.query] = queries[p.query].proof->value;
+      }
+    }
+  });
+  return results;
+}
+
 std::vector<std::optional<Bytes>> edb_verify_membership_many(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const std::vector<EdbMembershipQuery>& queries, unsigned threads) {
-  std::vector<std::optional<Bytes>> results(queries.size());
-  const unsigned t = threads != 0 ? threads : ThreadPool::default_threads();
-  ThreadPool* pool = t > 1 ? &ThreadPool::with_threads(t) : nullptr;
-  // Proof verification is pure (crs and root are only read), so queries
-  // are embarrassingly parallel.
-  parallel_for(pool, queries.size(), [&](std::size_t i) {
-    if (queries[i].proof == nullptr) return;  // results[i] stays nullopt
-    results[i] =
-        edb_verify_membership(crs, root, queries[i].key, *queries[i].proof);
-  });
-  return results;
+  EdbVerifyOptions opts;
+  opts.threads = threads;
+  return edb_verify_membership_many(crs, root, queries, opts);
 }
 
 }  // namespace desword::zkedb

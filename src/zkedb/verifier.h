@@ -5,6 +5,13 @@
 // commitment, (b) it is at the key's digit position, and (c) its message
 // equals the digest of the next node's commitment. Verification cost is
 // O(height) and independent of q — the property Figure 5 measures.
+//
+// Two execution strategies produce the same accept/reject decisions:
+//   * scalar — each opening is verified on its own (3–4 exponentiations);
+//   * batched (default) — the chain's verification equations are folded
+//     into one multi-exponentiation by a mercurial::BatchVerifier, with
+//     scalar re-checks behind the bisection on failure (see
+//     mercurial/batch_verify.h for the soundness argument).
 #pragma once
 
 #include <optional>
@@ -14,20 +21,29 @@
 
 namespace desword::zkedb {
 
+/// Controls HOW verification executes, never WHAT it decides: the batched
+/// and scalar strategies accept/reject identically (batched falls back to
+/// exact scalar re-checks when a fold fails).
+struct EdbVerifyOptions {
+  bool batched = true;   // fold proof-chain equations into one multi-exp
+  unsigned threads = 0;  // *_many fan-out; 0 = DESWORD_THREADS / hw default
+};
+
 /// Verifies a membership proof against `root`. Returns the proven value
 /// D(key) on success, std::nullopt if the proof is invalid. Never throws
 /// on malformed proof content.
-std::optional<Bytes> edb_verify_membership(const EdbCrs& crs,
-                                           const mercurial::QtmcCommitment& root,
-                                           const EdbKey& key,
-                                           const EdbMembershipProof& proof);
+std::optional<Bytes> edb_verify_membership(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const EdbKey& key, const EdbMembershipProof& proof,
+    const EdbVerifyOptions& opts = {});
 
 /// Verifies a non-membership proof against `root`. Returns true iff the
 /// proof is valid (i.e. the prover demonstrated D(key) = ⊥).
 bool edb_verify_non_membership(const EdbCrs& crs,
                                const mercurial::QtmcCommitment& root,
                                const EdbKey& key,
-                               const EdbNonMembershipProof& proof);
+                               const EdbNonMembershipProof& proof,
+                               const EdbVerifyOptions& opts = {});
 
 /// One key/proof pair of a verification sweep.
 struct EdbMembershipQuery {
@@ -36,11 +52,19 @@ struct EdbMembershipQuery {
 };
 
 /// Verifies many independent membership proofs, fanning the per-proof work
-/// out over `threads` workers (0 = default: DESWORD_THREADS env, else
+/// out over `opts.threads` workers (0 = default: DESWORD_THREADS env, else
 /// hardware_concurrency()). result[i] corresponds to queries[i] and equals
-/// what edb_verify_membership would return for it.
+/// what edb_verify_membership would return for it. With `opts.batched`,
+/// each worker folds its whole shard of proofs into one batch — the main
+/// throughput lever of this module (see bench_zkedb VerifyManyBatched).
 std::vector<std::optional<Bytes>> edb_verify_membership_many(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const std::vector<EdbMembershipQuery>& queries, unsigned threads = 0);
+    const std::vector<EdbMembershipQuery>& queries,
+    const EdbVerifyOptions& opts = {});
+
+/// Back-compat overload: threads only, defaults otherwise.
+std::vector<std::optional<Bytes>> edb_verify_membership_many(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const std::vector<EdbMembershipQuery>& queries, unsigned threads);
 
 }  // namespace desword::zkedb

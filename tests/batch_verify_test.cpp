@@ -1,0 +1,399 @@
+// Differential tests for the randomized batch-verification engine
+// (mercurial/batch_verify.h): the batched strategy must agree with the
+// scalar verifiers verdict-for-verdict — on valid proofs, on tampered
+// proofs whose structure still parses, and on adversarial bit-flips — and
+// the bisection must pinpoint exactly the corrupted unit inside a large
+// batch. Also covers the fixed-base table registry shared across scheme
+// instances and the protocol-level reputation outcome under both
+// verification strategies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "crypto/hash.h"
+#include "desword/scenario.h"
+#include "mercurial/batch_verify.h"
+#include "zkedb/prover.h"
+#include "zkedb/verifier.h"
+
+namespace desword {
+namespace {
+
+using mercurial::BatchVerifier;
+using mercurial::QtmcKeyPair;
+using mercurial::QtmcOpening;
+using mercurial::QtmcScheme;
+using mercurial::QtmcTease;
+using mercurial::TmcKeyPair;
+using mercurial::TmcOpening;
+using mercurial::TmcScheme;
+using mercurial::TmcTease;
+
+namespace zk = zkedb;
+using zk::EdbKey;
+
+constexpr int kTestRsaBits = 512;
+
+Bytes msg16(int i) {
+  return hash_to_128("batch-test-msg", {be64(static_cast<std::uint64_t>(i))});
+}
+
+std::vector<Bytes> make_messages(std::uint32_t count) {
+  std::vector<Bytes> msgs;
+  for (std::uint32_t i = 0; i < count; ++i) msgs.push_back(msg16(1000 + i));
+  return msgs;
+}
+
+// ---------------------------------------------------------------------------
+// qTMC: batch verdicts equal scalar verdicts, unit by unit.
+
+class QtmcBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    keys_ = QtmcScheme::keygen(/*q=*/4, kTestRsaBits);
+    scheme_ = std::make_unique<QtmcScheme>(keys_.pk);
+  }
+
+  QtmcKeyPair keys_{mercurial::QtmcPublicKey{}, Bignum()};
+  std::unique_ptr<QtmcScheme> scheme_;
+};
+
+TEST_F(QtmcBatchTest, MixedValidAndTamperedUnitsMatchScalar) {
+  const auto msgs = make_messages(4);
+  const auto [com, dec] = scheme_->hard_commit(msgs);
+
+  // Unit 0: valid opening. Unit 1: wrong message (parses, equation fails).
+  // Unit 2: valid tease. Unit 3: tease with wrong message. Unit 4: opening
+  // replayed at the wrong position (equation fails, not structure).
+  QtmcOpening good_op = scheme_->hard_open(dec, 0);
+  QtmcOpening bad_op = scheme_->hard_open(dec, 1);
+  bad_op.message = msg16(999);
+  QtmcTease good_tease = scheme_->tease_hard(dec, 2);
+  QtmcTease bad_tease = scheme_->tease_hard(dec, 3);
+  bad_tease.message = msg16(998);
+  QtmcOpening moved_op = scheme_->hard_open(dec, 0);
+  moved_op.pos = 1;
+
+  BatchVerifier bv(*scheme_);
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_open(com, good_op));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_open(com, bad_op));  // structure ok, equation bad
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_tease(com, good_tease));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_tease(com, bad_tease));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_open(com, moved_op));
+
+  const BatchVerifier::Result res = bv.verify();
+  const std::vector<bool> scalar = {
+      scheme_->verify_open(com, good_op), scheme_->verify_open(com, bad_op),
+      scheme_->verify_tease(com, good_tease),
+      scheme_->verify_tease(com, bad_tease),
+      scheme_->verify_open(com, moved_op)};
+  ASSERT_EQ(res.unit_ok.size(), scalar.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(res.unit_ok[i], scalar[i]) << "unit " << i;
+  }
+  EXPECT_FALSE(res.all_ok);
+  EXPECT_TRUE(res.unit_ok[0]);
+  EXPECT_FALSE(res.unit_ok[1]);
+}
+
+TEST_F(QtmcBatchTest, StructuralFailureMarksUnitWithoutPollutingFold) {
+  const auto [com, dec] = scheme_->hard_commit(make_messages(4));
+  QtmcOpening oob = scheme_->hard_open(dec, 0);
+  oob.pos = scheme_->arity();  // out of range: structural rejection
+
+  BatchVerifier bv(*scheme_);
+  bv.begin_unit();
+  EXPECT_FALSE(bv.add_open(com, oob));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_open(com, scheme_->hard_open(dec, 1)));
+
+  const auto res = bv.verify();
+  EXPECT_FALSE(res.all_ok);
+  EXPECT_FALSE(res.unit_ok[0]);
+  EXPECT_TRUE(res.unit_ok[1]);  // the valid unit folds clean on its own
+}
+
+TEST_F(QtmcBatchTest, BisectionPinpointsSingleCorruptedUnitOf64) {
+  constexpr std::size_t kUnits = 64;
+  constexpr std::size_t kBad = 37;
+  const auto [com, dec] = scheme_->hard_commit(make_messages(4));
+
+  BatchVerifier bv(*scheme_);
+  for (std::size_t i = 0; i < kUnits; ++i) {
+    bv.begin_unit();
+    QtmcOpening op = scheme_->hard_open(
+        dec, static_cast<std::uint32_t>(i % scheme_->arity()));
+    if (i == kBad) op.message = msg16(666);  // equation-level corruption
+    ASSERT_TRUE(bv.add_open(com, op)) << "unit " << i;
+  }
+  ASSERT_EQ(bv.units(), kUnits);
+
+  const auto res = bv.verify();
+  EXPECT_FALSE(res.all_ok);
+  ASSERT_EQ(res.unit_ok.size(), kUnits);
+  for (std::size_t i = 0; i < kUnits; ++i) {
+    EXPECT_EQ(res.unit_ok[i], i != kBad) << "unit " << i;
+  }
+}
+
+TEST_F(QtmcBatchTest, EmptyBatchAcceptsVacuously) {
+  BatchVerifier bv(*scheme_);
+  const auto res = bv.verify();
+  EXPECT_TRUE(res.all_ok);
+  EXPECT_TRUE(res.unit_ok.empty());
+}
+
+TEST_F(QtmcBatchTest, FixedBaseTablesSharedAcrossInstancesOfSameKey) {
+  QtmcScheme other(keys_.pk);  // second instance, same CRS
+  scheme_->precompute_fixed_bases(/*position_bases=*/false);
+  other.precompute_fixed_bases(/*position_bases=*/false);
+  ASSERT_NE(scheme_->fixed_base_tables_id(), nullptr);
+  // One registry entry per public key: both instances adopt the same set.
+  EXPECT_EQ(scheme_->fixed_base_tables_id(), other.fixed_base_tables_id());
+
+  const auto fresh = QtmcScheme::keygen(/*q=*/2, kTestRsaBits);
+  QtmcScheme unrelated(fresh.pk);
+  unrelated.precompute_fixed_bases(/*position_bases=*/false);
+  EXPECT_NE(unrelated.fixed_base_tables_id(), scheme_->fixed_base_tables_id());
+}
+
+// ---------------------------------------------------------------------------
+// TMC leaf equations fold into the same batch.
+
+TEST(TmcBatchTest, LeafUnitsMatchScalar) {
+  const GroupPtr group = make_p256_group();
+  const TmcKeyPair keys = TmcScheme::keygen(group);
+  const TmcScheme tmc(group, keys.pk);
+  // BatchVerifier needs a qTMC scheme even for leaf-only batches.
+  const QtmcKeyPair qkeys = QtmcScheme::keygen(/*q=*/2, kTestRsaBits);
+  const QtmcScheme qtmc(qkeys.pk);
+
+  const auto [com, dec] = tmc.hard_commit(msg16(1));
+  TmcOpening good_op = tmc.hard_open(dec);
+  TmcOpening bad_op = tmc.hard_open(dec);
+  bad_op.message = msg16(2);
+  TmcTease good_tease = tmc.tease_hard(dec);
+  TmcTease bad_tease = tmc.tease_hard(dec);
+  bad_tease.message = msg16(3);
+
+  BatchVerifier bv(qtmc, &tmc);
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_leaf_open(com, good_op));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_leaf_open(com, bad_op));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_leaf_tease(com, good_tease));
+  bv.begin_unit();
+  EXPECT_TRUE(bv.add_leaf_tease(com, bad_tease));
+
+  const auto res = bv.verify();
+  EXPECT_FALSE(res.all_ok);
+  EXPECT_EQ(res.unit_ok[0], tmc.verify_open(com, good_op));
+  EXPECT_EQ(res.unit_ok[1], tmc.verify_open(com, bad_op));
+  EXPECT_EQ(res.unit_ok[2], tmc.verify_tease(com, good_tease));
+  EXPECT_EQ(res.unit_ok[3], tmc.verify_tease(com, bad_tease));
+  EXPECT_TRUE(res.unit_ok[0]);
+  EXPECT_FALSE(res.unit_ok[1]);
+  EXPECT_TRUE(res.unit_ok[2]);
+  EXPECT_FALSE(res.unit_ok[3]);
+}
+
+// ---------------------------------------------------------------------------
+// ZK-EDB proof chains: batched and scalar strategies decide identically.
+
+class EdbDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zk::EdbConfig cfg;
+    cfg.q = 4;
+    cfg.height = 6;
+    cfg.rsa_bits = kTestRsaBits;
+    cfg.group_name = "p256";
+    crs_ = zk::generate_crs(cfg);
+    std::map<Bytes, Bytes> entries;
+    for (int i = 0; i < 8; ++i) {
+      entries[key_of(i)] = bytes_of("value-" + std::to_string(i));
+    }
+    prover_ = std::make_unique<zk::EdbProver>(crs_, entries);
+  }
+
+  EdbKey key_of(int i) const {
+    return zk::key_for_identifier(*crs_, bytes_of("k" + std::to_string(i)));
+  }
+
+  /// Both strategies must return the same verdict; returns it.
+  std::optional<Bytes> verify_both(const EdbKey& key,
+                                   const zk::EdbMembershipProof& proof) {
+    zk::EdbVerifyOptions scalar;
+    scalar.batched = false;
+    const auto s = zk::edb_verify_membership(*crs_, prover_->commitment(),
+                                             key, proof, scalar);
+    const auto b =
+        zk::edb_verify_membership(*crs_, prover_->commitment(), key, proof);
+    EXPECT_EQ(s.has_value(), b.has_value());
+    if (s.has_value() && b.has_value()) EXPECT_EQ(*s, *b);
+    return b;
+  }
+
+  bool verify_both(const EdbKey& key, const zk::EdbNonMembershipProof& proof) {
+    zk::EdbVerifyOptions scalar;
+    scalar.batched = false;
+    const bool s = zk::edb_verify_non_membership(*crs_, prover_->commitment(),
+                                                 key, proof, scalar);
+    const bool b = zk::edb_verify_non_membership(*crs_, prover_->commitment(),
+                                                 key, proof);
+    EXPECT_EQ(s, b);
+    return b;
+  }
+
+  zk::EdbCrsPtr crs_;
+  std::unique_ptr<zk::EdbProver> prover_;
+};
+
+TEST_F(EdbDifferentialTest, MembershipValidAndTamperedAgree) {
+  const EdbKey key = key_of(0);
+  auto proof = prover_->prove_membership(key);
+  EXPECT_TRUE(verify_both(key, proof).has_value());
+
+  // Equation-level tamper: τ of a mid-chain opening shifts by one. All
+  // structural checks still pass; only the folded/scalar equations catch it.
+  auto tau_tampered = proof;
+  tau_tampered.openings[2].tau += Bignum(1);
+  EXPECT_FALSE(verify_both(key, tau_tampered).has_value());
+
+  auto value_tampered = proof;
+  value_tampered.value = bytes_of("forged value");
+  EXPECT_FALSE(verify_both(key, value_tampered).has_value());
+
+  auto leaf_tampered = proof;
+  leaf_tampered.leaf_opening.r0 += Bignum(1);
+  EXPECT_FALSE(verify_both(key, leaf_tampered).has_value());
+}
+
+TEST_F(EdbDifferentialTest, NonMembershipValidAndTamperedAgree) {
+  const EdbKey key = zk::key_for_identifier(*crs_, bytes_of("absent"));
+  ASSERT_FALSE(prover_->contains(key));
+  auto proof = prover_->prove_non_membership(key);
+  EXPECT_TRUE(verify_both(key, proof));
+
+  auto tampered = proof;
+  tampered.teases[1].tau += Bignum(1);
+  EXPECT_FALSE(verify_both(key, tampered));
+
+  auto leaf_tampered = proof;
+  leaf_tampered.leaf_tease.message = msg16(7);
+  EXPECT_FALSE(verify_both(key, leaf_tampered));
+}
+
+TEST_F(EdbDifferentialTest, BitFlippedSerializedProofsAgree) {
+  const EdbKey key = key_of(1);
+  const Bytes wire = prover_->prove_membership(key).serialize(*crs_);
+  // Sample flip positions across the whole proof; every one that still
+  // deserializes must draw the same verdict from both strategies (the
+  // EXPECT inside verify_both), and none may crash either path.
+  for (std::size_t pos = 0; pos < wire.size(); pos += 97) {
+    Bytes corrupted = wire;
+    corrupted[pos] ^= 0x40;
+    zk::EdbMembershipProof proof;
+    try {
+      proof = zk::EdbMembershipProof::deserialize(*crs_, corrupted);
+    } catch (const Error&) {
+      continue;  // parse-level rejection: identical for both strategies
+    }
+    verify_both(key, proof);
+  }
+}
+
+TEST_F(EdbDifferentialTest, VerifyManyPinpointsTamperedProof) {
+  constexpr std::size_t kProofs = 8;
+  constexpr std::size_t kBad = 5;
+  std::vector<zk::EdbMembershipProof> proofs;
+  std::vector<zk::EdbMembershipQuery> queries;
+  proofs.reserve(kProofs);
+  queries.reserve(kProofs);
+  for (std::size_t i = 0; i < kProofs; ++i) {
+    const EdbKey key = key_of(static_cast<int>(i));
+    proofs.push_back(prover_->prove_membership(key));
+    queries.push_back({key, &proofs.back()});
+  }
+  proofs[kBad].openings[3].tau += Bignum(1);
+
+  for (const bool batched : {true, false}) {
+    zk::EdbVerifyOptions opts;
+    opts.batched = batched;
+    const auto results = zk::edb_verify_membership_many(
+        *crs_, prover_->commitment(), queries, opts);
+    ASSERT_EQ(results.size(), kProofs);
+    for (std::size_t i = 0; i < kProofs; ++i) {
+      EXPECT_EQ(results[i].has_value(), i != kBad)
+          << "proof " << i << " batched=" << batched;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol level: a corrupted query proof costs the corrupting hop its
+// reputation under BOTH verification strategies.
+
+class BatchVerifyReputationTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BatchVerifyReputationTest, PenaltyLandsOnCorruptingHop) {
+  using supplychain::DistributionConfig;
+  using supplychain::ProductId;
+  using supplychain::SupplyChainGraph;
+  namespace proto = protocol;
+
+  proto::ScenarioConfig cfg;
+  cfg.edb = zk::EdbConfig{4, 8, kTestRsaBits, "p256", zk::SoftMode::kShared};
+  cfg.batch_verify = GetParam();
+  proto::Scenario scenario(SupplyChainGraph::paper_example(), cfg);
+
+  const auto products = supplychain::make_products(1, 2000, 8);
+  DistributionConfig dist;
+  dist.initial = "v0";
+  dist.products = products;
+  dist.seed = 42;
+  scenario.run_task("task-bv", dist);
+
+  const ProductId* product = nullptr;
+  for (const ProductId& p : products) {
+    const auto* path = scenario.path_of(p);
+    if (path != nullptr && path->size() >= 3) {
+      product = &p;
+      break;
+    }
+  }
+  ASSERT_NE(product, nullptr) << "no product with a long enough path";
+  const std::string cheater = (*scenario.path_of(*product))[1];
+
+  proto::QueryBehavior behavior;
+  behavior.corrupt_proof.insert(*product);
+  scenario.participant(cheater).set_query_behavior(behavior);
+
+  proto::QueryOutcome outcome;
+  ASSERT_NO_THROW(outcome = scenario.proxy().run_query(
+                      *product, proto::ProductQuality::kGood));
+  EXPECT_TRUE(outcome.has_violation(
+      cheater, proto::ViolationType::kClaimProcessingInvalidProof));
+  EXPECT_LT(scenario.proxy().reputation(cheater), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, BatchVerifyReputationTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Batched" : "Scalar";
+                         });
+
+}  // namespace
+}  // namespace desword

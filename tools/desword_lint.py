@@ -25,6 +25,13 @@ Rules (each can be waived on a specific line with a trailing
                 The trapdoor breaks the binding of every commitment made
                 under the CRS; it must never reach logs.
 
+  modexp        No raw ``BN_mod_exp*`` calls and no per-call
+                ``BN_MONT_CTX_new``/``BN_MONT_CTX_set`` construction outside
+                ``src/crypto/modexp.*``. All modular exponentiation flows
+                through ModExpContext so it shares one Montgomery context
+                per modulus, hits the fixed-base tables, and is countable —
+                a stray BN_mod_exp silently forfeits every one of those.
+
   metric-name   Every ``metric("...")`` / ``gauge_metric("...")`` /
                 ``histogram_metric("...")`` call site must use a name that
                 (a) follows the ``layer.object.verb`` scheme
@@ -50,6 +57,9 @@ SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cpp", "fuzz/**/*.h", "fuzz/**/*.cpp",
 # Files allowed to talk to the system RNG / clock directly.
 RANDOMNESS_EXEMPT = re.compile(r"src/crypto/randsource\.(h|cpp)$")
 
+# The one home of raw OpenSSL modular exponentiation (rule modexp).
+MODEXP_EXEMPT = re.compile(r"src/crypto/modexp\.(h|cpp)$")
+
 # Decode paths: every file that parses attacker-supplied or persisted
 # bytes. memcpy/reinterpret_cast are banned here (rule decode-cast).
 DECODE_PATH_FILES = {
@@ -72,6 +82,7 @@ RE_RANDOMNESS = re.compile(
     r"std::rand\b|\bsrand\s*\(|[^_\w.:]rand\s*\(|\bstd::time\s*\(|"
     r"[^_\w.:]time\s*\(\s*(NULL|nullptr|0)\s*\)")
 RE_DECODE_CAST = re.compile(r"\bmemcpy\s*\(|\breinterpret_cast\b")
+RE_MODEXP = re.compile(r"\bBN_mod_exp\w*\s*\(|\bBN_MONT_CTX_(?:new|set)\s*\(")
 RE_SWITCH = re.compile(r"\bswitch\s*\(")
 RE_MESSAGE_TYPE = re.compile(r"\bMessageType\b|\bmessage_type_of\s*\(")
 RE_PRINT = re.compile(
@@ -125,6 +136,7 @@ class Linter:
     def check_line_rules(self, rel: str, lines: list[str]) -> None:
         decode_path = rel in DECODE_PATH_FILES
         randomness_applies = not RANDOMNESS_EXEMPT.search(rel)
+        modexp_applies = not MODEXP_EXEMPT.search(rel)
         for lineno, raw in enumerate(lines, start=1):
             code = strip_comment(raw)
             if randomness_applies and RE_RANDOMNESS.search(code):
@@ -132,6 +144,12 @@ class Linter:
                     self.report(rel, lineno, "randomness",
                                 "direct rand()/time() use; go through "
                                 "crypto/randsource (RandomSource)")
+            if modexp_applies and RE_MODEXP.search(code):
+                if not allowed(raw, "modexp"):
+                    self.report(rel, lineno, "modexp",
+                                "raw BN_mod_exp / Montgomery-context "
+                                "construction; go through crypto/modexp "
+                                "(ModExpContext)")
             if decode_path and RE_DECODE_CAST.search(code):
                 if not allowed(raw, "decode-cast"):
                     self.report(rel, lineno, "decode-cast",

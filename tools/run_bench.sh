@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Runs the core benchmark trio (bench_qtmc_micro, bench_zkedb,
+# bench_poc_comp), collects their machine-readable '{"bench"...}' result
+# lines, and assembles a consolidated BENCH_zkedb.json at the repo root.
+#
+# The consolidated file records every result line plus a
+# "verify_throughput" summary pairing the ZkEdb/VerifyManyScalar and
+# ZkEdb/VerifyManyBatched cases (same proof pile, same thread count) into
+# per-configuration speedups — the acceptance metric for the batch
+# verification engine.
+#
+# Usage: tools/run_bench.sh [--build-dir DIR] [--out FILE] [--check]
+#   --build-dir DIR  where the bench binaries live (default: build)
+#   --out FILE       consolidated JSON path (default: BENCH_zkedb.json)
+#   --check          exit non-zero if any batched configuration is slower
+#                    than its scalar counterpart (CI perf smoke)
+#
+# Env: DESWORD_BENCH_QUICK / DESWORD_BENCH_RSA_BITS shrink the run
+# (see bench/bench_util.h).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+OUT="$ROOT/BENCH_zkedb.json"
+CHECK=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    --check) CHECK=1; shift ;;
+    *) echo "run_bench.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+BENCHES=(bench_qtmc_micro bench_zkedb bench_poc_comp)
+LINES="$(mktemp)"
+trap 'rm -f "$LINES"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "run_bench.sh: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  echo "== $bench ==" >&2
+  # --benchmark_color=false keeps ANSI escapes out of the result lines;
+  # grep -o still strips any console-reporter prefix on the same line.
+  "$bin" --benchmark_color=false | tee /dev/stderr |
+      grep -o '{"bench".*}' >> "$LINES" || {
+    echo "run_bench.sh: $bench emitted no result lines" >&2
+    exit 1
+  }
+done
+
+python3 - "$LINES" "$OUT" "$CHECK" <<'PY'
+import json
+import sys
+
+lines_path, out_path, check = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+results = []
+with open(lines_path, encoding="utf-8") as fh:
+    for line in fh:
+        line = line.strip()
+        if line:
+            results.append(json.loads(line))
+
+# Pair ZkEdb/VerifyManyScalar/<batch>/<threads> with the matching
+# ...Batched case on proofs_per_sec.
+scalar, batched = {}, {}
+for r in results:
+    case = r.get("case", "")
+    pps = r.get("counters", {}).get("proofs_per_sec")
+    if pps is None:
+        continue
+    if case.startswith("ZkEdb/VerifyManyScalar/"):
+        scalar[case.split("VerifyManyScalar/", 1)[1]] = pps
+    elif case.startswith("ZkEdb/VerifyManyBatched/"):
+        batched[case.split("VerifyManyBatched/", 1)[1]] = pps
+
+configs = []
+for cfg in sorted(scalar.keys() & batched.keys()):
+    configs.append({
+        "config": cfg,  # "<batch>/<threads>"
+        "scalar_proofs_per_sec": scalar[cfg],
+        "batched_proofs_per_sec": batched[cfg],
+        "speedup": batched[cfg] / scalar[cfg] if scalar[cfg] else None,
+    })
+
+summary = {
+    "generated_by": "tools/run_bench.sh",
+    "benches": sorted({r.get("bench", "?") for r in results}),
+    "verify_throughput": configs,
+    "results": results,
+}
+with open(out_path, "w", encoding="utf-8") as fh:
+    json.dump(summary, fh, indent=1, sort_keys=False)
+    fh.write("\n")
+
+print(f"run_bench.sh: wrote {out_path} ({len(results)} result lines)")
+for c in configs:
+    print("  verify_many {config}: scalar {scalar_proofs_per_sec:.2f}/s "
+          "batched {batched_proofs_per_sec:.2f}/s speedup {speedup:.2f}x"
+          .format(**c))
+
+if check:
+    if not configs:
+        print("run_bench.sh: --check but no VerifyMany pairs found",
+              file=sys.stderr)
+        sys.exit(1)
+    slow = [c for c in configs if c["speedup"] is None or c["speedup"] < 1.0]
+    if slow:
+        for c in slow:
+            print(f"run_bench.sh: batched slower than scalar for "
+                  f"{c['config']} (speedup {c['speedup']})", file=sys.stderr)
+        sys.exit(1)
+PY
