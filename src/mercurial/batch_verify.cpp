@@ -167,7 +167,7 @@ void BatchVerifier::derive_multipliers(std::vector<Bignum>& rsa_r,
 
 bool BatchVerifier::fold_rsa(const std::vector<std::size_t>& unit_idxs,
                              const std::vector<Bignum>& rsa_r) const {
-  // Aggregated coprimality check: emission only range-checks the
+  // Aggregated coprimality check: emission only canonical-form-checks the
   // proof-supplied elements; the gcd(x, N) = 1 requirement of the scalar
   // verifiers is enforced here with ONE gcd over the product of every
   // element in the fold. A non-coprime element fails the fold, bisection
@@ -217,7 +217,15 @@ bool BatchVerifier::fold_rsa(const std::vector<std::size_t>& unit_idxs,
   rhs_terms.reserve(rhs.size());
   for (auto& [key, term] : rhs) rhs_terms.push_back(std::move(term));
   const ModExpContext& mexp = qtmc_->modexp_context();
-  return mexp.multi_exp(lhs_terms) == mexp.multi_exp(rhs_terms);
+  // The fold is compared in the quotient group Z_N*/{±1}, matching
+  // check_scalar: canonicalizing the two folded products projects the
+  // Z_N* computation through the quotient homomorphism. In Z_N* itself
+  // small-exponent batching is UNSOUND — the publicly known order-2
+  // element −1 gives a sign-flip defect (−1)^{r_i} that cancels for every
+  // even multiplier — while in the quotient −1 is the identity and no
+  // other low-order element is computable without factoring N.
+  return qtmc_->canonical(mexp.multi_exp(lhs_terms)) ==
+         qtmc_->canonical(mexp.multi_exp(rhs_terms));
 }
 
 bool BatchVerifier::fold_ec(const std::vector<std::size_t>& unit_idxs,

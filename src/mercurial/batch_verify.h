@@ -4,9 +4,13 @@
 // product equation per group via the small-exponent batching technique
 // (Bellare–Garay–Rabin, EUROCRYPT 1998): each equation ∏ b^e == rhs is
 // raised to an independent 128-bit multiplier r_i and the results are
-// multiplied together. The fold holds for honest proofs by construction;
-// a cheating prover passes with probability ≤ 2^-128 per batch (see
-// DESIGN.md §batch-verification). Exponents of repeated bases — h in every
+// multiplied together. On the RSA side both the individual equations and
+// the fold are compared in the quotient group Z_N*/{±1} (canonical
+// representatives min(x, N−x)); plain Z_N* contains the publicly known
+// order-2 element −1, whose sign-flip defects small-exponent batching
+// cannot catch. The fold holds for honest proofs by construction; a
+// cheating prover passes with probability ≤ 2^-128 per batch (see
+// DESIGN.md §5.5). Exponents of repeated bases — h in every
 // hard opening, S_i at position i, the commitment elements — merge, so the
 // whole batch costs one multi-exponentiation (crypto/modexp.h Pippenger /
 // Straus, Group::multi_exp) instead of 3–4 full exponentiations per

@@ -1,5 +1,6 @@
 #include "mercurial/qtmc.h"
 
+#include <list>
 #include <map>
 
 #include "common/error.h"
@@ -47,7 +48,15 @@ void fill_powers(const Bignum& base, const std::vector<Bignum>& primes,
 // the base, so every QtmcScheme instance built from the same CRS can adopt
 // one shared, immutable set instead of rebuilding megabytes of
 // precomputation per instance (proxy + participants all hold the same CRS).
-// Memory is bounded by the number of distinct CRSs seen by the process.
+//
+// The registry is a bounded LRU: a peer able to present many distinct CRS
+// public keys must not drive unbounded memory growth (each set is several
+// MiB). Evicting an entry only drops the registry's reference — instances
+// that already adopted the set keep it alive via shared_ptr, and a
+// re-presented CRS simply rebuilds. The registry mutex guards only the
+// map itself; table builds run outside it, deduplicated per entry by
+// once_flags, so one slow build for CRS A never blocks precompute for an
+// unrelated CRS B.
 struct FixedBaseSet {
   std::shared_ptr<const ModExpContext::FixedBaseTable> g;
   std::shared_ptr<const ModExpContext::FixedBaseTable> h;
@@ -55,14 +64,44 @@ struct FixedBaseSet {
   std::shared_ptr<const std::vector<ModExpContext::FixedBaseTable>> s;
 };
 
-std::mutex& fixed_base_registry_mu() {
-  static std::mutex mu;
-  return mu;
+struct FixedBaseEntry {
+  std::once_flag base_once;
+  std::once_flag pos_once;
+  FixedBaseSet set;
+};
+
+constexpr std::size_t kFixedBaseRegistryCap = 8;
+
+struct FixedBaseRegistry {
+  std::mutex mu;
+  std::map<Bytes, std::shared_ptr<FixedBaseEntry>> entries;
+  std::list<Bytes> lru;  // front = most recently used
+};
+
+FixedBaseRegistry& fixed_base_registry() {
+  static auto* reg = new FixedBaseRegistry();
+  return *reg;
 }
 
-std::map<Bytes, FixedBaseSet>& fixed_base_registry() {
-  static auto* reg = new std::map<Bytes, FixedBaseSet>();
-  return *reg;
+// Looks up (or inserts) the entry for `key`, evicting the least recently
+// used entries beyond the cap. O(cap) list scans are fine at cap = 8.
+std::shared_ptr<FixedBaseEntry> fixed_base_entry(const Bytes& key) {
+  FixedBaseRegistry& reg = fixed_base_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.entries.find(key);
+  if (it != reg.entries.end()) {
+    reg.lru.remove(key);
+    reg.lru.push_front(key);
+    return it->second;
+  }
+  while (reg.entries.size() >= kFixedBaseRegistryCap && !reg.lru.empty()) {
+    reg.entries.erase(reg.lru.back());
+    reg.lru.pop_back();
+  }
+  auto entry = std::make_shared<FixedBaseEntry>();
+  reg.entries.emplace(key, entry);
+  reg.lru.push_front(key);
+  return entry;
 }
 
 }  // namespace
@@ -182,6 +221,7 @@ QtmcKeyPair QtmcScheme::keygen(std::uint32_t q, int rsa_bits) {
 
 QtmcScheme::QtmcScheme(QtmcPublicKey pk) : pk_(std::move(pk)) {
   n_len_ = static_cast<std::size_t>((pk_.n.bits() + 7) / 8);
+  n_half_ = (pk_.n - Bignum(1)).divided_by(Bignum(2));
   mexp_ = std::make_unique<ModExpContext>(pk_.n);
   e_ = derive_primes(pk_.prime_seed, pk_.q, kPrimeBits);
   prod_all_ = product_range(e_, 0, e_.size());
@@ -214,7 +254,7 @@ std::pair<QtmcCommitment, QtmcHardDecommit> QtmcScheme::hard_commit(
   dec.r0 = rng.rand_bits(kRandomizerBits);
   dec.r1 = rng.rand_bits(kRandomizerBits);
 
-  const Bignum c1 = pow_h(dec.r1);
+  const Bignum c1 = canonical(pow_h(dec.r1));
   Bignum acc = pow_h_tilde(dec.z);
   // Group equal messages: ∏_{i∈I} S_i^m = (∏_{i∈I} S_i)^m. ZK-EDB nodes
   // commit the same soft-backing digest at most positions, so this turns
@@ -244,7 +284,7 @@ std::pair<QtmcCommitment, QtmcHardDecommit> QtmcScheme::hard_commit(
                                            : mexp_->exp(group.base, scalar);
     acc = Bignum::mod_mul(acc, factor, pk_.n);
   }
-  Bignum c0 = Bignum::mod_mul(acc, mexp_->exp(c1, dec.r0), pk_.n);
+  Bignum c0 = canonical(Bignum::mod_mul(acc, mexp_->exp(c1, dec.r0), pk_.n));
   return {QtmcCommitment{std::move(c0), c1}, std::move(dec)};
 }
 
@@ -267,7 +307,7 @@ QtmcOpening QtmcScheme::hard_open(const QtmcHardDecommit& dec,
   if (pos >= pk_.q || dec.messages.size() != pk_.q) {
     throw CryptoError("qTMC hard_open: bad position or decommitment");
   }
-  const Bignum lambda = pow_g(lambda_exponent(dec, pos));
+  const Bignum lambda = canonical(pow_g(lambda_exponent(dec, pos)));
   return QtmcOpening{pos, dec.messages[pos], dec.r0, lambda, dec.r1};
 }
 
@@ -276,7 +316,7 @@ QtmcTease QtmcScheme::tease_hard(const QtmcHardDecommit& dec,
   if (pos >= pk_.q || dec.messages.size() != pk_.q) {
     throw CryptoError("qTMC tease_hard: bad position or decommitment");
   }
-  const Bignum lambda = pow_g(lambda_exponent(dec, pos));
+  const Bignum lambda = canonical(pow_g(lambda_exponent(dec, pos)));
   return QtmcTease{pos, dec.messages[pos], dec.r0, lambda};
 }
 
@@ -294,7 +334,7 @@ std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::soft_commit(
   while (!Bignum::gcd(r1, prod_all_.mod(r1)).is_one()) {
     r1 = rng.rand_bits(kRandomizerBits);
   }
-  QtmcCommitment com{pow_g(r0), pow_g(r1)};
+  QtmcCommitment com{canonical(pow_g(r0)), canonical(pow_g(r1))};
   return {std::move(com), QtmcSoftDecommit{std::move(r0), std::move(r1)}};
 }
 
@@ -320,32 +360,32 @@ void QtmcScheme::precompute_fixed_bases(bool position_bases) const {
       (!position_bases || fb_pos_ready_.load(std::memory_order_acquire))) {
     return;
   }
-  const Bytes key = sha256(pk_.serialize());
-  // The registry lock is held across table builds: concurrent instances of
-  // the SAME CRS then block instead of duplicating megabytes of work, and
-  // the build is one-time.
-  std::lock_guard<std::mutex> registry_lock(fixed_base_registry_mu());
-  FixedBaseSet& set = fixed_base_registry()[key];
+  // Builds run outside the registry lock: the per-entry once_flags dedupe
+  // concurrent builders of the SAME CRS (later arrivals block until the
+  // tables exist, instead of duplicating megabytes of work), while
+  // unrelated CRSs build in parallel.
+  const std::shared_ptr<FixedBaseEntry> entry =
+      fixed_base_entry(sha256(pk_.serialize()));
   if (!fb_ready_.load(std::memory_order_acquire)) {
-    if (set.g == nullptr) {
+    std::call_once(entry->base_once, [&] {
       // λ exponents reach z·P + Σ m_j·P_j < 2^{P_bits + kRandomizerBits + 8};
       // anything wider (hostile input) falls back to plain modexp inside
       // ModExpContext::exp, so the cap is a fast-path bound, not a limit.
       const int g_bits = prod_all_.bits() + kRandomizerBits + 8;
-      set.g = std::make_shared<const ModExpContext::FixedBaseTable>(
+      entry->set.g = std::make_shared<const ModExpContext::FixedBaseTable>(
           mexp_->precompute(pk_.g.mod(pk_.n), g_bits));
-      set.h = std::make_shared<const ModExpContext::FixedBaseTable>(
+      entry->set.h = std::make_shared<const ModExpContext::FixedBaseTable>(
           mexp_->precompute(pk_.h.mod(pk_.n), kMaxExponentBits));
-      set.h_tilde = std::make_shared<const ModExpContext::FixedBaseTable>(
+      entry->set.h_tilde = std::make_shared<const ModExpContext::FixedBaseTable>(
           mexp_->precompute(h_tilde_, kRandomizerBits));
-    }
-    fb_g_ = set.g;
-    fb_h_ = set.h;
-    fb_h_tilde_ = set.h_tilde;
+    });
+    fb_g_ = entry->set.g;
+    fb_h_ = entry->set.h;
+    fb_h_tilde_ = entry->set.h_tilde;
     fb_ready_.store(true, std::memory_order_release);
   }
   if (position_bases && !fb_pos_ready_.load(std::memory_order_acquire)) {
-    if (set.s == nullptr) {
+    std::call_once(entry->pos_once, [&] {
       std::vector<ModExpContext::FixedBaseTable> tables;
       tables.reserve(pk_.q);
       for (std::uint32_t i = 0; i < pk_.q; ++i) {
@@ -353,10 +393,11 @@ void QtmcScheme::precompute_fixed_bases(bool position_bases) const {
         tables.push_back(
             mexp_->precompute(s_[i], static_cast<int>(kMessageBytes) * 8));
       }
-      set.s = std::make_shared<const std::vector<ModExpContext::FixedBaseTable>>(
-          std::move(tables));
-    }
-    fb_s_ = set.s;
+      entry->set.s =
+          std::make_shared<const std::vector<ModExpContext::FixedBaseTable>>(
+              std::move(tables));
+    });
+    fb_s_ = entry->set.s;
     fb_pos_ready_.store(true, std::memory_order_release);
   }
 }
@@ -423,12 +464,21 @@ QtmcTease QtmcScheme::tease_soft(const QtmcSoftDecommit& dec,
     const Bignum um = mexp_->exp(u_base(pos), m);
     lambda = Bignum::mod_mul(lambda, Bignum::mod_inverse(um, pk_.n), pk_.n);
   }
+  lambda = canonical(lambda);
   return QtmcTease{pos, Bytes(msg.begin(), msg.end()), std::move(tau),
                    std::move(lambda)};
 }
 
-bool QtmcScheme::element_in_range(const Bignum& x) const {
-  return !x.is_zero() && !x.is_negative() && x < pk_.n;
+Bignum QtmcScheme::canonical(const Bignum& x) const {
+  return x > n_half_ ? pk_.n - x : x;
+}
+
+bool QtmcScheme::element_canonical(const Bignum& x) const {
+  // Requiring the canonical representative (not just [1, N)) makes element
+  // encodings unique: x and N−x name the same element of Z_N*/{±1}, and
+  // accepting both would let a prover flip signs to grind the Fiat–Shamir
+  // batching multipliers.
+  return !x.is_zero() && !x.is_negative() && x <= n_half_;
 }
 
 void QtmcScheme::accumulate_elements(const std::vector<RsaEquation>& eqs,
@@ -460,10 +510,11 @@ bool QtmcScheme::main_equation(const QtmcCommitment& com, std::uint32_t pos,
                                const Bignum& lambda,
                                std::vector<RsaEquation>& out) const {
   if (pos >= pk_.q || msg.size() != kMessageBytes) return false;
-  // Range checks only; coprimality with N is enforced by the consumer via
-  // elements_coprime (one aggregated gcd instead of one per element).
-  if (!element_in_range(com.c0) || !element_in_range(com.c1) ||
-      !element_in_range(lambda)) {
+  // Canonical-form checks only; coprimality with N is enforced by the
+  // consumer via elements_coprime (one aggregated gcd instead of one per
+  // element).
+  if (!element_canonical(com.c0) || !element_canonical(com.c1) ||
+      !element_canonical(lambda)) {
     return false;
   }
   if (tau.is_negative() || tau.bits() > kMaxExponentBits) return false;
@@ -538,7 +589,11 @@ bool QtmcScheme::check_scalar(const RsaEquation& eq) const {
     acc = have_acc ? Bignum::mod_mul(acc, factor, pk_.n) : std::move(factor);
     have_acc = true;
   }
-  return have_acc && acc == eq.rhs;
+  // Equality in Z_N*/{±1}: the RHS is canonical by emission
+  // (element_canonical), the LHS product is canonicalized here. Proof
+  // elements are canonicalized at generation, so honest equations — whose
+  // sides may differ by the sign a canonicalization flipped — still hold.
+  return have_acc && canonical(acc) == eq.rhs;
 }
 
 bool QtmcScheme::verify_open(const QtmcCommitment& com,
@@ -579,7 +634,7 @@ std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::fake_commit(
   while (!Bignum::gcd(r1, prod_all_.mod(r1)).is_one()) {
     r1 = Bignum::rand_bits(kRandomizerBits);
   }
-  QtmcCommitment com{pow_g(k), pow_h(r1)};
+  QtmcCommitment com{canonical(pow_g(k)), canonical(pow_h(r1))};
   return {std::move(com), QtmcSoftDecommit{std::move(k), std::move(r1)}};
 }
 
@@ -606,6 +661,7 @@ QtmcOpening QtmcScheme::fake_open(const QtmcSoftDecommit& dec,
     const Bignum um = mexp_->exp(u_base(pos), m);
     lambda = Bignum::mod_mul(lambda, Bignum::mod_inverse(um, pk_.n), pk_.n);
   }
+  lambda = canonical(lambda);
   return QtmcOpening{pos, Bytes(msg.begin(), msg.end()), std::move(tau),
                      std::move(lambda), dec.r1};
 }

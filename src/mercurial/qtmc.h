@@ -23,6 +23,14 @@
 //         Λ = g^{(r0 − τ·r1 − m·ρ_i)/e_i} · U_i^{−m},  U_i = g^{P_i div e_i}
 //     - can never be hard opened (requires dlog_h C1).
 //
+// Group elements live in the quotient group Z_N*/{±1}: every element the
+// scheme emits (C0, C1, Λ) is the canonical representative min(x, N−x),
+// verifiers structurally reject non-canonical proof elements, and the
+// verification equations compare canonical representatives. The quotient
+// removes the publicly-known order-2 element −1, which would otherwise
+// break small-exponent batch verification (DESIGN.md §5.5); binding is
+// unaffected, since a relation g^a = −g^b still yields g^{2(a−b)} = 1.
+//
 // Cost profile (matches the paper's Figure 4): qKGen / qHCom / qHOpen /
 // qSOpen-of-hard grow linearly with q (exponent sizes are Θ(q·|e|));
 // soft-commitment algorithms are constant in q (U_i values are cached per
@@ -150,10 +158,11 @@ class QtmcScheme {
   bool verify_tease(const QtmcCommitment& com, const QtmcTease& tease) const;
 
   /// Equation-accumulator flavour of verify_open: runs the structural
-  /// checks (position/message/exponent ranges, elements in [1, N)) and,
-  /// when they pass, appends the two product equations `h^{r1} == C1` and
-  /// `Λ^{e_pos}·S_pos^m·C1^τ == C0` to `out`. Returns false (appending
-  /// nothing) on structural failure. Coprimality of the proof-supplied
+  /// checks (position/message/exponent ranges, elements canonical in
+  /// [1, (N−1)/2]) and, when they pass, appends the two product equations
+  /// `h^{r1} == C1` and `Λ^{e_pos}·S_pos^m·C1^τ == C0` — both compared in
+  /// Z_N*/{±1} — to `out`. Returns false (appending nothing) on
+  /// structural failure. Coprimality of the proof-supplied
   /// elements with N is NOT checked here — consumers enforce it in
   /// aggregate via elements_coprime (one gcd per opening in the scalar
   /// verifiers, one per fold in BatchVerifier). The opening is valid iff
@@ -174,9 +183,14 @@ class QtmcScheme {
   Bignum eval_term(const RsaTerm& term) const;
 
   /// Evaluates one emitted equation exactly as verify_open/verify_tease
-  /// would (term-by-term, unfolded). May throw on internal crypto errors;
-  /// never on well-formed emitted equations.
+  /// would (term-by-term, unfolded, compared in Z_N*/{±1}). May throw on
+  /// internal crypto errors; never on well-formed emitted equations.
   bool check_scalar(const RsaEquation& eq) const;
+
+  /// Canonical representative of `x` in Z_N*/{±1}: min(x, N−x) for
+  /// x ∈ [0, N). All emitted elements are canonical and all verification
+  /// equations (scalar and folded) compare canonical representatives.
+  Bignum canonical(const Bignum& x) const;
 
   /// Folds every untrusted element of eqs[begin..end) — generic term bases
   /// and equation RHS values — into `acc` (mod N). Together with
@@ -222,7 +236,11 @@ class QtmcScheme {
   /// Tables live in a process-wide registry keyed by the public key, so
   /// every QtmcScheme instance built from the same CRS (proxy sessions,
   /// participants, cached EdbCrs copies) shares ONE table set — the
-  /// Montgomery representation depends only on the modulus.
+  /// Montgomery representation depends only on the modulus. The registry
+  /// is a small LRU (peers presenting many distinct CRSs cannot grow it
+  /// without bound; an evicted set stays alive while instances hold it),
+  /// and concurrent builders only serialize per CRS, never across
+  /// unrelated CRSs.
   void precompute_fixed_bases(bool position_bases = true) const;
 
   /// Identity of the adopted shared table set (nullptr until
@@ -246,10 +264,12 @@ class QtmcScheme {
   bool main_equation(const QtmcCommitment& com, std::uint32_t pos,
                      BytesView msg, const Bignum& tau, const Bignum& lambda,
                      std::vector<RsaEquation>& out) const;
-  bool element_in_range(const Bignum& x) const;
+  /// x ∈ [1, (N−1)/2]: a nonzero canonical representative of Z_N*/{±1}.
+  bool element_canonical(const Bignum& x) const;
 
   QtmcPublicKey pk_;
   std::size_t n_len_ = 0;
+  Bignum n_half_;  // (N−1)/2: canonical representatives are ≤ this
   std::unique_ptr<ModExpContext> mexp_;  // Montgomery context for N
   std::vector<Bignum> e_;      // primes e_1..e_q
   Bignum prod_all_;            // P = ∏ e_j

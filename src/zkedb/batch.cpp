@@ -221,7 +221,17 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
             shard_ok = false;
           }
         }
-        if (shard_ok) shard_ok = bv.verify().all_ok;
+        // verify() has no no-throw guarantee (BN_* failures, internal
+        // checks); a throw escaping a pool worker would not be converted
+        // into a rejection, so treat it as shard failure like the scalar
+        // verifiers' internal catch does.
+        if (shard_ok) {
+          try {
+            shard_ok = bv.verify().all_ok;
+          } catch (const Error&) {
+            shard_ok = false;
+          }
+        }
         if (!shard_ok) ok.store(false, std::memory_order_relaxed);
       });
       if (!ok.load()) return std::nullopt;
@@ -246,7 +256,13 @@ std::optional<std::map<EdbKey, Bytes>> edb_verify_membership_batch(
             shard_ok = false;
           }
         }
-        if (shard_ok) shard_ok = bv.verify().all_ok;
+        if (shard_ok) {
+          try {
+            shard_ok = bv.verify().all_ok;
+          } catch (const Error&) {
+            shard_ok = false;
+          }
+        }
         if (!shard_ok) ok.store(false, std::memory_order_relaxed);
       });
       if (!ok.load()) return std::nullopt;

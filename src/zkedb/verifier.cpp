@@ -283,11 +283,17 @@ std::vector<std::optional<Bytes>> edb_verify_membership_many(
       }
       pending.push_back({i, unit});
     }
-    const mercurial::BatchVerifier::Result res = bv.verify();
-    for (const Pending& p : pending) {
-      if (res.unit_ok[p.unit]) {
-        results[p.query] = queries[p.query].proof->value;
+    // Same exception discipline as the scalar verifiers: a verify() throw
+    // (BN_* failure, internal check) rejects the shard's pending units —
+    // their results stay nullopt — instead of escaping the pool worker.
+    try {
+      const mercurial::BatchVerifier::Result res = bv.verify();
+      for (const Pending& p : pending) {
+        if (res.unit_ok[p.unit]) {
+          results[p.query] = queries[p.query].proof->value;
+        }
       }
+    } catch (const Error&) {
     }
   });
   return results;

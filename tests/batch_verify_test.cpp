@@ -147,6 +147,73 @@ TEST_F(QtmcBatchTest, BisectionPinpointsSingleCorruptedUnitOf64) {
   }
 }
 
+// Equations are compared in Z_N*/{±1} and proof elements must be the
+// canonical representative min(x, N−x): replacing Λ by N−Λ (same quotient
+// element, non-canonical encoding, coprimality-invisible since
+// gcd(N−Λ, N) = gcd(Λ, N)) must be rejected by BOTH paths. In plain Z_N*
+// this forgery's fold defect (−1)^{e_pos} cancels for every even batching
+// multiplier, defeating small-exponent batching with probability 1/2.
+TEST_F(QtmcBatchTest, SignFlippedElementsRejectedByBothPaths) {
+  const Bignum& n = scheme_->public_key().n;
+  const auto [com, dec] = scheme_->hard_commit(make_messages(4));
+
+  QtmcOpening flipped_op = scheme_->hard_open(dec, 0);
+  flipped_op.lambda = n - flipped_op.lambda;
+  EXPECT_FALSE(scheme_->verify_open(com, flipped_op));
+
+  QtmcTease flipped_tease = scheme_->tease_hard(dec, 1);
+  flipped_tease.lambda = n - flipped_tease.lambda;
+  EXPECT_FALSE(scheme_->verify_tease(com, flipped_tease));
+
+  mercurial::QtmcCommitment flipped_com = com;
+  flipped_com.c0 = n - flipped_com.c0;
+  EXPECT_FALSE(scheme_->verify_open(flipped_com, scheme_->hard_open(dec, 2)));
+
+  BatchVerifier bv(*scheme_);
+  bv.begin_unit();
+  EXPECT_FALSE(bv.add_open(com, flipped_op));
+  bv.begin_unit();
+  EXPECT_FALSE(bv.add_tease(com, flipped_tease));
+  bv.begin_unit();
+  EXPECT_FALSE(bv.add_open(flipped_com, scheme_->hard_open(dec, 2)));
+  const auto res = bv.verify();
+  EXPECT_FALSE(res.all_ok);
+  for (std::size_t i = 0; i < res.unit_ok.size(); ++i) {
+    EXPECT_FALSE(res.unit_ok[i]) << "unit " << i;
+  }
+}
+
+// The deterministic Fiat–Shamir multipliers make acceptance offline-
+// computable, so a 1/2-probability hole would be grindable to certainty;
+// the rejection must therefore be unconditional — a sign-flipped unit in a
+// large batch is rejected structurally, never reaching the fold, while the
+// honest remainder still folds clean.
+TEST_F(QtmcBatchTest, SignFlipInLargeBatchRejectedRegardlessOfMultipliers) {
+  constexpr std::size_t kUnits = 32;
+  constexpr std::size_t kBad = 11;
+  const Bignum& n = scheme_->public_key().n;
+  const auto [com, dec] = scheme_->hard_commit(make_messages(4));
+
+  BatchVerifier bv(*scheme_);
+  for (std::size_t i = 0; i < kUnits; ++i) {
+    bv.begin_unit();
+    QtmcOpening op = scheme_->hard_open(
+        dec, static_cast<std::uint32_t>(i % scheme_->arity()));
+    if (i == kBad) {
+      op.lambda = n - op.lambda;
+      EXPECT_FALSE(bv.add_open(com, op));
+    } else {
+      ASSERT_TRUE(bv.add_open(com, op)) << "unit " << i;
+    }
+  }
+  const auto res = bv.verify();
+  EXPECT_FALSE(res.all_ok);
+  ASSERT_EQ(res.unit_ok.size(), kUnits);
+  for (std::size_t i = 0; i < kUnits; ++i) {
+    EXPECT_EQ(res.unit_ok[i], i != kBad) << "unit " << i;
+  }
+}
+
 TEST_F(QtmcBatchTest, EmptyBatchAcceptsVacuously) {
   BatchVerifier bv(*scheme_);
   const auto res = bv.verify();
@@ -275,6 +342,13 @@ TEST_F(EdbDifferentialTest, MembershipValidAndTamperedAgree) {
   auto value_tampered = proof;
   value_tampered.value = bytes_of("forged value");
   EXPECT_FALSE(verify_both(key, value_tampered).has_value());
+
+  // Sign flip Λ → N−Λ: the same element of Z_N*/{±1} in non-canonical
+  // encoding; must be structurally rejected by both strategies.
+  auto sign_tampered = proof;
+  sign_tampered.openings[1].lambda =
+      crs_->params().qtmc_pk.n - sign_tampered.openings[1].lambda;
+  EXPECT_FALSE(verify_both(key, sign_tampered).has_value());
 
   auto leaf_tampered = proof;
   leaf_tampered.leaf_opening.r0 += Bignum(1);
