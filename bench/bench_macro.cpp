@@ -11,6 +11,7 @@
 // depth; each product traverses exactly `depth` participants.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
 #include "bench_util.h"
@@ -115,6 +116,96 @@ void BM_BadQuery(benchmark::State& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Serial vs concurrent query throughput (executor/scheduler acceptance).
+//
+// One wave of kQueryBatch good-product queries over the same deployment,
+// driven either one run_query() at a time (workers=0, the legacy inline
+// path) or as a single run_queries() batch with `workers` crypto threads
+// and `in_flight` sessions admitted at once. The queries_per_sec counters
+// of the Serial and Concurrent cases pair up in tools/run_bench.sh into
+// the "query_throughput" speedup summary.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kQueryBatch = 16;
+
+struct ThroughputFixture {
+  std::unique_ptr<Scenario> scenario;
+  std::vector<supplychain::ProductId> products;
+};
+
+ThroughputFixture& throughput_fixture(unsigned workers, std::size_t in_flight) {
+  static std::map<std::pair<unsigned, std::size_t>,
+                  std::unique_ptr<ThroughputFixture>>
+      cache;
+  const auto key = std::make_pair(workers, in_flight);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto fx = std::make_unique<ThroughputFixture>();
+    ScenarioConfig cfg;
+    cfg.edb = macro_edb();
+    cfg.worker_threads = workers;
+    cfg.max_concurrent_queries = in_flight;
+    fx->scenario = std::make_unique<Scenario>(
+        supplychain::SupplyChainGraph::layered(4, 3, 2), cfg);
+    supplychain::DistributionConfig dist;
+    dist.initial = "L0-0";
+    // Serial range chosen to avoid EDB key-prefix collisions in the tiny
+    // quick-mode tree (q=4, h=8); see zkedb capacity notes in DESIGN.md.
+    dist.products = supplychain::make_products(1, 0, kQueryBatch);
+    fx->scenario->run_task("throughput-task", dist);
+    fx->products = dist.products;
+    it = cache.emplace(key, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+void BM_QueryThroughput(benchmark::State& state) {
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  const std::size_t in_flight = static_cast<std::size_t>(state.range(1));
+  ThroughputFixture& fx = throughput_fixture(workers, in_flight);
+  std::uint64_t queries = 0;
+  const auto started = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    if (in_flight <= 1) {
+      for (const auto& product : fx.products) {
+        const QueryOutcome outcome = fx.scenario->proxy().run_query(
+            product, ProductQuality::kGood, std::string("throughput-task"));
+        if (!outcome.complete) {
+          state.SkipWithError("query did not complete");
+          return;
+        }
+        ++queries;
+      }
+    } else {
+      for (const QueryOutcome& outcome : fx.scenario->proxy().run_queries(
+               fx.products, ProductQuality::kGood,
+               std::string("throughput-task"))) {
+        if (!outcome.complete) {
+          state.SkipWithError("query did not complete");
+          return;
+        }
+        ++queries;
+      }
+    }
+  }
+  // Wall-clock rate: google-benchmark rate counters divide by CPU time,
+  // which double-counts the worker threads this case exists to measure.
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  state.counters["queries_per_sec"] =
+      seconds > 0 ? static_cast<double>(queries) / seconds : 0.0;
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["in_flight"] = static_cast<double>(in_flight);
+}
+
+/// (workers, sessions in flight) configurations for the concurrent case.
+std::vector<std::pair<long, long>> concurrency_sweep() {
+  if (benchutil::quick_mode()) return {{4, 16}};
+  return {{2, 4}, {4, 4}, {2, 16}, {4, 16}};
+}
+
 void register_all() {
   for (const long depth : depth_sweep()) {
     benchmark::RegisterBenchmark("Macro/DistributionPhase",
@@ -130,6 +221,18 @@ void register_all() {
         ->Arg(depth)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(5);
+  }
+  benchmark::RegisterBenchmark("Macro/QueryThroughputSerial",
+                               BM_QueryThroughput)
+      ->Args({0, 1})
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(3);
+  for (const auto& [workers, in_flight] : concurrency_sweep()) {
+    benchmark::RegisterBenchmark("Macro/QueryThroughputConcurrent",
+                                 BM_QueryThroughput)
+        ->Args({workers, in_flight})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
   }
 }
 

@@ -1,0 +1,130 @@
+#include "common/executor.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/timing.h"
+
+namespace desword {
+
+namespace {
+
+// Hooks are stored as individual atomic function pointers so installation
+// (once, at startup) and invocation (hot, from workers) need no lock and
+// stay TSan-clean.
+std::atomic<void (*)()> g_hook_submitted{nullptr};
+std::atomic<void (*)(double, double)> g_hook_completed{nullptr};
+
+}  // namespace
+
+void set_executor_hooks(ExecutorHooks hooks) {
+  g_hook_submitted.store(hooks.submitted, std::memory_order_relaxed);
+  g_hook_completed.store(hooks.completed, std::memory_order_relaxed);
+}
+
+Executor::Executor(unsigned workers)
+    // with_threads() counts total concurrency (caller + workers), so an
+    // executor with `workers` OS worker threads needs a pool of width
+    // workers + 1; workers == 0 maps to the inline concurrency-1 pool.
+    : pool_(ThreadPool::with_threads(workers + 1)) {}
+
+Executor::Executor(ThreadPool& pool) : pool_(pool) {}
+
+Executor::~Executor() { drain(); }
+
+void Executor::post(std::function<void()> fn) {
+  if (!fn) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  if (auto* hook = g_hook_submitted.load(std::memory_order_relaxed)) hook();
+  const std::uint64_t posted_ns = now_ns();
+  pool_.submit([this, posted_ns, fn = std::move(fn)] {
+    const std::uint64_t start_ns = now_ns();
+    try {
+      fn();
+    } catch (...) {
+      // Fire-and-forget: there is no caller to rethrow to. Tasks that can
+      // fail report through their own completion channel.
+    }
+    const std::uint64_t end_ns = now_ns();
+    // The completion hook fires BEFORE the pending count drops: drain()
+    // returning must imply every submitted task's metrics have landed, or
+    // a completion could be attributed past the executor's lifetime.
+    if (auto* hook = g_hook_completed.load(std::memory_order_relaxed)) {
+      hook(static_cast<double>(start_ns - posted_ns) / 1e6,
+           static_cast<double>(end_ns - start_ns) / 1e6);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  });
+}
+
+void Executor::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+std::size_t Executor::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_;
+}
+
+Strand::Strand(std::shared_ptr<Executor> executor)
+    : executor_(std::move(executor)), state_(std::make_shared<State>()) {}
+
+void Strand::post(std::function<void()> fn) {
+  if (!fn) return;
+  bool start_drainer = false;
+  {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    state_->queue.push_back(std::move(fn));
+    if (!state_->running) {
+      state_->running = true;
+      start_drainer = true;
+    }
+  }
+  if (start_drainer) {
+    // The drainer holds the state alive by shared_ptr; on an inline
+    // executor it runs (and empties the queue) before post() returns.
+    auto state = state_;
+    executor_->post([state] { run_queue(state); });
+  }
+}
+
+void Strand::run_queue(const std::shared_ptr<State>& state) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      if (state->queue.empty()) {
+        state->running = false;
+        state->idle_cv.notify_all();
+        return;
+      }
+      task = std::move(state->queue.front());
+      state->queue.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      // Same fire-and-forget contract as Executor::post.
+    }
+  }
+}
+
+void Strand::drain() {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->idle_cv.wait(lk,
+                       [&] { return state_->queue.empty() && !state_->running; });
+}
+
+std::size_t Strand::pending() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->queue.size() + (state_->running ? 1 : 0);
+}
+
+}  // namespace desword

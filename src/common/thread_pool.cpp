@@ -91,20 +91,52 @@ void ThreadPool::for_each(std::size_t n,
   }
 }
 
+void ThreadPool::submit(std::function<void()> fn) {
+  if (!fn) return;
+  if (workers_.empty()) {
+    // No workers to hand off to: degrade to inline execution, exactly like
+    // for_each does on a concurrency-1 pool.
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
+    std::function<void()> task;
     std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      work_cv_.wait(lk,
+                    [&] { return stop_ || !queue_.empty() || !tasks_.empty(); });
       if (stop_) return;
-      batch = queue_.front();
-      if (batch->drained()) {
-        // Fully claimed (possibly still running elsewhere): retire it from
-        // the queue and look for the next batch.
-        queue_.pop_front();
-        continue;
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else {
+        batch = queue_.front();
+        if (batch->drained()) {
+          // Fully claimed (possibly still running elsewhere): retire it from
+          // the queue and look for the next batch.
+          queue_.pop_front();
+          continue;
+        }
       }
+    }
+    if (task) {
+      try {
+        task();
+      } catch (...) {
+        // Detached task: nobody to rethrow to. The Executor layer wraps
+        // every submission in its own catch, so this is a last-resort
+        // guard keeping a buggy task from terminating the worker.
+      }
+      continue;
     }
     while (run_one(*batch)) {
     }

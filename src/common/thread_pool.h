@@ -52,6 +52,14 @@ class ThreadPool {
   /// (remaining unclaimed indices are abandoned).
   void for_each(std::size_t n, const std::function<void(std::size_t)>& f);
 
+  /// Fire-and-forget: enqueues `fn` for execution on a worker thread and
+  /// returns immediately. On a pool with no workers (concurrency 1) the
+  /// task runs inline on the calling thread instead. `fn` must not throw —
+  /// an escaping exception from a detached task is swallowed (there is no
+  /// caller to rethrow to); wrap tasks that can fail (the Executor layer
+  /// does exactly that).
+  void submit(std::function<void()> fn);
+
   /// Effective default concurrency: set_default_threads() override if any,
   /// else DESWORD_THREADS (clamped to >= 1), else hardware_concurrency().
   static unsigned default_threads();
@@ -87,9 +95,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a batch is available
+  std::condition_variable work_cv_;  // workers: a batch or task is available
   std::condition_variable done_cv_;  // callers: a batch may have completed
   std::deque<std::shared_ptr<Batch>> queue_;
+  std::deque<std::function<void()>> tasks_;  // detached submit() tasks
   bool stop_ = false;
 };
 

@@ -31,6 +31,11 @@ obs::Counter& reply_cache_evictions() {
   return c;
 }
 
+obs::Counter& reply_cache_joined() {
+  static obs::Counter& c = obs::metric("net.reply_cache.joined");
+  return c;
+}
+
 obs::Counter& ownership_proofs() {
   static obs::Counter& c = obs::metric("protocol.proof.ownership");
   return c;
@@ -69,10 +74,20 @@ Participant::Participant(ParticipantId id,
 }
 
 Participant::~Participant() {
+  // Finish in-flight proof builds first: after the drain no worker touches
+  // this object (or its owned transport) again. Completions already posted
+  // to the loop guard themselves with the aliveness token.
+  if (strand_) strand_->drain();
   for (auto& [task_id, task] : tasks_) {
     if (task.ps_retry_timer != 0) transport_.cancel_timer(task.ps_retry_timer);
   }
   if (transport_.has_node(id_)) transport_.unregister_node(id_);
+}
+
+void Participant::set_executor(std::shared_ptr<Executor> executor) {
+  if (strand_) strand_->drain();
+  executor_ = std::move(executor);
+  strand_ = executor_ ? std::make_unique<Strand>(executor_) : nullptr;
 }
 
 void Participant::load_database(supplychain::TraceDatabase db) {
@@ -438,7 +453,7 @@ void Participant::set_reply_cache_capacity(std::size_t cap) {
 
 void Participant::respond_cached(const net::Envelope& env,
                                  const std::string& resp_type,
-                                 const std::function<Bytes()>& compute) {
+                                 std::function<Bytes()> compute) {
   const Bytes key = TaggedHasher("desword.reply-cache")
                         .add_str(env.type)
                         .add(env.payload)
@@ -452,8 +467,62 @@ void Participant::respond_cached(const net::Envelope& env,
     transport_.send(id_, env.from, it->second.type, it->second.payload);
     return;
   }
+  const auto inflight = in_flight_.find(key);
+  if (inflight != in_flight_.end()) {
+    // The original request's proof is still being generated on the strand:
+    // attach to that job instead of re-running it. Each arrival still gets
+    // its own response delivery when the build lands.
+    stats_.duplicate_requests_served += 1;
+    reply_cache_joined().add();
+    inflight->second.waiters.push_back(env.from);
+    return;
+  }
   reply_cache_misses().add();
-  Bytes payload = compute();
+  if (!strand_) {
+    // Inline (legacy) mode: compute, cache, send — all in the handler.
+    Bytes payload = compute();
+    while (reply_cache_capacity_ > 0 &&
+           reply_cache_.size() >= reply_cache_capacity_) {
+      reply_cache_.erase(reply_cache_lru_.back());
+      reply_cache_lru_.pop_back();
+      reply_cache_evictions().add();
+    }
+    reply_cache_lru_.push_front(key);
+    reply_cache_[key] =
+        CachedReply{resp_type, payload, reply_cache_lru_.begin()};
+    transport_.send(id_, env.from, resp_type, std::move(payload));
+    return;
+  }
+  in_flight_.emplace(key, InFlight{resp_type, {env.from}});
+  transport_.add_work();
+  std::weak_ptr<void> token = alive_;
+  strand_->post([this, token, key, compute = std::move(compute)] {
+    Bytes payload;
+    bool ok = true;
+    try {
+      payload = compute();
+    } catch (...) {
+      // Any failure clears the in-flight entry on the loop; a retransmitted
+      // request then recomputes from scratch.
+      ok = false;
+    }
+    // Post the completion BEFORE releasing the work bracket: the loop must
+    // never observe "no work pending" while a completion is still owed, or
+    // the simulator would declare quiescence and fire a stall-scan round.
+    transport_.post([this, token, key, ok, payload = std::move(payload)]() mutable {
+      if (token.expired()) return;
+      finish_in_flight(key, ok, std::move(payload));
+    });
+    transport_.remove_work();
+  });
+}
+
+void Participant::finish_in_flight(const Bytes& key, bool ok, Bytes payload) {
+  const auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return;
+  InFlight entry = std::move(it->second);
+  in_flight_.erase(it);
+  if (!ok) return;
   while (reply_cache_capacity_ > 0 &&
          reply_cache_.size() >= reply_cache_capacity_) {
     reply_cache_.erase(reply_cache_lru_.back());
@@ -461,107 +530,128 @@ void Participant::respond_cached(const net::Envelope& env,
     reply_cache_evictions().add();
   }
   reply_cache_lru_.push_front(key);
-  reply_cache_[key] = CachedReply{resp_type, payload, reply_cache_lru_.begin()};
-  transport_.send(id_, env.from, resp_type, std::move(payload));
+  reply_cache_[key] = CachedReply{entry.resp_type, payload,
+                                  reply_cache_lru_.begin()};
+  for (const net::NodeId& waiter : entry.waiters) {
+    transport_.send(id_, waiter, entry.resp_type, payload);
+  }
 }
 
 void Participant::on_query_request(const net::Envelope& env,
                                    const QueryRequest& m) {
   if (query_behavior_.unresponsive) return;
-  respond_cached(env, msg::kQueryResponse, [&]() -> Bytes {
-    QueryResponse resp;
-    resp.query_id = m.query_id;
-
-    const ProofContext* ctx = context_for(m.poc);
-    if (ctx == nullptr) {
-      // We never built this POC: answer "not processing", no proof. The
-      // proxy treats the missing proof according to the product quality.
-      resp.claims_processing = false;
-      return resp.serialize();
-    }
-
-    const bool committed = ctx->dpoc->owns(m.product);
-    if (m.quality == ProductQuality::kGood) {
-      if (committed && query_behavior_.claim_non_processing.count(m.product) ==
-                           0) {
-        // Honest: claim processing with an ownership proof (tampered if the
-        // wrong-trace deviation is configured).
-        resp.claims_processing = true;
-        resp.proof = make_ownership_proof(*ctx, m.product);
-      } else if (!committed &&
-                 query_behavior_.claim_processing.count(m.product) > 0) {
-        // "Claim processing": the best a cheater can do is send something
-        // shaped like a proof — here its (valid) non-ownership proof dressed
-        // up as an ownership proof. Verification must reject it.
-        stats_.proofs_generated += 1;
-        ownership_proofs().add();
-        poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
-        forged.ownership = true;
-        resp.claims_processing = true;
-        resp.proof = forged.serialize();
-      } else {
-        resp.claims_processing = false;  // forfeit the positive score
-      }
-    } else {  // bad product
-      if (!committed) {
-        // Honest denial with a non-ownership proof.
-        stats_.proofs_generated += 1;
-        non_ownership_proofs().add();
-        resp.claims_processing = false;
-        resp.proof = maybe_corrupt_proof(
-            m.product, ctx->scheme->prove(*ctx->dpoc, m.product).serialize());
-      } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
-        // "Claim non-processing": forge a denial. A valid non-ownership
-        // proof cannot exist (Claim 1), so the cheater sends its ownership
-        // proof relabelled — or garbage; either way verification rejects.
-        stats_.proofs_generated += 1;
-        non_ownership_proofs().add();
-        poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
-        forged.ownership = false;
-        forged.zk_proof = random_bytes(64);
-        resp.claims_processing = false;
-        resp.proof = forged.serialize();
-      } else {
-        // Honest: cannot deny; admit processing and await the reveal round.
-        resp.claims_processing = true;
-      }
-    }
-    return resp.serialize();
+  // Resolve the proving context here (contexts_ is loop-thread state) and
+  // hand the builder a copy: the strand job must not touch the map.
+  std::optional<ProofContext> ctx;
+  if (const ProofContext* found = context_for(m.poc)) ctx = *found;
+  respond_cached(env, msg::kQueryResponse, [this, m, ctx]() -> Bytes {
+    return build_query_response(m, ctx);
   });
+}
+
+Bytes Participant::build_query_response(const QueryRequest& m,
+                                        const std::optional<ProofContext>& ctx) {
+  QueryResponse resp;
+  resp.query_id = m.query_id;
+
+  if (!ctx.has_value()) {
+    // We never built this POC: answer "not processing", no proof. The
+    // proxy treats the missing proof according to the product quality.
+    resp.claims_processing = false;
+    return resp.serialize();
+  }
+
+  const bool committed = ctx->dpoc->owns(m.product);
+  if (m.quality == ProductQuality::kGood) {
+    if (committed && query_behavior_.claim_non_processing.count(m.product) ==
+                         0) {
+      // Honest: claim processing with an ownership proof (tampered if the
+      // wrong-trace deviation is configured).
+      resp.claims_processing = true;
+      resp.proof = make_ownership_proof(*ctx, m.product);
+    } else if (!committed &&
+               query_behavior_.claim_processing.count(m.product) > 0) {
+      // "Claim processing": the best a cheater can do is send something
+      // shaped like a proof — here its (valid) non-ownership proof dressed
+      // up as an ownership proof. Verification must reject it.
+      stats_.proofs_generated += 1;
+      ownership_proofs().add();
+      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+      forged.ownership = true;
+      resp.claims_processing = true;
+      resp.proof = forged.serialize();
+    } else {
+      resp.claims_processing = false;  // forfeit the positive score
+    }
+  } else {  // bad product
+    if (!committed) {
+      // Honest denial with a non-ownership proof.
+      stats_.proofs_generated += 1;
+      non_ownership_proofs().add();
+      resp.claims_processing = false;
+      resp.proof = maybe_corrupt_proof(
+          m.product, ctx->scheme->prove(*ctx->dpoc, m.product).serialize());
+    } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
+      // "Claim non-processing": forge a denial. A valid non-ownership
+      // proof cannot exist (Claim 1), so the cheater sends its ownership
+      // proof relabelled — or garbage; either way verification rejects.
+      stats_.proofs_generated += 1;
+      non_ownership_proofs().add();
+      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+      forged.ownership = false;
+      forged.zk_proof = random_bytes(64);
+      resp.claims_processing = false;
+      resp.proof = forged.serialize();
+    } else {
+      // Honest: cannot deny; admit processing and await the reveal round.
+      resp.claims_processing = true;
+    }
+  }
+  return resp.serialize();
 }
 
 void Participant::on_reveal_request(const net::Envelope& env,
                                     const RevealRequest& m) {
   if (query_behavior_.unresponsive) return;
-  respond_cached(env, msg::kRevealResponse, [&]() -> Bytes {
-    RevealResponse resp;
-    resp.query_id = m.query_id;
-    const ProofContext* ctx = context_for(m.poc);
-    if (ctx != nullptr && ctx->dpoc->owns(m.product) &&
-        !query_behavior_.refuse_reveal) {
-      resp.proof = make_ownership_proof(*ctx, m.product);
-    }
-    return resp.serialize();
+  std::optional<ProofContext> ctx;
+  if (const ProofContext* found = context_for(m.poc)) ctx = *found;
+  respond_cached(env, msg::kRevealResponse, [this, m, ctx]() -> Bytes {
+    return build_reveal_response(m, ctx);
   });
+}
+
+Bytes Participant::build_reveal_response(
+    const RevealRequest& m, const std::optional<ProofContext>& ctx) {
+  RevealResponse resp;
+  resp.query_id = m.query_id;
+  if (ctx.has_value() && ctx->dpoc->owns(m.product) &&
+      !query_behavior_.refuse_reveal) {
+    resp.proof = make_ownership_proof(*ctx, m.product);
+  }
+  return resp.serialize();
 }
 
 void Participant::on_next_hop_request(const net::Envelope& env,
                                       const NextHopRequest& m) {
   if (query_behavior_.unresponsive) return;
-  respond_cached(env, msg::kNextHopResponse, [&]() -> Bytes {
-    NextHopResponse resp;
-    resp.query_id = m.query_id;
-    const auto wrong = query_behavior_.wrong_next.find(m.product);
-    if (query_behavior_.false_termination.count(m.product) > 0) {
-      // Pretend the product's journey ended here.
-    } else if (wrong != query_behavior_.wrong_next.end()) {
-      resp.next = wrong->second;
-    } else {
-      const auto it = shipments_.find(m.product);
-      if (it != shipments_.end()) resp.next = it->second;
-    }
-    return resp.serialize();
+  respond_cached(env, msg::kNextHopResponse, [this, m]() -> Bytes {
+    return build_next_hop_response(m);
   });
+}
+
+Bytes Participant::build_next_hop_response(const NextHopRequest& m) const {
+  NextHopResponse resp;
+  resp.query_id = m.query_id;
+  const auto wrong = query_behavior_.wrong_next.find(m.product);
+  if (query_behavior_.false_termination.count(m.product) > 0) {
+    // Pretend the product's journey ended here.
+  } else if (wrong != query_behavior_.wrong_next.end()) {
+    resp.next = wrong->second;
+  } else {
+    const auto it = shipments_.find(m.product);
+    if (it != shipments_.end()) resp.next = it->second;
+  }
+  return resp.serialize();
 }
 
 }  // namespace desword::protocol

@@ -16,6 +16,7 @@
 // cost bytes but never CPU.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "desword/behavior.h"
 #include "desword/crs_cache.h"
 #include "desword/messages.h"
@@ -95,12 +97,22 @@ class Participant {
   const poc::Poc* poc_for_task(const std::string& task_id) const;
 
   struct Stats {
-    /// Query-phase requests answered from the reply cache (no recompute).
-    std::uint64_t duplicate_requests_served = 0;
+    /// Query-phase requests answered from the reply cache (no recompute) or
+    /// joined onto an in-flight proof generation. Atomic because proof
+    /// builders bump counters from executor workers.
+    std::atomic<std::uint64_t> duplicate_requests_served{0};
     /// POC proofs actually generated (each is heavyweight ZK-EDB work).
-    std::uint64_t proofs_generated = 0;
+    std::atomic<std::uint64_t> proofs_generated{0};
   };
   const Stats& stats() const { return stats_; }
+
+  /// Attaches an executor: query/reveal/next-hop responses are then built
+  /// on a per-participant strand (proof generation serialized per node,
+  /// concurrent across nodes) and sent from the loop thread via
+  /// `Transport::post()`. Without an executor (the default) every response
+  /// is computed inline in the handler, byte-identically to the historical
+  /// behavior. Must be called before query traffic arrives.
+  void set_executor(std::shared_ptr<Executor> executor);
 
   /// Rebounds the query-phase reply cache (LRU; 0 = unbounded). Shrinks
   /// eagerly, evicting least-recently-used entries, when lowered.
@@ -161,10 +173,18 @@ class Participant {
   void maybe_submit_list(TaskState& task);
   void on_ps_retry(const std::string& task_id);
 
-  // Query phase.
+  // Query phase. Handlers only resolve the proving context (loop-thread
+  // state) and hand a self-contained builder closure to respond_cached;
+  // the expensive proof generation lives in the build_* methods, which
+  // touch nothing but their by-value captures and are safe on a worker.
   void on_query_request(const net::Envelope& env, const QueryRequest& m);
   void on_reveal_request(const net::Envelope& env, const RevealRequest& m);
   void on_next_hop_request(const net::Envelope& env, const NextHopRequest& m);
+  Bytes build_query_response(const QueryRequest& m,
+                             const std::optional<ProofContext>& ctx);
+  Bytes build_reveal_response(const RevealRequest& m,
+                              const std::optional<ProofContext>& ctx);
+  Bytes build_next_hop_response(const NextHopRequest& m) const;
   const ProofContext* context_for(const Bytes& poc_bytes) const;
   /// Ownership proof honouring wrong_trace behaviour.
   Bytes make_ownership_proof(const ProofContext& ctx,
@@ -177,8 +197,19 @@ class Participant {
   /// via `compute`, caches it, and sends it. Deduplication is keyed on a
   /// digest of the request (type + payload), so retransmitted requests get
   /// byte-identical responses without re-running proof generation.
+  ///
+  /// With an executor attached, `compute` runs on the participant's strand
+  /// and the response is cached + sent from a posted loop-thread
+  /// completion; a duplicate request arriving while the original is still
+  /// being generated joins the in-flight entry (one proof generation, one
+  /// response delivery per request arrival). `compute` must be
+  /// self-contained (by-value captures only).
   void respond_cached(const net::Envelope& env, const std::string& resp_type,
-                      const std::function<Bytes()>& compute);
+                      std::function<Bytes()> compute);
+  /// Loop-thread completion of an offloaded `compute`: caches the payload,
+  /// answers every joined waiter. A failed compute (`ok == false`) just
+  /// clears the in-flight entry so a retransmission recomputes.
+  void finish_in_flight(const Bytes& key, bool ok, Bytes payload);
 
   ParticipantId id_;
   std::unique_ptr<net::SimTransport> owned_transport_;  // compat ctor only
@@ -201,12 +232,29 @@ class Participant {
   };
   std::map<Bytes, CachedReply> reply_cache_;  // request digest -> reply
   std::list<Bytes> reply_cache_lru_;          // most recently used first
+  /// "In-flight" reply-cache state: requests whose response is being built
+  /// on the strand right now. Loop-thread only. `waiters` records every
+  /// request arrival (original + joined duplicates); each gets its own
+  /// response delivery when the build completes.
+  struct InFlight {
+    std::string resp_type;
+    std::vector<net::NodeId> waiters;
+  };
+  std::map<Bytes, InFlight> in_flight_;
   /// Sized for the retransmission window of a handful of concurrent
   /// queries, not for history: a digest plus response per in-flight
   /// request round.
   std::size_t reply_cache_capacity_ = 128;
   Stats stats_;
   net::Handler fallback_;
+
+  std::shared_ptr<Executor> executor_;  // null = inline (legacy) mode
+  std::unique_ptr<Strand> strand_;      // per-participant proof ordering
+  /// Aliveness token for posted completions: a completion that outlives
+  /// this participant (weak_ptr expired) becomes a no-op instead of a
+  /// use-after-free. The destructor drains the strand first, so workers
+  /// never outlive the object either.
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace desword::protocol

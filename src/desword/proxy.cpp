@@ -35,6 +35,11 @@ obs::Gauge& sessions_active() {
   return g;
 }
 
+obs::Counter& pump_stalled() {
+  static obs::Counter& c = obs::metric("protocol.pump.stalled");
+  return c;
+}
+
 }  // namespace
 
 Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
@@ -80,11 +85,24 @@ Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
   zkedb::EdbVerifyOptions verify_opts;
   verify_opts.batched = config_.batch_verify;
   scheme_ = std::make_unique<poc::PocScheme>(crs_, verify_opts);
+  if (config_.worker_threads > 0) {
+    obs::install_executor_metrics();
+    executor_ = std::make_shared<Executor>(config_.worker_threads);
+  }
+  scheduler_ = std::make_unique<QueryScheduler>(
+      config_.max_concurrent_queries,
+      [this](std::uint64_t qid) { launch_query(qid); });
   transport_.register_node(id_,
                            [this](const net::Envelope& env) { handle(env); });
 }
 
 Proxy::~Proxy() {
+  // Drain before teardown: executor pending hitting zero implies every
+  // session strand is empty too (a strand with queued work always has a
+  // drainer task pending), so no worker still touches `this` or the
+  // transport. Verdict completions already posted but never polled expire
+  // against the aliveness token.
+  if (executor_) executor_->drain();
   for (auto& [qid, s] : sessions_) {
     if (s.retrans_timer != 0) transport_.cancel_timer(s.retrans_timer);
   }
@@ -209,12 +227,24 @@ std::uint64_t Proxy::begin_query(const supplychain::ProductId& product,
     finish(s, /*complete=*/false);
     return query_id;
   }
-  const Candidate& cand = s.candidates[0];
+  if (!scheduler_->submit(query_id)) {
+    s.trace.record(transport_.now(), id_, obs::span::kQueued,
+                   "concurrency_limit");
+  }
+  return query_id;
+}
+
+void Proxy::launch_query(std::uint64_t query_id) {
+  const auto it = sessions_.find(query_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (s.phase == Phase::kDone) return;
+  s.trace.record(transport_.now(), id_, obs::span::kAdmitted, "");
+  const Candidate& cand = s.candidates[s.candidate_idx];
   send_tracked(s, cand.participant, msg::kQueryRequest,
-               QueryRequest{query_id, product, quality,
+               QueryRequest{query_id, s.outcome.product, s.outcome.quality,
                             cand.poc.serialize()}
                    .serialize());
-  return query_id;
 }
 
 void Proxy::send_tracked(Session& s, const net::NodeId& to,
@@ -305,8 +335,7 @@ void Proxy::advance_candidate(Session& s) {
 }
 
 void Proxy::start_walk(Session& s, const Candidate& candidate,
-                       bool already_identified,
-                       std::optional<Bytes> proof_bytes) {
+                       const std::optional<OwnershipCheck>& pre_verified) {
   const auto it = lists_.find(candidate.task_id);
   if (it == lists_.end()) {
     finish(s, false);
@@ -319,9 +348,11 @@ void Proxy::start_walk(Session& s, const Candidate& candidate,
   s.previous.clear();
   s.visited.push_back(s.current);
 
-  if (already_identified && proof_bytes.has_value()) {
-    if (!absorb_ownership_proof(s, *proof_bytes)) {
-      // Should not happen: the caller verified before identifying.
+  if (pre_verified.has_value()) {
+    // The initial scan already verified this hop's ownership proof once;
+    // absorbing the cached verdict records the hop's single verify span.
+    if (!absorb_ownership_result(s, *pre_verified)) {
+      // Should not happen: the caller checked validity before identifying.
       finish(s, false);
       return;
     }
@@ -360,34 +391,134 @@ void Proxy::record_verify(Session& s, const std::string& peer, bool ok,
                  ok ? obs::span::kVerifyOk : obs::span::kVerifyFail, kind);
 }
 
-bool Proxy::absorb_ownership_proof(Session& s, const Bytes& proof_bytes) {
+Proxy::OwnershipCheck Proxy::check_ownership(
+    const poc::Poc& poc, const supplychain::ProductId& product,
+    const Bytes& proof_bytes) const {
+  OwnershipCheck check;
   try {
     const poc::PocProof proof = poc::PocProof::deserialize(proof_bytes);
-    if (!proof.ownership) {
-      record_verify(s, s.current, false, "ownership");
-      return false;
-    }
-    const poc::PocVerifyResult result =
-        scheme().verify(s.current_poc, s.outcome.product, proof);
-    if (result.verdict != poc::PocVerdict::kTrace) {
-      record_verify(s, s.current, false, "ownership");
-      return false;
-    }
-    record_verify(s, s.current, true, "ownership");
-    RecoveredTrace trace;
-    trace.da = *result.trace_info;
-    try {
-      trace.info = supplychain::TraceInfo::deserialize(trace.da);
-    } catch (const Error&) {
-      // Verifiably committed, but not a decodable TraceInfo.
-    }
-    s.outcome.path.push_back(s.current);
-    s.outcome.traces[s.current] = std::move(trace);
-    return true;
+    if (!proof.ownership) return check;
+    const poc::PocVerifyResult result = scheme().verify(poc, product, proof);
+    if (result.verdict != poc::PocVerdict::kTrace) return check;
+    check.valid = true;
+    check.trace_da = *result.trace_info;
   } catch (const Error&) {
-    record_verify(s, s.current, false, "ownership");
+    check = OwnershipCheck{};
+  }
+  return check;
+}
+
+bool Proxy::check_non_ownership(const poc::Poc& poc,
+                                const supplychain::ProductId& product,
+                                const Bytes& proof_bytes) const {
+  try {
+    const poc::PocProof proof = poc::PocProof::deserialize(proof_bytes);
+    return !proof.ownership &&
+           scheme().verify(poc, product, proof).verdict ==
+               poc::PocVerdict::kValid;
+  } catch (const Error&) {
     return false;
   }
+}
+
+bool Proxy::absorb_ownership_result(Session& s, const OwnershipCheck& check) {
+  record_verify(s, s.current, check.valid, "ownership");
+  if (!check.valid) return false;
+  RecoveredTrace trace;
+  trace.da = *check.trace_da;
+  try {
+    trace.info = supplychain::TraceInfo::deserialize(trace.da);
+  } catch (const Error&) {
+    // Verifiably committed, but not a decodable TraceInfo.
+  }
+  s.outcome.path.push_back(s.current);
+  s.outcome.traces[s.current] = std::move(trace);
+  return true;
+}
+
+template <typename R>
+void Proxy::verify_then(Session& s, std::function<R()> work,
+                        std::function<void(Session&, const R&)> done) {
+  if (!executor_) {
+    // Inline mode: byte-identical to the historical synchronous path.
+    const R result = work();
+    done(s, result);
+    return;
+  }
+  s.verifying = true;
+  if (!s.strand) s.strand = std::make_shared<Strand>(executor_);
+  const std::uint64_t query_id = s.outcome.query_id;
+  // Work-accounting bracket: add_work() here on the loop thread; the
+  // worker posts the verdict completion BEFORE remove_work(), so the loop
+  // never observes "no work pending" while a verdict is owed (SimTransport
+  // would otherwise fire stall-scan retransmission timers against a
+  // verifier that is merely busy, not silent).
+  transport_.add_work();
+  std::weak_ptr<void> token = alive_;
+  s.strand->post([this, token, query_id, work = std::move(work),
+                  done = std::move(done)]() mutable {
+    std::optional<R> result;
+    std::exception_ptr error;
+    try {
+      result = work();
+    } catch (...) {
+      // check_* swallow adversarial Errors themselves; anything escaping
+      // is an internal invariant failure, rethrown on the loop thread.
+      error = std::current_exception();
+    }
+    transport_.post([this, token, query_id, result = std::move(result), error,
+                     done = std::move(done)]() mutable {
+      if (token.expired()) return;
+      resume_verify<R>(query_id, std::move(result), error, done);
+    });
+    transport_.remove_work();
+  });
+}
+
+template <typename R>
+void Proxy::resume_verify(std::uint64_t query_id, std::optional<R> result,
+                          std::exception_ptr error,
+                          const std::function<void(Session&, const R&)>& done) {
+  const auto it = sessions_.find(query_id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  s.verifying = false;
+  if (error) std::rethrow_exception(error);
+  if (s.phase == Phase::kDone) return;
+  try {
+    done(s, *result);
+  } catch (const CheckError&) {
+    throw;  // internal bug: fail loudly, exactly like handle()
+  } catch (const Error&) {
+    // Same policy as handle(): adversarial input aborts this continuation;
+    // the session's timers recover.
+  }
+}
+
+void Proxy::verify_ownership_then(
+    Session& s, poc::Poc poc, Bytes proof_bytes,
+    std::function<void(Session&, const OwnershipCheck&)> done) {
+  const supplychain::ProductId product = s.outcome.product;
+  verify_then<OwnershipCheck>(
+      s,
+      [this, poc = std::move(poc), product,
+       proof_bytes = std::move(proof_bytes)] {
+        return check_ownership(poc, product, proof_bytes);
+      },
+      std::move(done));
+}
+
+void Proxy::verify_non_ownership_then(
+    Session& s, poc::Poc poc, Bytes proof_bytes,
+    std::function<void(Session&, bool)> done) {
+  const supplychain::ProductId product = s.outcome.product;
+  verify_then<bool>(
+      s,
+      [this, poc = std::move(poc), product,
+       proof_bytes = std::move(proof_bytes)] {
+        return check_non_ownership(poc, product, proof_bytes);
+      },
+      std::move(done));
 }
 
 void Proxy::record_violation(Session& s, const std::string& participant,
@@ -409,6 +540,9 @@ void Proxy::finish(Session& s, bool complete) {
   sessions_active().add(-1);
   apply_scores(s);
   if (completion_cb_) completion_cb_(s.outcome);
+  // Free the concurrency slot last: this may synchronously launch (and
+  // even resolve) the next queued query.
+  if (scheduler_) scheduler_->finished(s.outcome.query_id);
 }
 
 void Proxy::apply_scores(Session& s) {
@@ -437,7 +571,7 @@ void Proxy::on_query_response(const net::Envelope& env,
   const auto it = sessions_.find(m.query_id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
-  if (s.phase == Phase::kDone) return;
+  if (s.phase == Phase::kDone || s.verifying) return;
 
   if (s.phase == Phase::kInitialScan) {
     if (s.candidate_idx >= s.candidates.size()) return;
@@ -449,26 +583,21 @@ void Proxy::on_query_response(const net::Envelope& env,
 
     if (s.outcome.quality == ProductQuality::kGood) {
       if (m.claims_processing && m.proof.has_value()) {
-        // Pre-verify before entering the walk.
-        bool valid = false;
-        try {
-          const poc::PocProof proof = poc::PocProof::deserialize(*m.proof);
-          valid = proof.ownership &&
-                  scheme().verify(cand.poc, s.outcome.product, proof)
-                          .verdict == poc::PocVerdict::kTrace;
-        } catch (const Error&) {
-          valid = false;
-        }
-        if (valid) {
-          // Valid: start_walk re-verifies via absorb_ownership_proof,
-          // which records the single verify_ok span for this hop.
-          start_walk(s, cand, /*already_identified=*/true, m.proof);
-        } else {
-          record_verify(s, cand.participant, false, "ownership");
-          record_violation(s, cand.participant,
-                           ViolationType::kClaimProcessingInvalidProof);
-          advance_candidate(s);
-        }
+        // One verify identifies the hop AND yields its recovered trace:
+        // start_walk absorbs the cached verdict, recording the single
+        // verify_ok span for this hop.
+        verify_ownership_then(
+            s, cand.poc, *m.proof,
+            [this, cand](Session& s, const OwnershipCheck& check) {
+              if (check.valid) {
+                start_walk(s, cand, check);
+              } else {
+                record_verify(s, cand.participant, false, "ownership");
+                record_violation(s, cand.participant,
+                                 ViolationType::kClaimProcessingInvalidProof);
+                advance_candidate(s);
+              }
+            });
       } else if (m.claims_processing) {
         record_violation(s, cand.participant,
                          ViolationType::kClaimProcessingInvalidProof);
@@ -481,30 +610,24 @@ void Proxy::on_query_response(const net::Envelope& env,
 
     // Bad product scan: demand a valid non-ownership proof per queue entry.
     if (!m.claims_processing && m.proof.has_value()) {
-      bool valid = false;
-      try {
-        const poc::PocProof proof = poc::PocProof::deserialize(*m.proof);
-        valid = !proof.ownership &&
-                scheme().verify(cand.poc, s.outcome.product, proof).verdict ==
-                    poc::PocVerdict::kValid;
-      } catch (const Error&) {
-        valid = false;
-      }
-      record_verify(s, cand.participant, valid, "non_ownership");
-      if (valid) {
-        advance_candidate(s);
-      } else {
-        record_violation(s, cand.participant,
-                         ViolationType::kClaimNonProcessingInvalidProof);
-        start_walk(s, cand, /*already_identified=*/false, std::nullopt);
-      }
+      verify_non_ownership_then(
+          s, cand.poc, *m.proof, [this, cand](Session& s, bool valid) {
+            record_verify(s, cand.participant, valid, "non_ownership");
+            if (valid) {
+              advance_candidate(s);
+            } else {
+              record_violation(s, cand.participant,
+                               ViolationType::kClaimNonProcessingInvalidProof);
+              start_walk(s, cand, std::nullopt);
+            }
+          });
     } else if (!m.claims_processing) {
       record_violation(s, cand.participant,
                        ViolationType::kClaimNonProcessingInvalidProof);
-      start_walk(s, cand, /*already_identified=*/false, std::nullopt);
+      start_walk(s, cand, std::nullopt);
     } else {
       // Admits processing: identified; proceed to the reveal round.
-      start_walk(s, cand, /*already_identified=*/false, std::nullopt);
+      start_walk(s, cand, std::nullopt);
     }
     return;
   }
@@ -514,9 +637,18 @@ void Proxy::on_query_response(const net::Envelope& env,
   record_incoming(s, env);
 
   if (s.outcome.quality == ProductQuality::kGood) {
-    if (m.claims_processing && m.proof.has_value() &&
-        absorb_ownership_proof(s, *m.proof)) {
-      request_next_hop(s);
+    if (m.claims_processing && m.proof.has_value()) {
+      verify_ownership_then(
+          s, s.current_poc, *m.proof,
+          [this](Session& s, const OwnershipCheck& check) {
+            if (absorb_ownership_result(s, check)) {
+              request_next_hop(s);
+              return;
+            }
+            record_violation(s, s.current,
+                             ViolationType::kClaimProcessingInvalidProof);
+            finish(s, false);
+          });
       return;
     }
     if (m.claims_processing) {
@@ -537,28 +669,22 @@ void Proxy::on_query_response(const net::Envelope& env,
 
   // Bad product walk.
   if (!m.claims_processing && m.proof.has_value()) {
-    bool valid = false;
-    try {
-      const poc::PocProof proof = poc::PocProof::deserialize(*m.proof);
-      valid = !proof.ownership &&
-              scheme().verify(s.current_poc, s.outcome.product, proof)
-                      .verdict == poc::PocVerdict::kValid;
-    } catch (const Error&) {
-      valid = false;
-    }
-    record_verify(s, s.current, valid, "non_ownership");
-    if (valid) {
-      // Really did not process the product: the referrer lied.
-      if (!s.previous.empty()) {
-        record_violation(s, s.previous,
-                         ViolationType::kWrongNextHopNotProcessed);
-      }
-      finish(s, false);
-      return;
-    }
-    record_violation(s, s.current,
-                     ViolationType::kClaimNonProcessingInvalidProof);
-    request_reveal(s);
+    verify_non_ownership_then(
+        s, s.current_poc, *m.proof, [this](Session& s, bool valid) {
+          record_verify(s, s.current, valid, "non_ownership");
+          if (valid) {
+            // Really did not process the product: the referrer lied.
+            if (!s.previous.empty()) {
+              record_violation(s, s.previous,
+                               ViolationType::kWrongNextHopNotProcessed);
+            }
+            finish(s, false);
+            return;
+          }
+          record_violation(s, s.current,
+                           ViolationType::kClaimNonProcessingInvalidProof);
+          request_reveal(s);
+        });
     return;
   }
   if (!m.claims_processing) {
@@ -575,7 +701,9 @@ void Proxy::on_reveal_response(const net::Envelope& env,
   const auto it = sessions_.find(m.query_id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
-  if (s.phase != Phase::kReveal || env.from != s.current) return;
+  if (s.phase != Phase::kReveal || env.from != s.current || s.verifying) {
+    return;
+  }
   settle(s);
   record_incoming(s, env);
 
@@ -584,12 +712,16 @@ void Proxy::on_reveal_response(const net::Envelope& env,
     finish(s, false);
     return;
   }
-  if (!absorb_ownership_proof(s, *m.proof)) {
-    record_violation(s, s.current, ViolationType::kInvalidReveal);
-    finish(s, false);
-    return;
-  }
-  request_next_hop(s);
+  verify_ownership_then(s, s.current_poc, *m.proof,
+                        [this](Session& s, const OwnershipCheck& check) {
+                          if (!absorb_ownership_result(s, check)) {
+                            record_violation(s, s.current,
+                                             ViolationType::kInvalidReveal);
+                            finish(s, false);
+                            return;
+                          }
+                          request_next_hop(s);
+                        });
 }
 
 void Proxy::on_next_hop_response(const net::Envelope& env,
@@ -597,7 +729,9 @@ void Proxy::on_next_hop_response(const net::Envelope& env,
   const auto it = sessions_.find(m.query_id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
-  if (s.phase != Phase::kNextHop || env.from != s.current) return;
+  if (s.phase != Phase::kNextHop || env.from != s.current || s.verifying) {
+    return;
+  }
   settle(s);
   record_incoming(s, env);
 
@@ -643,7 +777,39 @@ void Proxy::pump() {
     transport_.poll(/*timeout_ms=*/10);
     if (!has_active_sessions()) return;
   }
-  throw ProtocolError("proxy pump did not converge");
+  pump_stalled().add();
+  throw ProtocolError(pump_stall_report());
+}
+
+const char* Proxy::phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kInitialScan: return "initial_scan";
+    case Phase::kWalk: return "walk";
+    case Phase::kReveal: return "reveal";
+    case Phase::kNextHop: return "next_hop";
+    case Phase::kDone: return "done";
+  }
+  return "?";
+}
+
+std::string Proxy::pump_stall_report() const {
+  std::string msg = "proxy pump did not converge:";
+  std::size_t active = 0;
+  for (const auto& [qid, s] : sessions_) {
+    if (s.phase == Phase::kDone) continue;
+    ++active;
+    msg += " [qid " + std::to_string(qid) + " phase=" + phase_name(s.phase);
+    if (scheduler_ && scheduler_->is_queued(qid)) msg += " queued";
+    msg += " hop=" + (s.current.empty() ? std::string("-") : s.current) +
+           " candidate=" + std::to_string(s.candidate_idx + 1) + "/" +
+           std::to_string(s.candidates.size()) +
+           " awaiting=" + (s.awaiting ? "1" : "0") +
+           " verifying=" + (s.verifying ? "1" : "0") +
+           " retries=" + std::to_string(s.retries) + "]";
+  }
+  msg += " (" + std::to_string(active) + " active sessions, " +
+         std::to_string(transport_.pending_timers()) + " pending timers)";
+  return msg;
 }
 
 QueryOutcome Proxy::run_query(const supplychain::ProductId& product,
@@ -654,6 +820,35 @@ QueryOutcome Proxy::run_query(const supplychain::ProductId& product,
   const QueryOutcome* out = outcome(qid);
   if (out == nullptr) throw ProtocolError("query did not resolve");
   return *out;
+}
+
+std::vector<QueryOutcome> Proxy::run_queries(
+    const std::vector<QuerySpec>& specs) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(specs.size());
+  for (const QuerySpec& spec : specs) {
+    ids.push_back(begin_query(spec.product, spec.quality, spec.task_hint));
+  }
+  pump();
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(ids.size());
+  for (const std::uint64_t qid : ids) {
+    const QueryOutcome* out = outcome(qid);
+    if (out == nullptr) throw ProtocolError("query did not resolve");
+    outcomes.push_back(*out);
+  }
+  return outcomes;
+}
+
+std::vector<QueryOutcome> Proxy::run_queries(
+    const std::vector<supplychain::ProductId>& products, ProductQuality quality,
+    std::optional<std::string> task_hint) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(products.size());
+  for (const supplychain::ProductId& product : products) {
+    specs.push_back(QuerySpec{product, quality, task_hint});
+  }
+  return run_queries(specs);
 }
 
 const QueryOutcome* Proxy::outcome(std::uint64_t query_id) const {

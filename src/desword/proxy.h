@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,9 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "desword/crs_cache.h"
 #include "desword/messages.h"
 #include "desword/query.h"
+#include "desword/query_scheduler.h"
 #include "desword/reputation.h"
 #include "net/transport.h"
 #include "obs/trace.h"
@@ -52,6 +55,15 @@ struct ProxyConfig {
   /// (scalar per-opening checks when false). Verdicts — and thus
   /// reputation penalties — are identical either way.
   bool batch_verify = true;
+  /// Crypto worker threads. 0 (the default) keeps every verification
+  /// inline in the transport loop — byte-identical to the historical
+  /// single-threaded behavior. With workers, `scheme().verify` runs on a
+  /// per-session strand and its verdict is posted back to the loop thread.
+  unsigned worker_threads = 0;
+  /// Query sessions allowed to drive the transport at once; further
+  /// `begin_query` calls queue in the scheduler until a slot frees
+  /// (0 is treated as 1).
+  std::size_t max_concurrent_queries = 8;
 };
 
 class Proxy {
@@ -106,6 +118,25 @@ class Proxy {
   QueryOutcome run_query(const supplychain::ProductId& product,
                          ProductQuality quality,
                          std::optional<std::string> task_hint = {});
+
+  /// One entry of a `run_queries` batch.
+  struct QuerySpec {
+    supplychain::ProductId product;
+    ProductQuality quality = ProductQuality::kGood;
+    std::optional<std::string> task_hint;
+  };
+
+  /// Synchronous batch convenience: begins every query (the scheduler
+  /// admits up to `max_concurrent_queries` at a time, queueing the rest),
+  /// pumps until all resolve, and returns the outcomes in input order.
+  std::vector<QueryOutcome> run_queries(const std::vector<QuerySpec>& specs);
+  std::vector<QueryOutcome> run_queries(
+      const std::vector<supplychain::ProductId>& products,
+      ProductQuality quality, std::optional<std::string> task_hint = {});
+
+  /// The crypto executor (null when `worker_threads == 0`). Scenarios hand
+  /// this to participants so one worker pool serves the whole deployment.
+  const std::shared_ptr<Executor>& executor() const { return executor_; }
 
   /// Outcome of a finished query (nullptr while in flight / unknown).
   const QueryOutcome* outcome(std::uint64_t query_id) const;
@@ -199,6 +230,18 @@ class Proxy {
     int retries = 0;
     bool awaiting = false;
     net::Transport::TimerId retrans_timer = 0;
+    // Off-loop verification: while a verdict is in flight on the strand the
+    // session ignores incoming protocol messages (it is not awaiting any —
+    // the response that triggered the verify already settled the timer).
+    bool verifying = false;
+    std::shared_ptr<Strand> strand;  // serializes this session's verifies
+  };
+
+  /// Worker-safe verdict of an ownership-proof check: `trace_da` carries
+  /// the recovered committed trace bytes when valid.
+  struct OwnershipCheck {
+    bool valid = false;
+    std::optional<Bytes> trace_da;
   };
 
   void handle(const net::Envelope& env);
@@ -217,12 +260,48 @@ class Proxy {
   void record_incoming(Session& s, const net::Envelope& env);
   void advance_candidate(Session& s);
   void start_walk(Session& s, const Candidate& candidate,
-                  bool already_identified, std::optional<Bytes> proof_bytes);
+                  const std::optional<OwnershipCheck>& pre_verified);
   void query_current(Session& s);
   void request_reveal(Session& s);
   void request_next_hop(Session& s);
-  /// Verifies an ownership proof and records the trace; returns success.
-  bool absorb_ownership_proof(Session& s, const Bytes& proof_bytes);
+  /// Sends the first candidate request of a scheduler-admitted session.
+  void launch_query(std::uint64_t query_id);
+
+  // The only `scheme().verify` call sites (handlers stay crypto-free so
+  // they never block the loop — enforced by tools/desword_lint.py). Both
+  // are worker-safe: const, touching only their arguments and the shared
+  // read-only scheme. Adversarial input (malformed proof bytes) yields an
+  // invalid verdict, never an exception.
+  OwnershipCheck check_ownership(const poc::Poc& poc,
+                                 const supplychain::ProductId& product,
+                                 const Bytes& proof_bytes) const;
+  bool check_non_ownership(const poc::Poc& poc,
+                           const supplychain::ProductId& product,
+                           const Bytes& proof_bytes) const;
+
+  /// Runs `work` and invokes `done(session, result)` on the loop thread.
+  /// Inline (no executor): both run synchronously, byte-identically to the
+  /// historical behavior. Async: `work` runs on the session's strand under
+  /// the transport work-accounting bracket (add_work before dispatch, the
+  /// worker posts the verdict *before* remove_work, so the loop never sees
+  /// "no work" while a completion is owed) and `done` runs from the posted
+  /// completion, guarded by the aliveness token and a fresh session lookup.
+  template <typename R>
+  void verify_then(Session& s, std::function<R()> work,
+                   std::function<void(Session&, const R&)> done);
+  template <typename R>
+  void resume_verify(std::uint64_t query_id, std::optional<R> result,
+                     std::exception_ptr error,
+                     const std::function<void(Session&, const R&)>& done);
+  void verify_ownership_then(
+      Session& s, poc::Poc poc, Bytes proof_bytes,
+      std::function<void(Session&, const OwnershipCheck&)> done);
+  void verify_non_ownership_then(Session& s, poc::Poc poc, Bytes proof_bytes,
+                                 std::function<void(Session&, bool)> done);
+
+  /// Records the verify span for `s.current` and, when valid, the
+  /// recovered trace; returns `check.valid`.
+  bool absorb_ownership_result(Session& s, const OwnershipCheck& check);
   /// Records a verify-outcome span (`kind` = "ownership"/"non_ownership").
   void record_verify(Session& s, const std::string& peer, bool ok,
                      const char* kind);
@@ -230,8 +309,12 @@ class Proxy {
                         ViolationType type);
   void finish(Session& s, bool complete);
   void apply_scores(Session& s);
+  /// Per-session diagnosis for the pump non-convergence error.
+  std::string pump_stall_report() const;
+  static const char* phase_name(Phase phase);
 
   poc::PocScheme& scheme() { return *scheme_; }
+  const poc::PocScheme& scheme() const { return *scheme_; }
 
   net::NodeId id_;
   std::unique_ptr<net::SimTransport> owned_transport_;  // compat ctors only
@@ -250,6 +333,14 @@ class Proxy {
   std::uint64_t next_query_id_ = 1;
   std::map<std::uint64_t, Session> sessions_;
   ReputationLedger ledger_;
+
+  std::shared_ptr<Executor> executor_;  // null = inline verification
+  std::unique_ptr<QueryScheduler> scheduler_;
+  /// Aliveness token for posted verdict completions: one that outlives the
+  /// proxy (weak_ptr expired) becomes a no-op instead of a use-after-free.
+  /// The destructor drains the executor first, so strand workers never
+  /// outlive the object either.
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace desword::protocol

@@ -1,0 +1,67 @@
+#include "desword/query_scheduler.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace desword::protocol {
+
+namespace {
+
+obs::Counter& scheduler_admitted() {
+  static obs::Counter& c = obs::metric("protocol.scheduler.admitted");
+  return c;
+}
+
+obs::Gauge& scheduler_queue_depth() {
+  static obs::Gauge& g = obs::gauge_metric("protocol.scheduler.queued");
+  return g;
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(std::size_t max_concurrent, LaunchFn launch)
+    : max_(max_concurrent == 0 ? 1 : max_concurrent),
+      launch_fn_(std::move(launch)) {}
+
+bool QueryScheduler::submit(std::uint64_t query_id) {
+  if (active_.size() < max_) {
+    launch(query_id);
+    return true;
+  }
+  queued_.push_back(query_id);
+  scheduler_queue_depth().add(1);
+  return false;
+}
+
+void QueryScheduler::finished(std::uint64_t query_id) {
+  const auto queued_it = std::find(queued_.begin(), queued_.end(), query_id);
+  if (queued_it != queued_.end()) {
+    // Finished before admission (e.g. aborted externally): it never held a
+    // slot, so nothing frees up.
+    queued_.erase(queued_it);
+    scheduler_queue_depth().add(-1);
+    return;
+  }
+  if (active_.erase(query_id) == 0) return;
+  while (active_.size() < max_ && !queued_.empty()) {
+    const std::uint64_t next = queued_.front();
+    queued_.pop_front();
+    scheduler_queue_depth().add(-1);
+    // May reenter finished() when the query resolves synchronously; the
+    // loop bounds are re-read each iteration, so that is safe.
+    launch(next);
+  }
+}
+
+bool QueryScheduler::is_queued(std::uint64_t query_id) const {
+  return std::find(queued_.begin(), queued_.end(), query_id) != queued_.end();
+}
+
+void QueryScheduler::launch(std::uint64_t query_id) {
+  active_.insert(query_id);
+  scheduler_admitted().add();
+  launch_fn_(query_id);
+}
+
+}  // namespace desword::protocol

@@ -18,11 +18,16 @@ Scenario::Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config)
   proxy_config.scores = config_.scores;
   proxy_config.max_retries = config_.max_retries;
   proxy_config.batch_verify = config_.batch_verify;
+  proxy_config.worker_threads = config_.worker_threads;
+  proxy_config.max_concurrent_queries = config_.max_concurrent_queries;
   proxy_ = std::make_unique<Proxy>(kProxyId, network_, crs_cache_,
                                    std::move(proxy_config));
   for (const ParticipantId& id : graph_.participants()) {
-    participants_.emplace(id, std::make_unique<Participant>(
-                                  id, network_, kProxyId, crs_cache_));
+    auto p = std::make_unique<Participant>(id, network_, kProxyId, crs_cache_);
+    // One worker pool serves the whole deployment: proxy verifies and
+    // participant proofs share the executor, each behind its own strand.
+    if (proxy_->executor()) p->set_executor(proxy_->executor());
+    participants_.emplace(id, std::move(p));
   }
 }
 

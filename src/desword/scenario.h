@@ -27,6 +27,13 @@ struct ScenarioConfig {
   /// Forwarded to ProxyConfig::batch_verify (query-proof verification
   /// strategy; verdicts identical either way).
   bool batch_verify = true;
+  /// Crypto worker threads shared by the proxy and every participant
+  /// (forwarded to ProxyConfig::worker_threads; the proxy's executor is
+  /// handed to each participant via set_executor). 0 = inline crypto,
+  /// byte-identical to the historical single-threaded deployment.
+  unsigned worker_threads = 0;
+  /// Forwarded to ProxyConfig::max_concurrent_queries.
+  std::size_t max_concurrent_queries = 8;
 };
 
 class Scenario {

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -106,6 +107,59 @@ std::size_t Network::run(std::size_t max_steps) {
     ++delivered;
   }
   return delivered;
+}
+
+void Network::post(std::function<void()> fn) {
+  if (!fn) return;
+  {
+    std::lock_guard<std::mutex> lk(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  posted_cv_.notify_all();
+}
+
+std::size_t Network::run_posted() {
+  std::size_t ran = 0;
+  for (;;) {
+    std::deque<std::function<void()>> batch;
+    {
+      std::lock_guard<std::mutex> lk(posted_mu_);
+      if (posted_.empty()) return ran;
+      batch.swap(posted_);
+    }
+    for (auto& fn : batch) {
+      fn();
+      ++ran;
+    }
+  }
+}
+
+bool Network::wait_posted(int timeout_ms) {
+  std::unique_lock<std::mutex> lk(posted_mu_);
+  if (timeout_ms <= 0) return !posted_.empty();
+  posted_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                      [&] { return !posted_.empty(); });
+  return !posted_.empty();
+}
+
+std::size_t Network::posted_pending() const {
+  std::lock_guard<std::mutex> lk(posted_mu_);
+  return posted_.size();
+}
+
+void Network::add_work() {
+  std::lock_guard<std::mutex> lk(posted_mu_);
+  ++work_pending_;
+}
+
+void Network::remove_work() {
+  std::lock_guard<std::mutex> lk(posted_mu_);
+  --work_pending_;
+}
+
+std::size_t Network::work_pending() const {
+  std::lock_guard<std::mutex> lk(posted_mu_);
+  return work_pending_;
 }
 
 const LinkStats& Network::stats(const NodeId& from, const NodeId& to) const {

@@ -9,10 +9,12 @@
 // the protocol's abort paths.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -82,12 +84,46 @@ class Network {
 
   std::size_t pending() const { return queue_.size(); }
 
+  // --- loop re-entry for off-loop (executor) work -----------------------
+  //
+  // Everything above is loop-thread-only, like the protocol handlers. The
+  // four members below are the one thread-safe seam: executor workers hand
+  // finished crypto back to the event loop by post()ing a completion
+  // closure, and the loop thread drains them inside SimTransport::poll().
+  // With several SimTransports sharing one Network, all of them are polled
+  // by the same loop thread, so completions always run on that thread no
+  // matter whose poll() drains them.
+
+  /// Enqueues a loop-thread continuation. Thread safe; wakes wait_posted().
+  void post(std::function<void()> fn);
+  /// Runs every queued continuation (loop thread only). Returns how many.
+  std::size_t run_posted();
+  /// Blocks until a continuation is queued or `timeout_ms` elapsed.
+  /// Returns true when one is pending.
+  bool wait_posted(int timeout_ms);
+  std::size_t posted_pending() const;
+
+  /// Off-loop work accounting: while `work_pending() > 0` the network is
+  /// NOT quiescent even with an empty message queue — a completion is
+  /// still coming — so SimTransport must keep timers holstered instead of
+  /// firing a stall-scan round. Dispatchers add_work() before handing a
+  /// job to the executor; the posted completion remove_work()s.
+  void add_work();
+  void remove_work();
+  std::size_t work_pending() const;
+
   const LinkStats& stats(const NodeId& from, const NodeId& to) const;
   LinkStats total_stats() const;
   void reset_stats() { stats_.clear(); }
 
  private:
   const LinkPolicy& policy_for(const NodeId& from, const NodeId& to) const;
+
+  // Thread-safe seam (workers + loop thread); everything else loop-only.
+  mutable std::mutex posted_mu_;
+  std::condition_variable posted_cv_;
+  std::deque<std::function<void()>> posted_;  // guarded by posted_mu_
+  std::size_t work_pending_ = 0;              // guarded by posted_mu_
 
   SimRng rng_;
   std::uint64_t now_ = 0;

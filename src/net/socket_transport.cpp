@@ -107,6 +107,12 @@ SocketTransport::SocketTransport(SocketTransportOptions options)
                         std::strerror(errno));
   }
   set_nonblocking(listen_fd_);
+  if (::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    throw ProtocolError("pipe() for post() wakeup failed");
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
@@ -119,6 +125,35 @@ SocketTransport::SocketTransport(SocketTransportOptions options)
 SocketTransport::~SocketTransport() {
   for (auto& [fd, conn] : connections_) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void SocketTransport::post(std::function<void()> fn) {
+  if (!fn) return;
+  {
+    std::lock_guard<std::mutex> lk(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  // A full pipe (EAGAIN) is fine: a wakeup byte is already pending.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+std::size_t SocketTransport::run_posted() {
+  std::size_t ran = 0;
+  for (;;) {
+    std::deque<std::function<void()>> batch;
+    {
+      std::lock_guard<std::mutex> lk(posted_mu_);
+      if (posted_.empty()) return ran;
+      batch.swap(posted_);
+    }
+    for (auto& fn : batch) {
+      fn();
+      ++ran;
+    }
+  }
 }
 
 void SocketTransport::register_node(const NodeId& id, Handler handler) {
@@ -345,7 +380,11 @@ std::size_t SocketTransport::fire_due_timers() {
 std::size_t SocketTransport::poll(int timeout_ms) {
   std::size_t events = 0;
 
-  // Loopback deliveries first: they are already due.
+  // Executor completions first: they were owed before anything newly
+  // readable, and typically queue the sends serviced below.
+  events += run_posted();
+
+  // Loopback deliveries next: they are already due.
   while (!local_queue_.empty()) {
     Envelope env = std::move(local_queue_.front());
     local_queue_.pop_front();
@@ -372,6 +411,7 @@ std::size_t SocketTransport::poll(int timeout_ms) {
 
   std::vector<pollfd> fds;
   fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
   for (auto& [fd, conn] : connections_) {
     short interest = POLLIN;
     if (!conn.outbuf.empty() || conn.connecting) interest |= POLLOUT;
@@ -380,6 +420,14 @@ std::size_t SocketTransport::poll(int timeout_ms) {
   const int ready = ::poll(fds.data(), fds.size(), wait_ms);
   if (ready < 0 && errno != EINTR) {
     throw ProtocolError("poll() failed");
+  }
+
+  // post() wakeup: swallow the pending bytes, then run the completions.
+  if (fds[1].revents & POLLIN) {
+    char buf[64];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+    events += run_posted();
   }
 
   // Accept new peers.
@@ -398,7 +446,7 @@ std::size_t SocketTransport::poll(int timeout_ms) {
 
   // Service connections. Handlers may add/close connections mid-loop, so
   // re-resolve every fd from the snapshot before touching it.
-  for (std::size_t i = 1; i < fds.size(); ++i) {
+  for (std::size_t i = 2; i < fds.size(); ++i) {
     const auto it = connections_.find(fds[i].fd);
     if (it == connections_.end()) continue;
     Connection& conn = it->second;

@@ -24,6 +24,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -66,6 +67,12 @@ class SocketTransport final : public Transport {
   std::uint64_t now() const override;  // ms since transport construction
   TimerId set_timer(std::uint64_t delay_ms, TimerFn fn) override;
   void cancel_timer(TimerId id) override;
+  std::size_t pending_timers() const override { return timers_.size(); }
+  /// Thread safe. A self-pipe byte wakes a poll() blocked in ::poll(2), so
+  /// executor completions re-enter the loop without waiting out the
+  /// timeout. No add_work() bracket needed: timers here have real
+  /// deadlines, so an in-flight job never triggers a spurious stall scan.
+  void post(std::function<void()> fn) override;
   std::size_t poll(int timeout_ms = 0) override;
   const LinkStats& stats(const NodeId& from, const NodeId& to) const override;
   LinkStats total_stats() const override;
@@ -87,6 +94,13 @@ class SocketTransport final : public Transport {
   std::string local_address_;
   SocketTransportOptions options_;
   std::uint64_t epoch_ns_ = 0;  // steady-clock origin
+
+  // Self-pipe wakeup for post(): workers write one byte, the loop's
+  // ::poll(2) wakes on the read end and drains posted_ closures.
+  int wake_pipe_[2] = {-1, -1};
+  mutable std::mutex posted_mu_;
+  std::deque<std::function<void()>> posted_;  // guarded by posted_mu_
+  std::size_t run_posted();
 
   std::map<NodeId, Handler> handlers_;
   std::map<int, Connection> connections_;        // fd -> connection

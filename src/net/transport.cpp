@@ -24,6 +24,12 @@ obs::Counter& timers_fired() {
   return c;
 }
 
+// Upper bound on how long an otherwise-idle poll() blocks for an owed
+// executor completion when the caller gave no timeout. The condition
+// variable wakes the instant the completion posts, so this only bounds
+// pathological cases (a wedged worker).
+constexpr int kWorkWaitMs = 200;
+
 }  // namespace
 
 Transport::TimerId SimTransport::set_timer(std::uint64_t delay, TimerFn fn) {
@@ -39,9 +45,22 @@ void SimTransport::cancel_timer(TimerId id) {
 }
 
 std::size_t SimTransport::poll(int timeout_ms) {
-  (void)timeout_ms;  // simulated time: the queue drains instantly
-  const std::size_t delivered = network_.run();
-  if (delivered > 0) return delivered;
+  // Executor completions first: they typically send() responses the
+  // subsequent network_.run() then delivers within the same round.
+  std::size_t events = network_.run_posted();
+  events += network_.run();
+  if (events > 0) return events;
+  if (network_.work_pending() > 0) {
+    // Off-loop crypto is still running: the network only *looks* drained —
+    // a completion is owed, so this is not quiescence and timers must hold
+    // their fire (a stall-scan round here would burn the retransmission
+    // budget against a prover that is merely busy, not silent). Block for
+    // the completion instead of busy-spinning the pump.
+    network_.wait_posted(timeout_ms > 0 ? timeout_ms : kWorkWaitMs);
+    events = network_.run_posted();
+    events += network_.run();
+    return events;
+  }
   if (timers_.empty()) return 0;
   // Queue drained: every pending timer is due before anything else can
   // happen. Snapshot the pending set — callbacks may arm new timers (e.g.

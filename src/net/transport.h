@@ -56,6 +56,24 @@ class Transport {
   virtual TimerId set_timer(std::uint64_t delay, TimerFn fn) = 0;
   /// Cancels a pending timer; unknown / already-fired ids are a no-op.
   virtual void cancel_timer(TimerId id) = 0;
+  /// Timers armed but not yet fired (pump-stall diagnostics).
+  virtual std::size_t pending_timers() const = 0;
+
+  /// Hands a closure from an executor worker back to the event loop: it
+  /// runs on the loop thread during a subsequent poll(). The only
+  /// thread-safe Transport entry point; it wakes a poll() blocked in
+  /// timeout_ms.
+  virtual void post(std::function<void()> fn) = 0;
+
+  /// Off-loop work accounting bracket. While at least one add_work() is
+  /// unbalanced, a completion is still owed to the loop, so the simulator
+  /// must not declare quiescence (fire stall-scan timers) and poll() may
+  /// block briefly waiting for the post(). Real-time transports need no
+  /// such bracket — their timers have genuine deadlines — so the default
+  /// is a no-op. Call add_work() on the loop thread before dispatching;
+  /// the posted completion calls remove_work().
+  virtual void add_work() {}
+  virtual void remove_work() {}
 
   /// Processes pending transport work: delivers queued/readable envelopes
   /// to handlers and fires due timers. `timeout_ms` bounds how long a
@@ -109,6 +127,13 @@ class SimTransport final : public Transport {
 
   TimerId set_timer(std::uint64_t delay, TimerFn fn) override;
   void cancel_timer(TimerId id) override;
+  std::size_t pending_timers() const override { return timers_.size(); }
+
+  void post(std::function<void()> fn) override {
+    network_.post(std::move(fn));
+  }
+  void add_work() override { network_.add_work(); }
+  void remove_work() override { network_.remove_work(); }
 
   std::size_t poll(int timeout_ms = 0) override;
 
@@ -118,7 +143,6 @@ class SimTransport final : public Transport {
   LinkStats total_stats() const override { return network_.total_stats(); }
 
   Network& network() { return network_; }
-  std::size_t pending_timers() const { return timers_.size(); }
 
  private:
   struct Timer {

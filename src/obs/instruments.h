@@ -28,6 +28,7 @@
   X(net_reply_cache_hits,       "net.reply_cache.hits")               \
   X(net_reply_cache_misses,     "net.reply_cache.misses")             \
   X(net_reply_cache_evictions,  "net.reply_cache.evictions")          \
+  X(net_reply_cache_joined,     "net.reply_cache.joined")             \
   X(net_link_stats_evictions,   "net.link_stats.evictions")           \
   X(net_timer_armed,            "net.timer.armed")                    \
   X(net_timer_cancelled,        "net.timer.cancelled")                \
@@ -38,13 +39,21 @@
   X(protocol_proof_non_own,     "protocol.proof.non_ownership")       \
   X(protocol_violation_detected,"protocol.violation.detected")        \
   X(protocol_reputation_events, "protocol.reputation.events")         \
-  X(protocol_reputation_dropped,"protocol.reputation.dropped")
+  X(protocol_reputation_dropped,"protocol.reputation.dropped")        \
+  X(protocol_pump_stalled,      "protocol.pump.stalled")              \
+  X(protocol_scheduler_admitted,"protocol.scheduler.admitted")        \
+  X(exec_task_submitted,        "exec.task.submitted")                \
+  X(exec_task_completed,        "exec.task.completed")
 
 #define DESWORD_OBS_GAUGES(X)                                         \
-  X(protocol_sessions_active,   "protocol.sessions.active")
+  X(protocol_sessions_active,   "protocol.sessions.active")           \
+  X(protocol_scheduler_queued,  "protocol.scheduler.queued")          \
+  X(exec_queue_depth,           "exec.queue.depth")
 
 #define DESWORD_OBS_HISTOGRAMS(X)                                     \
   X(zkedb_commit_wall_ms,       "zkedb.commit.wall_ms")               \
   X(zkedb_prove_wall_ms,        "zkedb.prove.wall_ms")                \
-  X(zkedb_verify_wall_ms,       "zkedb.verify.wall_ms")
+  X(zkedb_verify_wall_ms,       "zkedb.verify.wall_ms")               \
+  X(exec_task_wait_ms,          "exec.task.wait_ms")                  \
+  X(exec_task_run_ms,           "exec.task.run_ms")
 // clang-format on

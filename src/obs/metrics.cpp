@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include "common/error.h"
+#include "common/executor.h"
 
 namespace desword::obs {
 
@@ -150,6 +151,32 @@ Gauge& gauge_metric(std::string_view name) {
 
 Histogram& histogram_metric(std::string_view name) {
   return MetricsRegistry::global().histogram(name);
+}
+
+namespace {
+
+void executor_task_submitted() {
+  auto& reg = MetricsRegistry::global();
+  reg.counter(CounterId::exec_task_submitted).add();
+  reg.gauge(GaugeId::exec_queue_depth).add(1);
+}
+
+void executor_task_completed(double wait_ms, double run_ms) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter(CounterId::exec_task_completed).add();
+  reg.gauge(GaugeId::exec_queue_depth).add(-1);
+  reg.histogram(HistogramId::exec_task_wait_ms).observe_ms(wait_ms);
+  reg.histogram(HistogramId::exec_task_run_ms).observe_ms(run_ms);
+}
+
+}  // namespace
+
+void install_executor_metrics() {
+  // Re-installing the same function pointers is benign, so no once-guard.
+  ExecutorHooks hooks;
+  hooks.submitted = &executor_task_submitted;
+  hooks.completed = &executor_task_completed;
+  set_executor_hooks(hooks);
 }
 
 }  // namespace desword::obs

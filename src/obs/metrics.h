@@ -212,4 +212,11 @@ Counter& metric(std::string_view name);
 Gauge& gauge_metric(std::string_view name);
 Histogram& histogram_metric(std::string_view name);
 
+/// Installs the desword::set_executor_hooks() instrumentation bridging
+/// Executor task accounting into this registry (exec.task.* counters and
+/// latency histograms plus the exec.queue.depth gauge). The executor lives
+/// below the obs layer and cannot record metrics itself; every site that
+/// constructs an Executor calls this (idempotent, thread-safe).
+void install_executor_metrics();
+
 }  // namespace desword::obs

@@ -30,6 +30,8 @@ inline constexpr const char* kVerifyFail = "verify_fail";
 inline constexpr const char* kRetransmit = "retransmit";
 inline constexpr const char* kViolation = "violation";
 inline constexpr const char* kFinished = "finished";
+inline constexpr const char* kQueued = "scheduler_queued";
+inline constexpr const char* kAdmitted = "scheduler_admitted";
 }  // namespace span
 
 struct TraceSpan {

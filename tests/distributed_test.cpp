@@ -238,5 +238,83 @@ TEST_F(DistributedTest, FullDeploymentOverTcpLoopback) {
   EXPECT_TRUE(snapshot.has("traces"));
 }
 
+TEST_F(DistributedTest, ConcurrentClientsAgainstMultithreadedDaemons) {
+  // Same deployment shape, but the daemons run with crypto worker threads
+  // (--workers) and the proxy admits several sessions at once
+  // (--query-concurrency); four client processes then query concurrently.
+  std::string out;
+  ASSERT_EQ(run_cli({"plan", "--out", plan_, "--addr-dir", dir_ + "/addr",
+                     "--participants", "4", "--products", "4"},
+                    log("plan"), &out), 0)
+      << out;
+  const json::Value plan = json::parse(read_text(plan_));
+  std::vector<std::string> products;
+  for (const json::Value& p : plan.at("task").at("products").as_array()) {
+    products.push_back(p.as_string());
+  }
+  ASSERT_EQ(products.size(), 4u);
+  std::vector<std::string> participant_ids;
+  for (const json::Value& p : plan.at("participants").as_array()) {
+    participant_ids.push_back(p.at("id").as_string());
+  }
+
+  daemons_.push_back(spawn_cli({"serve-proxy", "--plan", plan_, "--workers",
+                                "4", "--query-concurrency", "8"},
+                               log("proxy")));
+  for (const std::string& id : participant_ids) {
+    daemons_.push_back(spawn_cli(
+        {"serve-participant", "--plan", plan_, "--id", id, "--workers", "2"},
+        log(id)));
+  }
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--wait-ready", "60000"},
+                    log("wait"), &out), 0)
+      << out;
+
+  // Fire all four good-product queries at once, then reap.
+  std::vector<pid_t> clients;
+  for (std::size_t i = 0; i < products.size(); ++i) {
+    clients.push_back(spawn_cli({"query", "--plan", plan_, "--product",
+                                 products[i], "--quality", "good"},
+                                log("client-" + std::to_string(i))));
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const int status = wait_with_timeout(clients[i], 120000);
+    ASSERT_GE(status, 0) << "client " << i << " timed out";
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0)
+        << read_text(log("client-" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < products.size(); ++i) {
+    const json::Value outcome =
+        json::parse(read_text(log("client-" + std::to_string(i))));
+    EXPECT_TRUE(outcome.at("complete").as_bool()) << "query " << i;
+    EXPECT_EQ(outcome.at("path").as_array().size(), participant_ids.size());
+    EXPECT_EQ(outcome.at("violations").as_array().size(), 0u);
+  }
+
+  // Every hop earned +1 per good query: serial-equivalent reputation.
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--report", "-"},
+                    log("report"), &out), 0)
+      << out;
+  const json::Value report = json::parse(out);
+  EXPECT_EQ(report.at("queries").as_array().size(), products.size());
+  for (const std::string& id : participant_ids) {
+    EXPECT_DOUBLE_EQ(report.at("reputation").at(id).as_double(),
+                     static_cast<double>(products.size()))
+        << id;
+  }
+
+  ASSERT_EQ(run_cli({"query", "--plan", plan_, "--shutdown", "all"},
+                    log("shutdown"), &out), 0)
+      << out;
+  for (const pid_t pid : daemons_) {
+    const int status = wait_with_timeout(pid, 30000);
+    ASSERT_GE(status, 0) << "daemon did not exit after shutdown";
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << read_text(log("proxy"));
+  }
+  daemons_.clear();
+}
+
 }  // namespace
 }  // namespace desword

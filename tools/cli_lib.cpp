@@ -203,7 +203,10 @@ void print_usage(std::ostream& err) {
          "distributed deployment (TCP loopback):\n"
          "  plan               generate a deployment plan + ground truth\n"
          "  serve-proxy        run the proxy daemon of a plan\n"
+         "                     [--workers N crypto worker threads,\n"
+         "                      --query-concurrency N sessions in flight]\n"
          "  serve-participant  run one participant daemon of a plan\n"
+         "                     [--workers N crypto worker threads]\n"
          "  query              drive a running deployment (wait-ready /\n"
          "                     product query / report / shutdown)\n"
          "                     [--stats-json PATH fetches a metrics snapshot]\n"

@@ -337,7 +337,13 @@ std::string outcome_json(const QueryOutcome& outcome, const Proxy& proxy) {
 int serve_proxy_impl(const Flags& flags, std::ostream& out) {
   const std::string plan_path = flags.require("plan");
   const std::string stats_path = flags.get("stats-json", "");
+  const int workers = flags.get_int("workers", 0);
+  const int query_concurrency = flags.get_int("query-concurrency", 8);
   flags.reject_unknown();
+  if (workers < 0) throw UsageError("--workers must be >= 0");
+  if (query_concurrency < 1) {
+    throw UsageError("--query-concurrency must be >= 1");
+  }
   const Plan plan = load_plan(plan_path);
 
   net::SocketTransport transport(transport_options(plan.addr_dir));
@@ -346,6 +352,8 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
   config.edb = plan.edb;
   config.max_retries = plan.max_retries;
   config.retransmit_timeout = plan.retransmit_ms;
+  config.worker_threads = static_cast<unsigned>(workers);
+  config.max_concurrent_queries = static_cast<std::size_t>(query_concurrency);
   Proxy proxy(plan.proxy_id, transport, std::make_shared<CrsCache>(),
               std::move(config));
 
@@ -451,7 +459,9 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
   const std::string plan_path = flags.require("plan");
   const std::string id = flags.require("id");
   const std::string stats_path = flags.get("stats-json", "");
+  const int workers = flags.get_int("workers", 0);
   flags.reject_unknown();
+  if (workers < 0) throw UsageError("--workers must be >= 0");
   const Plan plan = load_plan(plan_path);
   const auto it = plan.participants.find(id);
   if (it == plan.participants.end()) {
@@ -462,6 +472,11 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
   net::SocketTransport transport(transport_options(plan.addr_dir));
   Participant participant(id, transport, plan.proxy_id,
                           std::make_shared<CrsCache>());
+  if (workers > 0) {
+    obs::install_executor_metrics();
+    participant.set_executor(
+        std::make_shared<Executor>(static_cast<unsigned>(workers)));
+  }
   participant.load_database(me.traces);
   participant.begin_task(setup_for(plan, me));
 

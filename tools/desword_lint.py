@@ -32,6 +32,17 @@ Rules (each can be waived on a specific line with a trailing
                 per modulus, hits the fixed-base tables, and is countable —
                 a stray BN_mod_exp silently forfeits every one of those.
 
+  handler-crypto
+                Message handlers (``handle``/``dispatch``/``on_*`` methods
+                of ``Proxy`` and ``Participant``) run on the protocol loop
+                thread and must never invoke modular-exponentiation-heavy
+                scheme calls (``scheme().verify/prove/aggregate``,
+                ``qHOpen``-family, ``make_ownership_proof``,
+                ``check_ownership``) inline. Blocking crypto belongs in the
+                builder/check methods dispatched through the Executor
+                strands; a handler that proves or verifies directly stalls
+                every session behind it.
+
   metric-name   Every ``metric("...")`` / ``gauge_metric("...")`` /
                 ``histogram_metric("...")`` call site must use a name that
                 (a) follows the ``layer.object.verb`` scheme
@@ -75,6 +86,23 @@ DECODE_PATH_FILES = {
     "src/poc/poc.cpp",
     "src/poc/poc_list.cpp",
 }
+
+# Event-loop message handlers (rule handler-crypto): the files holding them
+# and the method names that run on the protocol loop thread.
+HANDLER_FILES = {
+    "src/desword/proxy.cpp",
+    "src/desword/participant.cpp",
+}
+RE_HANDLER_DEF = re.compile(
+    r"\b(?:Proxy|Participant)::(on_\w+|handle|dispatch)\s*\(")
+# Blocking crypto entry points that must not appear in a handler body.
+RE_HANDLER_CRYPTO = re.compile(
+    r"\bscheme\s*\(\s*\)\s*\.\s*(?:verify|prove|aggregate)\b|"
+    r"\bscheme_?\s*(?:\.|->)\s*(?:verify|prove|aggregate)\s*\(|"
+    r"(?:\.|->)\s*prove\s*\(|"
+    r"\bqH(?:Com|Open|Ver|Update)\w*\s*\(|"
+    r"\bmake_ownership_proof\s*\(|"
+    r"\bcheck_(?:non_)?ownership\s*\(")
 
 RE_ALLOW = re.compile(r"//\s*desword-lint:\s*allow\(([a-z-]+)\)")
 RE_LINE_COMMENT = re.compile(r"//.*$")
@@ -132,6 +160,8 @@ class Linter:
         lines = text.splitlines()
         self.check_line_rules(rel, lines)
         self.check_switch_default(rel, text, lines)
+        if rel in HANDLER_FILES:
+            self.check_handler_crypto(rel, text, lines)
 
     def check_line_rules(self, rel: str, lines: list[str]) -> None:
         decode_path = rel in DECODE_PATH_FILES
@@ -173,6 +203,52 @@ class Linter:
                         self.report(rel, lineno, "metric-name",
                                     f'"{name}" is not registered in '
                                     f"{INSTRUMENTS_FILE}")
+
+    def check_handler_crypto(self, rel: str, text: str,
+                             lines: list[str]) -> None:
+        """Flags blocking crypto calls inside loop-thread handler bodies."""
+        for match in RE_HANDLER_DEF.finditer(text):
+            # Balance the parameter list's parens.
+            paren_start = text.index("(", match.start())
+            depth = 0
+            i = paren_start
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            # Definition body: the first '{' before any ';' (a ';' first
+            # means this was a declaration or qualified call, not a body).
+            body_start = text.find("{", i)
+            semi = text.find(";", i)
+            if body_start < 0 or (0 <= semi < body_start):
+                continue
+            depth = 0
+            j = body_start
+            while j < len(text):
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            first_line = text.count("\n", 0, body_start) + 1
+            last_line = text.count("\n", 0, j) + 1
+            handler = match.group(1)
+            for lineno in range(first_line, last_line + 1):
+                raw = lines[lineno - 1]
+                if not RE_HANDLER_CRYPTO.search(strip_comment(raw)):
+                    continue
+                if allowed(raw, "handler-crypto"):
+                    continue
+                self.report(rel, lineno, "handler-crypto",
+                            f"blocking crypto call inside handler "
+                            f"{handler}(); move it to a builder/check "
+                            "method dispatched via the Executor strand")
 
     def check_switch_default(self, rel: str, text: str,
                              lines: list[str]) -> None:

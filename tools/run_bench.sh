@@ -3,11 +3,16 @@
 # bench_poc_comp), collects their machine-readable '{"bench"...}' result
 # lines, and assembles a consolidated BENCH_zkedb.json at the repo root.
 #
-# The consolidated file records every result line plus a
-# "verify_throughput" summary pairing the ZkEdb/VerifyManyScalar and
-# ZkEdb/VerifyManyBatched cases (same proof pile, same thread count) into
-# per-configuration speedups — the acceptance metric for the batch
-# verification engine.
+# The consolidated file records every result line plus two summaries:
+#
+#   * "verify_throughput" pairs the ZkEdb/VerifyManyScalar and
+#     ZkEdb/VerifyManyBatched cases (same proof pile, same thread count)
+#     into per-configuration speedups — the acceptance metric for the
+#     batch verification engine;
+#   * "query_throughput" pairs Macro/QueryThroughputSerial with every
+#     Macro/QueryThroughputConcurrent configuration (workers x sessions
+#     in flight) on queries_per_sec — the acceptance metric for the
+#     executor/scheduler concurrency layer.
 #
 # Usage: tools/run_bench.sh [--build-dir DIR] [--out FILE] [--check]
 #   --build-dir DIR  where the bench binaries live (default: build)
@@ -33,7 +38,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-BENCHES=(bench_qtmc_micro bench_zkedb bench_poc_comp)
+BENCHES=(bench_qtmc_micro bench_zkedb bench_poc_comp bench_macro)
 LINES="$(mktemp)"
 trap 'rm -f "$LINES"' EXIT
 
@@ -55,9 +60,11 @@ done
 
 python3 - "$LINES" "$OUT" "$CHECK" <<'PY'
 import json
+import os
 import sys
 
 lines_path, out_path, check = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+cpu_count = os.cpu_count() or 1
 results = []
 with open(lines_path, encoding="utf-8") as fh:
     for line in fh:
@@ -87,10 +94,36 @@ for cfg in sorted(scalar.keys() & batched.keys()):
         "speedup": batched[cfg] / scalar[cfg] if scalar[cfg] else None,
     })
 
+# Pair Macro/QueryThroughputSerial with every ...Concurrent/<workers>/
+# <in_flight> configuration on queries_per_sec.
+serial_qps = None
+concurrent_qps = {}
+for r in results:
+    case = r.get("case", "")
+    qps = r.get("counters", {}).get("queries_per_sec")
+    if qps is None:
+        continue
+    if case.startswith("Macro/QueryThroughputSerial"):
+        serial_qps = qps
+    elif case.startswith("Macro/QueryThroughputConcurrent/"):
+        concurrent_qps[case.split("QueryThroughputConcurrent/", 1)[1]] = qps
+
+query_configs = []
+if serial_qps:
+    for cfg in sorted(concurrent_qps):
+        query_configs.append({
+            "config": cfg,  # "<workers>/<in_flight>"
+            "serial_queries_per_sec": serial_qps,
+            "concurrent_queries_per_sec": concurrent_qps[cfg],
+            "speedup": concurrent_qps[cfg] / serial_qps,
+        })
+
 summary = {
     "generated_by": "tools/run_bench.sh",
+    "cpu_count": cpu_count,
     "benches": sorted({r.get("bench", "?") for r in results}),
     "verify_throughput": configs,
+    "query_throughput": query_configs,
     "results": results,
 }
 with open(out_path, "w", encoding="utf-8") as fh:
@@ -101,6 +134,11 @@ print(f"run_bench.sh: wrote {out_path} ({len(results)} result lines)")
 for c in configs:
     print("  verify_many {config}: scalar {scalar_proofs_per_sec:.2f}/s "
           "batched {batched_proofs_per_sec:.2f}/s speedup {speedup:.2f}x"
+          .format(**c))
+for c in query_configs:
+    print("  query_throughput {config}: serial "
+          "{serial_queries_per_sec:.2f}/s concurrent "
+          "{concurrent_queries_per_sec:.2f}/s speedup {speedup:.2f}x"
           .format(**c))
 
 if check:
@@ -113,5 +151,22 @@ if check:
         for c in slow:
             print(f"run_bench.sh: batched slower than scalar for "
                   f"{c['config']} (speedup {c['speedup']})", file=sys.stderr)
+        sys.exit(1)
+    # Worker threads can only win wall-clock when they have real cores to
+    # run on; on a starved box the inline path is strictly cheaper, so only
+    # enforce the speedup for configurations the machine can parallelize.
+    eligible = [c for c in query_configs
+                if int(c["config"].split("/")[0]) < cpu_count]
+    skipped = [c for c in query_configs if c not in eligible]
+    for c in skipped:
+        print(f"run_bench.sh: note: query_throughput {c['config']} not "
+              f"enforced ({cpu_count} CPU(s) cannot host the workers)",
+              file=sys.stderr)
+    slow_q = [c for c in eligible if c["speedup"] < 1.0]
+    if slow_q:
+        for c in slow_q:
+            print(f"run_bench.sh: concurrent queries slower than serial for "
+                  f"{c['config']} (speedup {c['speedup']:.2f})",
+                  file=sys.stderr)
         sys.exit(1)
 PY
