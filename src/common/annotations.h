@@ -1,0 +1,99 @@
+// Clang thread-safety (capability) annotation macros.
+//
+// These wrap Clang's `-Wthread-safety` attribute set so the lock
+// discipline that keeps verdicts and reputation sound is checked at
+// compile time, on every clang build, instead of only dynamically on the
+// schedules TSan happens to sample. Under GCC/MSVC every macro expands to
+// nothing, so the annotations cost nothing outside the analysis build.
+//
+// Usage pattern (see common/mutex.h for the annotated Mutex wrapper):
+//
+//   class Queue {
+//    public:
+//     void push(Item item) {
+//       MutexLock lock(mu_);
+//       items_.push_back(std::move(item));   // OK: mu_ held
+//     }
+//    private:
+//     Mutex mu_;
+//     std::deque<Item> items_ DESWORD_GUARDED_BY(mu_);
+//   };
+//
+// The analysis is enforced by the `DESWORD_THREAD_SAFETY` CMake option
+// (clang only): `-Wthread-safety -Werror=thread-safety`. The companion
+// lint rule `raw-mutex` (tools/desword_lint.py) keeps every mutex in the
+// tree on the annotated wrapper so no lock can silently opt out.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define DESWORD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DESWORD_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable) type. The string names the
+/// capability kind in diagnostics ("mutex", "shared_mutex", ...).
+#define DESWORD_CAPABILITY(x) DESWORD_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock and friends).
+#define DESWORD_SCOPED_CAPABILITY DESWORD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define DESWORD_GUARDED_BY(x) DESWORD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define DESWORD_PT_GUARDED_BY(x) DESWORD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusively) and holds it on return.
+#define DESWORD_ACQUIRE(...) \
+  DESWORD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared (reader) and holds it on return.
+#define DESWORD_ACQUIRE_SHARED(...) \
+  DESWORD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive or, from a scoped
+/// capability's destructor, whatever was acquired).
+#define DESWORD_RELEASE(...) \
+  DESWORD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a shared (reader) hold of the capability.
+#define DESWORD_RELEASE_SHARED(...) \
+  DESWORD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the return value
+/// meaning success.
+#define DESWORD_TRY_ACQUIRE(...) \
+  DESWORD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the capability (exclusively).
+#define DESWORD_REQUIRES(...) \
+  DESWORD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define DESWORD_REQUIRES_SHARED(...) \
+  DESWORD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for functions that
+/// acquire it themselves, e.g. drain()).
+#define DESWORD_EXCLUDES(...) \
+  DESWORD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (accessors).
+#define DESWORD_RETURN_CAPABILITY(x) \
+  DESWORD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry a comment explaining why the access is sound (e.g. a
+/// release/acquire published pointer read on a lock-free fast path, or
+/// phase-disciplined state that is only shared during one build phase).
+#define DESWORD_NO_THREAD_SAFETY_ANALYSIS \
+  DESWORD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Runtime-verified capability assertion (for code reachable both with
+/// and without the lock where the caller guarantees it is held).
+#define DESWORD_ASSERT_CAPABILITY(x) \
+  DESWORD_THREAD_ANNOTATION(assert_capability(x))

@@ -1,6 +1,8 @@
 #include "common/executor.h"
 
 #include <atomic>
+#include <functional>
+#include <thread>
 #include <utility>
 
 #include "common/timing.h"
@@ -35,7 +37,7 @@ Executor::~Executor() { drain(); }
 void Executor::post(std::function<void()> fn) {
   if (!fn) return;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++pending_;
   }
   if (auto* hook = g_hook_submitted.load(std::memory_order_relaxed)) hook();
@@ -57,19 +59,19 @@ void Executor::post(std::function<void()> fn) {
            static_cast<double>(end_ns - start_ns) / 1e6);
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (--pending_ == 0) idle_cv_.notify_all();
     }
   });
 }
 
 void Executor::drain() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return pending_ == 0; });
+  MutexLock lk(mu_);
+  while (pending_ != 0) idle_cv_.wait(lk);
 }
 
 std::size_t Executor::pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return pending_;
 }
 
@@ -80,7 +82,7 @@ void Strand::post(std::function<void()> fn) {
   if (!fn) return;
   bool start_drainer = false;
   {
-    std::lock_guard<std::mutex> lk(state_->mu);
+    MutexLock lk(state_->mu);
     state_->queue.push_back(std::move(fn));
     if (!state_->running) {
       state_->running = true;
@@ -96,10 +98,12 @@ void Strand::post(std::function<void()> fn) {
 }
 
 void Strand::run_queue(const std::shared_ptr<State>& state) {
+  const std::size_t self_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lk(state->mu);
+      MutexLock lk(state->mu);
       if (state->queue.empty()) {
         state->running = false;
         state->idle_cv.notify_all();
@@ -108,23 +112,33 @@ void Strand::run_queue(const std::shared_ptr<State>& state) {
       task = std::move(state->queue.front());
       state->queue.pop_front();
     }
+    state->executing_thread_hash.store(self_hash, std::memory_order_relaxed);
     try {
       task();
     } catch (...) {
       // Same fire-and-forget contract as Executor::post.
     }
+    state->executing_thread_hash.store(0, std::memory_order_relaxed);
   }
 }
 
 void Strand::drain() {
-  std::unique_lock<std::mutex> lk(state_->mu);
-  state_->idle_cv.wait(lk,
-                       [&] { return state_->queue.empty() && !state_->running; });
+  MutexLock lk(state_->mu);
+  while (!(state_->queue.empty() && !state_->running)) {
+    state_->idle_cv.wait(lk);
+  }
 }
 
 std::size_t Strand::pending() const {
-  std::lock_guard<std::mutex> lk(state_->mu);
+  MutexLock lk(state_->mu);
   return state_->queue.size() + (state_->running ? 1 : 0);
+}
+
+bool Strand::running_on_this_thread() const {
+  const std::size_t self_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return state_->executing_thread_hash.load(std::memory_order_relaxed) ==
+         self_hash;
 }
 
 }  // namespace desword

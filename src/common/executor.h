@@ -29,13 +29,13 @@
 // finished; it must not be called from inside a task.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace desword {
@@ -79,19 +79,19 @@ class Executor {
 
   /// Blocks until every posted task has finished. Must not be called from
   /// inside a posted task (it would wait on itself).
-  void drain();
+  void drain() DESWORD_EXCLUDES(mu_);
 
   /// Tasks posted but not yet finished.
-  std::size_t pending() const;
+  std::size_t pending() const DESWORD_EXCLUDES(mu_);
 
   /// True when tasks run inline on the posting thread (no workers).
   bool inline_mode() const { return pool_.concurrency() <= 1; }
 
  private:
   ThreadPool& pool_;
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::size_t pending_ = 0;  // guarded by mu_
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  std::size_t pending_ DESWORD_GUARDED_BY(mu_) = 0;
 };
 
 /// Serial sub-executor: tasks run in post order, never concurrently with
@@ -114,12 +114,23 @@ class Strand {
   /// Tasks posted to this strand but not yet finished.
   std::size_t pending() const;
 
+  /// True iff the calling thread is currently executing a task posted to
+  /// this strand. Used by debug affinity assertions inside strand
+  /// continuations (DESIGN.md §10); false from any other thread,
+  /// including between this strand's tasks.
+  bool running_on_this_thread() const;
+
  private:
   struct State {
-    std::mutex mu;
-    std::condition_variable idle_cv;
-    std::deque<std::function<void()>> queue;  // guarded by mu
-    bool running = false;                     // a drainer owns the strand
+    Mutex mu;
+    CondVar idle_cv;
+    std::deque<std::function<void()>> queue DESWORD_GUARDED_BY(mu);
+    bool running DESWORD_GUARDED_BY(mu) = false;  // a drainer owns the strand
+    // Hash of the thread id currently running a task of this strand (0 =
+    // none). Written by the drainer around each task, read lock-free by
+    // running_on_this_thread(); plain relaxed atomics suffice because the
+    // only reader that can observe its own id is the executing thread.
+    std::atomic<std::size_t> executing_thread_hash{0};
   };
 
   static void run_queue(const std::shared_ptr<State>& state);

@@ -1,0 +1,145 @@
+// Annotated mutex wrappers: the one home of raw std:: synchronization
+// primitives outside tests.
+//
+// Every mutex-bearing type in src/ uses these wrappers instead of bare
+// std::mutex/std::lock_guard so the Clang thread-safety analysis
+// (common/annotations.h, CMake option DESWORD_THREAD_SAFETY) can prove at
+// compile time that every DESWORD_GUARDED_BY member is only touched under
+// its lock. The `raw-mutex` rule in tools/desword_lint.py rejects bare
+// std primitives anywhere else (waivable per line for the rare justified
+// exception).
+//
+// The RAII lockers follow the exact pattern the Clang analysis documents
+// for scoped capabilities: the constructor is annotated DESWORD_ACQUIRE
+// and its body calls the annotated lock(), so the analysis sees the
+// acquisition it promises. `CondVar` is a std::condition_variable_any
+// waiting on the `Mutex` itself; the capability stays held across wait()
+// from the analysis's point of view, which matches the caller-visible
+// contract (predicates are re-evaluated under the lock). Use explicit
+// `while (!predicate) cv.wait(lock);` loops — lambda predicates would be
+// analyzed as separate functions and lose the capability context.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>  // desword-lint: allow(raw-mutex)
+#include <mutex>               // desword-lint: allow(raw-mutex)
+#include <shared_mutex>        // desword-lint: allow(raw-mutex)
+
+#include "common/annotations.h"
+
+namespace desword {
+
+/// Exclusive mutex. Prefer the RAII `MutexLock`; manual lock()/unlock()
+/// participates in the analysis too.
+class DESWORD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DESWORD_ACQUIRE() { mu_.lock(); }
+  void unlock() DESWORD_RELEASE() { mu_.unlock(); }
+  bool try_lock() DESWORD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;  // desword-lint: allow(raw-mutex)
+};
+
+/// RAII exclusive lock over `Mutex`.
+class DESWORD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DESWORD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DESWORD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Condition variable paired with `Mutex`/`MutexLock`. The capability is
+/// considered held across wait() (it is released and reacquired inside,
+/// which is exactly the contract callers rely on: the predicate must be
+/// re-checked after every wakeup).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.mu_); }
+
+  /// Waits until notified or `deadline`; returns false on timeout.
+  template <typename Clock, typename Duration>
+  bool wait_until(MutexLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.mu_, deadline) == std::cv_status::no_timeout;
+  }
+
+  /// Waits until notified or `rel_time` elapsed; returns false on timeout.
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& rel_time) {
+    return cv_.wait_for(lock.mu_, rel_time) == std::cv_status::no_timeout;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // _any: waits directly on the annotated Mutex (a BasicLockable), so no
+  // raw std::unique_lock ever escapes into calling code.
+  std::condition_variable_any cv_;  // desword-lint: allow(raw-mutex)
+};
+
+/// Reader/writer mutex (modp fixed-base table cache: many concurrent
+/// exponentiators, rare table registration).
+class DESWORD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DESWORD_ACQUIRE() { mu_.lock(); }
+  void unlock() DESWORD_RELEASE() { mu_.unlock(); }
+  void lock_shared() DESWORD_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() DESWORD_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // desword-lint: allow(raw-mutex)
+};
+
+/// RAII shared (reader) lock over `SharedMutex`.
+class DESWORD_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) DESWORD_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() DESWORD_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over `SharedMutex`.
+class DESWORD_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) DESWORD_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() DESWORD_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace desword

@@ -8,8 +8,8 @@ namespace desword {
 
 namespace {
 
-std::mutex g_default_mu;
-unsigned g_default_override = 0;  // 0 = no override
+Mutex g_default_mu;
+unsigned g_default_override DESWORD_GUARDED_BY(g_default_mu) = 0;  // 0 = none
 
 unsigned hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -38,7 +38,7 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::run_one(Batch& batch) {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (batch.drained()) return false;
     index = batch.next++;
     ++batch.running;
@@ -50,7 +50,7 @@ bool ThreadPool::run_one(Batch& batch) {
     err = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (err) {
       if (!batch.error) batch.error = err;
       batch.stopped = true;  // abandon unclaimed indices
@@ -72,7 +72,7 @@ void ThreadPool::for_each(std::size_t n,
   batch->n = n;
   batch->fn = &f;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     queue_.push_back(batch);
   }
   work_cv_.notify_all();
@@ -81,14 +81,15 @@ void ThreadPool::for_each(std::size_t n,
   while (run_one(*batch)) {
   }
 
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return batch->done(); });
-  queue_.erase(std::remove(queue_.begin(), queue_.end(), batch), queue_.end());
-  if (batch->error) {
-    auto err = batch->error;
-    lk.unlock();
-    std::rethrow_exception(err);
+  {
+    MutexLock lk(mu_);
+    while (!batch->done()) done_cv_.wait(lk);
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), batch),
+                 queue_.end());
   }
+  // Once done() was observed under the lock nothing writes the batch again,
+  // so the error slot is safe to read outside it.
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
@@ -100,7 +101,7 @@ void ThreadPool::submit(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push_back(std::move(fn));
   }
   work_cv_.notify_one();
@@ -111,9 +112,8 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk,
-                    [&] { return stop_ || !queue_.empty() || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty() && tasks_.empty()) work_cv_.wait(lk);
       if (stop_) return;
       if (!tasks_.empty()) {
         task = std::move(tasks_.front());
@@ -145,7 +145,7 @@ void ThreadPool::worker_loop() {
 
 unsigned ThreadPool::default_threads() {
   {
-    std::lock_guard<std::mutex> lk(g_default_mu);
+    MutexLock lk(g_default_mu);
     if (g_default_override != 0) return g_default_override;
   }
   if (const char* env = std::getenv("DESWORD_THREADS")) {
@@ -156,7 +156,7 @@ unsigned ThreadPool::default_threads() {
 }
 
 void ThreadPool::set_default_threads(unsigned threads) {
-  std::lock_guard<std::mutex> lk(g_default_mu);
+  MutexLock lk(g_default_mu);
   g_default_override = threads;
 }
 
@@ -164,10 +164,11 @@ ThreadPool& ThreadPool::shared() { return with_threads(default_threads()); }
 
 ThreadPool& ThreadPool::with_threads(unsigned threads) {
   if (threads == 0) threads = 1;
-  static std::mutex registry_mu;
+  static Mutex registry_mu;
+  // Leaked intentionally: worker threads may outlive static destruction.
   static std::map<unsigned, std::unique_ptr<ThreadPool>>* registry =
       new std::map<unsigned, std::unique_ptr<ThreadPool>>();
-  std::lock_guard<std::mutex> lk(registry_mu);
+  MutexLock lk(registry_mu);
   auto it = registry->find(threads);
   if (it == registry->end()) {
     it = registry->emplace(threads, std::make_unique<ThreadPool>(threads))

@@ -4,11 +4,10 @@
 // Z_p^* where p = 2q + 1 is a safe prime. Serialization is the big-endian
 // value padded to the byte length of p.
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <string_view>
 
 #include "common/error.h"
+#include "common/mutex.h"
 #include "crypto/group.h"
 #include "crypto/hash.h"
 #include "crypto/modexp.h"
@@ -56,7 +55,7 @@ class ModpGroup final : public Group {
     const Bignum e = decode(elem);
     const Bignum s = scalar.mod(q_);
     {
-      std::shared_lock<std::shared_mutex> lk(fixed_mu_);
+      ReaderMutexLock lk(fixed_mu_);
       const auto it = fixed_.find(Bytes(elem.begin(), elem.end()));
       if (it != fixed_.end()) return encode(mexp_.exp(it->second, s));
     }
@@ -66,7 +65,7 @@ class ModpGroup final : public Group {
   void precompute_base(BytesView elem) const override {
     (void)decode(elem);  // validate before caching
     Bytes key(elem.begin(), elem.end());
-    std::unique_lock<std::shared_mutex> lk(fixed_mu_);
+    WriterMutexLock lk(fixed_mu_);
     if (fixed_.find(key) != fixed_.end()) return;
     // Scalars are reduced mod q before exponentiation, so q's width bounds
     // every table lookup.
@@ -144,8 +143,9 @@ class ModpGroup final : public Group {
   Bytes g_;
 
   // Fixed-base tables for registered generators (precompute_base).
-  mutable std::shared_mutex fixed_mu_;
-  mutable std::map<Bytes, ModExpContext::FixedBaseTable> fixed_;
+  mutable SharedMutex fixed_mu_;
+  mutable std::map<Bytes, ModExpContext::FixedBaseTable> fixed_
+      DESWORD_GUARDED_BY(fixed_mu_);
 };
 
 }  // namespace

@@ -10,8 +10,8 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "crypto/hash.h"
 #include "zkedb/params.h"
 
@@ -26,7 +26,7 @@ class CrsCache {
   zkedb::EdbCrsPtr get(BytesView ps_serialized) {
     const Bytes key = sha256(ps_serialized);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = cache_.find(key);
       if (it != cache_.end()) return it->second;
     }
@@ -34,7 +34,7 @@ class CrsCache {
         zkedb::EdbPublicParams::deserialize(ps_serialized));
     zkedb::EdbCrsPtr canonical;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       canonical = cache_.emplace(key, std::move(crs)).first->second;
     }
     warm(*canonical);
@@ -50,7 +50,7 @@ class CrsCache {
     const Bytes key = sha256(crs->params().serialize());
     zkedb::EdbCrsPtr canonical;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       canonical = cache_.emplace(key, crs).first->second;
     }
     warm(*canonical);
@@ -59,7 +59,7 @@ class CrsCache {
 
   /// Number of distinct parameter sets cached. Thread safe.
   std::size_t size() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return cache_.size();
   }
 
@@ -74,8 +74,8 @@ class CrsCache {
     crs.tmc().precompute_fixed_bases();
   }
 
-  std::mutex mutex_;
-  std::map<Bytes, zkedb::EdbCrsPtr> cache_;
+  Mutex mutex_;
+  std::map<Bytes, zkedb::EdbCrsPtr> cache_ DESWORD_GUARDED_BY(mutex_);
 };
 
 using CrsCachePtr = std::shared_ptr<CrsCache>;

@@ -125,6 +125,7 @@ void Participant::initiate_task(const std::string& task_id) {
 }
 
 void Participant::on_ps_retry(const std::string& task_id) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   const auto it = tasks_.find(task_id);
   if (it == tasks_.end()) return;
   TaskState& task = it->second;
@@ -154,6 +155,7 @@ const poc::Poc* Participant::poc_for_task(const std::string& task_id) const {
 }
 
 void Participant::handle(const net::Envelope& env) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   try {
     dispatch(env);
   } catch (const CheckError&) {
@@ -496,7 +498,14 @@ void Participant::respond_cached(const net::Envelope& env,
   in_flight_.emplace(key, InFlight{resp_type, {env.from}});
   transport_.add_work();
   std::weak_ptr<void> token = alive_;
-  strand_->post([this, token, key, compute = std::move(compute)] {
+  // Raw Strand pointer is safe: the destructor (and rebind) drain the
+  // strand before releasing it, so the task never outlives *strand.
+  Strand* strand = strand_.get();
+  strand_->post([this, token, key, strand, compute = std::move(compute)] {
+    // Worker context: reply_cache_/in_flight_ are loop-owned and must not
+    // be touched here — results travel back through transport_.post.
+    DESWORD_DCHECK(strand->running_on_this_thread(),
+                   "proof task escaped its participant strand");
     Bytes payload;
     bool ok = true;
     try {
@@ -518,6 +527,7 @@ void Participant::respond_cached(const net::Envelope& env,
 }
 
 void Participant::finish_in_flight(const Bytes& key, bool ok, Bytes payload) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   const auto it = in_flight_.find(key);
   if (it == in_flight_.end()) return;
   InFlight entry = std::move(it->second);

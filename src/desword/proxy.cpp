@@ -121,6 +121,7 @@ std::vector<Proxy::QueueEntry> Proxy::poc_queue(
 }
 
 void Proxy::handle(const net::Envelope& env) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   try {
     switch (message_type_of(env.type)) {
       case MessageType::kPsRequest:
@@ -198,6 +199,7 @@ void Proxy::on_poc_list_submit(const net::Envelope& env,
 std::uint64_t Proxy::begin_query(const supplychain::ProductId& product,
                                  ProductQuality quality,
                                  std::optional<std::string> task_hint) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   const std::uint64_t query_id = next_query_id_++;
   Session& s = sessions_[query_id];
   s.outcome.query_id = query_id;
@@ -235,6 +237,7 @@ std::uint64_t Proxy::begin_query(const supplychain::ProductId& product,
 }
 
 void Proxy::launch_query(std::uint64_t query_id) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   const auto it = sessions_.find(query_id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
@@ -278,6 +281,7 @@ void Proxy::arm_retransmit(Session& s) {
 }
 
 void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   const auto it = sessions_.find(query_id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
@@ -455,8 +459,13 @@ void Proxy::verify_then(Session& s, std::function<R()> work,
   // verifier that is merely busy, not silent).
   transport_.add_work();
   std::weak_ptr<void> token = alive_;
-  s.strand->post([this, token, query_id, work = std::move(work),
-                  done = std::move(done)]() mutable {
+  s.strand->post([this, token, query_id, strand = s.strand,
+                  work = std::move(work), done = std::move(done)]() mutable {
+    // Worker context: the session's strand serializes this body, and
+    // everything loop-owned (sessions_, timers, sends) stays out of it —
+    // the verdict travels back through transport_.post below.
+    DESWORD_DCHECK(strand->running_on_this_thread(),
+                   "verify task escaped its session strand");
     std::optional<R> result;
     std::exception_ptr error;
     try {
@@ -479,6 +488,7 @@ template <typename R>
 void Proxy::resume_verify(std::uint64_t query_id, std::optional<R> result,
                           std::exception_ptr error,
                           const std::function<void(Session&, const R&)>& done) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
   const auto it = sessions_.find(query_id);
   if (it == sessions_.end()) return;
   Session& s = it->second;
@@ -793,6 +803,10 @@ const char* Proxy::phase_name(Phase phase) {
 }
 
 std::string Proxy::pump_stall_report() const {
+  // Reads session phase/candidate state, which is loop-owned: a stall
+  // report assembled from a worker thread would race the very state it is
+  // describing.
+  DESWORD_DCHECK_ON_LOOP(transport_);
   std::string msg = "proxy pump did not converge:";
   std::size_t active = 0;
   for (const auto& [qid, s] : sessions_) {

@@ -10,7 +10,11 @@
 // Loop-thread only — no locking. Launching may resolve a query
 // synchronously (e.g. an empty candidate set), which re-enters
 // `finished`; the drain loop re-checks its bounds every iteration, so the
-// reentrancy is benign.
+// reentrancy is benign. The loop-only contract is machine-checked at the
+// proxy's entry points via DESWORD_DCHECK_ON_LOOP (DESIGN.md §10) rather
+// than by capability annotations — there is deliberately no mutex here to
+// annotate, and the `loop-affinity` lint rule keeps scheduler_ touches out
+// of worker-context strand continuations.
 #pragma once
 
 #include <cstddef>

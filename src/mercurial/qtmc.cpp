@@ -2,6 +2,7 @@
 
 #include <list>
 #include <map>
+#include <mutex>  // desword-lint: allow(raw-mutex) — std::once_flag/call_once
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -73,9 +74,10 @@ struct FixedBaseEntry {
 constexpr std::size_t kFixedBaseRegistryCap = 8;
 
 struct FixedBaseRegistry {
-  std::mutex mu;
-  std::map<Bytes, std::shared_ptr<FixedBaseEntry>> entries;
-  std::list<Bytes> lru;  // front = most recently used
+  Mutex mu;
+  std::map<Bytes, std::shared_ptr<FixedBaseEntry>> entries
+      DESWORD_GUARDED_BY(mu);
+  std::list<Bytes> lru DESWORD_GUARDED_BY(mu);  // front = most recently used
 };
 
 FixedBaseRegistry& fixed_base_registry() {
@@ -87,7 +89,7 @@ FixedBaseRegistry& fixed_base_registry() {
 // used entries beyond the cap. O(cap) list scans are fine at cap = 8.
 std::shared_ptr<FixedBaseEntry> fixed_base_entry(const Bytes& key) {
   FixedBaseRegistry& reg = fixed_base_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.entries.find(key);
   if (it != reg.entries.end()) {
     reg.lru.remove(key);
@@ -339,7 +341,7 @@ std::pair<QtmcCommitment, QtmcSoftDecommit> QtmcScheme::soft_commit(
 }
 
 const Bignum& QtmcScheme::u_base(std::uint32_t pos) const {
-  std::lock_guard<std::mutex> lock(u_mutex_);
+  MutexLock lock(u_mutex_);
   if (!u_[pos].has_value()) {
     // U_pos = g^{(P/e_pos) div e_pos}; one-time Θ(q·|e|)-bit exponentiation,
     // cached so steady-state soft openings stay constant time.
@@ -355,7 +357,7 @@ void QtmcScheme::precompute_soft_bases() const {
 }
 
 void QtmcScheme::precompute_fixed_bases(bool position_bases) const {
-  std::lock_guard<std::mutex> lock(fb_mu_);
+  MutexLock lock(fb_mu_);
   if (fb_ready_.load(std::memory_order_acquire) &&
       (!position_bases || fb_pos_ready_.load(std::memory_order_acquire))) {
     return;
@@ -403,42 +405,56 @@ void QtmcScheme::precompute_fixed_bases(bool position_bases) const {
 }
 
 const void* QtmcScheme::fixed_base_tables_id() const {
-  std::lock_guard<std::mutex> lock(fb_mu_);
+  MutexLock lock(fb_mu_);
   return fb_g_.get();
 }
 
+// See the declarations in qtmc.h for why these four accessors may read the
+// fb_* pointers without holding fb_mu_ (write-once release/acquire
+// publication gated by fb_*_ready_).
+const ModExpContext::FixedBaseTable* QtmcScheme::fb_g_table() const {
+  if (!fb_ready_.load(std::memory_order_acquire)) return nullptr;
+  return fb_g_.get();
+}
+
+const ModExpContext::FixedBaseTable* QtmcScheme::fb_h_table() const {
+  if (!fb_ready_.load(std::memory_order_acquire)) return nullptr;
+  return fb_h_.get();
+}
+
+const ModExpContext::FixedBaseTable* QtmcScheme::fb_h_tilde_table() const {
+  if (!fb_ready_.load(std::memory_order_acquire)) return nullptr;
+  return fb_h_tilde_.get();
+}
+
+const std::vector<ModExpContext::FixedBaseTable>* QtmcScheme::fb_s_tables()
+    const {
+  if (!fb_pos_ready_.load(std::memory_order_acquire)) return nullptr;
+  return fb_s_.get();
+}
+
 Bignum QtmcScheme::pow_g(const Bignum& exponent) const {
-  if (fb_ready_.load(std::memory_order_acquire)) {
-    return mexp_->exp(*fb_g_, exponent);
-  }
+  if (const auto* t = fb_g_table()) return mexp_->exp(*t, exponent);
   return mexp_->exp(pk_.g, exponent);
 }
 
 Bignum QtmcScheme::pow_g_signed(const Bignum& exponent) const {
-  if (fb_ready_.load(std::memory_order_acquire)) {
-    return mexp_->exp_signed(*fb_g_, exponent);
-  }
+  if (const auto* t = fb_g_table()) return mexp_->exp_signed(*t, exponent);
   return mexp_->exp_signed(pk_.g, exponent);
 }
 
 Bignum QtmcScheme::pow_h(const Bignum& exponent) const {
-  if (fb_ready_.load(std::memory_order_acquire)) {
-    return mexp_->exp(*fb_h_, exponent);
-  }
+  if (const auto* t = fb_h_table()) return mexp_->exp(*t, exponent);
   return mexp_->exp(pk_.h, exponent);
 }
 
 Bignum QtmcScheme::pow_h_tilde(const Bignum& exponent) const {
-  if (fb_ready_.load(std::memory_order_acquire)) {
-    return mexp_->exp(*fb_h_tilde_, exponent);
-  }
+  if (const auto* t = fb_h_tilde_table()) return mexp_->exp(*t, exponent);
   return mexp_->exp(h_tilde_, exponent);
 }
 
 Bignum QtmcScheme::pow_s(std::uint32_t pos, const Bignum& exponent) const {
-  if (fb_pos_ready_.load(std::memory_order_acquire)) {
-    return mexp_->exp((*fb_s_)[pos], exponent);
-  }
+  if (const auto* s = fb_s_tables()) return mexp_->exp((*s)[pos], exponent);
   return mexp_->exp(s_[pos], exponent);
 }
 

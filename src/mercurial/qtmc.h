@@ -40,11 +40,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "crypto/bignum.h"
 #include "crypto/modexp.h"
 #include "crypto/randsource.h"
@@ -258,6 +258,20 @@ class QtmcScheme {
   Bignum pow_h_tilde(const Bignum& exponent) const;
   Bignum pow_s(std::uint32_t pos, const Bignum& exponent) const;
   const Bignum& u_base(std::uint32_t pos) const;
+  // Lock-free fast-path readers for the adopted fixed-base tables; nullptr
+  // until published. Analysis opt-out is sound: each pointer is written
+  // exactly once, under fb_mu_, BEFORE the release store of fb_*_ready_;
+  // the acquire load in these accessors orders the pointer read after that
+  // publication, and the pointed-to tables are immutable from then on.
+  // Every unlocked fb_* access in the scheme funnels through these four.
+  const ModExpContext::FixedBaseTable* fb_g_table() const
+      DESWORD_NO_THREAD_SAFETY_ANALYSIS;
+  const ModExpContext::FixedBaseTable* fb_h_table() const
+      DESWORD_NO_THREAD_SAFETY_ANALYSIS;
+  const ModExpContext::FixedBaseTable* fb_h_tilde_table() const
+      DESWORD_NO_THREAD_SAFETY_ANALYSIS;
+  const std::vector<ModExpContext::FixedBaseTable>* fb_s_tables() const
+      DESWORD_NO_THREAD_SAFETY_ANALYSIS;
   Bignum lambda_exponent(const QtmcHardDecommit& dec, std::uint32_t pos) const;
   /// Structural checks + emission of the main equation
   /// Λ^{e_pos}·S_pos^m·C1^τ == C0 shared by hard and soft openings.
@@ -277,20 +291,25 @@ class QtmcScheme {
   Bignum h_tilde_;             // g^P
   std::vector<Bignum> rho_;    // ρ_i = (P/e_i) mod e_i
 
-  mutable std::mutex u_mutex_;
-  mutable std::vector<std::optional<Bignum>> u_;  // U_i = g^{(P/e_i) div e_i}
+  mutable Mutex u_mutex_;
+  // U_i = g^{(P/e_i) div e_i}
+  mutable std::vector<std::optional<Bignum>> u_ DESWORD_GUARDED_BY(u_mutex_);
 
   // Fixed-base tables (precompute_fixed_bases), adopted from the process-
   // wide per-public-key registry. Written once under fb_mu_, then
-  // read-only; fb_*_ready_ gate the fast paths with acquire loads.
-  mutable std::mutex fb_mu_;
+  // read-only; fb_*_ready_ gate the lock-free fast paths (the fb_*_table()
+  // accessors above) with acquire loads.
+  mutable Mutex fb_mu_;
   mutable std::atomic<bool> fb_ready_{false};
   mutable std::atomic<bool> fb_pos_ready_{false};
-  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_g_;
-  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_h_;
-  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_h_tilde_;
+  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_g_
+      DESWORD_GUARDED_BY(fb_mu_);
+  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_h_
+      DESWORD_GUARDED_BY(fb_mu_);
+  mutable std::shared_ptr<const ModExpContext::FixedBaseTable> fb_h_tilde_
+      DESWORD_GUARDED_BY(fb_mu_);
   mutable std::shared_ptr<const std::vector<ModExpContext::FixedBaseTable>>
-      fb_s_;
+      fb_s_ DESWORD_GUARDED_BY(fb_mu_);
 };
 
 }  // namespace desword::mercurial

@@ -112,7 +112,7 @@ std::size_t Network::run(std::size_t max_steps) {
 void Network::post(std::function<void()> fn) {
   if (!fn) return;
   {
-    std::lock_guard<std::mutex> lk(posted_mu_);
+    MutexLock lk(posted_mu_);
     posted_.push_back(std::move(fn));
   }
   posted_cv_.notify_all();
@@ -123,7 +123,7 @@ std::size_t Network::run_posted() {
   for (;;) {
     std::deque<std::function<void()>> batch;
     {
-      std::lock_guard<std::mutex> lk(posted_mu_);
+      MutexLock lk(posted_mu_);
       if (posted_.empty()) return ran;
       batch.swap(posted_);
     }
@@ -135,35 +135,43 @@ std::size_t Network::run_posted() {
 }
 
 bool Network::wait_posted(int timeout_ms) {
-  std::unique_lock<std::mutex> lk(posted_mu_);
+  MutexLock lk(posted_mu_);
   if (timeout_ms <= 0) return !posted_.empty();
-  posted_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
-                      [&] { return !posted_.empty(); });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (posted_.empty()) {
+    if (!posted_cv_.wait_until(lk, deadline)) break;  // timed out
+  }
   return !posted_.empty();
 }
 
 std::size_t Network::posted_pending() const {
-  std::lock_guard<std::mutex> lk(posted_mu_);
+  MutexLock lk(posted_mu_);
   return posted_.size();
 }
 
 void Network::add_work() {
-  std::lock_guard<std::mutex> lk(posted_mu_);
+  MutexLock lk(posted_mu_);
   ++work_pending_;
 }
 
 void Network::remove_work() {
-  std::lock_guard<std::mutex> lk(posted_mu_);
+  MutexLock lk(posted_mu_);
   --work_pending_;
 }
 
 std::size_t Network::work_pending() const {
-  std::lock_guard<std::mutex> lk(posted_mu_);
+  MutexLock lk(posted_mu_);
   return work_pending_;
 }
 
 const LinkStats& Network::stats(const NodeId& from, const NodeId& to) const {
-  return stats_[{from, to}];
+  // Lookup-only: the old operator[] body inserted a zero record for every
+  // link anyone ever *asked* about, so diagnostic sweeps over unknown pairs
+  // grew the table without bound. Unknown links share one canonical zero.
+  static const LinkStats kZero;
+  const auto it = stats_.find({from, to});
+  return it == stats_.end() ? kZero : it->second;
 }
 
 LinkStats Network::total_stats() const {

@@ -9,16 +9,15 @@
 // the protocol's abort paths.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace desword::net {
@@ -95,23 +94,27 @@ class Network {
   // matter whose poll() drains them.
 
   /// Enqueues a loop-thread continuation. Thread safe; wakes wait_posted().
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn) DESWORD_EXCLUDES(posted_mu_);
   /// Runs every queued continuation (loop thread only). Returns how many.
-  std::size_t run_posted();
+  std::size_t run_posted() DESWORD_EXCLUDES(posted_mu_);
   /// Blocks until a continuation is queued or `timeout_ms` elapsed.
   /// Returns true when one is pending.
-  bool wait_posted(int timeout_ms);
-  std::size_t posted_pending() const;
+  bool wait_posted(int timeout_ms) DESWORD_EXCLUDES(posted_mu_);
+  std::size_t posted_pending() const DESWORD_EXCLUDES(posted_mu_);
 
   /// Off-loop work accounting: while `work_pending() > 0` the network is
   /// NOT quiescent even with an empty message queue — a completion is
   /// still coming — so SimTransport must keep timers holstered instead of
   /// firing a stall-scan round. Dispatchers add_work() before handing a
   /// job to the executor; the posted completion remove_work()s.
-  void add_work();
-  void remove_work();
-  std::size_t work_pending() const;
+  void add_work() DESWORD_EXCLUDES(posted_mu_);
+  void remove_work() DESWORD_EXCLUDES(posted_mu_);
+  std::size_t work_pending() const DESWORD_EXCLUDES(posted_mu_);
 
+  /// Counters for the directed link from->to. Reading an unknown link
+  /// returns a canonical all-zero record WITHOUT materializing an entry —
+  /// observation must not mutate the table (loop thread only, like every
+  /// other non-post member).
   const LinkStats& stats(const NodeId& from, const NodeId& to) const;
   LinkStats total_stats() const;
   void reset_stats() { stats_.clear(); }
@@ -120,17 +123,17 @@ class Network {
   const LinkPolicy& policy_for(const NodeId& from, const NodeId& to) const;
 
   // Thread-safe seam (workers + loop thread); everything else loop-only.
-  mutable std::mutex posted_mu_;
-  std::condition_variable posted_cv_;
-  std::deque<std::function<void()>> posted_;  // guarded by posted_mu_
-  std::size_t work_pending_ = 0;              // guarded by posted_mu_
+  mutable Mutex posted_mu_;
+  CondVar posted_cv_;
+  std::deque<std::function<void()>> posted_ DESWORD_GUARDED_BY(posted_mu_);
+  std::size_t work_pending_ DESWORD_GUARDED_BY(posted_mu_) = 0;
 
   SimRng rng_;
   std::uint64_t now_ = 0;
   LinkPolicy default_policy_;
   std::map<NodeId, Handler> nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkPolicy> policies_;
-  mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
+  std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
   std::deque<Envelope> queue_;
 };
 

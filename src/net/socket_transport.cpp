@@ -132,7 +132,7 @@ SocketTransport::~SocketTransport() {
 void SocketTransport::post(std::function<void()> fn) {
   if (!fn) return;
   {
-    std::lock_guard<std::mutex> lk(posted_mu_);
+    MutexLock lk(posted_mu_);
     posted_.push_back(std::move(fn));
   }
   // A full pipe (EAGAIN) is fine: a wakeup byte is already pending.
@@ -145,7 +145,7 @@ std::size_t SocketTransport::run_posted() {
   for (;;) {
     std::deque<std::function<void()>> batch;
     {
-      std::lock_guard<std::mutex> lk(posted_mu_);
+      MutexLock lk(posted_mu_);
       if (posted_.empty()) return ran;
       batch.swap(posted_);
     }
@@ -378,6 +378,7 @@ std::size_t SocketTransport::fire_due_timers() {
 }
 
 std::size_t SocketTransport::poll(int timeout_ms) {
+  bind_loop_thread();
   std::size_t events = 0;
 
   // Executor completions first: they were owed before anything newly
@@ -507,7 +508,14 @@ bool SocketTransport::flush(int timeout_ms) {
 
 const LinkStats& SocketTransport::stats(const NodeId& from,
                                         const NodeId& to) const {
-  return touch_stats({from, to});
+  // Lookup-only. The old body went through touch_stats(), so *reading* an
+  // unknown link inserted it into the LRU and — once the table was at
+  // max_tracked_links — evicted a live link's counters into the aggregate.
+  // A diagnostics sweep could thus destroy exactly the per-link detail it
+  // was trying to report. Observers get a canonical zero record instead.
+  static const LinkStats kZero;
+  const auto it = stats_.find({from, to});
+  return it == stats_.end() ? kZero : it->second.stats;
 }
 
 LinkStats SocketTransport::total_stats() const {

@@ -24,11 +24,11 @@
 #include <functional>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "net/transport.h"
 
 namespace desword::net {
@@ -72,8 +72,11 @@ class SocketTransport final : public Transport {
   /// executor completions re-enter the loop without waiting out the
   /// timeout. No add_work() bracket needed: timers here have real
   /// deadlines, so an in-flight job never triggers a spurious stall scan.
-  void post(std::function<void()> fn) override;
+  void post(std::function<void()> fn) override DESWORD_EXCLUDES(posted_mu_);
   std::size_t poll(int timeout_ms = 0) override;
+  /// Lookup-only: reading an unknown link returns a canonical zero record
+  /// without inserting into (or re-ordering) the LRU — an observer must
+  /// never evict a live link's counters.
   const LinkStats& stats(const NodeId& from, const NodeId& to) const override;
   LinkStats total_stats() const override;
 
@@ -98,9 +101,9 @@ class SocketTransport final : public Transport {
   // Self-pipe wakeup for post(): workers write one byte, the loop's
   // ::poll(2) wakes on the read end and drains posted_ closures.
   int wake_pipe_[2] = {-1, -1};
-  mutable std::mutex posted_mu_;
-  std::deque<std::function<void()>> posted_;  // guarded by posted_mu_
-  std::size_t run_posted();
+  mutable Mutex posted_mu_;
+  std::deque<std::function<void()>> posted_ DESWORD_GUARDED_BY(posted_mu_);
+  std::size_t run_posted() DESWORD_EXCLUDES(posted_mu_);
 
   std::map<NodeId, Handler> handlers_;
   std::map<int, Connection> connections_;        // fd -> connection

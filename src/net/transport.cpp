@@ -45,6 +45,7 @@ void SimTransport::cancel_timer(TimerId id) {
 }
 
 std::size_t SimTransport::poll(int timeout_ms) {
+  bind_loop_thread();
   // Executor completions first: they typically send() responses the
   // subsequent network_.run() then delivers within the same round.
   std::size_t events = network_.run_posted();

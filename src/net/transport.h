@@ -19,11 +19,15 @@
 // simulator.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 
+#include "common/error.h"
 #include "net/network.h"
 
 namespace desword::net {
@@ -87,7 +91,51 @@ class Transport {
   virtual const LinkStats& stats(const NodeId& from, const NodeId& to)
       const = 0;
   virtual LinkStats total_stats() const = 0;
+
+  // --- loop-thread affinity ---------------------------------------------
+  //
+  // Every Transport member except post() is loop-thread-only (DESIGN.md
+  // §9/§10). The loop thread is tagged lazily: the first poll() binds the
+  // calling thread as *the* loop thread, and `DESWORD_DCHECK_ON_LOOP`
+  // assertions in the protocol handlers verify all later loop-only entry
+  // points run on it. Before any poll() the transport is considered
+  // unbound and every thread passes — setup (register_node, initial sends)
+  // legitimately happens before the loop starts.
+
+  /// True iff the calling thread is the bound loop thread, or no thread
+  /// has been bound yet. Debug-assertion predicate, not a synchronization
+  /// primitive.
+  bool on_loop_thread() const {
+    const std::size_t bound = loop_thread_hash_.load(std::memory_order_relaxed);
+    return bound == 0 ||
+           bound == std::hash<std::thread::id>{}(std::this_thread::get_id());
+  }
+
+ protected:
+  /// Binds the calling thread as the loop thread (first caller wins;
+  /// poll() implementations call this at entry, so re-binding from the
+  /// same thread is the common no-op case).
+  void bind_loop_thread() const {
+    std::size_t expected = 0;
+    loop_thread_hash_.compare_exchange_strong(
+        expected, std::hash<std::thread::id>{}(std::this_thread::get_id()),
+        std::memory_order_relaxed);
+  }
+
+ private:
+  // 0 = unbound. Hash of std::thread::id (not the id itself) so the slot
+  // is a lock-free atomic; a colliding hash could only ever weaken the
+  // debug assertion, never break the transport.
+  mutable std::atomic<std::size_t> loop_thread_hash_{0};
 };
+
+/// Debug-only loop-affinity assertion: fails (throws CheckError, like any
+/// DESWORD_DCHECK) when executed off the transport's bound loop thread.
+/// Compiled out under NDEBUG. Place at the top of loop-only entry points —
+/// protocol handlers, timer callbacks, posted continuations.
+#define DESWORD_DCHECK_ON_LOOP(transport)         \
+  DESWORD_DCHECK((transport).on_loop_thread(),    \
+                 "loop-affinity violation: running off the loop thread")
 
 /// Adapter running the protocol over the in-process simulated `Network`,
 /// byte-for-byte compatible with driving the `Network` directly (same

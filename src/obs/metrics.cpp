@@ -32,14 +32,19 @@ constexpr std::size_t kNumHistograms =
     static_cast<std::size_t>(HistogramId::kCount);
 
 json::Value histogram_value(const Histogram& h) {
-  json::Object o;
-  o["count"] = json::Value(static_cast<std::int64_t>(h.count()));
-  o["sum_ms"] = json::Value(static_cast<double>(h.sum_us()) / 1000.0);
-  o["max_ms"] = json::Value(static_cast<double>(h.max_us()) / 1000.0);
+  // Read order buckets -> count (the reverse of the write order in
+  // Histogram::observe_us): every observation visible in a bucket is then
+  // guaranteed to be in the count read below, keeping Σ buckets ≤ count in
+  // every snapshot taken while observers are recording. The old
+  // count-first order could show a bucket total EXCEEDING the count.
   json::Array buckets;
   for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
     buckets.push_back(json::Value(static_cast<std::int64_t>(h.bucket(i))));
   }
+  json::Object o;
+  o["count"] = json::Value(static_cast<std::int64_t>(h.count()));
+  o["sum_ms"] = json::Value(static_cast<double>(h.sum_us()) / 1000.0);
+  o["max_ms"] = json::Value(static_cast<double>(h.max_us()) / 1000.0);
   o["buckets"] = json::Value(std::move(buckets));
   return json::Value(std::move(o));
 }
@@ -131,9 +136,14 @@ std::string MetricsRegistry::compact_json() const {
   }
   for (std::size_t i = 0; i < kNumHistograms; ++i) {
     const Histogram& h = histograms_[i];
-    if (h.count() == 0) continue;
+    // One read serves both the emptiness gate and the emitted value — two
+    // reads could disagree under concurrent observers (gate passes on 0,
+    // output shows 1, or count and sum drift apart more than one in-flight
+    // observation can explain).
+    const std::uint64_t count = h.count();
+    if (count == 0) continue;
     json::Object o;
-    o["count"] = json::Value(static_cast<std::int64_t>(h.count()));
+    o["count"] = json::Value(static_cast<std::int64_t>(count));
     o["sum_ms"] = json::Value(static_cast<double>(h.sum_us()) / 1000.0);
     o["max_ms"] = json::Value(static_cast<double>(h.max_us()) / 1000.0);
     root[kHistogramNames[i]] = json::Value(std::move(o));

@@ -73,13 +73,18 @@ class Histogram {
   static constexpr std::size_t kBuckets = 28;
 
   void observe_us(std::uint64_t us) {
+    // Write order count -> bucket (bucket release) pairs with the read
+    // order buckets (acquire) -> count in snapshots: an observation whose
+    // bucket increment a snapshot sees is guaranteed to be in the count it
+    // reads afterwards, so Σ buckets ≤ count holds in every snapshot even
+    // while observers hammer the histogram.
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_us_.fetch_add(us, std::memory_order_relaxed);
     std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
     while (us > prev && !max_us_.compare_exchange_weak(
                             prev, us, std::memory_order_relaxed)) {
     }
-    buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+    buckets_[bucket_index(us)].fetch_add(1, std::memory_order_release);
   }
   void observe_ms(double ms) {
     observe_us(ms <= 0.0 ? 0
@@ -96,7 +101,8 @@ class Histogram {
     return max_us_.load(std::memory_order_relaxed);
   }
   std::uint64_t bucket(std::size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
+    // Acquire pairs with the release increment in observe_us; see there.
+    return buckets_[i].load(std::memory_order_acquire);
   }
 
   static std::size_t bucket_index(std::uint64_t us) {

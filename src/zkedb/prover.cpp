@@ -112,14 +112,14 @@ std::pair<std::size_t, Bytes> EdbProver::make_soft_node(std::uint32_t depth,
   if (depth == crs_->height()) {
     auto [com, dec] = crs_->tmc().soft_commit(rng);
     Bytes digest = crs_->digest_leaf(com);
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     const std::size_t id = soft_nodes_.size();
     soft_nodes_.push_back(SoftLeaf{std::move(com), std::move(dec)});
     return {id, std::move(digest)};
   }
   auto [com, dec] = crs_->qtmc().soft_commit(rng);
   Bytes digest = crs_->digest_inner(com);
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   const std::size_t id = soft_nodes_.size();
   soft_nodes_.push_back(SoftInner{std::move(com), std::move(dec), {}});
   return {id, std::move(digest)};
@@ -142,7 +142,7 @@ Bytes EdbProver::backing_digest(const std::string& prefix,
           ? prefix
           : child_prefix(prefix, digit);
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     const auto it = soft_backing_.find(backing_key);
     if (it != soft_backing_.end()) return soft_digest(it->second);
   }
@@ -154,7 +154,7 @@ Bytes EdbProver::backing_digest(const std::string& prefix,
   RandomSource& rng =
       drbg ? static_cast<RandomSource&>(*drbg) : system_random();
   auto [id, digest] = make_soft_node(depth + 1, rng);
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   soft_backing_.emplace(backing_key, id);
   return digest;
 }
@@ -167,7 +167,7 @@ Bytes EdbProver::commit_inner(const std::string& prefix,
       drbg ? static_cast<RandomSource&>(*drbg) : system_random();
   auto [com, dec] = crs_->qtmc().hard_commit(messages, rng);
   Bytes digest = crs_->digest_inner(com);
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   inner_.insert_or_assign(prefix, InnerNode{std::move(com), std::move(dec)});
   return digest;
 }
@@ -185,7 +185,7 @@ Bytes EdbProver::build(const std::vector<BuildEntry>& entries,
         drbg ? static_cast<RandomSource&>(*drbg) : system_random();
     auto [com, dec] = crs_->tmc().hard_commit(leaf_value_digest(value), rng);
     Bytes digest = crs_->digest_leaf(com);
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     leaves_.emplace(prefix, LeafNode{std::move(com), std::move(dec)});
     return digest;
   }

@@ -15,13 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
 
+#include "common/mutex.h"
 #include "crypto/randsource.h"
 #include "zkedb/proof.h"
 
@@ -180,8 +180,13 @@ class EdbProver {
   // Names fabricated soft nodes in seeded mode (role 'f').
   std::uint64_t fabrication_counter_ = 0;
   // Serializes map/deque mutations during the parallel build. Never held
-  // while doing modular exponentiations.
-  mutable std::mutex state_mu_;
+  // while doing modular exponentiations. The containers below deliberately
+  // carry no DESWORD_GUARDED_BY: they are phase-disciplined, not
+  // lock-disciplined — shared (and locked) only while build() fans out
+  // over the pool, then read lock-free on the serial prove/update paths.
+  // That phase split is outside the capability model; the parallel phase
+  // is covered dynamically by parallel_edb_test under TSan.
+  mutable Mutex state_mu_;
   // Trie nodes addressed by digit-prefix strings (one byte per digit).
   std::map<std::string, InnerNode> inner_;
   std::map<std::string, LeafNode> leaves_;

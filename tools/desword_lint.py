@@ -51,13 +51,40 @@ Rules (each can be waived on a specific line with a trailing
                 throw at first use — or worse, silently record into a dead
                 instrument nobody snapshots.
 
-Run:  tools/desword_lint.py --root <repo root>
-Exit status 0 = clean, 1 = violations (printed one per line).
+  raw-mutex     No raw ``std::mutex``/``std::lock_guard``/
+                ``std::unique_lock``/``std::condition_variable``/... (and
+                no ``#include`` of their headers) outside
+                ``src/common/annotations.h`` and ``src/common/mutex.h``.
+                All locking goes through the annotated ``Mutex``/
+                ``MutexLock``/``CondVar`` wrappers so Clang's thread-safety
+                analysis (``-Wthread-safety``, DESWORD_THREAD_SAFETY=ON)
+                sees every acquisition — a raw std::mutex is a lock the
+                analysis silently cannot check.
+
+  loop-affinity Inside ``Proxy``/``Participant`` strand/executor ``post``
+                lambdas (worker context), loop-owned state must not be
+                touched: ``transport_.send/set_timer/cancel_timer``,
+                ``sessions_``, ``in_flight_``, ``reply_cache_*``,
+                ``scheduler_``, ``finish_in_flight``, ``resume_verify``.
+                Results must travel back to the loop thread through a
+                nested ``transport_.post(...)`` (those nested spans are
+                exempt — they run on the loop). The runtime counterpart is
+                DESWORD_DCHECK_ON_LOOP; this rule catches the bug at
+                review time, in builds where DCHECKs are compiled out.
+
+Run:  tools/desword_lint.py [--root <repo root>]
+The root defaults to the repository containing this script, so the linter
+works from any working directory (CI checkouts, editor integrations).
+Exit status 0 = clean, 1 = violations (printed one per line). Under
+GitHub Actions (``GITHUB_ACTIONS`` set) each violation is additionally
+emitted as a ``::error file=...,line=...::`` workflow annotation so it
+shows up inline on the PR diff.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import re
 import sys
@@ -70,6 +97,14 @@ RANDOMNESS_EXEMPT = re.compile(r"src/crypto/randsource\.(h|cpp)$")
 
 # The one home of raw OpenSSL modular exponentiation (rule modexp).
 MODEXP_EXEMPT = re.compile(r"src/crypto/modexp\.(h|cpp)$")
+
+# The annotated wrapper layer itself (rule raw-mutex): the only files
+# allowed to name std synchronization primitives.
+RAW_MUTEX_EXEMPT = re.compile(r"src/common/(annotations|mutex)\.h$")
+
+# Fixture mini-trees for the lint self-test contain deliberate violations;
+# they are linted by tools/desword_lint_selftest.py, never by run().
+FIXTURE_DIR_PART = "lint_fixtures"
 
 # Decode paths: every file that parses attacker-supplied or persisted
 # bytes. memcpy/reinterpret_cast are banned here (rule decode-cast).
@@ -126,6 +161,46 @@ RE_METRIC_NAME = re.compile(r"^[a-z]+(\.[a-z_]+){1,3}$")
 INSTRUMENTS_FILE = "src/obs/instruments.h"
 RE_INSTRUMENT_LITERAL = re.compile(r"\"([a-z][a-z_.]*)\"")
 
+# Raw std synchronization primitives (rule raw-mutex). Includes the header
+# names too: a stray `#include <mutex>` is the tell that someone is about
+# to bypass the annotated wrappers. <atomic> stays allowed everywhere.
+RE_RAW_MUTEX = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable|condition_variable_any)\b|"
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+# Worker-context dispatch points (rule loop-affinity): posting to a strand
+# or directly to the executor moves the lambda off the loop thread.
+RE_WORKER_POST = re.compile(
+    r"(?:\bstrand\w*|\w+\.strand|\bexecutor_)\s*(?:->|\.)\s*post\s*\(")
+# Nested hand-back to the loop thread: spans under transport post are the
+# one sanctioned place worker code names loop-owned state again.
+RE_LOOP_POST = re.compile(r"\btransport_?\s*(?:\.|->)\s*post\s*\(")
+# Loop-owned state: anything here appearing in worker context (outside a
+# nested transport post) is a data race against the loop thread.
+RE_LOOP_OWNED = re.compile(
+    r"\btransport_?\s*(?:\.|->)\s*(?:send|set_timer|cancel_timer)\s*\(|"
+    r"\bsessions_\b|\bin_flight_\b|\breply_cache_\w*|\bscheduler_\b|"
+    r"\bfinish_in_flight\s*\(|\bresume_verify\b")
+
+
+def balance_parens(text: str, open_idx: int,
+                   open_ch: str = "(", close_ch: str = ")") -> int:
+    """Returns the index of the delimiter matching ``text[open_idx]``
+    (which must be ``open_ch``), or ``len(text)-1`` if unbalanced."""
+    depth = 0
+    i = open_idx
+    while i < len(text):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(text) - 1
+
 
 def strip_comment(line: str) -> str:
     """Removes a trailing // comment (crude: ignores // inside strings,
@@ -141,7 +216,9 @@ def allowed(line: str, rule: str) -> bool:
 class Linter:
     def __init__(self, root: pathlib.Path):
         self.root = root
-        self.violations: list[str] = []
+        # (relative path, line, rule, message) — structured so the
+        # self-test can compare (rule, path, line) sets exactly.
+        self.violations: list[tuple[str, int, str, str]] = []
         self.instruments = self.load_instruments()
 
     def load_instruments(self) -> set[str]:
@@ -152,7 +229,7 @@ class Linter:
         return set(RE_INSTRUMENT_LITERAL.findall(text))
 
     def report(self, rel: str, lineno: int, rule: str, message: str) -> None:
-        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+        self.violations.append((rel, lineno, rule, message))
 
     def lint_file(self, path: pathlib.Path) -> None:
         rel = path.relative_to(self.root).as_posix()
@@ -162,11 +239,13 @@ class Linter:
         self.check_switch_default(rel, text, lines)
         if rel in HANDLER_FILES:
             self.check_handler_crypto(rel, text, lines)
+            self.check_loop_affinity(rel, text, lines)
 
     def check_line_rules(self, rel: str, lines: list[str]) -> None:
         decode_path = rel in DECODE_PATH_FILES
         randomness_applies = not RANDOMNESS_EXEMPT.search(rel)
         modexp_applies = not MODEXP_EXEMPT.search(rel)
+        raw_mutex_applies = not RAW_MUTEX_EXEMPT.search(rel)
         for lineno, raw in enumerate(lines, start=1):
             code = strip_comment(raw)
             if randomness_applies and RE_RANDOMNESS.search(code):
@@ -174,6 +253,13 @@ class Linter:
                     self.report(rel, lineno, "randomness",
                                 "direct rand()/time() use; go through "
                                 "crypto/randsource (RandomSource)")
+            if raw_mutex_applies and RE_RAW_MUTEX.search(code):
+                if not allowed(raw, "raw-mutex"):
+                    self.report(rel, lineno, "raw-mutex",
+                                "raw std synchronization primitive; use "
+                                "the annotated Mutex/MutexLock/CondVar "
+                                "wrappers from common/mutex.h so "
+                                "-Wthread-safety sees the acquisition")
             if modexp_applies and RE_MODEXP.search(code):
                 if not allowed(raw, "modexp"):
                     self.report(rel, lineno, "modexp",
@@ -210,32 +296,14 @@ class Linter:
         for match in RE_HANDLER_DEF.finditer(text):
             # Balance the parameter list's parens.
             paren_start = text.index("(", match.start())
-            depth = 0
-            i = paren_start
-            while i < len(text):
-                if text[i] == "(":
-                    depth += 1
-                elif text[i] == ")":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i += 1
+            i = balance_parens(text, paren_start)
             # Definition body: the first '{' before any ';' (a ';' first
             # means this was a declaration or qualified call, not a body).
             body_start = text.find("{", i)
             semi = text.find(";", i)
             if body_start < 0 or (0 <= semi < body_start):
                 continue
-            depth = 0
-            j = body_start
-            while j < len(text):
-                if text[j] == "{":
-                    depth += 1
-                elif text[j] == "}":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                j += 1
+            j = balance_parens(text, body_start, "{", "}")
             first_line = text.count("\n", 0, body_start) + 1
             last_line = text.count("\n", 0, j) + 1
             handler = match.group(1)
@@ -250,22 +318,44 @@ class Linter:
                             f"{handler}(); move it to a builder/check "
                             "method dispatched via the Executor strand")
 
+    def check_loop_affinity(self, rel: str, text: str,
+                            lines: list[str]) -> None:
+        """Flags loop-owned state named inside strand/executor post lambdas
+        (worker context), outside nested transport_.post hand-backs."""
+        for match in RE_WORKER_POST.finditer(text):
+            open_idx = text.index("(", match.end() - 1)
+            close_idx = balance_parens(text, open_idx)
+            span = text[open_idx:close_idx + 1]
+            # Mask nested transport posts: those lambdas run back on the
+            # loop thread, where loop-owned state is fair game. Spaces
+            # (not deletion) keep line numbers stable.
+            masked = list(span)
+            for nested in RE_LOOP_POST.finditer(span):
+                n_open = span.index("(", nested.end() - 1)
+                n_close = balance_parens(span, n_open)
+                for k in range(nested.start(), n_close + 1):
+                    if masked[k] != "\n":
+                        masked[k] = " "
+            span = "".join(masked)
+            base_line = text.count("\n", 0, open_idx) + 1
+            for off, span_line in enumerate(span.split("\n")):
+                if not RE_LOOP_OWNED.search(strip_comment(span_line)):
+                    continue
+                lineno = base_line + off
+                if allowed(lines[lineno - 1], "loop-affinity"):
+                    continue
+                self.report(rel, lineno, "loop-affinity",
+                            "loop-owned state touched in worker context "
+                            "(strand/executor post lambda); hand the "
+                            "result back via transport_.post(...)")
+
     def check_switch_default(self, rel: str, text: str,
                              lines: list[str]) -> None:
         """Flags `default:` inside switch statements over MessageType."""
         for match in RE_SWITCH.finditer(text):
             # The switch condition: everything up to the matching ')'.
             cond_start = text.index("(", match.start())
-            depth = 0
-            i = cond_start
-            while i < len(text):
-                if text[i] == "(":
-                    depth += 1
-                elif text[i] == ")":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i += 1
+            i = balance_parens(text, cond_start)
             condition = text[cond_start:i + 1]
             if not RE_MESSAGE_TYPE.search(condition):
                 continue
@@ -273,16 +363,7 @@ class Linter:
             body_start = text.find("{", i)
             if body_start < 0:
                 continue
-            depth = 0
-            j = body_start
-            while j < len(text):
-                if text[j] == "{":
-                    depth += 1
-                elif text[j] == "}":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                j += 1
+            j = balance_parens(text, body_start, "{", "}")
             body = text[body_start:j + 1]
             offset = body.find("default:")
             if offset < 0:
@@ -293,30 +374,52 @@ class Linter:
                             "switch over MessageType must be exhaustive "
                             "(no default:)")
 
-    def run(self) -> int:
+    def collect(self) -> int:
+        """Lints every in-scope file under the root; violations accumulate
+        in self.violations. Returns the number of files examined (the
+        self-test drives this directly to get the structured set)."""
         files = sorted(
             {p for g in SOURCE_GLOBS for p in self.root.glob(g)
-             if p.is_file()})
-        if not files:
+             if p.is_file()
+             and FIXTURE_DIR_PART not in p.relative_to(self.root).parts})
+        for path in files:
+            self.lint_file(path)
+        return len(files)
+
+    def run(self) -> int:
+        nfiles = self.collect()
+        if nfiles == 0:
             print("desword_lint: no source files found under "
                   f"{self.root}", file=sys.stderr)
             return 1
-        for path in files:
-            self.lint_file(path)
-        for v in self.violations:
-            print(v)
+        github = bool(os.environ.get("GITHUB_ACTIONS"))
+        for rel, lineno, rule, message in self.violations:
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+            if github:
+                # Workflow annotation: surfaces the finding inline on the
+                # PR diff. Newlines are not legal in the message field.
+                flat = message.replace("\n", " ")
+                print(f"::error file={rel},line={lineno},"
+                      f"title=desword-lint {rule}::{flat}")
         if self.violations:
             print(f"desword_lint: {len(self.violations)} violation(s)",
                   file=sys.stderr)
             return 1
-        print(f"desword_lint: {len(files)} files clean")
+        print(f"desword_lint: {nfiles} files clean")
         return 0
+
+
+def default_root() -> pathlib.Path:
+    """The repository containing this script — correct regardless of the
+    invoker's working directory (CI runs, editor save hooks)."""
+    return pathlib.Path(__file__).resolve().parent.parent
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
-                        help="repository root (default: cwd)")
+    parser.add_argument("--root", type=pathlib.Path, default=default_root(),
+                        help="repository root (default: the repo containing "
+                             "this script)")
     args = parser.parse_args()
     return Linter(args.root.resolve()).run()
 

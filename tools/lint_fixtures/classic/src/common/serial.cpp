@@ -1,0 +1,10 @@
+// Fixture: memcpy in a decode-path file (rule decode-cast).
+#include <cstring>
+
+namespace desword {
+
+void decode_header(const unsigned char* wire, char* out) {
+  memcpy(out, wire, 4);
+}
+
+}  // namespace desword

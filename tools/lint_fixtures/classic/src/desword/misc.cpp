@@ -1,0 +1,24 @@
+// Fixture: classic rules — randomness, switch-default, secret-print.
+#include <cstdlib>
+#include <iostream>
+
+namespace desword {
+
+int weak_seed() {
+  return rand();
+}
+
+void dispatch(const net::Envelope& env) {
+  switch (message_type_of(env)) {
+    case MessageType::kQueryRequest:
+      break;
+    default:
+      break;
+  }
+}
+
+void dump_keys(const Bytes& trapdoor) {
+  std::cout << "trapdoor bytes: " << trapdoor.size() << "\n";
+}
+
+}  // namespace desword

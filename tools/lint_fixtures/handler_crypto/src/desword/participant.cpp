@@ -1,0 +1,21 @@
+// Fixture: blocking crypto invoked inline from loop-thread handlers
+// (rule handler-crypto). The builder method is not a handler and may
+// prove directly — it runs on an Executor strand.
+
+namespace desword {
+
+void Participant::handle(const net::Envelope& env) {
+  auto proof = scheme().prove(env.payload);
+  transport_.send(id_, env.from, type_, proof);
+}
+
+void Participant::on_query_request(const net::Envelope& env) {
+  auto ok = check_ownership(poc_, product_, env.payload);
+  (void)ok;
+}
+
+Bytes Participant::build_reply(const net::Envelope& env) {
+  return scheme().prove(env.payload);
+}
+
+}  // namespace desword

@@ -1,0 +1,29 @@
+// Fixture: worker-context strand lambdas touching loop-owned state
+// (rule loop-affinity). Only the direct touches fire; the nested
+// transport_.post hand-back runs on the loop thread and is exempt, as is
+// the waived scheduler_ line and the clean good_path pattern.
+#include "common/executor.h"
+
+namespace desword {
+
+void Proxy::verify_then() {
+  strand->post([this] {
+    sessions_.erase(7);
+    transport_.send(id_, peer_, type_, {});
+    scheduler_.finished(7);  // desword-lint: allow(loop-affinity)
+    transport_.post([this] {
+      finish_in_flight(key_, true, {});
+      resume_verify(7);
+    });
+    transport_.remove_work();
+  });
+}
+
+void Proxy::good_path() {
+  s.strand->post([this] {
+    auto verdict = work();
+    transport_.post([this, verdict] { resume_verify(verdict); });
+  });
+}
+
+}  // namespace desword

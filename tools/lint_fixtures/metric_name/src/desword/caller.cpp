@@ -1,0 +1,14 @@
+// Fixture: metric call sites (rule metric-name). A registered
+// layer.object.verb name is fine; a name breaking the scheme or one
+// absent from the registry fires.
+#include "obs/metrics.h"
+
+namespace desword {
+
+void record() {
+  obs::metric("net.frame.sent").add();
+  obs::metric("BadName").add();
+  obs::metric("net.frame.unregistered").add();
+}
+
+}  // namespace desword

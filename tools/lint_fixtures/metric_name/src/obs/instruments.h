@@ -1,0 +1,7 @@
+// Fixture instrument registry: the quoted literals here are the
+// registered metric names for this mini-tree.
+#pragma once
+
+#define FIXTURE_OBS_COUNTERS(X) \
+  X(net_frame_sent, "net.frame.sent") \
+  X(proxy_query_started, "proxy.query.started")

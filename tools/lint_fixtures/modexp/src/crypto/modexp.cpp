@@ -1,0 +1,11 @@
+// Fixture: the one sanctioned home of raw BN_mod_exp — exempt.
+#include <openssl/bn.h>
+
+namespace desword {
+
+void sanctioned(BIGNUM* r, const BIGNUM* a, const BIGNUM* p, const BIGNUM* m,
+                BN_CTX* ctx) {
+  BN_mod_exp_mont(r, a, p, m, ctx, nullptr);
+}
+
+}  // namespace desword

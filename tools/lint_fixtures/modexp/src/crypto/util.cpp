@@ -1,0 +1,15 @@
+// Fixture: raw OpenSSL modular exponentiation outside crypto/modexp
+// (rule modexp). Stray BN_mod_exp bypasses the shared Montgomery context
+// and the fixed-base tables.
+#include <openssl/bn.h>
+
+namespace desword {
+
+void stray(BIGNUM* r, const BIGNUM* a, const BIGNUM* p, const BIGNUM* m,
+           BN_CTX* ctx) {
+  BN_mod_exp(r, a, p, m, ctx);
+  BN_MONT_CTX* mont = BN_MONT_CTX_new();
+  (void)mont;
+}
+
+}  // namespace desword

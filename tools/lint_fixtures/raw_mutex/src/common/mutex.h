@@ -1,0 +1,9 @@
+// Fixture: the wrapper layer itself is exempt — raw primitives are the
+// implementation of the annotated Mutex and must not be flagged here.
+#pragma once
+
+#include <mutex>
+
+namespace desword {
+using RawMutexForTest = std::mutex;
+}  // namespace desword

@@ -1,0 +1,23 @@
+// Fixture: raw std synchronization primitives outside the wrapper layer.
+// Every locking construct must go through common/mutex.h so Clang's
+// -Wthread-safety sees the acquisition (rule raw-mutex).
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace desword {
+
+class Widget {
+ public:
+  void poke() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable_any cv_;  // desword-lint: allow(raw-mutex)
+  int n_ = 0;
+};
+
+}  // namespace desword
