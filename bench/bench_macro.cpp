@@ -16,6 +16,8 @@
 
 #include "bench_util.h"
 #include "desword/scenario.h"
+#include "net/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -206,6 +208,85 @@ std::vector<std::pair<long, long>> concurrency_sweep() {
   return {{2, 4}, {4, 4}, {2, 16}, {4, 16}};
 }
 
+// ---------------------------------------------------------------------------
+// Query latency under injected loss (fault tolerance acceptance).
+//
+// Same deployment as the latency cases, but queried through a FaultInjector
+// dropping each frame with probability loss_permille/1000. Distribution runs
+// fault-free (cfg.fault_plan has drop_rate 0 until the plan is swapped in),
+// so the sweep isolates the query path: retransmission backoff is the only
+// recovery mechanism exercised. Counters record the recovery cost —
+// retransmits_per_query and the fraction of queries that still complete
+// within the proxy's deadline budget. tools/run_bench.sh pairs each lossy
+// case with the loss=0 baseline into the "fault_resilience" summary.
+// ---------------------------------------------------------------------------
+
+struct FaultFixture {
+  std::unique_ptr<Scenario> scenario;
+  supplychain::ProductId product;
+};
+
+FaultFixture& fault_fixture(long loss_permille) {
+  static std::map<long, std::unique_ptr<FaultFixture>> cache;
+  auto it = cache.find(loss_permille);
+  if (it == cache.end()) {
+    auto fx = std::make_unique<FaultFixture>();
+    ScenarioConfig cfg;
+    cfg.edb = macro_edb();
+    cfg.fault_plan = net::FaultPlan{};  // fault mode on, no faults yet
+    cfg.fault_plan->seed = 11;
+    Scenario& scenario = *(fx->scenario = std::make_unique<Scenario>(
+                               supplychain::SupplyChainGraph::layered(3, 3, 2),
+                               cfg));
+    supplychain::DistributionConfig dist;
+    dist.initial = "L0-0";
+    dist.products = supplychain::make_products(1, 0, 4);
+    const auto& truth = scenario.run_task("fault-task", dist);
+    fx->product = truth.paths.begin()->first;
+    // Faults start only now that distribution has settled.
+    net::FaultPlan plan;
+    plan.seed = 11;
+    plan.default_faults.drop_rate =
+        static_cast<double>(loss_permille) / 1000.0;
+    scenario.fault_injector()->set_plan(plan);
+    it = cache.emplace(loss_permille, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+void BM_FaultedQuery(benchmark::State& state) {
+  const long loss_permille = state.range(0);
+  FaultFixture& fx = fault_fixture(loss_permille);
+  const std::uint64_t fired_before =
+      obs::metric("net.retransmit.fired").value();
+  std::uint64_t queries = 0;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    const QueryOutcome outcome = fx.scenario->proxy().run_query(
+        fx.product, ProductQuality::kGood, std::string("fault-task"));
+    ++queries;
+    // Under loss a query may exhaust its deadline budget and come back
+    // incomplete; that is the degradation being measured, not an error.
+    if (outcome.complete) ++completed;
+  }
+  if (queries > 0) {
+    const std::uint64_t fired_after =
+        obs::metric("net.retransmit.fired").value();
+    state.counters["loss_pct"] =
+        static_cast<double>(loss_permille) / 10.0;
+    state.counters["retransmits_per_query"] =
+        static_cast<double>(fired_after - fired_before) /
+        static_cast<double>(queries);
+    state.counters["success_rate"] =
+        static_cast<double>(completed) / static_cast<double>(queries);
+  }
+}
+
+std::vector<long> loss_sweep() {
+  if (benchutil::quick_mode()) return {0, 300};
+  return {0, 100, 300};
+}
+
 void register_all() {
   for (const long depth : depth_sweep()) {
     benchmark::RegisterBenchmark("Macro/DistributionPhase",
@@ -233,6 +314,12 @@ void register_all() {
         ->Args({workers, in_flight})
         ->Unit(benchmark::kMillisecond)
         ->Iterations(3);
+  }
+  for (const long loss : loss_sweep()) {
+    benchmark::RegisterBenchmark("Macro/FaultedQuery", BM_FaultedQuery)
+        ->Arg(loss)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
   }
 }
 

@@ -12,8 +12,9 @@ namespace desword::protocol {
 
 namespace {
 
-/// Interval between ps re-requests by the initial participant (transport
-/// clock units; see ProxyConfig::retransmit_timeout for semantics).
+/// Interval between ps re-requests by the initial participant and report
+/// re-sends by the others (transport clock units; see
+/// ProxyConfig::retransmit_base for semantics).
 constexpr std::uint64_t kPsRetryInterval = 500;
 
 obs::Counter& reply_cache_hits() {
@@ -43,6 +44,16 @@ obs::Counter& ownership_proofs() {
 
 obs::Counter& non_ownership_proofs() {
   static obs::Counter& c = obs::metric("protocol.proof.non_ownership");
+  return c;
+}
+
+obs::Counter& distribution_orphaned() {
+  static obs::Counter& c = obs::metric("net.distribution.orphaned");
+  return c;
+}
+
+obs::Counter& distribution_gaveup() {
+  static obs::Counter& c = obs::metric("protocol.distribution.gaveup");
   return c;
 }
 
@@ -80,6 +91,9 @@ Participant::~Participant() {
   if (strand_) strand_->drain();
   for (auto& [task_id, task] : tasks_) {
     if (task.ps_retry_timer != 0) transport_.cancel_timer(task.ps_retry_timer);
+    if (task.report_retry_timer != 0) {
+      transport_.cancel_timer(task.report_retry_timer);
+    }
   }
   if (transport_.has_node(id_)) transport_.unregister_node(id_);
 }
@@ -117,11 +131,25 @@ void Participant::initiate_task(const std::string& task_id) {
   if (task.setup.initial != id_) {
     throw ProtocolError("only the initial participant initiates a task");
   }
+  // An explicit (re-)kick restarts the give-up budget and clears a prior
+  // task-level failure.
+  task.ps_retries = 0;
+  task.error.clear();
   transport_.send(id_, proxy_, msg::kPsRequest,
                   PsRequest{task_id}.serialize());
   if (task.ps_retry_timer != 0) transport_.cancel_timer(task.ps_retry_timer);
   task.ps_retry_timer = transport_.set_timer(
       kPsRetryInterval, [this, task_id] { on_ps_retry(task_id); });
+}
+
+std::string Participant::missing_reports(const TaskState& task) {
+  std::string missing;
+  for (const ParticipantId& p : task.setup.involved) {
+    if (task.reports_received.count(p) > 0) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += p;
+  }
+  return missing;
 }
 
 void Participant::on_ps_retry(const std::string& task_id) {
@@ -130,7 +158,30 @@ void Participant::on_ps_retry(const std::string& task_id) {
   if (it == tasks_.end()) return;
   TaskState& task = it->second;
   task.ps_retry_timer = 0;
-  if (task.list_submitted) return;  // distribution done; stop nagging
+  if (task.list_submitted) {
+    // The submit itself has no ack, so a lost one is invisible here:
+    // re-send it (the proxy dedups) until the retry budget runs out. A
+    // delivered submit makes these re-sends no-ops; a lost one no longer
+    // wedges the whole task.
+    if (++task.ps_retries < max_distribution_retries_) {
+      transport_.send(
+          id_, proxy_, msg::kPocListSubmit,
+          PocListSubmit{task_id, task.list.serialize()}.serialize());
+      task.ps_retry_timer = transport_.set_timer(
+          kPsRetryInterval, [this, task_id] { on_ps_retry(task_id); });
+    }
+    return;
+  }
+  if (++task.ps_retries >= max_distribution_retries_) {
+    // Bounded wait on "every report arrived": give the task up with an
+    // error naming exactly who never reported, instead of re-requesting ps
+    // forever. One permanently-dark participant must not wedge the task.
+    task.error = "distribution gave up after " +
+                 std::to_string(task.ps_retries) +
+                 " retries; missing reports from: " + missing_reports(task);
+    distribution_gaveup().add();
+    return;
+  }
   // Re-request ps. A duplicate ps response triggers the full re-broadcast /
   // re-report recovery chain, healing any message lost anywhere in the
   // distribution phase.
@@ -138,6 +189,52 @@ void Participant::on_ps_retry(const std::string& task_id) {
                   PsRequest{task_id}.serialize());
   task.ps_retry_timer = transport_.set_timer(
       kPsRetryInterval, [this, task_id] { on_ps_retry(task_id); });
+}
+
+void Participant::arm_report_retry(TaskState& task) {
+  if (task.report_retry_timer != 0 ||
+      task.report_retries >= max_distribution_retries_) {
+    return;
+  }
+  const std::string task_id = task.setup.task_id;
+  task.report_retry_timer = transport_.set_timer(
+      kPsRetryInterval, [this, task_id] { on_report_retry(task_id); });
+}
+
+void Participant::on_report_retry(const std::string& task_id) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  TaskState& task = it->second;
+  task.report_retry_timer = 0;
+  if (task.setup.initial == id_ || !task.own_poc.has_value()) return;
+  ++task.report_retries;
+  // PocToParent / PocPairsToInitial carry no acks, so losses are invisible
+  // to the sender: re-send both, bounded, and rely on receiver-side dedup.
+  for (const ParticipantId& parent : task.setup.parents) {
+    transport_.send(id_, parent, msg::kPocToParent,
+                    PocToParent{task_id, task.own_poc->serialize()}
+                        .serialize());
+  }
+  if (task.pairs_sent) {
+    PocPairsToInitial report;
+    report.task_id = task.setup.task_id;
+    report.own_poc = task.own_poc->serialize();
+    report.pairs = task.pairs;
+    transport_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
+                    report.serialize());
+  }
+  arm_report_retry(task);
+}
+
+std::string Participant::task_error(const std::string& task_id) const {
+  const auto it = tasks_.find(task_id);
+  return it == tasks_.end() ? std::string() : it->second.error;
+}
+
+void Participant::set_max_distribution_retries(int retries) {
+  if (retries < 1) throw ProtocolError("distribution retries must be >= 1");
+  max_distribution_retries_ = retries;
 }
 
 bool Participant::task_complete(const std::string& task_id) const {
@@ -219,7 +316,13 @@ void Participant::dispatch(const net::Envelope& env) {
 
 void Participant::on_ps_response(const PsResponse& m) {
   const auto it = tasks_.find(m.task_id);
-  if (it == tasks_.end() || it->second.setup.initial != id_) return;
+  if (it == tasks_.end() || it->second.setup.initial != id_) {
+    // ps for a task this node never began (or mis-routed to a non-initial
+    // node): dropping it silently made distribution wedges undiagnosable,
+    // so count the orphan where `desword stats` can see it.
+    distribution_orphaned().add();
+    return;
+  }
   TaskState& task = it->second;
   if (!task.ps.empty()) {
     // Duplicate (re-kick or ps-retry after message loss): re-broadcast ps
@@ -255,7 +358,10 @@ void Participant::on_ps_response(const PsResponse& m) {
 
 void Participant::on_ps_broadcast(const PsBroadcast& m) {
   const auto it = tasks_.find(m.task_id);
-  if (it == tasks_.end()) return;
+  if (it == tasks_.end()) {
+    distribution_orphaned().add();
+    return;
+  }
   TaskState& task = it->second;
   if (!task.ps.empty()) {
     // Duplicate: re-announce our POC (receivers dedup) and re-report any
@@ -289,6 +395,10 @@ void Participant::on_ps_broadcast(const PsBroadcast& m) {
   }
   task.buffered_child_pocs.clear();
   maybe_send_pairs(task);
+  // The announcements above have no acks: retry them on a bounded timer in
+  // case they were lost (on a never-polled per-node sim transport the
+  // timer simply never fires and the duplicate-ps chain heals instead).
+  if (task.setup.initial != id_) arm_report_retry(task);
 }
 
 void Participant::aggregate_poc(TaskState& task) {
@@ -318,7 +428,10 @@ void Participant::on_poc_to_parent(const net::Envelope& env,
                                    const PocToParent& m) {
   (void)env;
   const auto it = tasks_.find(m.task_id);
-  if (it == tasks_.end()) return;
+  if (it == tasks_.end()) {
+    distribution_orphaned().add();
+    return;
+  }
   TaskState& task = it->second;
   if (!task.own_poc.has_value()) {
     // Dedup the buffer: with duplicated links the same child POC can show
@@ -362,13 +475,17 @@ void Participant::maybe_send_pairs(TaskState& task) {
   } else {
     transport_.send(id_, task.setup.initial, msg::kPocPairsToInitial,
                     report.serialize());
+    arm_report_retry(task);  // the report has no ack either
   }
 }
 
 void Participant::on_poc_pairs_to_initial(const net::Envelope& env,
                                           const PocPairsToInitial& m) {
   const auto it = tasks_.find(m.task_id);
-  if (it == tasks_.end() || it->second.setup.initial != id_) return;
+  if (it == tasks_.end() || it->second.setup.initial != id_) {
+    distribution_orphaned().add();
+    return;
+  }
   TaskState& task = it->second;
   absorb_report_at_initial(task, env.from, m);
   maybe_submit_list(task);
@@ -392,13 +509,19 @@ void Participant::maybe_submit_list(TaskState& task) {
   if (task.setup.initial != id_ || task.list_submitted) return;
   if (task.reports_received.size() < task.setup.involved.size()) return;
   task.list_submitted = true;
-  if (task.ps_retry_timer != 0) {
-    transport_.cancel_timer(task.ps_retry_timer);
-    task.ps_retry_timer = 0;
-  }
   transport_.send(
       id_, proxy_, msg::kPocListSubmit,
       PocListSubmit{task.setup.task_id, task.list.serialize()}.serialize());
+  // Deliberately keep the ps-retry timer ticking: its list_submitted
+  // branch re-sends the submit (bounded by the retry budget), because the
+  // proxy never acks it. Arm one if none is pending (a late report can
+  // complete the set after the timer already fired).
+  if (task.ps_retry_timer == 0 &&
+      task.ps_retries < max_distribution_retries_) {
+    const std::string task_id = task.setup.task_id;
+    task.ps_retry_timer = transport_.set_timer(
+        kPsRetryInterval, [this, task_id] { on_ps_retry(task_id); });
+  }
 }
 
 // ---------------------------------------------------------------------------

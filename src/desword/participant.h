@@ -93,6 +93,18 @@ class Participant {
   /// the task (POC built, pairs reported / list submitted).
   bool task_complete(const std::string& task_id) const;
 
+  /// Task-level distribution error, or empty: the initial participant's
+  /// bounded wait on "every report arrived" ran out and the task was given
+  /// up. Names the participants whose reports never came. A later
+  /// `initiate_task` re-kick clears it and restarts the retry budget.
+  std::string task_error(const std::string& task_id) const;
+
+  /// Bound on distribution-phase retry rounds (ps re-requests by the
+  /// initial participant, report re-sends by the others) before the node
+  /// gives up on the task. Must be >= 1.
+  void set_max_distribution_retries(int retries);
+  int max_distribution_retries() const { return max_distribution_retries_; }
+
   /// The POC built for a task, if any (for tests/inspection).
   const poc::Poc* poc_for_task(const std::string& task_id) const;
 
@@ -147,6 +159,15 @@ class Participant {
     std::set<ParticipantId> reports_received;
     bool list_submitted = false;
     net::Transport::TimerId ps_retry_timer = 0;
+    /// Retry timer for this node's own distribution sends (PocToParent /
+    /// PocPairsToInitial) — the protocol has no acks for them, so re-sends
+    /// are bounded best-effort (receivers dedup).
+    net::Transport::TimerId report_retry_timer = 0;
+    int ps_retries = 0;
+    int report_retries = 0;
+    /// Set when the bounded wait on "every report arrived" ran out: names
+    /// the still-missing participants. The task is given up, not wedged.
+    std::string error;
   };
 
   /// Per-commitment proving context for the query phase.
@@ -172,6 +193,11 @@ class Participant {
                                 const PocPairsToInitial& m);
   void maybe_submit_list(TaskState& task);
   void on_ps_retry(const std::string& task_id);
+  void on_report_retry(const std::string& task_id);
+  /// (Re-)arms `report_retry_timer` unless the retry budget ran out.
+  void arm_report_retry(TaskState& task);
+  /// "involved minus reports_received", comma-joined, for give-up errors.
+  static std::string missing_reports(const TaskState& task);
 
   // Query phase. Handlers only resolve the proving context (loop-thread
   // state) and hand a self-contained builder closure to respond_cached;
@@ -245,6 +271,7 @@ class Participant {
   /// queries, not for history: a digest plus response per in-flight
   /// request round.
   std::size_t reply_cache_capacity_ = 128;
+  int max_distribution_retries_ = 32;
   Stats stats_;
   net::Handler fallback_;
 

@@ -40,6 +40,16 @@ obs::Counter& pump_stalled() {
   return c;
 }
 
+obs::Counter& retransmits_refused() {
+  static obs::Counter& c = obs::metric("net.retransmit.refused");
+  return c;
+}
+
+obs::Counter& deadlines_exceeded() {
+  static obs::Counter& c = obs::metric("protocol.query.deadline_exceeded");
+  return c;
+}
+
 }  // namespace
 
 Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
@@ -75,7 +85,8 @@ Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
       // config_ is initialized before crs_ (declaration order), so a fresh
       // CRS can be derived from it when the caller did not supply one.
       crs_(crs != nullptr ? std::move(crs)
-                          : zkedb::generate_crs(config_.edb)) {
+                          : zkedb::generate_crs(config_.edb)),
+      backoff_rng_(config_.backoff_seed) {
   ps_bytes_ = crs_->params().serialize();
   // Adopt the cache's canonical instance: if another in-process node
   // already derived a CRS for the same parameters, share it (and its
@@ -206,6 +217,11 @@ std::uint64_t Proxy::begin_query(const supplychain::ProductId& product,
   s.outcome.product = product;
   s.outcome.quality = quality;
   s.trace.set_query_id(query_id);
+  if (config_.query_deadline > 0) {
+    // The budget covers the whole query — scheduler queue time included:
+    // a verdict owed to a customer is late no matter where the time went.
+    s.deadline_at = transport_.now() + config_.query_deadline;
+  }
   queries_started().add();
   sessions_active().add(1);
 
@@ -242,6 +258,7 @@ void Proxy::launch_query(std::uint64_t query_id) {
   if (it == sessions_.end()) return;
   Session& s = it->second;
   if (s.phase == Phase::kDone) return;
+  if (deadline_expired(s)) return;  // budget burned while queued
   s.trace.record(transport_.now(), id_, obs::span::kAdmitted, "");
   const Candidate& cand = s.candidates[s.candidate_idx];
   send_tracked(s, cand.participant, msg::kQueryRequest,
@@ -256,6 +273,7 @@ void Proxy::send_tracked(Session& s, const net::NodeId& to,
   s.last_type = type;
   s.last_payload = payload;
   s.retries = 0;
+  s.backoff = 0;  // fresh request: backoff restarts from the base delay
   s.awaiting = true;
   s.transcript.push_back(
       TranscriptEntry{transport_.now(), true, to, type, payload.size()});
@@ -274,10 +292,42 @@ void Proxy::settle(Session& s) {
 
 void Proxy::arm_retransmit(Session& s) {
   if (s.retrans_timer != 0) transport_.cancel_timer(s.retrans_timer);
+  // Decorrelated-jitter exponential backoff: the first wait is exactly the
+  // base; each retry then draws uniformly from [base, min(cap, previous *
+  // backoff_factor)], so repeated stalls spread out instead of
+  // retransmitting in lockstep. Values are irrelevant under SimTransport
+  // (timers fire at quiescence), so simulated verdicts never depend on the
+  // backoff schedule.
+  const std::uint64_t base = config_.retransmit_base;
+  const std::uint64_t cap = std::max(base, config_.retransmit_cap);
+  std::uint64_t delay = base;
+  if (s.backoff > 0 && config_.backoff_factor > 1.0) {
+    const double grown =
+        static_cast<double>(s.backoff) * config_.backoff_factor;
+    const std::uint64_t hi =
+        grown >= static_cast<double>(cap) ? cap
+                                          : static_cast<std::uint64_t>(grown);
+    if (hi > base) delay = base + backoff_rng_.below(hi - base + 1);
+  }
+  s.backoff = delay;
   const std::uint64_t query_id = s.outcome.query_id;
   s.retrans_timer = transport_.set_timer(
-      config_.retransmit_timeout,
-      [this, query_id] { on_retransmit_timeout(query_id); });
+      delay, [this, query_id] { on_retransmit_timeout(query_id); });
+}
+
+bool Proxy::deadline_expired(Session& s) {
+  if (s.deadline_at == 0 || transport_.now() < s.deadline_at) return false;
+  deadlines_exceeded().add();
+  s.trace.record(transport_.now(), s.last_to.empty() ? id_ : s.last_to,
+                 obs::span::kDeadlineExceeded, "query_deadline");
+  // Graceful degradation: the budget is gone, so the verdict is "the
+  // pending peer never answered in time" — violation booked, reputation
+  // penalized via the normal finish path — rather than an open session.
+  if (s.awaiting && !s.last_to.empty()) {
+    record_violation(s, s.last_to, ViolationType::kNoResponse);
+  }
+  finish(s, false);
+  return true;
 }
 
 void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
@@ -287,7 +337,8 @@ void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
   Session& s = it->second;
   s.retrans_timer = 0;
   if (s.phase == Phase::kDone || !s.awaiting) return;
-  if (s.retries < config_.max_retries) {
+  if (deadline_expired(s)) return;
+  while (s.retries < config_.max_retries) {
     ++s.retries;
     // Retransmissions do not get transcript entries: the transcript audits
     // the logical exchange, LinkStats count the physical bytes. The query
@@ -295,9 +346,15 @@ void Proxy::on_retransmit_timeout(std::uint64_t query_id) {
     retransmits_fired().add();
     s.trace.record(transport_.now(), s.last_to, obs::span::kRetransmit,
                    s.last_type);
-    transport_.send(id_, s.last_to, s.last_type, s.last_payload);
-    arm_retransmit(s);
-    return;
+    if (transport_.send(id_, s.last_to, s.last_type, s.last_payload)) {
+      arm_retransmit(s);
+      return;
+    }
+    // The transport KNOWS the peer is unreachable (deregistered node,
+    // refused redial after a POLLERR/HUP close): burning a full timeout
+    // per attempt would stretch a dead peer's detection to max_retries
+    // timeouts. Charge the retry immediately and try again now.
+    retransmits_refused().add();
   }
   record_violation(s, s.last_to, ViolationType::kNoResponse);
   if (s.phase == Phase::kInitialScan) {

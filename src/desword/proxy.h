@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/rng.h"
 #include "desword/crs_cache.h"
 #include "desword/messages.h"
 #include "desword/query.h"
@@ -44,10 +45,31 @@ struct ProxyConfig {
   zkedb::EdbConfig edb;
   ScorePolicy scores;
   int max_retries = 3;
-  /// Retransmission timeout in transport clock units (simulated ticks for
-  /// SimTransport — where any value behaves the same, timers fire at
-  /// quiescence — and milliseconds for SocketTransport).
-  std::uint64_t retransmit_timeout = 250;
+  /// Base retransmission timeout in transport clock units (simulated ticks
+  /// for SimTransport — where any value behaves the same, timers fire at
+  /// quiescence — and milliseconds for SocketTransport). The first
+  /// retransmission waits exactly this long.
+  std::uint64_t retransmit_base = 250;
+  /// Upper bound on a backed-off retransmission delay. Clamped up to
+  /// `retransmit_base` when set lower.
+  std::uint64_t retransmit_cap = 4000;
+  /// Exponential backoff growth per retry. Each retry draws a delay
+  /// uniformly from [base, min(cap, previous * backoff_factor)] —
+  /// "decorrelated jitter", so a fleet of sessions stalled by the same
+  /// outage does not retransmit in lockstep. <= 1.0 disables backoff
+  /// (every retry waits exactly `retransmit_base`).
+  double backoff_factor = 2.0;
+  /// Seed for the jitter DRBG: runs with equal seeds draw equal delays, so
+  /// chaos tests replay bit-identically.
+  std::uint64_t backoff_seed = 0x5eedull;
+  /// End-to-end budget per query, in transport clock units (0 = none).
+  /// Checked whenever a stalled session regains control (retransmission
+  /// fire, scheduler admission): past the budget the session force-
+  /// finishes incomplete — `kNoResponse` violation against the pending
+  /// peer, reputation penalty, `deadline_exceeded` trace span — instead of
+  /// walking further hops or burning more retries. Detection granularity
+  /// is therefore one retransmission delay, bounded by `retransmit_cap`.
+  std::uint64_t query_deadline = 0;
   /// Bound on the reputation ledger's retained event history (ring buffer;
   /// 0 = unbounded). Scores are never affected, only the audit trail depth.
   std::size_t reputation_history_cap = ReputationLedger::kDefaultHistoryCap;
@@ -230,6 +252,11 @@ class Proxy {
     int retries = 0;
     bool awaiting = false;
     net::Transport::TimerId retrans_timer = 0;
+    /// Delay the armed `retrans_timer` used (decorrelated-jitter state:
+    /// the next backed-off delay is drawn relative to this one).
+    std::uint64_t backoff = 0;
+    /// Absolute transport time the query budget runs out (0 = none).
+    std::uint64_t deadline_at = 0;
     // Off-loop verification: while a verdict is in flight on the strand the
     // session ignores incoming protocol messages (it is not awaiting any —
     // the response that triggered the verify already settled the timer).
@@ -257,6 +284,10 @@ class Proxy {
   void settle(Session& s);
   void arm_retransmit(Session& s);
   void on_retransmit_timeout(std::uint64_t query_id);
+  /// True when the session ran out of its `query_deadline` budget; the
+  /// session is then force-finished (violation + penalty recorded) and the
+  /// caller must stop touching it.
+  bool deadline_expired(Session& s);
   void record_incoming(Session& s, const net::Envelope& env);
   void advance_candidate(Session& s);
   void start_walk(Session& s, const Candidate& candidate,
@@ -333,6 +364,9 @@ class Proxy {
   std::uint64_t next_query_id_ = 1;
   std::map<std::uint64_t, Session> sessions_;
   ReputationLedger ledger_;
+  /// Jitter DRBG for backed-off retransmission delays (loop-thread-only,
+  /// seeded from `ProxyConfig::backoff_seed` for reproducible runs).
+  SimRng backoff_rng_;
 
   std::shared_ptr<Executor> executor_;  // null = inline verification
   std::unique_ptr<QueryScheduler> scheduler_;

@@ -20,10 +20,31 @@ Scenario::Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config)
   proxy_config.batch_verify = config_.batch_verify;
   proxy_config.worker_threads = config_.worker_threads;
   proxy_config.max_concurrent_queries = config_.max_concurrent_queries;
-  proxy_ = std::make_unique<Proxy>(kProxyId, network_, crs_cache_,
-                                   std::move(proxy_config));
+  proxy_config.query_deadline = config_.query_deadline;
+  proxy_config.retransmit_base = config_.retransmit_base;
+  proxy_config.retransmit_cap = config_.retransmit_cap;
+  proxy_config.backoff_factor = config_.backoff_factor;
+  proxy_config.backoff_seed = config_.backoff_seed;
+  if (config_.fault_plan.has_value()) {
+    // One shared transport for the whole deployment: a single poll loop
+    // fires every endpoint's timers (distribution retries included) and
+    // every send crosses the fault injector.
+    sim_ = std::make_unique<net::SimTransport>(network_);
+    fault_ = std::make_unique<net::FaultInjector>(*sim_, *config_.fault_plan);
+    proxy_ = std::make_unique<Proxy>(kProxyId, *fault_, crs_cache_,
+                                     std::move(proxy_config));
+  } else {
+    proxy_ = std::make_unique<Proxy>(kProxyId, network_, crs_cache_,
+                                     std::move(proxy_config));
+  }
   for (const ParticipantId& id : graph_.participants()) {
-    auto p = std::make_unique<Participant>(id, network_, kProxyId, crs_cache_);
+    auto p = fault_ ? std::make_unique<Participant>(id, *fault_, kProxyId,
+                                                    crs_cache_)
+                    : std::make_unique<Participant>(id, network_, kProxyId,
+                                                    crs_cache_);
+    if (config_.max_distribution_retries > 0) {
+      p->set_max_distribution_retries(config_.max_distribution_retries);
+    }
     // One worker pool serves the whole deployment: proxy verifies and
     // participant proofs share the executor, each behind its own strand.
     if (proxy_->executor()) p->set_executor(proxy_->executor());
@@ -72,21 +93,38 @@ const supplychain::DistributionResult& Scenario::run_task(
   }
 
   participant(dist.initial).initiate_task(task_id);
-  network_.run();
-
-  // Retransmit the distribution phase if messages were dropped: re-kick
-  // the initiator a bounded number of times.
-  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
-    bool all_done = true;
-    for (const ParticipantId& id : result.involved) {
-      if (!participant(id).task_complete(task_id)) {
-        all_done = false;
-        break;
+  if (fault_) {
+    // Fault mode: the endpoints share one transport, so driving it fires
+    // their own distribution retry timers — the protocol heals itself, the
+    // harness only polls. A bounded wait that runs out surfaces the
+    // initial participant's task-level error instead of spinning forever.
+    Participant& initial = participant(dist.initial);
+    std::size_t idle_rounds = 0;
+    while (idle_rounds < 3) {
+      if (proxy_->task_list(task_id) != nullptr) break;
+      const std::string error = initial.task_error(task_id);
+      if (!error.empty()) {
+        throw ProtocolError("distribution failed for " + task_id + ": " +
+                            error);
       }
+      idle_rounds = fault_->poll() == 0 ? idle_rounds + 1 : 0;
     }
-    if (all_done && proxy_->task_list(task_id) != nullptr) break;
-    participant(dist.initial).initiate_task(task_id);
+  } else {
     network_.run();
+    // Retransmit the distribution phase if messages were dropped: re-kick
+    // the initiator a bounded number of times.
+    for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+      bool all_done = true;
+      for (const ParticipantId& id : result.involved) {
+        if (!participant(id).task_complete(task_id)) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done && proxy_->task_list(task_id) != nullptr) break;
+      participant(dist.initial).initiate_task(task_id);
+      network_.run();
+    }
   }
   if (proxy_->task_list(task_id) == nullptr) {
     throw ProtocolError("distribution phase did not complete for " + task_id);

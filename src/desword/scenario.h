@@ -10,11 +10,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "desword/participant.h"
 #include "desword/proxy.h"
+#include "net/fault_injector.h"
 #include "supplychain/distribution.h"
 
 namespace desword::protocol {
@@ -34,6 +36,24 @@ struct ScenarioConfig {
   unsigned worker_threads = 0;
   /// Forwarded to ProxyConfig::max_concurrent_queries.
   std::size_t max_concurrent_queries = 8;
+  /// When set, the whole deployment shares ONE SimTransport wrapped in a
+  /// FaultInjector driven by this plan: every endpoint's timers fire from
+  /// the same poll loop, the distribution phase is driven by the
+  /// participants' own retry timers (instead of the harness re-kick loop),
+  /// and a distribution give-up surfaces as a ProtocolError naming the
+  /// missing participants. When unset the legacy wiring (one SimTransport
+  /// per endpoint over the shared Network) is used, byte-identical to
+  /// before.
+  std::optional<net::FaultPlan> fault_plan;
+  /// Forwarded to ProxyConfig::query_deadline (0 = no budget).
+  std::uint64_t query_deadline = 0;
+  /// Retransmission/backoff knobs forwarded to ProxyConfig.
+  std::uint64_t retransmit_base = 250;
+  std::uint64_t retransmit_cap = 4000;
+  double backoff_factor = 2.0;
+  std::uint64_t backoff_seed = 0x5eedull;
+  /// Distribution-phase retry budget per participant (0 = library default).
+  int max_distribution_retries = 0;
 };
 
 class Scenario {
@@ -41,6 +61,14 @@ class Scenario {
   Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config);
 
   net::Network& network() { return network_; }
+  /// The transport the proxy runs over: the shared fault-injecting
+  /// transport when `fault_plan` is set, the proxy's own otherwise.
+  net::Transport& transport() {
+    return fault_ ? static_cast<net::Transport&>(*fault_)
+                  : proxy_->transport();
+  }
+  /// The fault injector, or nullptr when no `fault_plan` was configured.
+  net::FaultInjector* fault_injector() { return fault_.get(); }
   Proxy& proxy() { return *proxy_; }
   Participant& participant(const ParticipantId& id);
   const CrsCachePtr& crs_cache() const { return crs_cache_; }
@@ -67,6 +95,10 @@ class Scenario {
   ScenarioConfig config_;
   net::Network network_;
   CrsCachePtr crs_cache_;
+  // Declared before the endpoints: proxy/participant destructors cancel
+  // their timers through these, so they must outlive them.
+  std::unique_ptr<net::SimTransport> sim_;       // fault mode only
+  std::unique_ptr<net::FaultInjector> fault_;    // fault mode only
   std::unique_ptr<Proxy> proxy_;
   std::map<ParticipantId, std::unique_ptr<Participant>> participants_;
   std::map<std::string, supplychain::DistributionResult> truths_;

@@ -1,0 +1,202 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace desword::net {
+
+namespace {
+
+obs::Counter& faults_dropped() {
+  static obs::Counter& c = obs::metric("net.fault.dropped");
+  return c;
+}
+
+obs::Counter& faults_delayed() {
+  static obs::Counter& c = obs::metric("net.fault.delayed");
+  return c;
+}
+
+obs::Counter& faults_duplicated() {
+  static obs::Counter& c = obs::metric("net.fault.duplicated");
+  return c;
+}
+
+obs::Counter& faults_reset() {
+  static obs::Counter& c = obs::metric("net.fault.reset");
+  return c;
+}
+
+obs::Counter& faults_partitioned() {
+  static obs::Counter& c = obs::metric("net.fault.partitioned");
+  return c;
+}
+
+obs::Counter& faults_crashed() {
+  static obs::Counter& c = obs::metric("net.fault.crashed");
+  return c;
+}
+
+// Distinct fate kinds so one message gets independent draws per fault.
+constexpr std::uint64_t kKindDrop = 0x11;
+constexpr std::uint64_t kKindReset = 0x22;
+constexpr std::uint64_t kKindDelay = 0x33;
+constexpr std::uint64_t kKindDuplicate = 0x44;
+
+/// SplitMix64 finalizer: bijective avalanche over the accumulated state.
+std::uint64_t mix(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::uint64_t mix_in(std::uint64_t h, std::uint64_t v) {
+  return mix(h ^ v);
+}
+
+/// FNV-1a over arbitrary bytes — cheap, deterministic, good enough for
+/// fate decisions (this is fault scheduling, not cryptography).
+std::uint64_t fnv1a(std::uint64_t h, const unsigned char* data,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t digest_string(const std::string& s) {
+  return fnv1a(0xcbf29ce484222325ULL,
+               reinterpret_cast<const unsigned char*>(s.data()), s.size());
+}
+
+std::uint64_t digest_bytes(const Bytes& b) {
+  return fnv1a(0xcbf29ce484222325ULL, b.data(), b.size());
+}
+
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool member(const std::vector<NodeId>& group, const NodeId& node) {
+  return std::find(group.begin(), group.end(), node) != group.end();
+}
+
+}  // namespace
+
+FaultInjector::~FaultInjector() {
+  // A delayed frame must never fire into a destroyed injector.
+  for (const TimerId id : delay_timers_) inner_.cancel_timer(id);
+}
+
+const LinkFaults& FaultInjector::faults_for(const NodeId& from,
+                                            const NodeId& to) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if ((rule.from.empty() || rule.from == from) &&
+        (rule.to.empty() || rule.to == to)) {
+      return rule.faults;
+    }
+  }
+  return plan_.default_faults;
+}
+
+bool FaultInjector::crashed(const NodeId& node, std::uint64_t t) const {
+  for (const CrashWindow& cw : plan_.crashes) {
+    if (cw.node == node && cw.window.contains(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::partitioned(const NodeId& from, const NodeId& to,
+                                std::uint64_t t) const {
+  for (const Partition& p : plan_.partitions) {
+    if (!p.window.contains(t)) continue;
+    if ((member(p.group_a, from) && member(p.group_b, to)) ||
+        (member(p.group_b, from) && member(p.group_a, to))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::draw(const NodeId& from, const NodeId& to,
+                           const std::string& type, std::uint64_t attempt,
+                           std::uint64_t kind) const {
+  // Deliberately payload-blind: commitment/proof randomizers make payload
+  // BYTES differ between two otherwise-identical runs, so hashing them
+  // would turn "same logical message" into independent coin flips per run
+  // and break cross-run verdict equality. The payload only feeds the
+  // attempt *counter* (via the attempts_ key), which is schedule- and
+  // randomizer-independent.
+  std::uint64_t h = mix_in(plan_.seed, kind);
+  h = mix_in(h, digest_string(from));
+  h = mix_in(h, digest_string(to));
+  h = mix_in(h, digest_string(type));
+  h = mix_in(h, attempt);
+  return u01(h);
+}
+
+bool FaultInjector::send(const NodeId& from, const NodeId& to,
+                         const std::string& type, Bytes payload) {
+  const std::uint64_t t = inner_.now();
+  if (crashed(from, t)) {
+    // The sender itself is dark: nothing leaves the node. The return value
+    // is moot (the node is "dead"), report success so a simulated zombie
+    // doesn't fast-path its own retries.
+    faults_crashed().add();
+    return true;
+  }
+  if (crashed(to, t)) {
+    // Dead peer: a real transport sees the refused connect, so the drop is
+    // known at send time.
+    faults_crashed().add();
+    return false;
+  }
+  if (partitioned(from, to, t)) {
+    // Partitions drop silently: both ends are alive, the path is gone.
+    faults_partitioned().add();
+    return true;
+  }
+
+  const LinkFaults& f = faults_for(from, to);
+  const std::uint64_t attempt =
+      attempts_[{from, to, type, digest_bytes(payload)}]++;
+  if (f.drop_rate > 0 &&
+      draw(from, to, type, attempt, kKindDrop) < f.drop_rate) {
+    faults_dropped().add();
+    return true;  // silent loss
+  }
+  if (f.reset_rate > 0 &&
+      draw(from, to, type, attempt, kKindReset) < f.reset_rate) {
+    faults_reset().add();
+    return false;  // connection reset: the sender observes the failure
+  }
+  if (f.delay_rate > 0 &&
+      draw(from, to, type, attempt, kKindDelay) < f.delay_rate) {
+    // Hold the frame back on a timer; the delayed leg re-enters the inner
+    // transport directly (one fate decision per send).
+    faults_delayed().add();
+    auto armed = std::make_shared<TimerId>(0);
+    const TimerId id = inner_.set_timer(
+        f.delay, [this, armed, from, to, type, p = std::move(payload)]() {
+          delay_timers_.erase(*armed);
+          inner_.send(from, to, type, p);
+        });
+    *armed = id;
+    delay_timers_.insert(id);
+    return true;
+  }
+  if (f.duplicate_rate > 0 &&
+      draw(from, to, type, attempt, kKindDuplicate) <
+          f.duplicate_rate) {
+    faults_duplicated().add();
+    inner_.send(from, to, type, payload);
+  }
+  return inner_.send(from, to, type, std::move(payload));
+}
+
+}  // namespace desword::net

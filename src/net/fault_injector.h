@@ -1,0 +1,169 @@
+// Deterministic fault injection as a Transport decorator.
+//
+// DE-Sword's incentive argument (paper §V) only holds if queries always
+// terminate in a verdict: an unresponsive participant must become a
+// `kNoResponse` violation, never a wedged session. Proving that requires
+// injecting the faults — loss, delay, duplication, resets, partitions,
+// crash windows — *deterministically*, so that a failing chaos run can be
+// replayed from its seed and so that serial and concurrent query
+// schedulers see the same per-message fates.
+//
+// `FaultInjector` wraps any `Transport` (SimTransport or SocketTransport —
+// the protocol endpoints never know) and decides each outbound message's
+// fate from a pure hash of (plan seed, link, type, attempt number). The
+// attempt number counts identical prior sends on the same link (keyed by
+// payload digest), so a retransmission of the same frame gets a fresh,
+// independent draw while the *order in which different messages are sent
+// does not matter* — this is what makes serial and concurrent schedulers
+// agree on which messages drop. A shared sequential RNG would couple every
+// message's fate to global send order and destroy that property. The draw
+// itself is payload-blind on purpose: commitment/proof randomizers make
+// payload bytes differ between two otherwise-identical deployments, and
+// hashing them would turn "the same logical message" into independent coin
+// flips per run.
+//
+// Time-windowed faults (partitions, crash/blackout windows) are evaluated
+// against the wrapped transport's clock, so they ARE schedule-dependent on
+// a simulated clock; tests pin windows to fully cover or fully precede the
+// phase under test when they also assert scheduler equivalence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace desword::net {
+
+/// Half-open activity window [from, until) on the transport clock.
+/// `until == 0` means "never heals" (open-ended).
+struct FaultWindow {
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;
+
+  bool contains(std::uint64_t t) const {
+    return t >= from && (until == 0 || t < until);
+  }
+};
+
+/// Per-link fault probabilities. All rates are independent Bernoulli
+/// trials per message; precedence when several hit: drop > reset > delay
+/// > duplicate.
+struct LinkFaults {
+  double drop_rate = 0.0;       // silent loss (sender sees success)
+  double reset_rate = 0.0;      // connection reset: dropped, sender KNOWS
+  double delay_rate = 0.0;      // held back `delay` clock units
+  std::uint64_t delay = 50;     // extra delay when delay_rate hits
+  double duplicate_rate = 0.0;  // delivered twice
+};
+
+/// Overrides `FaultPlan::default_faults` for a directed link. Empty
+/// `from`/`to` match any node; first matching rule wins.
+struct FaultRule {
+  NodeId from;
+  NodeId to;
+  LinkFaults faults;
+};
+
+/// While the window is active, messages crossing between `group_a` and
+/// `group_b` (either direction) are silently dropped. Healing is implicit
+/// at `window.until`.
+struct Partition {
+  std::vector<NodeId> group_a;
+  std::vector<NodeId> group_b;
+  FaultWindow window;
+};
+
+/// While the window is active the node is dark: everything it sends and
+/// everything sent to it is dropped. Sends *to* a crashed node report
+/// failure (the transport knows the peer is dead — a refused connect).
+struct CrashWindow {
+  NodeId node;
+  FaultWindow window;
+};
+
+/// A complete, seedable fault schedule. Value type: build it in a test,
+/// parse it from JSON in the CLI, hand it to a FaultInjector.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  LinkFaults default_faults;
+  std::vector<FaultRule> rules;
+  std::vector<Partition> partitions;
+  std::vector<CrashWindow> crashes;
+};
+
+class FaultInjector final : public Transport {
+ public:
+  FaultInjector(Transport& inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)) {}
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // -- Transport -----------------------------------------------------------
+  void register_node(const NodeId& id, Handler handler) override {
+    inner_.register_node(id, std::move(handler));
+  }
+  void unregister_node(const NodeId& id) override {
+    inner_.unregister_node(id);
+  }
+  bool has_node(const NodeId& id) const override {
+    return inner_.has_node(id);
+  }
+  bool send(const NodeId& from, const NodeId& to, const std::string& type,
+            Bytes payload) override;
+  std::uint64_t now() const override { return inner_.now(); }
+  TimerId set_timer(std::uint64_t delay, TimerFn fn) override {
+    return inner_.set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { inner_.cancel_timer(id); }
+  std::size_t pending_timers() const override {
+    return inner_.pending_timers();
+  }
+  void post(std::function<void()> fn) override { inner_.post(std::move(fn)); }
+  void add_work() override { inner_.add_work(); }
+  void remove_work() override { inner_.remove_work(); }
+  std::size_t poll(int timeout_ms = 0) override {
+    return inner_.poll(timeout_ms);
+  }
+  const LinkStats& stats(const NodeId& from, const NodeId& to) const override {
+    return inner_.stats(from, to);
+  }
+  LinkStats total_stats() const override { return inner_.total_stats(); }
+
+  const FaultPlan& plan() const { return plan_; }
+  /// Replaces the active plan. Chaos harnesses re-plan between phases —
+  /// e.g. run the distribution phase clean, then black a node out for the
+  /// whole query phase (an open-ended window is schedule-independent where
+  /// a timed one is not). Attempt counters survive the swap so
+  /// retransmission fates stay order-independent across it.
+  void set_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  Transport& inner() { return inner_; }
+
+ private:
+  const LinkFaults& faults_for(const NodeId& from, const NodeId& to) const;
+  bool crashed(const NodeId& node, std::uint64_t t) const;
+  bool partitioned(const NodeId& from, const NodeId& to,
+                   std::uint64_t t) const;
+  /// Deterministic per-message, per-fault-kind uniform draw in [0,1).
+  double draw(const NodeId& from, const NodeId& to, const std::string& type,
+              std::uint64_t attempt, std::uint64_t kind) const;
+
+  Transport& inner_;
+  FaultPlan plan_;
+  /// Identical prior sends per (from,to,type,payload digest): the attempt
+  /// number that decorrelates retransmission fates from global send order.
+  std::map<std::tuple<NodeId, NodeId, std::string, std::uint64_t>,
+           std::uint64_t>
+      attempts_;
+  /// Timers holding delayed messages; cancelled on teardown so a delayed
+  /// frame never fires into a destroyed injector.
+  std::set<TimerId> delay_timers_;
+};
+
+}  // namespace desword::net

@@ -56,7 +56,7 @@ const LinkPolicy& Network::policy_for(const NodeId& from,
   return it == policies_.end() ? default_policy_ : it->second;
 }
 
-void Network::send(const NodeId& from, const NodeId& to,
+bool Network::send(const NodeId& from, const NodeId& to,
                    const std::string& type, Bytes payload) {
   const LinkPolicy& policy = policy_for(from, to);
   LinkStats& stats = stats_[{from, to}];
@@ -66,15 +66,16 @@ void Network::send(const NodeId& from, const NodeId& to,
   if (!has_node(to)) {
     // A crashed or deregistered peer must not take the *sender* down: the
     // message is dropped and counted, and the sender's retransmission /
-    // no-response path deals with the silence.
+    // no-response path deals with the silence. Returning false tells the
+    // sender the drop is *known* so a retry can be charged immediately.
     stats.messages_dropped += 1;
     frames_dropped().add();
-    return;
+    return false;
   }
   if (rng_.chance(policy.drop_rate)) {
     stats.messages_dropped += 1;
     frames_dropped().add();
-    return;
+    return true;  // silent in-flight loss: the sender cannot know
   }
   const auto deliver_at = [&] {
     std::uint64_t at = now_ + policy.latency;
@@ -87,6 +88,7 @@ void Network::send(const NodeId& from, const NodeId& to,
   }
   queue_.push_back(
       Envelope{from, to, type, std::move(payload), deliver_at()});
+  return true;
 }
 
 std::size_t Network::run(std::size_t max_steps) {

@@ -67,11 +67,13 @@ class Network {
   void set_default_policy(LinkPolicy policy) { default_policy_ = policy; }
 
   /// Queues a message. Sending to an unknown (crashed / deregistered)
-  /// recipient drops the message and counts it in
-  /// `LinkStats::messages_dropped` — it never throws, so a dead peer
-  /// cannot kill the sender. Lossy-link drops are decided at send time per
-  /// link policy.
-  void send(const NodeId& from, const NodeId& to, const std::string& type,
+  /// recipient drops the message, counts it in
+  /// `LinkStats::messages_dropped`, and returns false — it never throws,
+  /// so a dead peer cannot kill the sender, but the sender learns the peer
+  /// is known-dead and may charge a retry immediately. Lossy-link drops
+  /// are decided at send time per link policy and return true (the loss is
+  /// silent, only a timeout can observe it).
+  bool send(const NodeId& from, const NodeId& to, const std::string& type,
             Bytes payload);
 
   /// Delivers queued messages (in deliver_at, then FIFO order) until the

@@ -262,7 +262,7 @@ SocketTransport::Connection* SocketTransport::connection_for(
   return &it->second;
 }
 
-void SocketTransport::send(const NodeId& from, const NodeId& to,
+bool SocketTransport::send(const NodeId& from, const NodeId& to,
                            const std::string& type, Bytes payload) {
   LinkStats& stats = touch_stats({from, to});
   stats.messages_sent += 1;
@@ -272,17 +272,22 @@ void SocketTransport::send(const NodeId& from, const NodeId& to,
   Envelope env{from, to, type, std::move(payload), 0};
   if (has_node(to)) {  // loopback: deliver on the next poll
     local_queue_.push_back(std::move(env));
-    return;
+    return true;
   }
   Connection* conn = connection_for(to);
   if (conn == nullptr) {
+    // Unresolvable peer or synchronously refused connect (on loopback a
+    // connect() to a closed port fails immediately with ECONNREFUSED): the
+    // drop is *known* at send time, so report it — the caller may charge a
+    // retry right away instead of waiting out a retransmission timeout.
     stats.messages_dropped += 1;
     frames_dropped().add();
-    return;
+    return false;
   }
   const Bytes frame = encode_frame(env);
   conn->outbuf.insert(conn->outbuf.end(), frame.begin(), frame.end());
   if (!conn->connecting) flush_output(*conn);  // opportunistic write
+  return true;
 }
 
 void SocketTransport::close_connection(int fd) {
@@ -493,15 +498,19 @@ std::size_t SocketTransport::poll(int timeout_ms) {
 }
 
 bool SocketTransport::flush(int timeout_ms) {
-  const std::uint64_t deadline = now() + static_cast<std::uint64_t>(
-                                             timeout_ms < 0 ? 0 : timeout_ms);
+  // Negative timeout = block until drained. The old body clamped negative
+  // values to 0, so the documented `-1` sentinel returned false on the
+  // very first iteration with bytes still buffered.
+  const bool unbounded = timeout_ms < 0;
+  const std::uint64_t deadline =
+      unbounded ? 0 : now() + static_cast<std::uint64_t>(timeout_ms);
   while (true) {
     bool pending = false;
     for (const auto& [fd, conn] : connections_) {
       if (!conn.outbuf.empty() || conn.connecting) pending = true;
     }
     if (!pending) return true;
-    if (now() >= deadline) return false;
+    if (!unbounded && now() >= deadline) return false;
     poll(10);
   }
 }

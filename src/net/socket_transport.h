@@ -62,7 +62,7 @@ class SocketTransport final : public Transport {
   void register_node(const NodeId& id, Handler handler) override;
   void unregister_node(const NodeId& id) override;
   bool has_node(const NodeId& id) const override;
-  void send(const NodeId& from, const NodeId& to, const std::string& type,
+  bool send(const NodeId& from, const NodeId& to, const std::string& type,
             Bytes payload) override;
   std::uint64_t now() const override;  // ms since transport construction
   TimerId set_timer(std::uint64_t delay_ms, TimerFn fn) override;
@@ -81,7 +81,9 @@ class SocketTransport final : public Transport {
   LinkStats total_stats() const override;
 
   /// Polls until every connection's write buffer drained or `timeout_ms`
-  /// elapsed. Returns true when fully flushed.
+  /// elapsed. Returns true when fully flushed. A negative timeout blocks
+  /// until drained (connections that die while flushing are closed and
+  /// their buffers discarded, so the wait always terminates).
   bool flush(int timeout_ms);
 
  private:

@@ -47,8 +47,14 @@ class Transport {
 
   /// Queues a message for delivery. Never throws on an unreachable or
   /// unknown recipient — the message is dropped and counted, and the
-  /// sender's timer/retransmission path recovers.
-  virtual void send(const NodeId& from, const NodeId& to,
+  /// sender's timer/retransmission path recovers. Returns false when the
+  /// transport KNOWS at send time that the message cannot reach the peer
+  /// (unknown/deregistered node, synchronously refused connect, crash
+  /// window): the sender may charge a retry immediately instead of waiting
+  /// a full retransmission timeout. Returns true otherwise — including
+  /// silent in-flight losses (lossy links, partitions), which only the
+  /// timeout can detect.
+  virtual bool send(const NodeId& from, const NodeId& to,
                     const std::string& type, Bytes payload) = 0;
 
   /// Transport clock. Simulated ticks for SimTransport, milliseconds since
@@ -166,9 +172,9 @@ class SimTransport final : public Transport {
     return network_.has_node(id);
   }
 
-  void send(const NodeId& from, const NodeId& to, const std::string& type,
+  bool send(const NodeId& from, const NodeId& to, const std::string& type,
             Bytes payload) override {
-    network_.send(from, to, type, std::move(payload));
+    return network_.send(from, to, type, std::move(payload));
   }
 
   std::uint64_t now() const override { return network_.now(); }

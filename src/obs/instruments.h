@@ -24,7 +24,15 @@
   X(net_frame_sent,             "net.frame.sent")                     \
   X(net_frame_received,         "net.frame.received")                 \
   X(net_frame_dropped,          "net.frame.dropped")                  \
+  X(net_fault_dropped,          "net.fault.dropped")                  \
+  X(net_fault_delayed,          "net.fault.delayed")                  \
+  X(net_fault_duplicated,       "net.fault.duplicated")               \
+  X(net_fault_reset,            "net.fault.reset")                    \
+  X(net_fault_partitioned,      "net.fault.partitioned")              \
+  X(net_fault_crashed,          "net.fault.crashed")                  \
   X(net_retransmit_fired,       "net.retransmit.fired")               \
+  X(net_retransmit_refused,     "net.retransmit.refused")             \
+  X(net_distribution_orphaned,  "net.distribution.orphaned")          \
   X(net_reply_cache_hits,       "net.reply_cache.hits")               \
   X(net_reply_cache_misses,     "net.reply_cache.misses")             \
   X(net_reply_cache_evictions,  "net.reply_cache.evictions")          \
@@ -41,6 +49,8 @@
   X(protocol_reputation_events, "protocol.reputation.events")         \
   X(protocol_reputation_dropped,"protocol.reputation.dropped")        \
   X(protocol_pump_stalled,      "protocol.pump.stalled")              \
+  X(protocol_deadline_exceeded, "protocol.query.deadline_exceeded")   \
+  X(protocol_distribution_gaveup,"protocol.distribution.gaveup")      \
   X(protocol_scheduler_admitted,"protocol.scheduler.admitted")        \
   X(exec_task_submitted,        "exec.task.submitted")                \
   X(exec_task_completed,        "exec.task.completed")

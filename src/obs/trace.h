@@ -32,6 +32,7 @@ inline constexpr const char* kViolation = "violation";
 inline constexpr const char* kFinished = "finished";
 inline constexpr const char* kQueued = "scheduler_queued";
 inline constexpr const char* kAdmitted = "scheduler_admitted";
+inline constexpr const char* kDeadlineExceeded = "deadline_exceeded";
 }  // namespace span
 
 struct TraceSpan {

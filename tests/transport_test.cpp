@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "net/socket_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace desword::net {
 namespace {
@@ -185,6 +188,44 @@ TEST(SimTransportTest, TimerHandlerMayCancelSibling) {
   EXPECT_EQ(fired, std::vector<int>{1});
 }
 
+TEST(SimTransportTest, TimerArmedInCallbackDefersEvenWithZeroDelay) {
+  // Regression: the firing round snapshots the then-pending ids, so a
+  // timer armed *inside* a due-timer callback — even with delay 0 — must
+  // wait for the next quiescent round, not piggyback on this one.
+  Network network;
+  SimTransport transport(network);
+  std::vector<int> fired;
+  transport.set_timer(1, [&] {
+    fired.push_back(1);
+    transport.set_timer(0, [&] { fired.push_back(2); });
+  });
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(fired, std::vector<int>{1}) << "the child timer must defer";
+  EXPECT_EQ(transport.pending_timers(), 1u);
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(SimTransportTest, TimerArmedThenCancelledInsideCallbackNeverFires) {
+  // Regression: arm-then-cancel within one due-timer callback (the shape
+  // of a handler that re-arms a retransmission and then settles in the
+  // same dispatch) must leave nothing behind — not fire this round, not
+  // fire a later one, not leak a pending timer.
+  Network network;
+  SimTransport transport(network);
+  std::vector<int> fired;
+  transport.set_timer(1, [&] {
+    fired.push_back(1);
+    const Transport::TimerId child =
+        transport.set_timer(0, [&] { fired.push_back(2); });
+    transport.cancel_timer(child);
+  });
+  EXPECT_EQ(transport.poll(), 1u);
+  EXPECT_EQ(transport.pending_timers(), 0u);
+  EXPECT_EQ(transport.poll(), 0u);
+  EXPECT_EQ(fired, std::vector<int>{1});
+}
+
 TEST(SimTransportTest, TimerSendingTrafficEndsFiringRound) {
   // Regression: once a timer callback queues a message the network is no
   // longer quiescent, so the remaining snapshot timers must wait for the
@@ -309,6 +350,35 @@ TEST(SocketTransportTest, TimersFireOnRealClock) {
   EXPECT_EQ(fired, std::vector<int>{1});
 }
 
+TEST(SocketTransportTest, NegativeFlushTimeoutBlocksUntilDrained) {
+  // Regression: flush() clamped negative timeouts to 0, so the documented
+  // "-1 = block until drained" sentinel returned false immediately while
+  // the connect was still in flight and bytes sat buffered.
+  SocketTransport server{SocketTransportOptions{}};
+  SocketTransportOptions client_options;
+  client_options.resolve =
+      [&](const NodeId& node) -> std::optional<std::string> {
+    if (node == "server") return server.local_address();
+    return std::nullopt;
+  };
+  SocketTransport client(std::move(client_options));
+
+  std::optional<Envelope> got;
+  server.register_node("server", [&](const Envelope& env) { got = env; });
+  client.register_node("client", [](const Envelope&) {});
+
+  // A payload large enough to outlive the first partial write, sent while
+  // the non-blocking connect is still completing — flush(-1) must ride it
+  // all the way out instead of bailing on the first loop iteration.
+  client.send("client", "server", "bulk", Bytes(1 << 20, 0xab));
+  EXPECT_TRUE(client.flush(-1));
+
+  const std::uint64_t deadline = server.now() + 5000;
+  while (!got.has_value() && server.now() < deadline) server.poll(10);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload.size(), std::size_t{1} << 20);
+}
+
 }  // namespace
 }  // namespace desword::net
 
@@ -349,6 +419,84 @@ TEST(TransportProtocolTest, QuerySurvivesCrashedParticipant) {
   EXPECT_GT(scenario.network().stats(scenario.proxy().id(), victim)
                 .messages_dropped,
             0u);
+}
+
+TEST(TransportProtocolTest, DeadPeerFastFailsOverSockets) {
+  // Regression for the retransmission loop burning a full timeout per
+  // attempt on a peer the transport KNOWS is gone. Over real sockets a
+  // deregistered peer refuses at send time, so after the first timeout
+  // every remaining retry must be charged immediately: the verdict lands
+  // in ~one retransmit_base of wall clock, not max_retries of them.
+  net::SocketTransport socket{net::SocketTransportOptions{}};
+  const auto crs_cache = std::make_shared<CrsCache>();
+  ProxyConfig config;
+  config.edb = zkedb::EdbConfig{4, 6, 512, "p256", zkedb::SoftMode::kShared};
+  config.retransmit_base = 400;
+  config.retransmit_cap = 400;
+  config.max_retries = 5;
+  Proxy proxy("proxy", socket, crs_cache, config);
+
+  const auto graph = supplychain::SupplyChainGraph::paper_example();
+  std::map<std::string, std::unique_ptr<Participant>> participants;
+  for (const ParticipantId& id : graph.participants()) {
+    participants.emplace(
+        id, std::make_unique<Participant>(id, socket, "proxy", crs_cache));
+  }
+
+  supplychain::DistributionConfig dist;
+  dist.initial = "v0";
+  dist.products = supplychain::make_products(1, 1, 2);
+  dist.seed = 42;
+  const auto truth = supplychain::run_distribution(graph, dist);
+  for (const ParticipantId& id : truth.involved) {
+    Participant& p = *participants.at(id);
+    p.load_database(truth.databases.at(id));
+    TaskSetup setup;
+    setup.task_id = "task-1";
+    setup.initial = dist.initial;
+    setup.involved = truth.involved;
+    for (const auto& [parent, children] : truth.used_edges) {
+      if (parent == id) setup.children.assign(children.begin(), children.end());
+      if (children.count(id) > 0) setup.parents.push_back(parent);
+    }
+    for (const auto& [product, path] : truth.paths) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (path[i] == id) setup.shipments[product] = path[i + 1];
+      }
+    }
+    p.begin_task(setup);
+  }
+  participants.at(dist.initial)->initiate_task("task-1");
+  // Everyone shares one transport, so the whole phase short-circuits
+  // through the local loopback queue — pump until the list lands.
+  const std::uint64_t setup_deadline = socket.now() + 30000;
+  while (proxy.task_list("task-1") == nullptr &&
+         socket.now() < setup_deadline) {
+    socket.poll(10);
+  }
+  ASSERT_NE(proxy.task_list("task-1"), nullptr);
+
+  const supplychain::ProductId product = dist.products[0];
+  const auto& path = truth.paths.at(product);
+  ASSERT_GE(path.size(), 2u);
+  const std::string victim = path[1];
+  socket.unregister_node(victim);
+
+  const std::uint64_t refused_before =
+      obs::metric("net.retransmit.refused").value();
+  const std::uint64_t t0 = socket.now();
+  const QueryOutcome outcome =
+      proxy.run_query(product, ProductQuality::kGood);
+  const std::uint64_t elapsed = socket.now() - t0;
+
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_TRUE(outcome.has_violation(victim, ViolationType::kNoResponse));
+  EXPECT_GE(obs::metric("net.retransmit.refused").value() - refused_before,
+            static_cast<std::uint64_t>(config.max_retries - 1));
+  // Old behavior: (max_retries + 1) timeouts = 2400 ms of silence. New:
+  // one armed timeout, then the refused redials burn the budget inline.
+  EXPECT_LT(elapsed, 1800u)
+      << "dead-peer detection must not wait out every retry timer";
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "desword/messages.h"
 #include "desword/participant.h"
 #include "desword/proxy.h"
+#include "net/fault_injector.h"
 #include "net/socket_transport.h"
 #include "obs/metrics.h"
 #include "supplychain/distribution.h"
@@ -127,6 +128,83 @@ Plan load_plan(const std::string& path) {
   for (const json::Value& pj : doc.at("paths").as_array()) {
     plan.paths[parse_product(pj.at("product").as_string())] =
         parse_string_array(pj.at("path"));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans (--fault-plan)
+// ---------------------------------------------------------------------------
+
+/// Fault-rate fields of one JSON object, over `base` defaults. Rates are
+/// probabilities in [0,1]; `delay` is in transport clock units (ms here).
+net::LinkFaults parse_link_faults(const json::Value& v, net::LinkFaults base) {
+  if (v.has("drop_rate")) base.drop_rate = v.at("drop_rate").as_double();
+  if (v.has("reset_rate")) base.reset_rate = v.at("reset_rate").as_double();
+  if (v.has("delay_rate")) base.delay_rate = v.at("delay_rate").as_double();
+  if (v.has("delay")) {
+    base.delay = static_cast<std::uint64_t>(v.at("delay").as_int());
+  }
+  if (v.has("duplicate_rate")) {
+    base.duplicate_rate = v.at("duplicate_rate").as_double();
+  }
+  return base;
+}
+
+net::FaultWindow parse_fault_window(const json::Value& v) {
+  net::FaultWindow w;
+  if (v.has("from")) w.from = static_cast<std::uint64_t>(v.at("from").as_int());
+  if (v.has("until")) {
+    w.until = static_cast<std::uint64_t>(v.at("until").as_int());
+  }
+  return w;
+}
+
+/// Parses a fault-plan file (see DESIGN.md §11 for the schema):
+///
+///   {"seed": 42,
+///    "default": {"drop_rate": 0.1, "delay_rate": 0.05, "delay": 40},
+///    "rules": [{"from": "v0", "to": "proxy", "drop_rate": 0.3}],
+///    "partitions": [{"group_a": ["v0"], "group_b": ["proxy"],
+///                    "from": 1000, "until": 2000}],
+///    "crashes": [{"node": "v1", "from": 0, "until": 500}]}
+///
+/// Every field is optional; rule objects inherit unset rates from
+/// "default"; a missing/zero "until" means the window never heals.
+net::FaultPlan load_fault_plan(const std::string& path) {
+  const json::Value doc = json::parse(string_of(read_file(path)));
+  net::FaultPlan plan;
+  if (doc.has("seed")) {
+    plan.seed = static_cast<std::uint64_t>(doc.at("seed").as_int());
+  }
+  if (doc.has("default")) {
+    plan.default_faults = parse_link_faults(doc.at("default"), {});
+  }
+  if (doc.has("rules")) {
+    for (const json::Value& rj : doc.at("rules").as_array()) {
+      net::FaultRule rule;
+      if (rj.has("from")) rule.from = rj.at("from").as_string();
+      if (rj.has("to")) rule.to = rj.at("to").as_string();
+      rule.faults = parse_link_faults(rj, plan.default_faults);
+      plan.rules.push_back(std::move(rule));
+    }
+  }
+  if (doc.has("partitions")) {
+    for (const json::Value& pj : doc.at("partitions").as_array()) {
+      net::Partition part;
+      part.group_a = parse_string_array(pj.at("group_a"));
+      part.group_b = parse_string_array(pj.at("group_b"));
+      part.window = parse_fault_window(pj);
+      plan.partitions.push_back(std::move(part));
+    }
+  }
+  if (doc.has("crashes")) {
+    for (const json::Value& cj : doc.at("crashes").as_array()) {
+      net::CrashWindow crash;
+      crash.node = cj.at("node").as_string();
+      crash.window = parse_fault_window(cj);
+      plan.crashes.push_back(std::move(crash));
+    }
   }
   return plan;
 }
@@ -337,21 +415,29 @@ std::string outcome_json(const QueryOutcome& outcome, const Proxy& proxy) {
 int serve_proxy_impl(const Flags& flags, std::ostream& out) {
   const std::string plan_path = flags.require("plan");
   const std::string stats_path = flags.get("stats-json", "");
+  const std::string fault_path = flags.get("fault-plan", "");
   const int workers = flags.get_int("workers", 0);
   const int query_concurrency = flags.get_int("query-concurrency", 8);
+  const int query_deadline = flags.get_int("query-deadline", 0);
   flags.reject_unknown();
   if (workers < 0) throw UsageError("--workers must be >= 0");
   if (query_concurrency < 1) {
     throw UsageError("--query-concurrency must be >= 1");
   }
+  if (query_deadline < 0) throw UsageError("--query-deadline must be >= 0");
   const Plan plan = load_plan(plan_path);
 
-  net::SocketTransport transport(transport_options(plan.addr_dir));
+  net::SocketTransport socket(transport_options(plan.addr_dir));
+  std::optional<net::FaultInjector> fault;
+  if (!fault_path.empty()) fault.emplace(socket, load_fault_plan(fault_path));
+  net::Transport& transport =
+      fault ? static_cast<net::Transport&>(*fault) : socket;
 
   ProxyConfig config;
   config.edb = plan.edb;
   config.max_retries = plan.max_retries;
-  config.retransmit_timeout = plan.retransmit_ms;
+  config.retransmit_base = plan.retransmit_ms;
+  config.query_deadline = static_cast<std::uint64_t>(query_deadline);
   config.worker_threads = static_cast<unsigned>(workers);
   config.max_concurrent_queries = static_cast<std::size_t>(query_concurrency);
   Proxy proxy(plan.proxy_id, transport, std::make_shared<CrsCache>(),
@@ -429,9 +515,9 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
     }
   });
 
-  write_addr_file(plan.addr_dir, plan.proxy_id, transport.local_address());
+  write_addr_file(plan.addr_dir, plan.proxy_id, socket.local_address());
   out << "proxy " << plan.proxy_id << " listening on "
-      << transport.local_address() << "\n";
+      << socket.local_address() << "\n";
   out.flush();
 
   if (!stats_path.empty()) std::signal(SIGUSR1, on_sigusr1);
@@ -442,7 +528,7 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
       write_file(stats_path, bytes_of(proxy.export_stats_json()));
     }
   }
-  transport.flush(/*timeout_ms=*/1000);  // drain in-flight client replies
+  socket.flush(/*timeout_ms=*/1000);  // drain in-flight client replies
   if (!stats_path.empty()) {
     write_file(stats_path, bytes_of(proxy.export_stats_json()));
     out << "stats -> " << stats_path << "\n";
@@ -459,6 +545,7 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
   const std::string plan_path = flags.require("plan");
   const std::string id = flags.require("id");
   const std::string stats_path = flags.get("stats-json", "");
+  const std::string fault_path = flags.get("fault-plan", "");
   const int workers = flags.get_int("workers", 0);
   flags.reject_unknown();
   if (workers < 0) throw UsageError("--workers must be >= 0");
@@ -469,7 +556,11 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
   }
   const PlanParticipant& me = it->second;
 
-  net::SocketTransport transport(transport_options(plan.addr_dir));
+  net::SocketTransport socket(transport_options(plan.addr_dir));
+  std::optional<net::FaultInjector> fault;
+  if (!fault_path.empty()) fault.emplace(socket, load_fault_plan(fault_path));
+  net::Transport& transport =
+      fault ? static_cast<net::Transport&>(*fault) : socket;
   Participant participant(id, transport, plan.proxy_id,
                           std::make_shared<CrsCache>());
   if (workers > 0) {
@@ -495,9 +586,9 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
     }
   });
 
-  write_addr_file(plan.addr_dir, id, transport.local_address());
+  write_addr_file(plan.addr_dir, id, socket.local_address());
   out << "participant " << id << " listening on "
-      << transport.local_address() << "\n";
+      << socket.local_address() << "\n";
   out.flush();
 
   if (plan.initial == id) {
@@ -514,7 +605,7 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
       write_file(stats_path, bytes_of(participant_stats_json(participant)));
     }
   }
-  transport.flush(/*timeout_ms=*/1000);
+  socket.flush(/*timeout_ms=*/1000);
   if (!stats_path.empty()) {
     write_file(stats_path, bytes_of(participant_stats_json(participant)));
     out << "stats -> " << stats_path << "\n";
@@ -528,10 +619,13 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
 // ---------------------------------------------------------------------------
 
 struct Client {
-  explicit Client(const Plan& plan)
-      : transport(transport_options(plan.addr_dir)),
+  explicit Client(const Plan& plan, const std::string& fault_path = "")
+      : socket(transport_options(plan.addr_dir)),
         node_id("client-" + std::to_string(::getpid())) {
-    transport.register_node(node_id, [this](const net::Envelope& env) {
+    if (!fault_path.empty()) {
+      fault.emplace(socket, load_fault_plan(fault_path));
+    }
+    transport().register_node(node_id, [this](const net::Envelope& env) {
       try {
         if (env.type == msg::kStatusResponse) {
           status = StatusResponse::deserialize(env.payload);
@@ -544,7 +638,15 @@ struct Client {
     });
   }
 
-  net::SocketTransport transport;
+  /// The transport requests go through: the fault injector when a
+  /// --fault-plan was given (lets operators rehearse a lossy client link
+  /// against live daemons), the raw socket otherwise.
+  net::Transport& transport() {
+    return fault ? static_cast<net::Transport&>(*fault) : socket;
+  }
+
+  net::SocketTransport socket;
+  std::optional<net::FaultInjector> fault;
   net::NodeId node_id;
   std::optional<StatusResponse> status;
   std::optional<ClientQueryResponse> response;
@@ -556,12 +658,12 @@ int fetch_stats_to_file(Client& client, const net::NodeId& node,
                         const std::string& path, int timeout_ms,
                         std::ostream& err) {
   client.response.reset();
-  client.transport.send(client.node_id, node, msg::kStatsRequest,
+  client.transport().send(client.node_id, node, msg::kStatsRequest,
                         StatsRequest{2}.serialize());
   const std::uint64_t deadline =
-      client.transport.now() + static_cast<std::uint64_t>(timeout_ms);
-  while (!client.response.has_value() && client.transport.now() < deadline) {
-    client.transport.poll(/*timeout_ms=*/50);
+      client.transport().now() + static_cast<std::uint64_t>(timeout_ms);
+  while (!client.response.has_value() && client.transport().now() < deadline) {
+    client.transport().poll(/*timeout_ms=*/50);
   }
   if (!client.response.has_value() || !client.response->ok) {
     err << "error: no stats response from " << node << " within "
@@ -576,25 +678,26 @@ int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
   const std::string plan_path = flags.require("plan");
   const int timeout_ms = flags.get_int("timeout-ms", 30000);
   const std::string stats_path = flags.get("stats-json", "");
+  const std::string fault_path = flags.get("fault-plan", "");
   const Plan plan = load_plan(plan_path);
 
   if (flags.has("wait-ready")) {
     const int deadline_ms = flags.get_int("wait-ready", timeout_ms);
     flags.reject_unknown();
-    Client client(plan);
+    Client client(plan, fault_path);
     const std::uint64_t deadline =
-        client.transport.now() + static_cast<std::uint64_t>(deadline_ms);
+        client.transport().now() + static_cast<std::uint64_t>(deadline_ms);
     std::uint64_t next_probe = 0;
-    while (client.transport.now() < deadline) {
-      if (client.transport.now() >= next_probe) {
+    while (client.transport().now() < deadline) {
+      if (client.transport().now() >= next_probe) {
         // Re-probe on a cadence: early probes are dropped while the proxy
         // is still coming up (no addr file / no listener yet).
-        client.transport.send(client.node_id, plan.proxy_id,
+        client.transport().send(client.node_id, plan.proxy_id,
                               msg::kStatusRequest,
                               StatusRequest{plan.task_id}.serialize());
-        next_probe = client.transport.now() + 200;
+        next_probe = client.transport().now() + 200;
       }
-      client.transport.poll(/*timeout_ms=*/50);
+      client.transport().poll(/*timeout_ms=*/50);
       if (client.status.has_value() && client.status->ready) {
         out << "ready: task " << plan.task_id << "\n";
         return 0;
@@ -610,13 +713,13 @@ int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
     const std::string scope = flags.get("shutdown", "all");
     flags.reject_unknown();
     if (scope != "all") throw UsageError("--shutdown only supports 'all'");
-    Client client(plan);
-    client.transport.send(client.node_id, plan.proxy_id, msg::kAdminShutdown,
+    Client client(plan, fault_path);
+    client.transport().send(client.node_id, plan.proxy_id, msg::kAdminShutdown,
                           {});
     for (const auto& id : plan.involved) {
-      client.transport.send(client.node_id, id, msg::kAdminShutdown, {});
+      client.transport().send(client.node_id, id, msg::kAdminShutdown, {});
     }
-    client.transport.flush(/*timeout_ms=*/2000);
+    client.socket.flush(/*timeout_ms=*/2000);
     out << "shutdown sent to proxy and " << plan.involved.size()
         << " participants\n";
     return 0;
@@ -628,18 +731,18 @@ int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
         "query needs --wait-ready, --product, --report or --shutdown");
   }
 
-  Client client(plan);
+  Client client(plan, fault_path);
   if (want_report) {
     const std::string report_dest = flags.get("report", "-");
     flags.reject_unknown();
-    client.transport.send(client.node_id, plan.proxy_id,
+    client.transport().send(client.node_id, plan.proxy_id,
                           msg::kClientReportRequest,
                           ClientReportRequest{1}.serialize());
     const std::uint64_t deadline =
-        client.transport.now() + static_cast<std::uint64_t>(timeout_ms);
+        client.transport().now() + static_cast<std::uint64_t>(timeout_ms);
     while (!client.response.has_value() &&
-           client.transport.now() < deadline) {
-      client.transport.poll(/*timeout_ms=*/50);
+           client.transport().now() < deadline) {
+      client.transport().poll(/*timeout_ms=*/50);
     }
     if (!client.response.has_value()) {
       err << "error: no report response within " << timeout_ms << " ms\n";
@@ -672,17 +775,22 @@ int query_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
     throw UsageError("--quality must be good or bad");
   }
   if (flags.has("task")) request.task_hint = flags.require("task");
+  // How long this client waits for the verdict. The proxy enforces its own
+  // budget (serve-proxy --query-deadline) and always answers; this bound
+  // only catches a dead/unreachable proxy.
+  const int query_deadline = flags.get_int("query-deadline", timeout_ms);
+  if (query_deadline < 0) throw UsageError("--query-deadline must be >= 0");
   flags.reject_unknown();
 
-  client.transport.send(client.node_id, plan.proxy_id,
+  client.transport().send(client.node_id, plan.proxy_id,
                         msg::kClientQueryRequest, request.serialize());
   const std::uint64_t deadline =
-      client.transport.now() + static_cast<std::uint64_t>(timeout_ms);
-  while (!client.response.has_value() && client.transport.now() < deadline) {
-    client.transport.poll(/*timeout_ms=*/50);
+      client.transport().now() + static_cast<std::uint64_t>(query_deadline);
+  while (!client.response.has_value() && client.transport().now() < deadline) {
+    client.transport().poll(/*timeout_ms=*/50);
   }
   if (!client.response.has_value()) {
-    err << "error: no query response within " << timeout_ms << " ms\n";
+    err << "error: no query response within " << query_deadline << " ms\n";
     return 1;
   }
   const ClientQueryResponse resp = *client.response;
@@ -709,17 +817,18 @@ int stats_impl(const Flags& flags, std::ostream& out, std::ostream& err) {
   const int timeout_ms = flags.get_int("timeout-ms", 30000);
   const std::string node = flags.get("node", "");  // default: the proxy
   const std::string dest = flags.get("out", "-");
+  const std::string fault_path = flags.get("fault-plan", "");
   flags.reject_unknown();
   const Plan plan = load_plan(plan_path);
 
-  Client client(plan);
+  Client client(plan, fault_path);
   const net::NodeId target = node.empty() ? plan.proxy_id : node;
-  client.transport.send(client.node_id, target, msg::kStatsRequest,
+  client.transport().send(client.node_id, target, msg::kStatsRequest,
                         StatsRequest{1}.serialize());
   const std::uint64_t deadline =
-      client.transport.now() + static_cast<std::uint64_t>(timeout_ms);
-  while (!client.response.has_value() && client.transport.now() < deadline) {
-    client.transport.poll(/*timeout_ms=*/50);
+      client.transport().now() + static_cast<std::uint64_t>(timeout_ms);
+  while (!client.response.has_value() && client.transport().now() < deadline) {
+    client.transport().poll(/*timeout_ms=*/50);
   }
   if (!client.response.has_value()) {
     err << "error: no stats response from " << target << " within "

@@ -72,6 +72,18 @@ Rules (each can be waived on a specific line with a trailing
                 DESWORD_DCHECK_ON_LOOP; this rule catches the bug at
                 review time, in builds where DCHECKs are compiled out.
 
+  timer-pairing Every ``x = ...set_timer(...)`` call site must be paired
+                with a ``cancel_timer(...)`` in the same file that names
+                ``x``'s variable (its last identifier component), and a
+                ``set_timer`` whose TimerId is discarded is flagged as
+                unowned. A timer whose id nobody keeps — or keeps but
+                never cancels on teardown — fires into a destroyed
+                endpoint: exactly the use-after-free class the
+                FaultInjector's delay timers and the proxy's
+                retransmission timers guard against in their destructors.
+                ``return ...set_timer(...)`` forwards ownership to the
+                caller and is exempt.
+
 Run:  tools/desword_lint.py [--root <repo root>]
 The root defaults to the repository containing this script, so the linter
 works from any working directory (CI checkouts, editor integrations).
@@ -170,6 +182,14 @@ RE_RAW_MUTEX = re.compile(
     r"scoped_lock|condition_variable|condition_variable_any)\b|"
     r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
 
+# Timer call sites (rule timer-pairing). Member-access only: `x.set_timer`
+# / `x->set_timer` are calls, `Foo::set_timer(` is a definition.
+RE_SET_TIMER_CALL = re.compile(r"(?:\.|->)\s*set_timer\s*\(")
+RE_SET_TIMER_ASSIGN = re.compile(
+    r"([A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*)\s*=\s*[^=;]*\bset_timer\s*\(")
+RE_SET_TIMER_RETURN = re.compile(r"\breturn\b[^;]*\bset_timer\s*\(")
+RE_CANCEL_TIMER_ARGS = re.compile(r"\bcancel_timer\s*\(([^()]*)\)")
+
 # Worker-context dispatch points (rule loop-affinity): posting to a strand
 # or directly to the executor moves the lambda off the loop thread.
 RE_WORKER_POST = re.compile(
@@ -237,6 +257,7 @@ class Linter:
         lines = text.splitlines()
         self.check_line_rules(rel, lines)
         self.check_switch_default(rel, text, lines)
+        self.check_timer_pairing(rel, text, lines)
         if rel in HANDLER_FILES:
             self.check_handler_crypto(rel, text, lines)
             self.check_loop_affinity(rel, text, lines)
@@ -348,6 +369,45 @@ class Linter:
                             "loop-owned state touched in worker context "
                             "(strand/executor post lambda); hand the "
                             "result back via transport_.post(...)")
+
+    def check_timer_pairing(self, rel: str, text: str,
+                            lines: list[str]) -> None:
+        """Flags set_timer call sites whose TimerId is discarded, or stored
+        in a variable the file never passes to cancel_timer."""
+        # Every identifier that appears inside a cancel_timer(...) argument
+        # list anywhere in the file counts as "cancelled here".
+        cancelled: set[str] = set()
+        for m in RE_CANCEL_TIMER_ARGS.finditer(text):
+            cancelled |= set(re.findall(r"\w+", m.group(1)))
+        for lineno, raw in enumerate(lines, start=1):
+            code = strip_comment(raw)
+            if not RE_SET_TIMER_CALL.search(code):
+                continue
+            if allowed(raw, "timer-pairing"):
+                continue
+            if RE_SET_TIMER_RETURN.search(code):
+                continue  # forwarding wrapper: the caller owns the id
+            assign = RE_SET_TIMER_ASSIGN.search(code)
+            if assign is None and lineno > 1:
+                # `lhs =` broken onto the previous line by the formatter.
+                prev = strip_comment(lines[lineno - 2]).rstrip()
+                if prev.endswith("="):
+                    assign = RE_SET_TIMER_ASSIGN.search(prev + " " + code)
+                elif prev.endswith("return"):
+                    continue
+            if assign is None:
+                self.report(rel, lineno, "timer-pairing",
+                            "set_timer return value discarded; keep the "
+                            "TimerId so teardown can cancel_timer it — an "
+                            "unowned timer fires into a destroyed endpoint")
+                continue
+            tail = re.findall(r"\w+", assign.group(1))[-1]
+            if tail not in cancelled:
+                self.report(rel, lineno, "timer-pairing",
+                            f"timer id stored in '{assign.group(1)}' but "
+                            f"this file never passes '{tail}' to "
+                            "cancel_timer; pair every armed timer with a "
+                            "teardown cancellation")
 
     def check_switch_default(self, rel: str, text: str,
                              lines: list[str]) -> None:

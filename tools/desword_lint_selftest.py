@@ -43,6 +43,7 @@ ALL_RULES = {
     "metric-name",
     "raw-mutex",
     "loop-affinity",
+    "timer-pairing",
 }
 
 Finding = tuple[str, str, int]  # (rule, relative path, line)

@@ -1,0 +1,52 @@
+// Fixture for rule timer-pairing: armed timers must be cancellable.
+#include <cstdint>
+#include <utility>
+
+struct Widget {
+  void arm_good() {
+    // Paired: the id is kept and teardown passes it to cancel_timer.
+    retrans_timer_ = transport_.set_timer(250, [] {});
+  }
+
+  void arm_orphaned() {
+    // Fires: the id is kept but no cancel_timer in this file names it.
+    orphan_timer_ = transport_.set_timer(100, [] {});
+  }
+
+  void arm_discarded() {
+    // Fires: the TimerId is dropped on the floor — nobody can cancel it.
+    transport_.set_timer(50, [] {});
+  }
+
+  void arm_waived() {
+    leaky_timer_ = transport_.set_timer(10, [] {});  // desword-lint: allow(timer-pairing)
+  }
+
+  std::uint64_t arm_forwarded(std::uint64_t delay) {
+    // Clean: `return ...set_timer(...)` hands ownership to the caller.
+    return transport_.set_timer(delay, [] {});
+  }
+
+  void arm_wrapped_assignment() {
+    // Clean: the formatter split `lhs =` onto its own line; the id is
+    // still paired with the teardown cancellation below.
+    wrapped_timer_ =
+        transport_.set_timer(75, [] {});
+  }
+
+  ~Widget() {
+    if (retrans_timer_ != 0) transport_.cancel_timer(retrans_timer_);
+    if (wrapped_timer_ != 0) transport_.cancel_timer(wrapped_timer_);
+  }
+
+  struct FakeTransport {
+    template <typename Fn>
+    std::uint64_t set_timer(std::uint64_t, Fn&&) { return 1; }
+    void cancel_timer(std::uint64_t) {}
+  };
+  FakeTransport transport_;
+  std::uint64_t retrans_timer_ = 0;
+  std::uint64_t orphan_timer_ = 0;
+  std::uint64_t leaky_timer_ = 0;
+  std::uint64_t wrapped_timer_ = 0;
+};

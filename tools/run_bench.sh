@@ -12,7 +12,11 @@
 #   * "query_throughput" pairs Macro/QueryThroughputSerial with every
 #     Macro/QueryThroughputConcurrent configuration (workers x sessions
 #     in flight) on queries_per_sec — the acceptance metric for the
-#     executor/scheduler concurrency layer.
+#     executor/scheduler concurrency layer;
+#   * "fault_resilience" pairs every lossy Macro/FaultedQuery case with
+#     its loss=0 baseline: latency overhead, retransmits per query and
+#     success rate under injected frame loss — the acceptance metric for
+#     the fault injection / adaptive recovery layer.
 #
 # Usage: tools/run_bench.sh [--build-dir DIR] [--out FILE] [--check]
 #   --build-dir DIR  where the bench binaries live (default: build)
@@ -118,12 +122,41 @@ if serial_qps:
             "speedup": concurrent_qps[cfg] / serial_qps,
         })
 
+# Pair each lossy Macro/FaultedQuery/<loss_permille> case with the
+# loss=0 baseline on latency; carry the recovery counters through.
+faulted = {}
+for r in results:
+    case = r.get("case", "")
+    if case.startswith("Macro/FaultedQuery/"):
+        arg = case.split("FaultedQuery/", 1)[1].split("/", 1)[0]
+        faulted[int(arg)] = r
+
+fault_configs = []
+baseline = faulted.get(0)
+if baseline:
+    base_ns = baseline.get("ns_per_op") or 0
+    for loss in sorted(faulted):
+        if loss == 0:
+            continue
+        r = faulted[loss]
+        counters = r.get("counters", {})
+        ns = r.get("ns_per_op") or 0
+        fault_configs.append({
+            "loss_pct": counters.get("loss_pct", loss / 10.0),
+            "baseline_ms_per_query": base_ns / 1e6,
+            "faulted_ms_per_query": ns / 1e6,
+            "latency_overhead": ns / base_ns if base_ns else None,
+            "retransmits_per_query": counters.get("retransmits_per_query"),
+            "success_rate": counters.get("success_rate"),
+        })
+
 summary = {
     "generated_by": "tools/run_bench.sh",
     "cpu_count": cpu_count,
     "benches": sorted({r.get("bench", "?") for r in results}),
     "verify_throughput": configs,
     "query_throughput": query_configs,
+    "fault_resilience": fault_configs,
     "results": results,
 }
 with open(out_path, "w", encoding="utf-8") as fh:
@@ -140,6 +173,11 @@ for c in query_configs:
           "{serial_queries_per_sec:.2f}/s concurrent "
           "{concurrent_queries_per_sec:.2f}/s speedup {speedup:.2f}x"
           .format(**c))
+for c in fault_configs:
+    print("  fault_resilience {loss_pct:.0f}% loss: "
+          "{baseline_ms_per_query:.2f}ms -> {faulted_ms_per_query:.2f}ms "
+          "({latency_overhead:.2f}x), {retransmits_per_query:.1f} "
+          "retransmits/query, success {success_rate:.2f}".format(**c))
 
 if check:
     if not configs:
@@ -168,5 +206,16 @@ if check:
             print(f"run_bench.sh: concurrent queries slower than serial for "
                   f"{c['config']} (speedup {c['speedup']:.2f})",
                   file=sys.stderr)
+        sys.exit(1)
+    # Recovery must actually recover: with retransmission backoff in play a
+    # query only fails when every retry of some hop is dropped, so even at
+    # 30% loss the vast majority of queries must still complete.
+    fragile = [c for c in fault_configs
+               if c["success_rate"] is None or c["success_rate"] < 0.9]
+    if fragile:
+        for c in fragile:
+            print(f"run_bench.sh: faulted queries failing at "
+                  f"{c['loss_pct']:.0f}% loss "
+                  f"(success rate {c['success_rate']})", file=sys.stderr)
         sys.exit(1)
 PY
