@@ -49,6 +49,9 @@ MacroFixture& fixture_for(long depth) {
     auto fx = std::make_unique<MacroFixture>();
     ScenarioConfig cfg;
     cfg.edb = macro_edb();
+    // Latency cases measure real verification work; the repeat-query
+    // sweep below owns the cache measurement.
+    cfg.verify_cache = false;
     fx->scenario = std::make_unique<Scenario>(
         supplychain::SupplyChainGraph::layered(
             static_cast<std::size_t>(depth), 3, 2),
@@ -69,6 +72,7 @@ void BM_DistributionPhase(benchmark::State& state) {
   int task = 0;
   ScenarioConfig cfg;
   cfg.edb = macro_edb();
+  cfg.verify_cache = false;
   Scenario scenario(supplychain::SupplyChainGraph::layered(
                         static_cast<std::size_t>(depth), 3, 2),
                     cfg);
@@ -146,6 +150,9 @@ ThroughputFixture& throughput_fixture(unsigned workers, std::size_t in_flight) {
     auto fx = std::make_unique<ThroughputFixture>();
     ScenarioConfig cfg;
     cfg.edb = macro_edb();
+    // The serial/concurrent speedup must compare verification work, not
+    // cache hits.
+    cfg.verify_cache = false;
     cfg.worker_threads = workers;
     cfg.max_concurrent_queries = in_flight;
     fx->scenario = std::make_unique<Scenario>(
@@ -209,6 +216,82 @@ std::vector<std::pair<long, long>> concurrency_sweep() {
 }
 
 // ---------------------------------------------------------------------------
+// Repeated-audit sweep (verification cache acceptance, ISSUE 10).
+//
+// Recall campaigns re-query the same products over and over. The Cold
+// case runs with the verification cache disabled — every audit re-walks
+// the full proof chain; the Warm case enables the epoch-versioned cache
+// and takes one untimed warm-up pass so the timed region measures steady
+// state. tools/run_bench.sh pairs the two queries_per_sec counters into
+// the "repeat_query" summary and --check gates the Warm hit_rate.
+// ---------------------------------------------------------------------------
+
+struct RepeatFixture {
+  std::unique_ptr<Scenario> scenario;
+  std::vector<supplychain::ProductId> products;
+};
+
+RepeatFixture& repeat_fixture(bool cached) {
+  static std::map<bool, std::unique_ptr<RepeatFixture>> cache;
+  auto it = cache.find(cached);
+  if (it == cache.end()) {
+    auto fx = std::make_unique<RepeatFixture>();
+    ScenarioConfig cfg;
+    cfg.edb = macro_edb();
+    cfg.verify_cache = cached;
+    fx->scenario = std::make_unique<Scenario>(
+        supplychain::SupplyChainGraph::layered(3, 3, 2), cfg);
+    supplychain::DistributionConfig dist;
+    dist.initial = "L0-0";
+    dist.products = supplychain::make_products(1, 0, 4);
+    fx->scenario->run_task("repeat-task", dist);
+    fx->products = dist.products;
+    it = cache.emplace(cached, std::move(fx)).first;
+  }
+  return *it->second;
+}
+
+void BM_RepeatQuery(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  RepeatFixture& fx = repeat_fixture(cached);
+  const auto audit_pass = [&]() -> bool {
+    for (const auto& product : fx.products) {
+      const QueryOutcome outcome = fx.scenario->proxy().run_query(
+          product, ProductQuality::kGood, std::string("repeat-task"));
+      if (!outcome.complete) return false;
+    }
+    return true;
+  };
+  if (cached && !audit_pass()) {  // warm-up pass, outside the timed region
+    state.SkipWithError("warm-up query did not complete");
+    return;
+  }
+  const std::uint64_t hits_before = obs::metric("zkedb.cache.hit").value();
+  const std::uint64_t misses_before = obs::metric("zkedb.cache.miss").value();
+  std::uint64_t queries = 0;
+  const auto started = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    if (!audit_pass()) {
+      state.SkipWithError("query did not complete");
+      return;
+    }
+    queries += fx.products.size();
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  const double hits = static_cast<double>(
+      obs::metric("zkedb.cache.hit").value() - hits_before);
+  const double misses = static_cast<double>(
+      obs::metric("zkedb.cache.miss").value() - misses_before);
+  state.counters["queries_per_sec"] =
+      seconds > 0 ? static_cast<double>(queries) / seconds : 0.0;
+  state.counters["hit_rate"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  state.counters["cached"] = cached ? 1.0 : 0.0;
+}
+
+// ---------------------------------------------------------------------------
 // Query latency under injected loss (fault tolerance acceptance).
 //
 // Same deployment as the latency cases, but queried through a FaultInjector
@@ -233,6 +316,7 @@ FaultFixture& fault_fixture(long loss_permille) {
     auto fx = std::make_unique<FaultFixture>();
     ScenarioConfig cfg;
     cfg.edb = macro_edb();
+    cfg.verify_cache = false;
     cfg.fault_plan = net::FaultPlan{};  // fault mode on, no faults yet
     cfg.fault_plan->seed = 11;
     Scenario& scenario = *(fx->scenario = std::make_unique<Scenario>(
@@ -315,6 +399,14 @@ void register_all() {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(3);
   }
+  benchmark::RegisterBenchmark("Macro/RepeatQueryCold", BM_RepeatQuery)
+      ->Arg(0)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(3);
+  benchmark::RegisterBenchmark("Macro/RepeatQueryWarm", BM_RepeatQuery)
+      ->Arg(1)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(3);
   for (const long loss : loss_sweep()) {
     benchmark::RegisterBenchmark("Macro/FaultedQuery", BM_FaultedQuery)
         ->Arg(loss)

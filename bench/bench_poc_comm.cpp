@@ -156,12 +156,16 @@ E2eResult e2e_socket() {
   const auto crs_cache = std::make_shared<CrsCache>();
   ProxyConfig proxy_config;
   proxy_config.edb = e2e_edb();
-  Proxy proxy("proxy", *new_transport("proxy"), crs_cache,
+  ProxyDeps deps;
+  deps.crs_cache = crs_cache;
+  Proxy proxy("proxy", *new_transport("proxy"), std::move(deps),
               std::move(proxy_config));
   std::map<ParticipantId, std::unique_ptr<Participant>> participants;
   for (const ParticipantId& id : graph.participants()) {
-    participants.emplace(id, std::make_unique<Participant>(
-                                 id, *new_transport(id), "proxy", crs_cache));
+    participants.emplace(
+        id, std::make_unique<Participant>(
+                id, *new_transport(id), "proxy",
+                ParticipantDeps{.crs_cache = crs_cache}));
   }
 
   // Distribution phase across the sockets (wiring as in Scenario).

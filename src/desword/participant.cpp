@@ -47,6 +47,16 @@ obs::Counter& non_ownership_proofs() {
   return c;
 }
 
+obs::Counter& proof_memo_hits() {
+  static obs::Counter& c = obs::metric("protocol.proof.memo_hits");
+  return c;
+}
+
+/// Proof-memo entry bound: generous for a real deployment (a participant
+/// proves per (commitment, product) it ever served) while still bounding
+/// memory against a hostile query stream sweeping fabricated product ids.
+constexpr std::size_t kProofMemoCap = 4096;
+
 obs::Counter& distribution_orphaned() {
   static obs::Counter& c = obs::metric("net.distribution.orphaned");
   return c;
@@ -60,26 +70,27 @@ obs::Counter& distribution_gaveup() {
 }  // namespace
 
 Participant::Participant(ParticipantId id, net::Transport& transport,
-                         net::NodeId proxy, CrsCachePtr crs_cache)
+                         net::NodeId proxy, ParticipantDeps deps)
     : Participant(std::move(id), nullptr, &transport, std::move(proxy),
-                  std::move(crs_cache)) {}
+                  std::move(deps)) {}
 
 Participant::Participant(ParticipantId id, net::Network& network,
                          net::NodeId proxy, CrsCachePtr crs_cache)
     : Participant(std::move(id), std::make_unique<net::SimTransport>(network),
-                  nullptr, std::move(proxy), std::move(crs_cache)) {}
+                  nullptr, std::move(proxy),
+                  ParticipantDeps{std::move(crs_cache)}) {}
 
 Participant::Participant(ParticipantId id,
                          std::unique_ptr<net::SimTransport> owned,
                          net::Transport* transport, net::NodeId proxy,
-                         CrsCachePtr crs_cache)
+                         ParticipantDeps deps)
     : id_(std::move(id)),
       owned_transport_(std::move(owned)),
       transport_(owned_transport_ ? static_cast<net::Transport&>(
                                         *owned_transport_)
                                   : *transport),
       proxy_(std::move(proxy)),
-      crs_cache_(std::move(crs_cache)) {
+      crs_cache_(std::move(deps.crs_cache)) {
   transport_.register_node(id_,
                            [this](const net::Envelope& env) { handle(env); });
 }
@@ -420,8 +431,9 @@ void Participant::aggregate_poc(TaskState& task) {
   auto [poc, dpoc] = task.scheme->aggregate(id_, traces);
   task.own_poc = poc;
   task.dpoc = std::shared_ptr<poc::PocDecommitment>(std::move(dpoc));
-  contexts_[poc.commitment] = ProofContext{
-      task.crs, task.dpoc, std::make_shared<poc::PocScheme>(task.crs)};
+  contexts_[poc.commitment] =
+      ProofContext{task.crs, task.dpoc,
+                   std::make_shared<poc::PocScheme>(task.crs), poc.commitment};
 }
 
 void Participant::on_poc_to_parent(const net::Envelope& env,
@@ -539,11 +551,41 @@ const Participant::ProofContext* Participant::context_for(
   }
 }
 
+poc::PocProof Participant::prove_poc(const ProofContext& ctx,
+                                     const supplychain::ProductId& product) {
+  if (!proof_memo_enabled_) {
+    stats_.proofs_generated += 1;
+    return ctx.scheme->prove(*ctx.dpoc, product);
+  }
+  const Bytes key = TaggedHasher("desword/proof-memo")
+                        .add(ctx.commitment)
+                        .add(product)
+                        .digest();
+  {
+    MutexLock lock(proof_memo_mu_);
+    const auto it = proof_memo_.find(key);
+    if (it != proof_memo_.end()) {
+      proof_memo_hits().add();
+      return poc::PocProof::deserialize(it->second);
+    }
+  }
+  // Miss: generate outside the lock (proving is the heavyweight part and
+  // must not serialize unrelated memo lookups), then publish. A racing
+  // duplicate generation stores identical bytes, so last-write-wins is
+  // harmless.
+  stats_.proofs_generated += 1;
+  poc::PocProof proof = ctx.scheme->prove(*ctx.dpoc, product);
+  Bytes serialized = proof.serialize();
+  MutexLock lock(proof_memo_mu_);
+  if (proof_memo_.size() >= kProofMemoCap) proof_memo_.clear();
+  proof_memo_[key] = std::move(serialized);
+  return proof;
+}
+
 Bytes Participant::make_ownership_proof(const ProofContext& ctx,
                                         const supplychain::ProductId& product) {
-  stats_.proofs_generated += 1;
   ownership_proofs().add();
-  poc::PocProof proof = ctx.scheme->prove(*ctx.dpoc, product);
+  poc::PocProof proof = prove_poc(ctx, product);
   if (query_behavior_.wrong_trace.count(product) > 0) {
     // "Return wrong RFID-trace": tamper with the revealed value. The
     // ZK-EDB value binding makes this detectable (Claim 2).
@@ -707,9 +749,8 @@ Bytes Participant::build_query_response(const QueryRequest& m,
       // "Claim processing": the best a cheater can do is send something
       // shaped like a proof — here its (valid) non-ownership proof dressed
       // up as an ownership proof. Verification must reject it.
-      stats_.proofs_generated += 1;
       ownership_proofs().add();
-      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+      poc::PocProof forged = prove_poc(*ctx, m.product);
       forged.ownership = true;
       resp.claims_processing = true;
       resp.proof = forged.serialize();
@@ -719,18 +760,16 @@ Bytes Participant::build_query_response(const QueryRequest& m,
   } else {  // bad product
     if (!committed) {
       // Honest denial with a non-ownership proof.
-      stats_.proofs_generated += 1;
       non_ownership_proofs().add();
       resp.claims_processing = false;
       resp.proof = maybe_corrupt_proof(
-          m.product, ctx->scheme->prove(*ctx->dpoc, m.product).serialize());
+          m.product, prove_poc(*ctx, m.product).serialize());
     } else if (query_behavior_.claim_non_processing.count(m.product) > 0) {
       // "Claim non-processing": forge a denial. A valid non-ownership
       // proof cannot exist (Claim 1), so the cheater sends its ownership
       // proof relabelled — or garbage; either way verification rejects.
-      stats_.proofs_generated += 1;
       non_ownership_proofs().add();
-      poc::PocProof forged = ctx->scheme->prove(*ctx->dpoc, m.product);
+      poc::PocProof forged = prove_poc(*ctx, m.product);
       forged.ownership = false;
       forged.zk_proof = random_bytes(64);
       resp.claims_processing = false;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/mutex.h"
 #include "desword/behavior.h"
 #include "desword/crs_cache.h"
 #include "desword/messages.h"
@@ -55,12 +56,20 @@ struct TaskSetup {
   std::map<supplychain::ProductId, ParticipantId> shipments;
 };
 
+/// Collaborator handles of a Participant — the same dependency-struct
+/// shape as ProxyDeps, so both node types grow dependencies without
+/// sprouting constructor overloads.
+struct ParticipantDeps {
+  CrsCachePtr crs_cache;
+};
+
 class Participant {
  public:
+  /// The one real constructor: every dependency travels in `deps`.
   Participant(ParticipantId id, net::Transport& transport, net::NodeId proxy,
-              CrsCachePtr crs_cache);
-  /// Compatibility: runs over an internally-owned SimTransport wrapping
-  /// `network`.
+              ParticipantDeps deps);
+  /// Deprecated convenience shim (kept one release): runs over an
+  /// internally-owned SimTransport wrapping `network`.
   Participant(ParticipantId id, net::Network& network, net::NodeId proxy,
               CrsCachePtr crs_cache);
   ~Participant();
@@ -132,6 +141,20 @@ class Participant {
   std::size_t reply_cache_capacity() const { return reply_cache_capacity_; }
   std::size_t reply_cache_size() const { return reply_cache_.size(); }
 
+  /// Toggles the proof memo (on by default): repeated proofs of the same
+  /// (commitment, product) statement are served from memory instead of
+  /// re-running ZK-EDB proof generation. Sound because proofs are
+  /// re-derivations of committed state — the memoized bytes are exactly
+  /// what a recompute would produce (and for randomized non-ownership
+  /// teases, a replayed valid proof of the same statement). Must be set
+  /// before query traffic arrives, like `set_executor`.
+  void set_proof_memo(bool enabled) { proof_memo_enabled_ = enabled; }
+  bool proof_memo_enabled() const { return proof_memo_enabled_; }
+  std::size_t proof_memo_size() const {
+    MutexLock lock(proof_memo_mu_);
+    return proof_memo_.size();
+  }
+
   /// Receives envelopes whose type the participant does not understand
   /// (admin extensions layered on top of the core protocol).
   void set_fallback_handler(net::Handler handler) {
@@ -141,7 +164,7 @@ class Participant {
  private:
   Participant(ParticipantId id, std::unique_ptr<net::SimTransport> owned,
               net::Transport* transport, net::NodeId proxy,
-              CrsCachePtr crs_cache);
+              ParticipantDeps deps);
 
   struct TaskState {
     TaskSetup setup;
@@ -175,6 +198,11 @@ class Participant {
     zkedb::EdbCrsPtr crs;
     std::shared_ptr<poc::PocDecommitment> dpoc;
     std::shared_ptr<poc::PocScheme> scheme;
+    /// Serialized commitment the context proves against — the proof-memo
+    /// key component that scopes memoized proofs to one aggregation (a
+    /// re-aggregated database commits to different bytes, so its proofs
+    /// never alias the old ones).
+    Bytes commitment;
   };
 
   void handle(const net::Envelope& env);
@@ -215,6 +243,16 @@ class Participant {
   /// Ownership proof honouring wrong_trace behaviour.
   Bytes make_ownership_proof(const ProofContext& ctx,
                              const supplychain::ProductId& product);
+  /// The one gateway to `PocScheme::prove`: consults the proof memo first
+  /// (POC proofs are deterministic — openings reveal stored randomness —
+  /// so a repeat of the same (commitment, product) statement re-serves the
+  /// identical bytes instead of re-running the heavyweight ZK-EDB work).
+  /// Behaviour deviations (tampering, relabelling, corruption) apply on
+  /// the returned copy at the call sites, never to the memoized honest
+  /// proof. Safe from strand workers; `stats_.proofs_generated` counts
+  /// only actual generations (memo misses).
+  poc::PocProof prove_poc(const ProofContext& ctx,
+                          const supplychain::ProductId& product);
   /// Applies the corrupt_proof deviation (bit-flips the serialized proof)
   /// when configured for `product`; identity otherwise.
   Bytes maybe_corrupt_proof(const supplychain::ProductId& product,
@@ -272,6 +310,15 @@ class Participant {
   /// request round.
   std::size_t reply_cache_capacity_ = 128;
   int max_distribution_retries_ = 32;
+  /// Proof memo: digest(commitment ‖ product) -> serialized honest
+  /// PocProof. Shared between strand workers and the loop thread (size
+  /// queries), hence the lock; proving dominates it by orders of
+  /// magnitude. Bounded by wholesale clearing at the cap — a participant
+  /// serves a handful of commitments × products, so the cap only guards
+  /// against pathological query streams.
+  bool proof_memo_enabled_ = true;
+  mutable Mutex proof_memo_mu_;
+  std::map<Bytes, Bytes> proof_memo_ DESWORD_GUARDED_BY(proof_memo_mu_);
   Stats stats_;
   net::Handler fallback_;
 

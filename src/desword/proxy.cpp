@@ -1,9 +1,11 @@
 #include "desword/proxy.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.h"
 #include "common/json.h"
+#include "crypto/hash.h"
 #include "obs/metrics.h"
 
 namespace desword::protocol {
@@ -50,42 +52,43 @@ obs::Counter& deadlines_exceeded() {
   return c;
 }
 
+obs::Counter& hops_joined() {
+  static obs::Counter& c = obs::metric("zkedb.cache.joined");
+  return c;
+}
+
 }  // namespace
 
-Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
+Proxy::Proxy(net::NodeId id, net::Transport& transport, ProxyDeps deps,
              ProxyConfig config)
-    : Proxy(std::move(id), nullptr, &transport, std::move(crs_cache), nullptr,
+    : Proxy(std::move(id), nullptr, &transport, std::move(deps),
             std::move(config)) {}
 
-Proxy::Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
-             zkedb::EdbCrsPtr crs, ProxyConfig config)
-    : Proxy(std::move(id), nullptr, &transport, std::move(crs_cache),
-            std::move(crs), std::move(config)) {}
-
 Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
              ProxyConfig config)
     : Proxy(std::move(id), std::make_unique<net::SimTransport>(network),
-            nullptr, std::move(crs_cache), nullptr, std::move(config)) {}
+            nullptr, ProxyDeps{std::move(crs_cache), nullptr, nullptr},
+            std::move(config)) {}
 
 Proxy::Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
              zkedb::EdbCrsPtr crs, ProxyConfig config)
     : Proxy(std::move(id), std::make_unique<net::SimTransport>(network),
-            nullptr, std::move(crs_cache), std::move(crs), std::move(config)) {}
+            nullptr, ProxyDeps{std::move(crs_cache), std::move(crs), nullptr},
+            std::move(config)) {}
 
 Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
-             net::Transport* transport, CrsCachePtr crs_cache,
-             zkedb::EdbCrsPtr crs, ProxyConfig config)
+             net::Transport* transport, ProxyDeps deps, ProxyConfig config)
     : id_(std::move(id)),
       owned_transport_(std::move(owned)),
       transport_(owned_transport_ ? static_cast<net::Transport&>(
                                         *owned_transport_)
                                   : *transport),
-      crs_cache_(std::move(crs_cache)),
+      crs_cache_(std::move(deps.crs_cache)),
       config_(std::move(config)),
       // config_ is initialized before crs_ (declaration order), so a fresh
       // CRS can be derived from it when the caller did not supply one.
-      crs_(crs != nullptr ? std::move(crs)
-                          : zkedb::generate_crs(config_.edb)),
+      crs_(deps.crs != nullptr ? std::move(deps.crs)
+                               : zkedb::generate_crs(config_.edb)),
       backoff_rng_(config_.backoff_seed) {
   ps_bytes_ = crs_->params().serialize();
   // Adopt the cache's canonical instance: if another in-process node
@@ -93,12 +96,21 @@ Proxy::Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
   // precomputed power tables) instead of keeping a duplicate alive.
   crs_ = crs_cache_->put(crs_);
   ledger_.set_history_cap(config_.reputation_history_cap);
+  verify_policy_ = config_.effective_verify();
+  if (deps.verify_cache != nullptr) {
+    verify_cache_ = std::move(deps.verify_cache);
+  } else if (verify_policy_.cache_proofs || verify_policy_.cache_hops) {
+    verify_cache_ = std::make_shared<zkedb::VerifyCache>(
+        zkedb::VerifyCache::Config{verify_policy_.cache_capacity,
+                                   verify_policy_.cache_shards});
+  }
   zkedb::EdbVerifyOptions verify_opts;
-  verify_opts.batched = config_.batch_verify;
+  verify_opts.batched = verify_policy_.batch_verify;
+  if (verify_policy_.cache_proofs) verify_opts.cache = verify_cache_;
   scheme_ = std::make_unique<poc::PocScheme>(crs_, verify_opts);
-  if (config_.worker_threads > 0) {
+  if (verify_policy_.worker_threads > 0) {
     obs::install_executor_metrics();
-    executor_ = std::make_shared<Executor>(config_.worker_threads);
+    executor_ = std::make_shared<Executor>(verify_policy_.worker_threads);
   }
   scheduler_ = std::make_unique<QueryScheduler>(
       config_.max_concurrent_queries,
@@ -122,7 +134,12 @@ Proxy::~Proxy() {
 
 const poc::PocList* Proxy::task_list(const std::string& task_id) const {
   const auto it = lists_.find(task_id);
-  return it == lists_.end() ? nullptr : &it->second;
+  return it == lists_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t Proxy::task_epoch(const std::string& task_id) const {
+  const auto it = task_generation_.find(task_id);
+  return it == task_generation_.end() ? 0 : it->second;
 }
 
 std::vector<Proxy::QueueEntry> Proxy::poc_queue(
@@ -190,15 +207,37 @@ void Proxy::on_ps_request(const net::Envelope& env, const PsRequest& m) {
 void Proxy::on_poc_list_submit(const net::Envelope& env,
                                const PocListSubmit& m) {
   (void)env;
-  if (lists_.find(m.task_id) != lists_.end()) return;  // duplicate
+  const Bytes digest = sha256(m.poc_list);
+  const auto prev_digest = list_digests_.find(m.task_id);
+  if (prev_digest != list_digests_.end() && prev_digest->second == digest) {
+    return;  // retransmitted identical submission: idempotent no-op
+  }
   poc::PocList list = poc::PocList::deserialize(m.poc_list);
   if (list.ps() != ps_bytes_) {
     // POCs under an unknown CRS are unverifiable; reject the task.
     return;
   }
-  const auto [it, inserted] = lists_.emplace(m.task_id, std::move(list));
-  for (const std::string& initial : it->second.initial_participants()) {
-    const poc::Poc* poc = it->second.find(initial);
+  if (prev_digest != list_digests_.end()) {
+    // Replacement: a NEW distribution epoch for this task. Retire the old
+    // list (in-flight sessions keep their shared_ptr and finish under the
+    // epoch they started in), flush its queue entries, and bump the
+    // generation so every hop-memo entry tagged with the old epoch is
+    // structurally unreachable (zkedb.cache.stale on next touch).
+    lists_.erase(m.task_id);
+    for (auto it = queues_.begin(); it != queues_.end();) {
+      auto& queue = it->second;
+      std::erase_if(queue, [&](const QueueEntry& e) {
+        return e.task_id == m.task_id;
+      });
+      it = queue.empty() ? queues_.erase(it) : std::next(it);
+    }
+    ++task_generation_[m.task_id];
+  }
+  const auto [it, inserted] = lists_.emplace(
+      m.task_id, std::make_shared<const poc::PocList>(std::move(list)));
+  list_digests_[m.task_id] = digest;
+  for (const std::string& initial : it->second->initial_participants()) {
+    const poc::Poc* poc = it->second->find(initial);
     queues_[initial].push_back(QueueEntry{m.task_id, *poc});
   }
 }
@@ -402,7 +441,7 @@ void Proxy::start_walk(Session& s, const Candidate& candidate,
     finish(s, false);
     return;
   }
-  s.list = &it->second;
+  s.list = it->second;
   s.outcome.task_id = candidate.task_id;
   s.current = candidate.participant;
   s.current_poc = candidate.poc;
@@ -562,30 +601,141 @@ void Proxy::resume_verify(std::uint64_t query_id, std::optional<R> result,
   }
 }
 
-void Proxy::verify_ownership_then(
-    Session& s, poc::Poc poc, Bytes proof_bytes,
-    std::function<void(Session&, const OwnershipCheck&)> done) {
+void Proxy::verify_hop_then(Session& s, const std::string& task_id,
+                            poc::Poc poc, Bytes proof_bytes, bool ownership,
+                            HopDone done) {
   const supplychain::ProductId product = s.outcome.product;
-  verify_then<OwnershipCheck>(
-      s,
-      [this, poc = std::move(poc), product,
-       proof_bytes = std::move(proof_bytes)] {
-        return check_ownership(poc, product, proof_bytes);
-      },
-      std::move(done));
+  const char* kind = ownership ? "ownership" : "non_ownership";
+  // Worker-safe: by-value captures plus the shared read-only scheme.
+  // Ownership and non-ownership checks share the VerifyOutcome shape so
+  // one memo serves both flavours.
+  std::function<zkedb::VerifyOutcome()> work =
+      [this, poc, product, proof_bytes, ownership] {
+        if (ownership) {
+          OwnershipCheck c = check_ownership(poc, product, proof_bytes);
+          return zkedb::VerifyOutcome{c.valid, std::move(c.trace_da)};
+        }
+        return zkedb::VerifyOutcome{
+            check_non_ownership(poc, product, proof_bytes), std::nullopt};
+      };
+
+  if (!verify_cache_ || !verify_policy_.cache_hops) {
+    verify_then<zkedb::VerifyOutcome>(s, std::move(work), std::move(done));
+    return;
+  }
+
+  // The memo key binds the FULL proof bytes (a tampered proof can never
+  // alias a cached acceptance); the epoch tag is the task's POC-list
+  // generation, so entries from before a list replacement are dead.
+  const std::uint64_t epoch = task_epoch(task_id);
+  Bytes key = zkedb::VerifyCache::hop_key(task_id, poc.participant, product,
+                                          poc.commitment, proof_bytes, kind);
+  if (const auto hit = verify_cache_->lookup(key, epoch)) {
+    // Same calling context as the inline verify_then path: the enclosing
+    // handle()/resume discipline covers exceptions out of `done`.
+    done(s, *hit);
+    return;
+  }
+
+  if (!executor_) {
+    verify_then<zkedb::VerifyOutcome>(
+        s, std::move(work),
+        [this, key = std::move(key), epoch, done = std::move(done)](
+            Session& s, const zkedb::VerifyOutcome& o) {
+          verify_cache_->store(key, o, epoch);
+          done(s, o);
+        });
+    return;
+  }
+
+  // Executor mode: single-flight. The first arrival for this key runs the
+  // check on its strand; identical concurrent hops (other sessions racing
+  // the same proof bytes) just enqueue a waiter — one multi-exp, N
+  // verdict deliveries, mirroring the participant's reply-cache join.
+  const auto [it, inserted] = hop_in_flight_.try_emplace(key);
+  it->second.push_back(HopWaiter{s.outcome.query_id, std::move(done)});
+  if (!inserted) {
+    hops_joined().add();
+    s.verifying = true;  // resolved by finish_hop_verify
+    return;
+  }
+  start_hop_verify(s, std::move(key), epoch, std::move(work));
+}
+
+void Proxy::start_hop_verify(Session& s, Bytes key, std::uint64_t epoch,
+                             std::function<zkedb::VerifyOutcome()> work) {
+  s.verifying = true;
+  if (!s.strand) s.strand = std::make_shared<Strand>(executor_);
+  // Same work-accounting bracket as verify_then (see there); the verdict
+  // resolves through finish_hop_verify instead of resume_verify because
+  // resume's single-session early returns would strand joined waiters.
+  transport_.add_work();
+  std::weak_ptr<void> token = alive_;
+  s.strand->post([this, token, key = std::move(key), epoch, strand = s.strand,
+                  work = std::move(work)]() mutable {
+    DESWORD_DCHECK(strand->running_on_this_thread(),
+                   "hop verify task escaped its session strand");
+    std::optional<zkedb::VerifyOutcome> result;
+    std::exception_ptr error;
+    try {
+      result = work();
+    } catch (...) {
+      // check_* swallow adversarial Errors themselves; anything escaping
+      // is an internal invariant failure, rethrown on the loop thread.
+      error = std::current_exception();
+    }
+    transport_.post([this, token, key = std::move(key), epoch,
+                     result = std::move(result), error]() mutable {
+      if (token.expired()) return;
+      finish_hop_verify(key, epoch, std::move(result), error);
+    });
+    transport_.remove_work();
+  });
+}
+
+void Proxy::finish_hop_verify(const Bytes& key, std::uint64_t epoch,
+                              std::optional<zkedb::VerifyOutcome> result,
+                              std::exception_ptr error) {
+  DESWORD_DCHECK_ON_LOOP(transport_);
+  auto node = hop_in_flight_.extract(key);
+  if (error) std::rethrow_exception(error);
+  const zkedb::VerifyOutcome& o = *result;
+  verify_cache_->store(key, o, epoch);
+  if (node.empty()) return;
+  for (HopWaiter& w : node.mapped()) {
+    const auto it = sessions_.find(w.query_id);
+    if (it == sessions_.end()) continue;
+    Session& ws = it->second;
+    ws.verifying = false;
+    if (ws.phase == Phase::kDone) continue;
+    try {
+      w.done(ws, o);
+    } catch (const CheckError&) {
+      throw;  // internal bug: fail loudly, exactly like handle()
+    } catch (const Error&) {
+      // Adversarial input aborts this continuation; timers recover.
+    }
+  }
+}
+
+void Proxy::verify_ownership_then(
+    Session& s, const std::string& task_id, poc::Poc poc, Bytes proof_bytes,
+    std::function<void(Session&, const OwnershipCheck&)> done) {
+  verify_hop_then(
+      s, task_id, std::move(poc), std::move(proof_bytes), /*ownership=*/true,
+      [done = std::move(done)](Session& s, const zkedb::VerifyOutcome& o) {
+        done(s, OwnershipCheck{o.ok, o.value});
+      });
 }
 
 void Proxy::verify_non_ownership_then(
-    Session& s, poc::Poc poc, Bytes proof_bytes,
+    Session& s, const std::string& task_id, poc::Poc poc, Bytes proof_bytes,
     std::function<void(Session&, bool)> done) {
-  const supplychain::ProductId product = s.outcome.product;
-  verify_then<bool>(
-      s,
-      [this, poc = std::move(poc), product,
-       proof_bytes = std::move(proof_bytes)] {
-        return check_non_ownership(poc, product, proof_bytes);
-      },
-      std::move(done));
+  verify_hop_then(
+      s, task_id, std::move(poc), std::move(proof_bytes), /*ownership=*/false,
+      [done = std::move(done)](Session& s, const zkedb::VerifyOutcome& o) {
+        done(s, o.ok);
+      });
 }
 
 void Proxy::record_violation(Session& s, const std::string& participant,
@@ -654,7 +804,7 @@ void Proxy::on_query_response(const net::Envelope& env,
         // start_walk absorbs the cached verdict, recording the single
         // verify_ok span for this hop.
         verify_ownership_then(
-            s, cand.poc, *m.proof,
+            s, cand.task_id, cand.poc, *m.proof,
             [this, cand](Session& s, const OwnershipCheck& check) {
               if (check.valid) {
                 start_walk(s, cand, check);
@@ -678,7 +828,8 @@ void Proxy::on_query_response(const net::Envelope& env,
     // Bad product scan: demand a valid non-ownership proof per queue entry.
     if (!m.claims_processing && m.proof.has_value()) {
       verify_non_ownership_then(
-          s, cand.poc, *m.proof, [this, cand](Session& s, bool valid) {
+          s, cand.task_id, cand.poc, *m.proof,
+          [this, cand](Session& s, bool valid) {
             record_verify(s, cand.participant, valid, "non_ownership");
             if (valid) {
               advance_candidate(s);
@@ -706,7 +857,7 @@ void Proxy::on_query_response(const net::Envelope& env,
   if (s.outcome.quality == ProductQuality::kGood) {
     if (m.claims_processing && m.proof.has_value()) {
       verify_ownership_then(
-          s, s.current_poc, *m.proof,
+          s, s.outcome.task_id, s.current_poc, *m.proof,
           [this](Session& s, const OwnershipCheck& check) {
             if (absorb_ownership_result(s, check)) {
               request_next_hop(s);
@@ -737,7 +888,8 @@ void Proxy::on_query_response(const net::Envelope& env,
   // Bad product walk.
   if (!m.claims_processing && m.proof.has_value()) {
     verify_non_ownership_then(
-        s, s.current_poc, *m.proof, [this](Session& s, bool valid) {
+        s, s.outcome.task_id, s.current_poc, *m.proof,
+        [this](Session& s, bool valid) {
           record_verify(s, s.current, valid, "non_ownership");
           if (valid) {
             // Really did not process the product: the referrer lied.
@@ -779,7 +931,7 @@ void Proxy::on_reveal_response(const net::Envelope& env,
     finish(s, false);
     return;
   }
-  verify_ownership_then(s, s.current_poc, *m.proof,
+  verify_ownership_then(s, s.outcome.task_id, s.current_poc, *m.proof,
                         [this](Session& s, const OwnershipCheck& check) {
                           if (!absorb_ownership_result(s, check)) {
                             record_violation(s, s.current,

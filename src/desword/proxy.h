@@ -38,8 +38,35 @@
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "poc/poc_list.h"
+#include "zkedb/verify_cache.h"
 
 namespace desword::protocol {
+
+/// How the proxy verifies proofs: execution strategy, worker fan-out and
+/// the verification cache. Grouped so deployments tune one knob cluster
+/// (ProxyConfig::verify); none of these fields ever changes verdicts.
+struct VerifyPolicy {
+  /// Verify query proofs with the batched multi-exponentiation engine
+  /// (scalar per-opening checks when false).
+  bool batch_verify = true;
+  /// Crypto worker threads. 0 (the default) keeps every verification
+  /// inline in the transport loop — byte-identical to the historical
+  /// single-threaded behavior. With workers, `scheme().verify` runs on a
+  /// per-session strand and its verdict is posted back to the loop thread.
+  unsigned worker_threads = 0;
+  /// Memoize accepted ZK-EDB proof verdicts keyed on
+  /// digest(CRS ‖ commitment ‖ key ‖ full proof bytes). See
+  /// zkedb/verify_cache.h for why this is sound.
+  bool cache_proofs = true;
+  /// Memoize whole per-(task, participant, product, proof bytes) hop
+  /// verdicts across queries, epoch-versioned by POC-list generation, and
+  /// single-flight-join identical in-flight hop verifications.
+  bool cache_hops = true;
+  /// Total entry budget of the verification cache (shared by both layers
+  /// unless an external cache is injected via ProxyDeps).
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+};
 
 struct ProxyConfig {
   zkedb::EdbConfig edb;
@@ -73,30 +100,49 @@ struct ProxyConfig {
   /// Bound on the reputation ledger's retained event history (ring buffer;
   /// 0 = unbounded). Scores are never affected, only the audit trail depth.
   std::size_t reputation_history_cap = ReputationLedger::kDefaultHistoryCap;
-  /// Verify query proofs with the batched multi-exponentiation engine
-  /// (scalar per-opening checks when false). Verdicts — and thus
-  /// reputation penalties — are identical either way.
+  /// Verification policy: strategy, worker fan-out, cache knobs. Verdicts
+  /// — and thus reputation penalties — are identical under every setting.
+  VerifyPolicy verify;
+  /// Deprecated alias of `verify.batch_verify` (one release): effective
+  /// batching requires BOTH to stay true, so old call sites that clear
+  /// this still get scalar verification.
   bool batch_verify = true;
-  /// Crypto worker threads. 0 (the default) keeps every verification
-  /// inline in the transport loop — byte-identical to the historical
-  /// single-threaded behavior. With workers, `scheme().verify` runs on a
-  /// per-session strand and its verdict is posted back to the loop thread.
+  /// Deprecated alias of `verify.worker_threads` (one release): a nonzero
+  /// value here wins over the nested field.
   unsigned worker_threads = 0;
   /// Query sessions allowed to drive the transport at once; further
   /// `begin_query` calls queue in the scheduler until a slot frees
   /// (0 is treated as 1).
   std::size_t max_concurrent_queries = 8;
+
+  /// Folds the deprecated flat aliases into the nested policy.
+  VerifyPolicy effective_verify() const {
+    VerifyPolicy v = verify;
+    v.batch_verify = verify.batch_verify && batch_verify;
+    v.worker_threads =
+        worker_threads != 0 ? worker_threads : verify.worker_threads;
+    return v;
+  }
+};
+
+/// Collaborator handles of a Proxy, gathered so the constructor surface
+/// stays one signature as dependencies accrue. Only `crs_cache` is
+/// mandatory; a null `crs` derives a fresh CRS from ProxyConfig::edb, a
+/// null `verify_cache` lets the proxy own one sized by its VerifyPolicy.
+struct ProxyDeps {
+  CrsCachePtr crs_cache;
+  zkedb::EdbCrsPtr crs;
+  zkedb::VerifyCachePtr verify_cache;
 };
 
 class Proxy {
  public:
-  Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
+  /// The one real constructor: every dependency travels in `deps`.
+  Proxy(net::NodeId id, net::Transport& transport, ProxyDeps deps,
         ProxyConfig config);
-  /// Variant reusing an existing CRS (benchmarks share one across setups).
-  Proxy(net::NodeId id, net::Transport& transport, CrsCachePtr crs_cache,
-        zkedb::EdbCrsPtr crs, ProxyConfig config);
-  /// Compatibility: runs over an internally-owned SimTransport wrapping
-  /// `network`.
+  /// Deprecated convenience shims (kept one release): run over an
+  /// internally-owned SimTransport wrapping `network`. New code should
+  /// construct a SimTransport and use the primary constructor.
   Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
         ProxyConfig config);
   Proxy(net::NodeId id, net::Network& network, CrsCachePtr crs_cache,
@@ -160,6 +206,9 @@ class Proxy {
   /// this to participants so one worker pool serves the whole deployment.
   const std::shared_ptr<Executor>& executor() const { return executor_; }
 
+  /// The verification cache in use (null when caching is disabled).
+  const zkedb::VerifyCachePtr& verify_cache() const { return verify_cache_; }
+
   /// Outcome of a finished query (nullptr while in flight / unknown).
   const QueryOutcome* outcome(std::uint64_t query_id) const;
 
@@ -219,8 +268,7 @@ class Proxy {
   /// All public ctors delegate here. Exactly one of `owned` / `transport`
   /// is set; when `owned` is non-null the proxy keeps it alive and uses it.
   Proxy(net::NodeId id, std::unique_ptr<net::SimTransport> owned,
-        net::Transport* transport, CrsCachePtr crs_cache, zkedb::EdbCrsPtr crs,
-        ProxyConfig config);
+        net::Transport* transport, ProxyDeps deps, ProxyConfig config);
 
   enum class Phase : std::uint8_t { kInitialScan, kWalk, kReveal, kNextHop,
                                     kDone };
@@ -237,8 +285,10 @@ class Proxy {
     // Initial-task identification.
     std::vector<Candidate> candidates;
     std::size_t candidate_idx = 0;
-    // Walk state.
-    const poc::PocList* list = nullptr;
+    // Walk state. The list is held by shared_ptr so an in-flight session
+    // keeps walking the epoch it started under even if a fresh POC-list
+    // submission replaces the task's list mid-query.
+    std::shared_ptr<const poc::PocList> list;
     std::string current;
     poc::Poc current_poc;
     std::string previous;  // referrer of `current` (for misdirection blame)
@@ -324,11 +374,37 @@ class Proxy {
   void resume_verify(std::uint64_t query_id, std::optional<R> result,
                      std::exception_ptr error,
                      const std::function<void(Session&, const R&)>& done);
+
+  /// Continuation of a hop verdict. The verdict is a zkedb::VerifyOutcome
+  /// so ownership (value = recovered trace da) and non-ownership checks
+  /// share one memoizable shape.
+  using HopDone = std::function<void(Session&, const zkedb::VerifyOutcome&)>;
+
+  /// Unified hop verification: consults the hop-level memo (epoch =
+  /// current POC-list generation of `task_id`), single-flight-joins an
+  /// identical in-flight verification, or schedules the check via
+  /// verify_then. `done` always runs on the loop thread.
+  void verify_hop_then(Session& s, const std::string& task_id, poc::Poc poc,
+                       Bytes proof_bytes, bool ownership, HopDone done);
+  /// Executor-mode miss path of verify_hop_then: runs `work` on the
+  /// session's strand and resolves ALL waiters registered under `key`
+  /// through finish_hop_verify (resume_verify would strand joined waiters
+  /// on its single-session early returns).
+  void start_hop_verify(Session& s, Bytes key, std::uint64_t epoch,
+                        std::function<zkedb::VerifyOutcome()> work);
+  void finish_hop_verify(const Bytes& key, std::uint64_t epoch,
+                         std::optional<zkedb::VerifyOutcome> result,
+                         std::exception_ptr error);
+
   void verify_ownership_then(
-      Session& s, poc::Poc poc, Bytes proof_bytes,
+      Session& s, const std::string& task_id, poc::Poc poc, Bytes proof_bytes,
       std::function<void(Session&, const OwnershipCheck&)> done);
-  void verify_non_ownership_then(Session& s, poc::Poc poc, Bytes proof_bytes,
+  void verify_non_ownership_then(Session& s, const std::string& task_id,
+                                 poc::Poc poc, Bytes proof_bytes,
                                  std::function<void(Session&, bool)> done);
+  /// POC-list generation of a task (0 before any submission). Bumped on
+  /// every list replacement so stale hop-memo entries die structurally.
+  std::uint64_t task_epoch(const std::string& task_id) const;
 
   /// Records the verify span for `s.current` and, when valid, the
   /// recovered trace; returns `check.valid`.
@@ -358,8 +434,17 @@ class Proxy {
   std::function<void(const QueryOutcome&)> completion_cb_;
   net::Handler fallback_;
 
-  std::map<std::string, poc::PocList> lists_;  // task id -> POC list
+  /// task id -> current POC list (shared with in-flight sessions so a
+  /// replacement never dangles a walking query).
+  std::map<std::string, std::shared_ptr<const poc::PocList>> lists_;
   std::map<std::string, std::vector<QueueEntry>> queues_;  // initial -> queue
+  /// task id -> POC-list generation: bumped whenever a submission replaces
+  /// the task's list (the hop memo's epoch tag). Absent = 0.
+  std::map<std::string, std::uint64_t> task_generation_;
+  /// task id -> sha256 of the accepted serialized list, for idempotent
+  /// resubmission detection (a retransmitted identical submit is a no-op;
+  /// different bytes mean a new epoch).
+  std::map<std::string, Bytes> list_digests_;
 
   std::uint64_t next_query_id_ = 1;
   std::map<std::uint64_t, Session> sessions_;
@@ -370,6 +455,20 @@ class Proxy {
 
   std::shared_ptr<Executor> executor_;  // null = inline verification
   std::unique_ptr<QueryScheduler> scheduler_;
+  /// Effective verification policy (flat aliases already folded in).
+  VerifyPolicy verify_policy_;
+  /// Verdict cache shared by the zkedb proof layer (via
+  /// EdbVerifyOptions::cache) and the proxy hop memo. Null = caching off.
+  zkedb::VerifyCachePtr verify_cache_;
+  /// Single-flight registry for hop verifications (loop-thread only):
+  /// hop key -> sessions awaiting that verdict. The first arrival runs
+  /// the check; identical concurrent hops join and are all resolved by
+  /// finish_hop_verify (zkedb.cache.joined counts the joiners).
+  struct HopWaiter {
+    std::uint64_t query_id = 0;
+    HopDone done;
+  };
+  std::map<Bytes, std::vector<HopWaiter>> hop_in_flight_;
   /// Aliveness token for posted verdict completions: one that outlives the
   /// proxy (weak_ptr expired) becomes a no-op instead of a use-after-free.
   /// The destructor drains the executor first, so strand workers never

@@ -17,8 +17,10 @@ Scenario::Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config)
   proxy_config.edb = config_.edb;
   proxy_config.scores = config_.scores;
   proxy_config.max_retries = config_.max_retries;
-  proxy_config.batch_verify = config_.batch_verify;
-  proxy_config.worker_threads = config_.worker_threads;
+  proxy_config.verify.batch_verify = config_.batch_verify;
+  proxy_config.verify.worker_threads = config_.worker_threads;
+  proxy_config.verify.cache_proofs = config_.verify_cache;
+  proxy_config.verify.cache_hops = config_.verify_cache;
   proxy_config.max_concurrent_queries = config_.max_concurrent_queries;
   proxy_config.query_deadline = config_.query_deadline;
   proxy_config.retransmit_base = config_.retransmit_base;
@@ -31,20 +33,28 @@ Scenario::Scenario(supplychain::SupplyChainGraph graph, ScenarioConfig config)
     // every send crosses the fault injector.
     sim_ = std::make_unique<net::SimTransport>(network_);
     fault_ = std::make_unique<net::FaultInjector>(*sim_, *config_.fault_plan);
-    proxy_ = std::make_unique<Proxy>(kProxyId, *fault_, crs_cache_,
+    ProxyDeps deps;
+    deps.crs_cache = crs_cache_;
+    proxy_ = std::make_unique<Proxy>(kProxyId, *fault_, std::move(deps),
                                      std::move(proxy_config));
   } else {
     proxy_ = std::make_unique<Proxy>(kProxyId, network_, crs_cache_,
                                      std::move(proxy_config));
   }
   for (const ParticipantId& id : graph_.participants()) {
-    auto p = fault_ ? std::make_unique<Participant>(id, *fault_, kProxyId,
-                                                    crs_cache_)
+    auto p = fault_ ? std::make_unique<Participant>(
+                          id, *fault_, kProxyId,
+                          ParticipantDeps{.crs_cache = crs_cache_})
                     : std::make_unique<Participant>(id, network_, kProxyId,
                                                     crs_cache_);
     if (config_.max_distribution_retries > 0) {
       p->set_max_distribution_retries(config_.max_distribution_retries);
     }
+    // The scenario-level cache knob governs every memoization layer: the
+    // proxy's verification cache AND the participants' proof memo, so a
+    // cache-off run truly recomputes everything (the equivalence tests
+    // rely on that).
+    p->set_proof_memo(config_.verify_cache);
     // One worker pool serves the whole deployment: proxy verifies and
     // participant proofs share the executor, each behind its own strand.
     if (proxy_->executor()) p->set_executor(proxy_->executor());

@@ -29,6 +29,13 @@ struct ScenarioConfig {
   /// Forwarded to ProxyConfig::batch_verify (query-proof verification
   /// strategy; verdicts identical either way).
   bool batch_verify = true;
+  /// Forwarded to VerifyPolicy::{cache_proofs, cache_hops} — the proxy's
+  /// epoch-versioned verification cache — and to every participant's
+  /// `set_proof_memo` (repeated proofs of the same committed statement are
+  /// served from memory). Verdicts and reputation are byte-identical
+  /// either way; the caches only skip recomputation of work whose result
+  /// is already determined.
+  bool verify_cache = true;
   /// Crypto worker threads shared by the proxy and every participant
   /// (forwarded to ProxyConfig::worker_threads; the proxy's executor is
   /// handed to each participant via set_executor). 0 = inline crypto,

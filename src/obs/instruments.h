@@ -21,6 +21,11 @@
   X(zkedb_commit_nodes,         "zkedb.commit.nodes")                 \
   X(zkedb_verify_batched,       "zkedb.verify.batched")               \
   X(zkedb_verify_scalar,        "zkedb.verify.scalar")                \
+  X(zkedb_cache_hit,            "zkedb.cache.hit")                    \
+  X(zkedb_cache_miss,           "zkedb.cache.miss")                   \
+  X(zkedb_cache_evict,          "zkedb.cache.evict")                  \
+  X(zkedb_cache_stale,          "zkedb.cache.stale")                  \
+  X(zkedb_cache_joined,         "zkedb.cache.joined")                 \
   X(net_frame_sent,             "net.frame.sent")                     \
   X(net_frame_received,         "net.frame.received")                 \
   X(net_frame_dropped,          "net.frame.dropped")                  \
@@ -45,6 +50,7 @@
   X(protocol_query_completed,   "protocol.query.completed")           \
   X(protocol_proof_ownership,   "protocol.proof.ownership")           \
   X(protocol_proof_non_own,     "protocol.proof.non_ownership")       \
+  X(protocol_proof_memo_hits,   "protocol.proof.memo_hits")           \
   X(protocol_violation_detected,"protocol.violation.detected")        \
   X(protocol_reputation_events, "protocol.reputation.events")         \
   X(protocol_reputation_dropped,"protocol.reputation.dropped")        \

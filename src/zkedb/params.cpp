@@ -55,6 +55,7 @@ EdbCrs::EdbCrs(EdbPublicParams params) : params_(std::move(params)) {
   group_ = group_by_name(params_.group_name);
   tmc_ = std::make_unique<mercurial::TmcScheme>(group_, params_.tmc_pk);
   qtmc_ = std::make_unique<mercurial::QtmcScheme>(params_.qtmc_pk);
+  digest_ = sha256(params_.serialize());
 }
 
 std::vector<std::uint32_t> EdbCrs::digits_of(const EdbKey& key) const {

@@ -84,8 +84,14 @@ class EdbCrs {
   /// 128-bit digest binding a leaf commitment into its parent.
   Bytes digest_leaf(const mercurial::TmcCommitment& com) const;
 
+  /// SHA-256 of the serialized public parameters — the CRS identity that
+  /// verification-cache keys bind (two CRSs share a digest iff they share
+  /// every public parameter). Computed once at construction.
+  const Bytes& digest() const { return digest_; }
+
  private:
   EdbPublicParams params_;
+  Bytes digest_;
   GroupPtr group_;
   std::unique_ptr<mercurial::TmcScheme> tmc_;
   std::unique_ptr<mercurial::QtmcScheme> qtmc_;

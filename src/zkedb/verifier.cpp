@@ -111,24 +111,27 @@ bool add_non_membership_chain(const EdbCrs& crs,
   return proof.leaf_tease.message == mercurial::null_message();
 }
 
-std::optional<Bytes> verify_membership_scalar(
-    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const EdbKey& key, const EdbMembershipProof& proof) {
+VerifyOutcome verify_membership_scalar(const EdbCrs& crs,
+                                       const mercurial::QtmcCommitment& root,
+                                       const EdbKey& key,
+                                       const EdbMembershipProof& proof) {
   try {
     const std::uint32_t h = crs.height();
     if (proof.openings.size() != h || proof.child_commitments.size() != h) {
-      return std::nullopt;
+      return VerifyOutcome::reject();
     }
     const std::vector<std::uint32_t> digits = crs.digits_of(key);
 
     mercurial::QtmcCommitment cur = root;
     for (std::uint32_t d = 0; d < h; ++d) {
       const mercurial::QtmcOpening& op = proof.openings[d];
-      if (op.pos != digits[d]) return std::nullopt;
-      if (!crs.qtmc().verify_open(cur, op)) return std::nullopt;
+      if (op.pos != digits[d]) return VerifyOutcome::reject();
+      if (!crs.qtmc().verify_open(cur, op)) return VerifyOutcome::reject();
       const auto digest =
           child_digest(crs, proof.child_commitments[d], d + 1);
-      if (!digest.has_value() || *digest != op.message) return std::nullopt;
+      if (!digest.has_value() || *digest != op.message) {
+        return VerifyOutcome::reject();
+      }
       if (d + 1 < h) {
         cur = mercurial::QtmcCommitment::deserialize(
             crs.params().qtmc_pk.n, proof.child_commitments[d]);
@@ -138,14 +141,14 @@ std::optional<Bytes> verify_membership_scalar(
         mercurial::TmcCommitment::deserialize(crs.group(),
                                               proof.child_commitments[h - 1]);
     if (!crs.tmc().verify_open(leaf_com, proof.leaf_opening)) {
-      return std::nullopt;
+      return VerifyOutcome::reject();
     }
     if (proof.leaf_opening.message != leaf_value_digest(proof.value)) {
-      return std::nullopt;
+      return VerifyOutcome::reject();
     }
-    return proof.value;
+    return VerifyOutcome::accept_value(proof.value);
   } catch (const Error&) {
-    return std::nullopt;
+    return VerifyOutcome::reject();
   }
 }
 
@@ -182,12 +185,37 @@ bool verify_non_membership_scalar(const EdbCrs& crs,
   }
 }
 
-}  // namespace
+/// Cache key of a membership proof: CRS digest ‖ root commitment ‖ key ‖
+/// full serialized proof bytes, domain-separated by flavour. Throws Error
+/// on unserializable proof content (callers then verify uncached).
+Bytes membership_cache_key(const EdbCrs& crs,
+                           const mercurial::QtmcCommitment& root,
+                           const EdbKey& key,
+                           const EdbMembershipProof& proof) {
+  return VerifyCache::proof_key(crs.digest(),
+                                root.serialize(crs.params().qtmc_pk.n), key,
+                                proof.serialize(crs), "membership");
+}
 
-std::optional<Bytes> edb_verify_membership(
-    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const EdbKey& key, const EdbMembershipProof& proof,
-    const EdbVerifyOptions& opts) {
+Bytes non_membership_cache_key(const EdbCrs& crs,
+                               const mercurial::QtmcCommitment& root,
+                               const EdbKey& key,
+                               const EdbNonMembershipProof& proof) {
+  return VerifyCache::proof_key(crs.digest(),
+                                root.serialize(crs.params().qtmc_pk.n), key,
+                                proof.serialize(crs), "non_membership");
+}
+
+/// Proof-level entries never go stale — a (commitment, proof bytes) pair
+/// is immutable — so the zkedb layer always uses epoch 0. The proxy's
+/// hop-level layer is where POC-list generations version entries.
+constexpr std::uint64_t kProofEpoch = 0;
+
+VerifyOutcome verify_membership_uncached(const EdbCrs& crs,
+                                         const mercurial::QtmcCommitment& root,
+                                         const EdbKey& key,
+                                         const EdbMembershipProof& proof,
+                                         const EdbVerifyOptions& opts) {
   const obs::ScopedTimer timer(verify_wall_ms());
   if (!opts.batched) {
     scalar_verifies().add();
@@ -197,51 +225,136 @@ std::optional<Bytes> edb_verify_membership(
   try {
     mercurial::BatchVerifier bv(crs.qtmc(), &crs.tmc());
     bv.begin_unit();
-    if (!add_membership_chain(crs, root, key, proof, bv)) return std::nullopt;
-    if (!bv.verify().all_ok) return std::nullopt;
-    return proof.value;
+    if (!add_membership_chain(crs, root, key, proof, bv)) {
+      return VerifyOutcome::reject();
+    }
+    if (!bv.verify().all_ok) return VerifyOutcome::reject();
+    return VerifyOutcome::accept_value(proof.value);
   } catch (const Error&) {
-    return std::nullopt;
+    return VerifyOutcome::reject();
   }
 }
 
-bool edb_verify_non_membership(const EdbCrs& crs,
-                               const mercurial::QtmcCommitment& root,
-                               const EdbKey& key,
-                               const EdbNonMembershipProof& proof,
-                               const EdbVerifyOptions& opts) {
+VerifyOutcome verify_non_membership_uncached(
+    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
+    const EdbKey& key, const EdbNonMembershipProof& proof,
+    const EdbVerifyOptions& opts) {
   const obs::ScopedTimer timer(verify_wall_ms());
   if (!opts.batched) {
     scalar_verifies().add();
-    return verify_non_membership_scalar(crs, root, key, proof);
+    return verify_non_membership_scalar(crs, root, key, proof)
+               ? VerifyOutcome::accept()
+               : VerifyOutcome::reject();
   }
   batched_verifies().add();
   try {
     mercurial::BatchVerifier bv(crs.qtmc(), &crs.tmc());
     bv.begin_unit();
-    if (!add_non_membership_chain(crs, root, key, proof, bv)) return false;
-    return bv.verify().all_ok;
+    if (!add_non_membership_chain(crs, root, key, proof, bv)) {
+      return VerifyOutcome::reject();
+    }
+    return bv.verify().all_ok ? VerifyOutcome::accept()
+                              : VerifyOutcome::reject();
   } catch (const Error&) {
-    return false;
+    return VerifyOutcome::reject();
   }
 }
 
-std::vector<std::optional<Bytes>> edb_verify_membership_many(
+}  // namespace
+
+VerifyOutcome edb_verify_membership(const EdbCrs& crs,
+                                    const mercurial::QtmcCommitment& root,
+                                    const EdbKey& key,
+                                    const EdbMembershipProof& proof,
+                                    const EdbVerifyOptions& opts) {
+  Bytes cache_key;
+  if (opts.cache) {
+    try {
+      cache_key = membership_cache_key(crs, root, key, proof);
+      if (const auto hit = opts.cache->lookup(cache_key, kProofEpoch)) {
+        return *hit;
+      }
+    } catch (const Error&) {
+      cache_key.clear();  // unserializable proof: verify uncached
+    }
+  }
+  const VerifyOutcome out =
+      verify_membership_uncached(crs, root, key, proof, opts);
+  if (opts.cache && !cache_key.empty() && out.ok) {
+    opts.cache->store(cache_key, out, kProofEpoch);
+  }
+  return out;
+}
+
+VerifyOutcome edb_verify_non_membership(const EdbCrs& crs,
+                                        const mercurial::QtmcCommitment& root,
+                                        const EdbKey& key,
+                                        const EdbNonMembershipProof& proof,
+                                        const EdbVerifyOptions& opts) {
+  Bytes cache_key;
+  if (opts.cache) {
+    try {
+      cache_key = non_membership_cache_key(crs, root, key, proof);
+      if (const auto hit = opts.cache->lookup(cache_key, kProofEpoch)) {
+        return *hit;
+      }
+    } catch (const Error&) {
+      cache_key.clear();
+    }
+  }
+  const VerifyOutcome out =
+      verify_non_membership_uncached(crs, root, key, proof, opts);
+  if (opts.cache && !cache_key.empty() && out.ok) {
+    opts.cache->store(cache_key, out, kProofEpoch);
+  }
+  return out;
+}
+
+std::vector<VerifyOutcome> edb_verify_membership_many(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const std::vector<EdbMembershipQuery>& queries,
     const EdbVerifyOptions& opts) {
-  std::vector<std::optional<Bytes>> results(queries.size());
+  std::vector<VerifyOutcome> results(queries.size());
   const unsigned t = opts.threads != 0 ? opts.threads
                                        : ThreadPool::default_threads();
   ThreadPool* pool = t > 1 ? &ThreadPool::with_threads(t) : nullptr;
+
+  // Cache pre-pass: hits resolve before any shard is formed, so only
+  // misses pay for key digests twice. keys[i] stays empty when the proof
+  // was null, unserializable, or the cache is off; done[i] marks slots no
+  // verification strategy should touch again.
+  std::vector<Bytes> keys;
+  std::vector<char> done(queries.size(), 0);
+  if (opts.cache) {
+    keys.resize(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].proof == nullptr) continue;  // stays rejected
+      try {
+        keys[i] =
+            membership_cache_key(crs, root, queries[i].key, *queries[i].proof);
+      } catch (const Error&) {
+        continue;
+      }
+      if (const auto hit = opts.cache->lookup(keys[i], kProofEpoch)) {
+        results[i] = *hit;
+        done[i] = 1;
+      }
+    }
+  }
+  const auto store_result = [&](std::size_t i) {
+    if (opts.cache && !keys.empty() && !keys[i].empty() && results[i].ok) {
+      opts.cache->store(keys[i], results[i], kProofEpoch);
+    }
+  };
 
   if (!opts.batched) {
     // Proof verification is pure (crs and root are only read), so queries
     // are embarrassingly parallel.
     parallel_for(pool, queries.size(), [&](std::size_t i) {
-      if (queries[i].proof == nullptr) return;  // results[i] stays nullopt
-      results[i] = edb_verify_membership(crs, root, queries[i].key,
-                                         *queries[i].proof, opts);
+      if (done[i] || queries[i].proof == nullptr) return;
+      results[i] = verify_membership_uncached(crs, root, queries[i].key,
+                                              *queries[i].proof, opts);
+      store_result(i);
     });
     return results;
   }
@@ -267,7 +380,7 @@ std::vector<std::optional<Bytes>> edb_verify_membership_many(
     };
     std::vector<Pending> pending;
     for (std::size_t i = begin; i < end; ++i) {
-      if (queries[i].proof == nullptr) continue;  // stays nullopt
+      if (done[i] || queries[i].proof == nullptr) continue;
       batched_verifies().add();
       const std::size_t unit = bv.begin_unit();
       bool ok = false;
@@ -279,32 +392,26 @@ std::vector<std::optional<Bytes>> edb_verify_membership_many(
       }
       if (!ok) {
         bv.fail_unit();
-        continue;  // rejected before the equations; stays nullopt
+        continue;  // rejected before the equations; stays rejected
       }
       pending.push_back({i, unit});
     }
     // Same exception discipline as the scalar verifiers: a verify() throw
     // (BN_* failure, internal check) rejects the shard's pending units —
-    // their results stay nullopt — instead of escaping the pool worker.
+    // their results stay rejected — instead of escaping the pool worker.
     try {
       const mercurial::BatchVerifier::Result res = bv.verify();
       for (const Pending& p : pending) {
         if (res.unit_ok[p.unit]) {
-          results[p.query] = queries[p.query].proof->value;
+          results[p.query] =
+              VerifyOutcome::accept_value(queries[p.query].proof->value);
+          store_result(p.query);
         }
       }
     } catch (const Error&) {
     }
   });
   return results;
-}
-
-std::vector<std::optional<Bytes>> edb_verify_membership_many(
-    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const std::vector<EdbMembershipQuery>& queries, unsigned threads) {
-  EdbVerifyOptions opts;
-  opts.threads = threads;
-  return edb_verify_membership_many(crs, root, queries, opts);
 }
 
 }  // namespace desword::zkedb

@@ -12,38 +12,47 @@
 //     into one multi-exponentiation by a mercurial::BatchVerifier, with
 //     scalar re-checks behind the bisection on failure (see
 //     mercurial/batch_verify.h for the soundness argument).
+//
+// Both flavours return a `VerifyOutcome` (verify_cache.h): `ok` is the
+// verdict; memberships additionally carry the proven value D(key).
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "zkedb/proof.h"
+#include "zkedb/verify_cache.h"
 
 namespace desword::zkedb {
 
 /// Controls HOW verification executes, never WHAT it decides: the batched
 /// and scalar strategies accept/reject identically (batched falls back to
-/// exact scalar re-checks when a fold fails).
+/// exact scalar re-checks when a fold fails), and a cache hit replays a
+/// verdict the same bytes already earned.
 struct EdbVerifyOptions {
   bool batched = true;   // fold proof-chain equations into one multi-exp
   unsigned threads = 0;  // *_many fan-out; 0 = DESWORD_THREADS / hw default
+  /// Optional verdict cache. When set, each verification first looks up
+  /// digest(CRS ‖ commitment ‖ key ‖ full proof bytes) and skips the
+  /// multi-exp on a hit; accepted verdicts are stored back. Null = off.
+  VerifyCachePtr cache;
 };
 
-/// Verifies a membership proof against `root`. Returns the proven value
-/// D(key) on success, std::nullopt if the proof is invalid. Never throws
-/// on malformed proof content.
-std::optional<Bytes> edb_verify_membership(
-    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const EdbKey& key, const EdbMembershipProof& proof,
-    const EdbVerifyOptions& opts = {});
+/// Verifies a membership proof against `root`. On success the outcome is
+/// accepted and carries the proven value D(key). Never throws on
+/// malformed proof content.
+VerifyOutcome edb_verify_membership(const EdbCrs& crs,
+                                    const mercurial::QtmcCommitment& root,
+                                    const EdbKey& key,
+                                    const EdbMembershipProof& proof,
+                                    const EdbVerifyOptions& opts = {});
 
-/// Verifies a non-membership proof against `root`. Returns true iff the
-/// proof is valid (i.e. the prover demonstrated D(key) = ⊥).
-bool edb_verify_non_membership(const EdbCrs& crs,
-                               const mercurial::QtmcCommitment& root,
-                               const EdbKey& key,
-                               const EdbNonMembershipProof& proof,
-                               const EdbVerifyOptions& opts = {});
+/// Verifies a non-membership proof against `root`. Accepted iff the
+/// prover demonstrated D(key) = ⊥ (the outcome never carries a value).
+VerifyOutcome edb_verify_non_membership(const EdbCrs& crs,
+                                        const mercurial::QtmcCommitment& root,
+                                        const EdbKey& key,
+                                        const EdbNonMembershipProof& proof,
+                                        const EdbVerifyOptions& opts = {});
 
 /// One key/proof pair of a verification sweep.
 struct EdbMembershipQuery {
@@ -57,14 +66,11 @@ struct EdbMembershipQuery {
 /// what edb_verify_membership would return for it. With `opts.batched`,
 /// each worker folds its whole shard of proofs into one batch — the main
 /// throughput lever of this module (see bench_zkedb VerifyManyBatched).
-std::vector<std::optional<Bytes>> edb_verify_membership_many(
+/// With `opts.cache`, hits are satisfied before sharding and only misses
+/// enter the fold.
+std::vector<VerifyOutcome> edb_verify_membership_many(
     const EdbCrs& crs, const mercurial::QtmcCommitment& root,
     const std::vector<EdbMembershipQuery>& queries,
     const EdbVerifyOptions& opts = {});
-
-/// Back-compat overload: threads only, defaults otherwise.
-std::vector<std::optional<Bytes>> edb_verify_membership_many(
-    const EdbCrs& crs, const mercurial::QtmcCommitment& root,
-    const std::vector<EdbMembershipQuery>& queries, unsigned threads);
 
 }  // namespace desword::zkedb

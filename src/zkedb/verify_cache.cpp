@@ -1,0 +1,129 @@
+#include "zkedb/verify_cache.h"
+
+#include <algorithm>
+
+#include "crypto/hash.h"
+#include "obs/metrics.h"
+
+namespace desword::zkedb {
+
+namespace {
+
+obs::Counter& cache_hits() {
+  static obs::Counter& c = obs::metric("zkedb.cache.hit");
+  return c;
+}
+
+obs::Counter& cache_misses() {
+  static obs::Counter& c = obs::metric("zkedb.cache.miss");
+  return c;
+}
+
+obs::Counter& cache_evictions() {
+  static obs::Counter& c = obs::metric("zkedb.cache.evict");
+  return c;
+}
+
+obs::Counter& cache_stale() {
+  static obs::Counter& c = obs::metric("zkedb.cache.stale");
+  return c;
+}
+
+}  // namespace
+
+VerifyCache::VerifyCache(Config config)
+    : per_shard_cap_(std::max<std::size_t>(
+          1, config.capacity / std::max<std::size_t>(1, config.shards))),
+      shards_(std::max<std::size_t>(1, config.shards)) {}
+
+VerifyCache::Shard& VerifyCache::shard_of(const Bytes& key) {
+  const std::size_t b = key.empty() ? 0 : key[0];
+  return shards_[b % shards_.size()];
+}
+
+const VerifyCache::Shard& VerifyCache::shard_of(const Bytes& key) const {
+  const std::size_t b = key.empty() ? 0 : key[0];
+  return shards_[b % shards_.size()];
+}
+
+std::optional<VerifyOutcome> VerifyCache::lookup(const Bytes& key,
+                                                 std::uint64_t epoch) {
+  Shard& sh = shard_of(key);
+  MutexLock lock(sh.mu);
+  const auto it = sh.entries.find(key);
+  if (it == sh.entries.end()) {
+    cache_misses().add();
+    return std::nullopt;
+  }
+  if (it->second.epoch != epoch) {
+    // A fresh POC list superseded the entry's world: the verdict may still
+    // be cryptographically true, but the proxy must re-derive it against
+    // the new list's commitments. Drop it so it can never resurface.
+    sh.lru.erase(it->second.pos);
+    sh.entries.erase(it);
+    cache_stale().add();
+    cache_misses().add();
+    return std::nullopt;
+  }
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second.pos);
+  cache_hits().add();
+  return it->second.outcome;
+}
+
+void VerifyCache::store(const Bytes& key, const VerifyOutcome& outcome,
+                        std::uint64_t epoch) {
+  if (!outcome.ok) return;  // never cache rejections (see header)
+  Shard& sh = shard_of(key);
+  MutexLock lock(sh.mu);
+  const auto it = sh.entries.find(key);
+  if (it != sh.entries.end()) {
+    it->second.outcome = outcome;
+    it->second.epoch = epoch;
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second.pos);
+    return;
+  }
+  sh.lru.push_front(key);
+  sh.entries.emplace(key, Entry{outcome, epoch, sh.lru.begin()});
+  while (sh.entries.size() > per_shard_cap_) {
+    sh.entries.erase(sh.lru.back());
+    sh.lru.pop_back();
+    cache_evictions().add();
+  }
+}
+
+std::size_t VerifyCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    MutexLock lock(sh.mu);
+    total += sh.entries.size();
+  }
+  return total;
+}
+
+Bytes VerifyCache::proof_key(const Bytes& crs_digest, BytesView commitment,
+                             BytesView key, BytesView proof_bytes,
+                             std::string_view kind) {
+  TaggedHasher h("zkedb/cache/proof");
+  h.add(crs_digest);
+  h.add(commitment);
+  h.add(key);
+  h.add(proof_bytes);
+  h.add_str(kind);
+  return h.digest();
+}
+
+Bytes VerifyCache::hop_key(std::string_view task_id,
+                           std::string_view participant, BytesView product_id,
+                           BytesView commitment, BytesView proof_bytes,
+                           std::string_view kind) {
+  TaggedHasher h("zkedb/cache/hop");
+  h.add_str(task_id);
+  h.add_str(participant);
+  h.add(product_id);
+  h.add(commitment);
+  h.add(proof_bytes);
+  h.add_str(kind);
+  return h.digest();
+}
+
+}  // namespace desword::zkedb

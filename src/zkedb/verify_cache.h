@@ -1,0 +1,141 @@
+// Epoch-versioned verification cache (ISSUE 10 tentpole).
+//
+// Repeated audit traffic re-walks the same proof chains: recall campaigns
+// and counterfeit audits query far more often than participants re-commit,
+// so the exact same (commitment, key, proof bytes) triple is verified over
+// and over. This cache memoizes the *verdict* of an accepted verification
+// so a hop whose exact proof bytes were already admitted under the same
+// commitment skips the multi-exponentiation entirely.
+//
+// Safety rests on two pillars:
+//
+//   * Keys bind the FULL proof bytes (plus CRS digest, commitment and
+//     key/position) through a domain-separated SHA-256 — see proof_key()
+//     / hop_key(). A tampered proof, however close to a cached one, hashes
+//     to a different key and can never alias a cached acceptance. The
+//     `cache-key` lint rule (tools/desword_lint.py) rejects key
+//     constructions that omit the proof bytes.
+//   * Entries are tagged with an epoch (the proxy's per-task POC-list
+//     generation). A lookup under a different epoch misses AND erases the
+//     stale entry, so acceptances from before a list replacement are
+//     structurally unreachable.
+//
+// Only *accepted* verdicts are stored. Negative caching would be sound —
+// the key binds the exact rejected bytes — but every adversarial garbage
+// proof would then occupy a distinct entry, letting a flooder evict the
+// legitimate working set at zero crypto cost. Rejections stay expensive
+// for the attacker and free for the cache. (DESIGN.md §12.)
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/mutex.h"
+
+namespace desword::zkedb {
+
+/// Uniform result of a proof verification: `ok` is the verdict; `value`
+/// carries the proven value for memberships (absent for non-memberships).
+/// Replaces the historical std::optional<Bytes> / bare bool split so cache
+/// entries and callers handle both proof flavours identically.
+struct VerifyOutcome {
+  bool ok = false;
+  std::optional<Bytes> value;
+
+  /// True iff the proof was accepted AND proves a value (membership).
+  bool has_value() const { return ok && value.has_value(); }
+  const Bytes& operator*() const { return *value; }
+  const Bytes* operator->() const { return &*value; }
+  explicit operator bool() const { return ok; }
+
+  bool operator==(const VerifyOutcome&) const = default;
+
+  static VerifyOutcome accept() { return VerifyOutcome{true, std::nullopt}; }
+  static VerifyOutcome accept_value(Bytes v) {
+    return VerifyOutcome{true, std::move(v)};
+  }
+  static VerifyOutcome reject() { return VerifyOutcome{}; }
+};
+
+/// Sharded, capacity-bounded LRU of accepted verification verdicts.
+///
+/// Thread safe: each shard owns an annotated Mutex; a lookup or store
+/// touches exactly one shard. Keys are 32-byte tagged digests (uniform),
+/// so the first key byte picks the shard without skew. Instrumented with
+/// zkedb.cache.{hit,miss,evict,stale}.
+class VerifyCache {
+ public:
+  struct Config {
+    std::size_t capacity = 4096;  // total entries across all shards
+    std::size_t shards = 8;
+  };
+
+  // Two overloads instead of `Config config = {}`: a brace default for a
+  // nested aggregate with member initializers is ill-formed until the
+  // enclosing class is complete.
+  VerifyCache() : VerifyCache(Config{}) {}
+  explicit VerifyCache(Config config);
+
+  VerifyCache(const VerifyCache&) = delete;
+  VerifyCache& operator=(const VerifyCache&) = delete;
+
+  /// Returns the cached outcome iff `key` is present under exactly
+  /// `epoch`. A present entry under a different epoch is erased (counted
+  /// as zkedb.cache.stale) and reported as a miss.
+  std::optional<VerifyOutcome> lookup(const Bytes& key, std::uint64_t epoch);
+
+  /// Records an accepted outcome under (key, epoch). Rejections are
+  /// dropped (see file header on negative caching). Storing an existing
+  /// key refreshes its LRU position and overwrites its epoch.
+  void store(const Bytes& key, const VerifyOutcome& outcome,
+             std::uint64_t epoch);
+
+  /// Entries currently resident (sums shards; approximate under races).
+  std::size_t size() const;
+
+  /// Key for a ZK-EDB proof-level verdict. Binds the CRS (its params
+  /// digest), the root commitment, the key position, the FULL serialized
+  /// proof bytes and the proof flavour (`kind` = "membership" /
+  /// "non_membership").
+  static Bytes proof_key(const Bytes& crs_digest, BytesView commitment,
+                         BytesView key, BytesView proof_bytes,
+                         std::string_view kind);
+
+  /// Key for a proxy-level hop verdict. Binds the task, the responding
+  /// participant, the queried product id, the hop's POC commitment bytes,
+  /// the FULL proof bytes as received and the check flavour (`kind` =
+  /// "ownership" / "non_ownership").
+  static Bytes hop_key(std::string_view task_id, std::string_view participant,
+                       BytesView product_id, BytesView commitment,
+                       BytesView proof_bytes, std::string_view kind);
+
+ private:
+  struct Entry {
+    VerifyOutcome outcome;
+    std::uint64_t epoch = 0;
+    std::list<Bytes>::iterator pos;  // position in the shard's LRU list
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::map<Bytes, Entry> entries DESWORD_GUARDED_BY(mu);
+    /// Most-recently-used first; back() is the eviction victim.
+    std::list<Bytes> lru DESWORD_GUARDED_BY(mu);
+  };
+
+  Shard& shard_of(const Bytes& key);
+  const Shard& shard_of(const Bytes& key) const;
+
+  std::size_t per_shard_cap_;
+  std::vector<Shard> shards_;
+};
+
+using VerifyCachePtr = std::shared_ptr<VerifyCache>;
+
+}  // namespace desword::zkedb

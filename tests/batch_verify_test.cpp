@@ -300,8 +300,8 @@ class EdbDifferentialTest : public ::testing::Test {
   }
 
   /// Both strategies must return the same verdict; returns it.
-  std::optional<Bytes> verify_both(const EdbKey& key,
-                                   const zk::EdbMembershipProof& proof) {
+  zk::VerifyOutcome verify_both(const EdbKey& key,
+                                const zk::EdbMembershipProof& proof) {
     zk::EdbVerifyOptions scalar;
     scalar.batched = false;
     const auto s = zk::edb_verify_membership(*crs_, prover_->commitment(),
@@ -309,7 +309,9 @@ class EdbDifferentialTest : public ::testing::Test {
     const auto b =
         zk::edb_verify_membership(*crs_, prover_->commitment(), key, proof);
     EXPECT_EQ(s.has_value(), b.has_value());
-    if (s.has_value() && b.has_value()) EXPECT_EQ(*s, *b);
+    if (s.has_value() && b.has_value()) {
+      EXPECT_EQ(*s, *b);
+    }
     return b;
   }
 
@@ -317,9 +319,11 @@ class EdbDifferentialTest : public ::testing::Test {
     zk::EdbVerifyOptions scalar;
     scalar.batched = false;
     const bool s = zk::edb_verify_non_membership(*crs_, prover_->commitment(),
-                                                 key, proof, scalar);
+                                                 key, proof, scalar)
+                       .ok;
     const bool b = zk::edb_verify_non_membership(*crs_, prover_->commitment(),
-                                                 key, proof);
+                                                 key, proof)
+                       .ok;
     EXPECT_EQ(s, b);
     return b;
   }

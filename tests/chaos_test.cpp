@@ -242,7 +242,8 @@ struct SweepRun {
 /// windows are swapped in afterwards as open-ended windows, which makes
 /// them schedule-independent on the simulated clock (a timed window would
 /// cover different message sets in serial vs concurrent runs).
-SweepRun run_cell(Cell cell, std::uint64_t seed, bool concurrent) {
+SweepRun run_cell(Cell cell, std::uint64_t seed, bool concurrent,
+                  bool verify_cache = true) {
   FaultPlan plan;
   plan.seed = seed;
   plan.default_faults.drop_rate = cell == Cell::kLoss30 ? 0.30 : 0.10;
@@ -252,6 +253,7 @@ SweepRun run_cell(Cell cell, std::uint64_t seed, bool concurrent) {
   cfg.fault_plan = plan;
   cfg.query_deadline = kQueryDeadline;
   cfg.max_concurrent_queries = concurrent ? 8 : 1;
+  cfg.verify_cache = verify_cache;
   Scenario scenario(SupplyChainGraph::paper_example(), cfg);
 
   DistributionConfig dist;
@@ -337,6 +339,31 @@ TEST(ChaosSweepTest, SerialAndConcurrentSchedulersAgreeUnderFaults) {
   }
   EXPECT_EQ(obs::metric("protocol.pump.stalled").value(), stalled_before)
       << "no pump round may ever report a stalled session";
+}
+
+TEST(ChaosSweepTest, VerifyCacheOnAndOffAgreeUnderFaults) {
+  // The epoch-versioned verification cache (ISSUE 10) must be outcome-
+  // invisible even when the network mangles the walk: identical verdict
+  // digests AND identical reputation, per seed, with the cache on vs off.
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 5, 8, 13, 21, 34};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("loss10 seed " + std::to_string(seed));
+    const SweepRun cached =
+        run_cell(Cell::kLoss10, seed, /*concurrent=*/true, /*cache=*/true);
+    const SweepRun uncached =
+        run_cell(Cell::kLoss10, seed, /*concurrent=*/true, /*cache=*/false);
+    ASSERT_EQ(cached.outcomes.size(), uncached.outcomes.size());
+    for (std::size_t i = 0; i < cached.outcomes.size(); ++i) {
+      EXPECT_TRUE(cached.outcomes[i] == uncached.outcomes[i])
+          << "query " << i << " diverged between cache modes";
+    }
+    ASSERT_EQ(cached.reputation.size(), uncached.reputation.size());
+    for (const auto& [participant, score] : cached.reputation) {
+      const auto it = uncached.reputation.find(participant);
+      ASSERT_TRUE(it != uncached.reputation.end()) << participant;
+      EXPECT_DOUBLE_EQ(score, it->second) << participant;
+    }
+  }
 }
 
 TEST(ChaosSweepTest, FaultedWalksRecordNoResponseAgainstTheVictim) {
@@ -429,7 +456,9 @@ TEST(ChaosDistributionTest, OrphanedDistributionMessagesAreCounted) {
   // silently — `net.distribution.orphaned` feeds `desword stats`.
   net::Network network(1);
   net::SimTransport sim(network);
-  Participant participant("p0", sim, "proxy", std::make_shared<CrsCache>());
+  Participant participant(
+      "p0", sim, "proxy",
+      ParticipantDeps{.crs_cache = std::make_shared<CrsCache>()});
   sim.register_node("proxy", [](const net::Envelope&) {});
 
   const std::uint64_t before =

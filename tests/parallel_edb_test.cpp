@@ -193,8 +193,10 @@ TEST_P(ParallelEdbTest, VerifyManySweep) {
     queries.push_back({key, &proofs.back()});
   }
   queries.push_back({key_of(*crs_, "prod-0"), nullptr});  // skipped slot
-  const auto results = edb_verify_membership_many(
-      *crs_, prover.commitment(), queries, /*threads=*/4);
+  EdbVerifyOptions opts;
+  opts.threads = 4;
+  const auto results =
+      edb_verify_membership_many(*crs_, prover.commitment(), queries, opts);
   ASSERT_EQ(results.size(), queries.size());
   std::size_t i = 0;
   for (const auto& [key, value] : entries) {
@@ -208,8 +210,10 @@ TEST_P(ParallelEdbTest, VerifyManySweep) {
   auto bad = proofs.front();
   bad.value = bytes_of("forged");
   std::vector<EdbMembershipQuery> mixed{{queries[0].key, &bad}, queries[1]};
+  EdbVerifyOptions mixed_opts;
+  mixed_opts.threads = 2;
   const auto mixed_results = edb_verify_membership_many(
-      *crs_, prover.commitment(), mixed, /*threads=*/2);
+      *crs_, prover.commitment(), mixed, mixed_opts);
   EXPECT_FALSE(mixed_results[0].has_value());
   EXPECT_TRUE(mixed_results[1].has_value());
 }

@@ -434,13 +434,16 @@ TEST(TransportProtocolTest, DeadPeerFastFailsOverSockets) {
   config.retransmit_base = 400;
   config.retransmit_cap = 400;
   config.max_retries = 5;
-  Proxy proxy("proxy", socket, crs_cache, config);
+  ProxyDeps deps;
+  deps.crs_cache = crs_cache;
+  Proxy proxy("proxy", socket, std::move(deps), config);
 
   const auto graph = supplychain::SupplyChainGraph::paper_example();
   std::map<std::string, std::unique_ptr<Participant>> participants;
   for (const ParticipantId& id : graph.participants()) {
     participants.emplace(
-        id, std::make_unique<Participant>(id, socket, "proxy", crs_cache));
+        id, std::make_unique<Participant>(
+                id, socket, "proxy", ParticipantDeps{.crs_cache = crs_cache}));
   }
 
   supplychain::DistributionConfig dist;

@@ -204,9 +204,13 @@ void print_usage(std::ostream& err) {
          "  plan               generate a deployment plan + ground truth\n"
          "  serve-proxy        run the proxy daemon of a plan\n"
          "                     [--workers N crypto worker threads,\n"
-         "                      --query-concurrency N sessions in flight]\n"
+         "                      --query-concurrency N sessions in flight,\n"
+         "                      --verify-cache 0|1 verification cache,\n"
+         "                      --cache-capacity N cached verdicts]\n"
          "  serve-participant  run one participant daemon of a plan\n"
          "                     [--workers N crypto worker threads]\n"
+         "                     [--proof-memo 0|1 memoize repeated proofs,\n"
+         "                     default 1]\n"
          "  query              drive a running deployment (wait-ready /\n"
          "                     product query / report / shutdown)\n"
          "                     [--stats-json PATH fetches a metrics snapshot]\n"

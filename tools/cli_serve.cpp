@@ -419,12 +419,15 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
   const int workers = flags.get_int("workers", 0);
   const int query_concurrency = flags.get_int("query-concurrency", 8);
   const int query_deadline = flags.get_int("query-deadline", 0);
+  const int verify_cache = flags.get_int("verify-cache", 1);
+  const int cache_capacity = flags.get_int("cache-capacity", 4096);
   flags.reject_unknown();
   if (workers < 0) throw UsageError("--workers must be >= 0");
   if (query_concurrency < 1) {
     throw UsageError("--query-concurrency must be >= 1");
   }
   if (query_deadline < 0) throw UsageError("--query-deadline must be >= 0");
+  if (cache_capacity < 1) throw UsageError("--cache-capacity must be >= 1");
   const Plan plan = load_plan(plan_path);
 
   net::SocketTransport socket(transport_options(plan.addr_dir));
@@ -438,10 +441,14 @@ int serve_proxy_impl(const Flags& flags, std::ostream& out) {
   config.max_retries = plan.max_retries;
   config.retransmit_base = plan.retransmit_ms;
   config.query_deadline = static_cast<std::uint64_t>(query_deadline);
-  config.worker_threads = static_cast<unsigned>(workers);
+  config.verify.worker_threads = static_cast<unsigned>(workers);
+  config.verify.cache_proofs = verify_cache != 0;
+  config.verify.cache_hops = verify_cache != 0;
+  config.verify.cache_capacity = static_cast<std::size_t>(cache_capacity);
   config.max_concurrent_queries = static_cast<std::size_t>(query_concurrency);
-  Proxy proxy(plan.proxy_id, transport, std::make_shared<CrsCache>(),
-              std::move(config));
+  ProxyDeps deps;
+  deps.crs_cache = std::make_shared<CrsCache>();
+  Proxy proxy(plan.proxy_id, transport, std::move(deps), std::move(config));
 
   bool running = true;
   struct PendingClient {
@@ -547,6 +554,7 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
   const std::string stats_path = flags.get("stats-json", "");
   const std::string fault_path = flags.get("fault-plan", "");
   const int workers = flags.get_int("workers", 0);
+  const int proof_memo = flags.get_int("proof-memo", 1);
   flags.reject_unknown();
   if (workers < 0) throw UsageError("--workers must be >= 0");
   const Plan plan = load_plan(plan_path);
@@ -561,8 +569,10 @@ int serve_participant_impl(const Flags& flags, std::ostream& out) {
   if (!fault_path.empty()) fault.emplace(socket, load_fault_plan(fault_path));
   net::Transport& transport =
       fault ? static_cast<net::Transport&>(*fault) : socket;
-  Participant participant(id, transport, plan.proxy_id,
-                          std::make_shared<CrsCache>());
+  Participant participant(
+      id, transport, plan.proxy_id,
+      ParticipantDeps{.crs_cache = std::make_shared<CrsCache>()});
+  participant.set_proof_memo(proof_memo != 0);
   if (workers > 0) {
     obs::install_executor_metrics();
     participant.set_executor(

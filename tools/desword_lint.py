@@ -84,6 +84,14 @@ Rules (each can be waived on a specific line with a trailing
                 ``return ...set_timer(...)`` forwards ownership to the
                 caller and is exempt.
 
+  cache-key     Every verification-cache key construction — a
+                ``proof_key(...)`` / ``hop_key(...)`` call — must pass the
+                full proof bytes (an argument naming ``proof``). The cache
+                maps keys to *accepted* verdicts; a key that omits the
+                proof bytes would let a tampered proof alias a cached
+                acceptance and ride straight past the verifier
+                (src/zkedb/verify_cache.h, DESIGN.md §12).
+
 Run:  tools/desword_lint.py [--root <repo root>]
 The root defaults to the repository containing this script, so the linter
 works from any working directory (CI checkouts, editor integrations).
@@ -190,6 +198,11 @@ RE_SET_TIMER_ASSIGN = re.compile(
 RE_SET_TIMER_RETURN = re.compile(r"\breturn\b[^;]*\bset_timer\s*\(")
 RE_CANCEL_TIMER_ARGS = re.compile(r"\bcancel_timer\s*\(([^()]*)\)")
 
+# Verification-cache key constructions (rule cache-key). Call sites AND
+# the static definitions match; both must name the proof bytes.
+RE_CACHE_KEY = re.compile(r"\b(?:proof_key|hop_key)\s*\(")
+RE_CACHE_KEY_PROOF_ARG = re.compile(r"proof")
+
 # Worker-context dispatch points (rule loop-affinity): posting to a strand
 # or directly to the executor moves the lambda off the loop thread.
 RE_WORKER_POST = re.compile(
@@ -258,6 +271,7 @@ class Linter:
         self.check_line_rules(rel, lines)
         self.check_switch_default(rel, text, lines)
         self.check_timer_pairing(rel, text, lines)
+        self.check_cache_key(rel, text, lines)
         if rel in HANDLER_FILES:
             self.check_handler_crypto(rel, text, lines)
             self.check_loop_affinity(rel, text, lines)
@@ -408,6 +422,30 @@ class Linter:
                             f"this file never passes '{tail}' to "
                             "cancel_timer; pair every armed timer with a "
                             "teardown cancellation")
+
+    def check_cache_key(self, rel: str, text: str,
+                        lines: list[str]) -> None:
+        """Flags proof_key/hop_key constructions (call sites and
+        definitions alike) whose balanced argument span never names the
+        proof bytes. Key components other than the proof are contextual;
+        the proof bytes are the one ingredient whose omission turns the
+        cache into a verifier bypass."""
+        for match in RE_CACHE_KEY.finditer(text):
+            line_start = text.rfind("\n", 0, match.start()) + 1
+            if "//" in text[line_start:match.start()]:
+                continue  # prose mention inside a comment, not a call
+            open_idx = text.index("(", match.end() - 1)
+            close_idx = balance_parens(text, open_idx)
+            span = text[open_idx:close_idx + 1]
+            if RE_CACHE_KEY_PROOF_ARG.search(span):
+                continue
+            lineno = text.count("\n", 0, match.start()) + 1
+            if allowed(lines[lineno - 1], "cache-key"):
+                continue
+            self.report(rel, lineno, "cache-key",
+                        "cache key built without the proof bytes; a key "
+                        "that does not bind the full proof lets a "
+                        "tampered proof alias a cached acceptance")
 
     def check_switch_default(self, rel: str, text: str,
                              lines: list[str]) -> None:

@@ -44,6 +44,7 @@ ALL_RULES = {
     "raw-mutex",
     "loop-affinity",
     "timer-pairing",
+    "cache-key",
 }
 
 Finding = tuple[str, str, int]  # (rule, relative path, line)

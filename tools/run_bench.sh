@@ -16,13 +16,18 @@
 #   * "fault_resilience" pairs every lossy Macro/FaultedQuery case with
 #     its loss=0 baseline: latency overhead, retransmits per query and
 #     success rate under injected frame loss — the acceptance metric for
-#     the fault injection / adaptive recovery layer.
+#     the fault injection / adaptive recovery layer;
+#   * "repeat_query" pairs Macro/RepeatQueryCold (verification cache off)
+#     with Macro/RepeatQueryWarm (cache on, warmed) on queries_per_sec
+#     and carries the warm hit_rate — the acceptance metric for the
+#     epoch-versioned verification cache.
 #
 # Usage: tools/run_bench.sh [--build-dir DIR] [--out FILE] [--check]
 #   --build-dir DIR  where the bench binaries live (default: build)
 #   --out FILE       consolidated JSON path (default: BENCH_zkedb.json)
 #   --check          exit non-zero if any batched configuration is slower
-#                    than its scalar counterpart (CI perf smoke)
+#                    than its scalar counterpart, or if the warm repeat-
+#                    query cache hit rate drops below 0.8 (CI perf smoke)
 #
 # Env: DESWORD_BENCH_QUICK / DESWORD_BENCH_RSA_BITS shrink the run
 # (see bench/bench_util.h).
@@ -150,6 +155,27 @@ if baseline:
             "success_rate": counters.get("success_rate"),
         })
 
+# Pair Macro/RepeatQueryCold (cache off) with Macro/RepeatQueryWarm
+# (cache on, warmed) on queries_per_sec; carry the warm hit rate.
+cold_repeat, warm_repeat = None, None
+for r in results:
+    case = r.get("case", "")
+    if case.startswith("Macro/RepeatQueryCold"):
+        cold_repeat = r
+    elif case.startswith("Macro/RepeatQueryWarm"):
+        warm_repeat = r
+
+repeat_query = None
+if cold_repeat and warm_repeat:
+    cold_qps = cold_repeat.get("counters", {}).get("queries_per_sec") or 0
+    warm_qps = warm_repeat.get("counters", {}).get("queries_per_sec") or 0
+    repeat_query = {
+        "cold_queries_per_sec": cold_qps,
+        "warm_queries_per_sec": warm_qps,
+        "speedup": warm_qps / cold_qps if cold_qps else None,
+        "warm_hit_rate": warm_repeat.get("counters", {}).get("hit_rate"),
+    }
+
 summary = {
     "generated_by": "tools/run_bench.sh",
     "cpu_count": cpu_count,
@@ -157,6 +183,7 @@ summary = {
     "verify_throughput": configs,
     "query_throughput": query_configs,
     "fault_resilience": fault_configs,
+    "repeat_query": repeat_query,
     "results": results,
 }
 with open(out_path, "w", encoding="utf-8") as fh:
@@ -178,6 +205,10 @@ for c in fault_configs:
           "{baseline_ms_per_query:.2f}ms -> {faulted_ms_per_query:.2f}ms "
           "({latency_overhead:.2f}x), {retransmits_per_query:.1f} "
           "retransmits/query, success {success_rate:.2f}".format(**c))
+if repeat_query:
+    print("  repeat_query: cold {cold_queries_per_sec:.2f}/s warm "
+          "{warm_queries_per_sec:.2f}/s speedup {speedup:.2f}x "
+          "hit_rate {warm_hit_rate:.2f}".format(**repeat_query))
 
 if check:
     if not configs:
@@ -217,5 +248,17 @@ if check:
             print(f"run_bench.sh: faulted queries failing at "
                   f"{c['loss_pct']:.0f}% loss "
                   f"(success rate {c['success_rate']})", file=sys.stderr)
+        sys.exit(1)
+    # The warm repeat-query pass must actually run out of the cache. The
+    # hit rate is machine-independent (unlike the warm/cold wall-clock
+    # ratio, which collapses on a starved box), so it is the gated metric.
+    if repeat_query is None:
+        print("run_bench.sh: --check but no RepeatQuery pair found",
+              file=sys.stderr)
+        sys.exit(1)
+    hit_rate = repeat_query["warm_hit_rate"]
+    if hit_rate is None or hit_rate < 0.8:
+        print(f"run_bench.sh: warm repeat-query hit rate too low "
+              f"({hit_rate})", file=sys.stderr)
         sys.exit(1)
 PY
